@@ -1,0 +1,29 @@
+//! Benchmark of the leave-one-ingredient-out contribution sweep (Fig 5
+//! kernel) across cuisine sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use culinaria_core::contribution::ingredient_contributions;
+use culinaria_datagen::{generate_world, WorldConfig};
+use culinaria_recipedb::Region;
+
+fn bench_contribution(c: &mut Criterion) {
+    let world = generate_world(&WorldConfig::small());
+
+    let mut group = c.benchmark_group("contribution_sweep");
+    group.sample_size(10);
+    // Korea is the smallest cuisine, USA the largest.
+    for region in [Region::Korea, Region::Italy, Region::Usa] {
+        let cuisine = world.recipes.cuisine(region);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(region.code()),
+            &cuisine,
+            |b, cu| b.iter(|| black_box(ingredient_contributions(&world.flavor, cu))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_contribution);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Kernel bench for the flavor-sharing score N_s, including the
+//! DESIGN.md ablation: precomputed [`OverlapCache`] lookups vs direct
+//! sorted-slice profile intersection, across recipe sizes, plus the
+//! higher-order k-tuple scorer.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use culinaria_core::ntuple::recipe_ktuple_score;
+use culinaria_core::pairing::{recipe_pairing_score, OverlapCache};
+use culinaria_datagen::{generate_world, WorldConfig};
+use culinaria_flavordb::IngredientId;
+use culinaria_recipedb::Region;
+
+fn bench_pairing(c: &mut Criterion) {
+    let world = generate_world(&WorldConfig::small());
+    let cuisine = world.recipes.cuisine(Region::Italy);
+    let cache = OverlapCache::for_cuisine(&world.flavor, &cuisine);
+    let pool = cuisine.ingredient_set();
+
+    let mut group = c.benchmark_group("recipe_score");
+    for &size in &[5usize, 9, 15, 25] {
+        let recipe: Vec<IngredientId> = pool.iter().copied().take(size).collect();
+        let locals: Vec<u32> = recipe
+            .iter()
+            .map(|&i| cache.local_index(i).expect("pool member"))
+            .collect();
+        group.bench_with_input(BenchmarkId::new("direct", size), &recipe, |b, r| {
+            b.iter(|| recipe_pairing_score(black_box(&world.flavor), black_box(r)))
+        });
+        group.bench_with_input(BenchmarkId::new("cached", size), &locals, |b, l| {
+            b.iter(|| cache.score_local(black_box(l)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cache_build");
+    for &n in &[50usize, 150, 300] {
+        let sub: Vec<IngredientId> = pool.iter().copied().take(n).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &sub, |b, s| {
+            b.iter(|| OverlapCache::build(black_box(&world.flavor), black_box(s)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("cuisine_mean");
+    group.bench_function("cached_full_cuisine", |b| {
+        b.iter(|| cache.mean_cuisine_score(black_box(&cuisine)))
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("ktuple_score");
+    let recipe: Vec<IngredientId> = pool.iter().copied().take(9).collect();
+    for &k in &[2usize, 3, 4] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| recipe_ktuple_score(black_box(&world.flavor), black_box(&recipe), k))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pairing);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Benchmarks of the tabular substrate: group-by aggregation, sorting,
+//! joins, and CSV round-trips at analysis-output scale.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use culinaria_tabular::{Column, Frame, SortOrder};
+
+fn build_frame(n: usize) -> Frame {
+    let regions: Vec<String> = (0..n).map(|i| format!("R{:02}", i % 22)).collect();
+    let region_refs: Vec<&str> = regions.iter().map(String::as_str).collect();
+    let vals: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin() * 10.0).collect();
+    let counts: Vec<i64> = (0..n).map(|i| (i % 37) as i64).collect();
+    Frame::from_columns(vec![
+        ("region", Column::from_strs(&region_refs)),
+        ("score", Column::from_f64s(&vals)),
+        ("count", Column::from_i64s(&counts)),
+    ])
+    .expect("fresh frame")
+}
+
+fn bench_tabular(c: &mut Criterion) {
+    for &n in &[1_000usize, 10_000] {
+        let frame = build_frame(n);
+
+        let mut group = c.benchmark_group(format!("tabular_{n}"));
+        group.bench_function("group_by_mean", |b| {
+            b.iter(|| {
+                black_box(
+                    frame
+                        .group_by(&["region"])
+                        .expect("column exists")
+                        .mean("score")
+                        .expect("numeric column"),
+                )
+            })
+        });
+        group.bench_function("sort_two_keys", |b| {
+            b.iter(|| {
+                black_box(
+                    frame
+                        .sort_by_with(&[
+                            ("region", SortOrder::Ascending),
+                            ("score", SortOrder::Descending),
+                        ])
+                        .expect("columns exist"),
+                )
+            })
+        });
+        group.bench_function("filter_numeric", |b| {
+            b.iter(|| {
+                black_box(
+                    frame
+                        .filter(|r| r.get("score").and_then(|v| v.as_float()).unwrap_or(0.0) > 0.0)
+                        .expect("filter"),
+                )
+            })
+        });
+        group.bench_function("csv_roundtrip", |b| {
+            b.iter(|| {
+                let csv = frame.to_csv();
+                black_box(Frame::from_csv_str(&csv).expect("own output parses"))
+            })
+        });
+        group.finish();
+    }
+
+    // Join at region-table scale.
+    let left = build_frame(10_000);
+    let right = {
+        let codes: Vec<String> = (0..22).map(|i| format!("R{:02}", i)).collect();
+        let refs: Vec<&str> = codes.iter().map(String::as_str).collect();
+        let z: Vec<f64> = (0..22).map(|i| i as f64).collect();
+        Frame::from_columns(vec![
+            ("region", Column::from_strs(&refs)),
+            ("z", Column::from_f64s(&z)),
+        ])
+        .expect("fresh frame")
+    };
+    c.bench_with_input(BenchmarkId::new("inner_join", "10k x 22"), &(), |b, _| {
+        b.iter(|| {
+            black_box(
+                left.inner_join(&right, &["region"], &["region"])
+                    .expect("join"),
+            )
+        })
+    });
+}
+
+criterion_group!(benches, bench_tabular);
+criterion_main!(benches);

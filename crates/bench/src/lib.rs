@@ -1,0 +1,100 @@
+#![warn(missing_docs)]
+
+//! # culinaria-bench
+//!
+//! Reproduction harnesses (one binary per paper table/figure, under
+//! `src/bin/`) and Criterion micro-benchmarks (under `benches/`).
+//!
+//! Every harness regenerates one artifact of the paper's evaluation:
+//!
+//! | binary            | paper artifact |
+//! |-------------------|----------------|
+//! | `repro_table1`    | Table 1 — recipes & ingredients per region |
+//! | `repro_fig2`      | Fig 2 — category-composition heatmap |
+//! | `repro_fig3a`     | Fig 3a — recipe-size distribution |
+//! | `repro_fig3b`     | Fig 3b — ingredient rank-frequency scaling |
+//! | `repro_fig4`      | Fig 4 — z-scores vs the four null models |
+//! | `repro_fig5`      | Fig 5 — top-3 contributing ingredients |
+//! | `repro_ntuples`   | §V extension — triple/quadruple sharing |
+//! | `repro_evolution` | paper ref 10 — copy-mutate evolution model |
+//! | `repro_robustness`| §V extension — subsampling / profile dilution |
+//! | `repro_cooking`   | §V extension — cooking flavor transformation |
+//! | `repro_network`   | supplementary — Ahn-style flavor network |
+//! | `repro_similarity`| supplementary — fingerprints + clustering |
+//! | `repro_classifier`| supplementary — cuisine classification |
+//! | `repro_ablation`  | DESIGN.md §5 — generator design ablation |
+//!
+//! ## Environment knobs
+//!
+//! * `CULINARIA_SCALE` — recipe-count multiplier on Table 1
+//!   (default 1.0 = full paper scale);
+//! * `CULINARIA_MC` — Monte-Carlo recipes per null model
+//!   (default 100000, the paper's number);
+//! * `CULINARIA_SEED` — master seed (default 2018).
+
+use culinaria_core::MonteCarloConfig;
+use culinaria_datagen::{generate_world, World, WorldConfig};
+
+/// Read an environment variable, falling back to a default.
+fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The world configuration selected by the environment (see the crate
+/// docs for the knobs).
+pub fn world_config_from_env() -> WorldConfig {
+    let scale: f64 = env_or("CULINARIA_SCALE", 1.0);
+    let seed: u64 = env_or("CULINARIA_SEED", 2018);
+    let mut cfg = WorldConfig::paper();
+    cfg.recipe_scale = scale;
+    cfg.seed = seed;
+    cfg
+}
+
+/// Generate the world selected by the environment, logging timings.
+pub fn world_from_env() -> World {
+    let cfg = world_config_from_env();
+    eprintln!(
+        "generating world: scale {}, seed {}, {} ingredients / {} molecules",
+        cfg.recipe_scale, cfg.seed, cfg.flavor.n_ingredients, cfg.flavor.n_molecules
+    );
+    let t = std::time::Instant::now();
+    let world = generate_world(&cfg);
+    eprintln!(
+        "world ready: {} recipes in {:.1?}",
+        world.recipes.n_recipes(),
+        t.elapsed()
+    );
+    world
+}
+
+/// The Monte-Carlo configuration selected by the environment.
+pub fn mc_config_from_env() -> MonteCarloConfig {
+    MonteCarloConfig {
+        n_recipes: env_or("CULINARIA_MC", 100_000),
+        seed: env_or("CULINARIA_SEED", 2018),
+        n_threads: 0,
+    }
+}
+
+/// Print a harness section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_defaults() {
+        // Tolerate exported overrides by only checking types/ranges.
+        let cfg = world_config_from_env();
+        assert!(cfg.recipe_scale > 0.0);
+        let mc = mc_config_from_env();
+        assert!(mc.n_recipes > 0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Category-composition analysis (Fig 2): the share of ingredient
+//! usages each category accounts for, per region and for the pooled
+//! WORLD aggregate.
+
+use culinaria_flavordb::{Category, FlavorDb};
+use culinaria_recipedb::{Cuisine, RecipeStore};
+use culinaria_tabular::{Column, Frame};
+
+/// Usage share per category for one cuisine: `share[c]` is the fraction
+/// of (recipe, ingredient) usages falling in category `c`. All zeros
+/// for an empty cuisine.
+pub fn category_shares(db: &FlavorDb, cuisine: &Cuisine<'_>) -> [f64; 21] {
+    let mut counts = [0u64; 21];
+    let mut total = 0u64;
+    for r in cuisine.recipes() {
+        for &id in r.ingredients() {
+            let cat = db.ingredient(id).expect("live ingredient").category;
+            counts[cat.index()] += 1;
+            total += 1;
+        }
+    }
+    let mut shares = [0.0; 21];
+    if total > 0 {
+        for (s, &c) in shares.iter_mut().zip(&counts) {
+            *s = c as f64 / total as f64;
+        }
+    }
+    shares
+}
+
+/// Pooled usage share over every recipe in the store (the WORLD row).
+pub fn world_category_shares(db: &FlavorDb, store: &RecipeStore) -> [f64; 21] {
+    let mut counts = [0u64; 21];
+    let mut total = 0u64;
+    for r in store.recipes() {
+        for &id in r.ingredients() {
+            let cat = db.ingredient(id).expect("live ingredient").category;
+            counts[cat.index()] += 1;
+            total += 1;
+        }
+    }
+    let mut shares = [0.0; 21];
+    if total > 0 {
+        for (s, &c) in shares.iter_mut().zip(&counts) {
+            *s = c as f64 / total as f64;
+        }
+    }
+    shares
+}
+
+/// The Fig 2 heatmap as a frame: one row per populated region plus a
+/// final `WORLD` row; one column per category (plus `region`).
+pub fn composition_frame(db: &FlavorDb, store: &RecipeStore) -> Frame {
+    let regions = store.regions();
+    let mut rows: Vec<(String, [f64; 21])> = regions
+        .iter()
+        .map(|&r| (r.code().to_owned(), category_shares(db, &store.cuisine(r))))
+        .collect();
+    rows.push(("WORLD".to_owned(), world_category_shares(db, store)));
+
+    let mut f = Frame::new();
+    let labels: Vec<&str> = rows.iter().map(|(n, _)| n.as_str()).collect();
+    f.add_column("region", Column::from_strs(&labels))
+        .expect("fresh frame");
+    for cat in Category::ALL {
+        let vals: Vec<f64> = rows.iter().map(|(_, s)| s[cat.index()]).collect();
+        f.add_column(cat.name(), Column::from_f64s(&vals))
+            .expect("category names unique");
+    }
+    f
+}
+
+/// Category usage *counts* per cuisine (the χ² input).
+pub fn category_counts(db: &FlavorDb, cuisine: &Cuisine<'_>) -> [u64; 21] {
+    let mut counts = [0u64; 21];
+    for r in cuisine.recipes() {
+        for &id in r.ingredients() {
+            let cat = db.ingredient(id).expect("live ingredient").category;
+            counts[cat.index()] += 1;
+        }
+    }
+    counts
+}
+
+/// Quantify each region's deviation from the WORLD composition with a
+/// χ² goodness-of-fit test: one row per populated region with the
+/// statistic, degrees of freedom, and p-value. This turns Fig 2's
+/// visual "salient and subtle patterns" into numbers.
+pub fn composition_deviation_frame(db: &FlavorDb, store: &RecipeStore) -> Frame {
+    let world = world_category_shares(db, store);
+    let mut regions = Vec::new();
+    let mut stats = Vec::new();
+    let mut dofs = Vec::new();
+    let mut ps = Vec::new();
+    for region in store.regions() {
+        let counts = category_counts(db, &store.cuisine(region));
+        let Some(result) = culinaria_stats::chi2::chi2_goodness_of_fit(&counts, &world) else {
+            continue;
+        };
+        regions.push(region.code());
+        stats.push(result.statistic);
+        dofs.push(result.dof as i64);
+        ps.push(result.p_value);
+    }
+    Frame::from_columns(vec![
+        ("region", Column::from_strs(&regions)),
+        ("chi2", Column::from_f64s(&stats)),
+        ("dof", Column::from_i64s(&dofs)),
+        ("p_value", Column::from_f64s(&ps)),
+    ])
+    .expect("fresh frame")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culinaria_flavordb::IngredientId;
+    use culinaria_recipedb::{Region, Source};
+
+    fn fixture() -> (FlavorDb, RecipeStore) {
+        let mut db = FlavorDb::new();
+        db.add_anonymous_molecules(5);
+        db.add_ingredient("v", Category::Vegetable, vec![]).unwrap();
+        db.add_ingredient("d", Category::Dairy, vec![]).unwrap();
+        db.add_ingredient("s", Category::Spice, vec![]).unwrap();
+        let mut store = RecipeStore::new();
+        let ing = |i: u32| IngredientId(i);
+        store
+            .add_recipe("a", Region::France, Source::Synthetic, vec![ing(0), ing(1)])
+            .unwrap();
+        store
+            .add_recipe("b", Region::France, Source::Synthetic, vec![ing(1), ing(2)])
+            .unwrap();
+        store
+            .add_recipe("c", Region::Italy, Source::Synthetic, vec![ing(0), ing(2)])
+            .unwrap();
+        (db, store)
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let (db, store) = fixture();
+        let shares = category_shares(&db, &store.cuisine(Region::France));
+        let sum: f64 = shares.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        // France: 4 usages, 2 dairy → 0.5 dairy share.
+        assert!((shares[Category::Dairy.index()] - 0.5).abs() < 1e-12);
+        assert!((shares[Category::Vegetable.index()] - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cuisine_all_zero() {
+        let (db, store) = fixture();
+        let shares = category_shares(&db, &store.cuisine(Region::Japan));
+        assert!(shares.iter().all(|&s| s == 0.0));
+    }
+
+    #[test]
+    fn world_pools_all_regions() {
+        let (db, store) = fixture();
+        let w = world_category_shares(&db, &store);
+        // 6 usages total: v ×2, d ×2, s ×2.
+        for cat in [Category::Vegetable, Category::Dairy, Category::Spice] {
+            assert!((w[cat.index()] - 1.0 / 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn counts_match_shares() {
+        let (db, store) = fixture();
+        let cuisine = store.cuisine(Region::France);
+        let counts = category_counts(&db, &cuisine);
+        let shares = category_shares(&db, &cuisine);
+        let total: u64 = counts.iter().sum();
+        for (c, s) in counts.iter().zip(&shares) {
+            assert!((*c as f64 / total as f64 - s).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn deviation_frame_flags_skewed_regions() {
+        use culinaria_datagen::{generate_world, WorldConfig};
+        let w = generate_world(&WorldConfig::tiny());
+        let f = composition_deviation_frame(&w.flavor, &w.recipes);
+        assert_eq!(f.n_rows(), 22);
+        // Every region deviates from WORLD (the generator builds in
+        // regional preferences): χ² significant nearly everywhere.
+        let significant = f
+            .column("p_value")
+            .expect("column")
+            .iter_numeric()
+            .filter(|&p| p < 0.05)
+            .count();
+        assert!(significant >= 18, "only {significant}/22 significant");
+    }
+
+    #[test]
+    fn frame_has_world_row_and_all_categories() {
+        let (db, store) = fixture();
+        let f = composition_frame(&db, &store);
+        assert_eq!(f.n_rows(), 3); // FRA, ITA, WORLD
+        assert_eq!(f.n_cols(), 22); // region + 21 categories
+        let last = f.get(2, "region").unwrap();
+        assert_eq!(last.as_str().unwrap(), "WORLD");
+    }
+}

@@ -1,0 +1,313 @@
+//! Flavor transformation under cooking — the paper's §V question
+//! *"How to incorporate transformation of flavor in the process of
+//! cooking?"*.
+//!
+//! A simple, testable model with the two first-order effects food
+//! chemistry reports:
+//!
+//! * **volatile loss** — heat drives off a method-dependent fraction of
+//!   a profile's molecules (deterministic per (molecule, method), so
+//!   the same ingredient cooks the same way everywhere);
+//! * **signature generation** — browning methods add their own shared
+//!   molecules (Maillard pyrazines for roasting/frying, smoke phenols
+//!   for smoking, fermentation acids for fermenting).
+//!
+//! Because signature molecules are *shared* across everything cooked
+//! the same way, cooking homogenizes flavor: pairing scores among
+//! same-method ingredients rise — a mechanism the pairing literature
+//! discusses and this module makes measurable.
+
+use culinaria_flavordb::{FlavorDb, FlavorProfile, IngredientId, MoleculeId};
+
+/// A cooking method and its flavor-transformation parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CookingMethod {
+    /// No transformation.
+    Raw,
+    /// Wet heat: strong volatile loss, no browning signature.
+    Boiled,
+    /// Dry heat: moderate loss + Maillard signature.
+    Roasted,
+    /// Hot fat: mild loss + Maillard signature.
+    Fried,
+    /// Smoke: mild loss + phenolic smoke signature.
+    Smoked,
+    /// Microbial transformation: mild loss + fermentation signature.
+    Fermented,
+}
+
+impl CookingMethod {
+    /// All methods.
+    pub const ALL: [CookingMethod; 6] = [
+        CookingMethod::Raw,
+        CookingMethod::Boiled,
+        CookingMethod::Roasted,
+        CookingMethod::Fried,
+        CookingMethod::Smoked,
+        CookingMethod::Fermented,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CookingMethod::Raw => "raw",
+            CookingMethod::Boiled => "boiled",
+            CookingMethod::Roasted => "roasted",
+            CookingMethod::Fried => "fried",
+            CookingMethod::Smoked => "smoked",
+            CookingMethod::Fermented => "fermented",
+        }
+    }
+
+    /// Fraction of the raw profile lost to heat.
+    pub fn volatile_loss(self) -> f64 {
+        match self {
+            CookingMethod::Raw => 0.0,
+            CookingMethod::Boiled => 0.35,
+            CookingMethod::Roasted => 0.20,
+            CookingMethod::Fried => 0.15,
+            CookingMethod::Smoked => 0.10,
+            CookingMethod::Fermented => 0.10,
+        }
+    }
+
+    /// Names of the molecules the method generates.
+    fn signature_names(self) -> &'static [&'static str] {
+        match self {
+            CookingMethod::Raw | CookingMethod::Boiled => &[],
+            CookingMethod::Roasted => &[
+                "maillard pyrazine",
+                "maillard furanone",
+                "roast melanoidin note",
+            ],
+            CookingMethod::Fried => &["maillard pyrazine", "fried fat aldehyde"],
+            CookingMethod::Smoked => &["smoke guaiacol", "smoke syringol"],
+            CookingMethod::Fermented => &["ferment lactic acid", "ferment ester"],
+        }
+    }
+}
+
+impl std::fmt::Display for CookingMethod {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A kitchen: a flavor database extended with cooking-signature
+/// molecules, able to cook any ingredient's profile.
+#[derive(Debug, Clone)]
+pub struct Kitchen {
+    db: FlavorDb,
+    /// Signature molecule ids per method, index-aligned with
+    /// [`CookingMethod::ALL`].
+    signatures: Vec<Vec<MoleculeId>>,
+}
+
+/// Deterministic per-(molecule, method) retention decision.
+fn survives(m: MoleculeId, method: CookingMethod, loss: f64) -> bool {
+    // SplitMix-style hash of (molecule, method) → uniform in [0, 1).
+    let mut h = u64::from(m.0) ^ ((method as u64) << 32) ^ 0x9E37_79B9_7F4A_7C15;
+    h ^= h >> 30;
+    h = h.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    h ^= h >> 27;
+    h = h.wrapping_mul(0x94D0_49BB_1331_11EB);
+    h ^= h >> 31;
+    (h as f64 / u64::MAX as f64) >= loss
+}
+
+impl Kitchen {
+    /// Extend a flavor database with the cooking-signature molecules.
+    /// The input database is cloned; signature molecules are appended
+    /// (re-using existing entries when names collide).
+    pub fn new(db: &FlavorDb) -> Kitchen {
+        let mut db = db.clone();
+        let signatures = CookingMethod::ALL
+            .iter()
+            .map(|m| {
+                m.signature_names()
+                    .iter()
+                    .map(|name| match db.molecule_by_name(name) {
+                        Some(id) => id,
+                        None => db
+                            .add_molecule(name, &["cooked"])
+                            .expect("fresh signature molecule"),
+                    })
+                    .collect()
+            })
+            .collect();
+        Kitchen { db, signatures }
+    }
+
+    /// The extended database (raw profiles unchanged).
+    pub fn db(&self) -> &FlavorDb {
+        &self.db
+    }
+
+    /// Cook one profile: volatile loss then signature union.
+    pub fn cook_profile(&self, profile: &FlavorProfile, method: CookingMethod) -> FlavorProfile {
+        let loss = method.volatile_loss();
+        let mut kept: Vec<MoleculeId> = profile
+            .molecules()
+            .iter()
+            .copied()
+            .filter(|&m| survives(m, method, loss))
+            .collect();
+        kept.extend_from_slice(&self.signatures[method as usize]);
+        FlavorProfile::new(kept)
+    }
+
+    /// Cook one ingredient's profile.
+    pub fn cook(&self, ingredient: IngredientId, method: CookingMethod) -> FlavorProfile {
+        let raw = &self
+            .db
+            .ingredient(ingredient)
+            .expect("live ingredient")
+            .profile;
+        self.cook_profile(raw, method)
+    }
+
+    /// Pairing score of a *prepared* recipe: each ingredient carries
+    /// its own cooking method.
+    pub fn prepared_pairing_score(&self, prepared: &[(IngredientId, CookingMethod)]) -> f64 {
+        let n = prepared.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let cooked: Vec<FlavorProfile> = prepared
+            .iter()
+            .map(|&(id, method)| self.cook(id, method))
+            .collect();
+        let mut total = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += cooked[i].shared_count(&cooked[j]);
+            }
+        }
+        (2.0 * total as f64) / (n as f64 * (n as f64 - 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairing::recipe_pairing_score;
+    use culinaria_flavordb::generator::{generate_flavor_db, GeneratorConfig};
+
+    fn kitchen() -> Kitchen {
+        Kitchen::new(&generate_flavor_db(&GeneratorConfig::tiny(11)))
+    }
+
+    #[test]
+    fn raw_is_identity() {
+        let k = kitchen();
+        for ing in k.db().ingredient_ids().take(10) {
+            let raw = &k.db().ingredient(ing).expect("live").profile;
+            assert_eq!(&k.cook(ing, CookingMethod::Raw), raw);
+        }
+    }
+
+    #[test]
+    fn cooking_is_deterministic() {
+        let k = kitchen();
+        let ing = k.db().ingredient_ids().next().expect("non-empty db");
+        assert_eq!(
+            k.cook(ing, CookingMethod::Boiled),
+            k.cook(ing, CookingMethod::Boiled)
+        );
+    }
+
+    #[test]
+    fn boiling_loses_volatiles_without_signature() {
+        let k = kitchen();
+        let mut lost_total = 0usize;
+        let mut raw_total = 0usize;
+        for ing in k.db().ingredient_ids() {
+            let raw = k.db().ingredient(ing).expect("live").profile.clone();
+            let boiled = k.cook(ing, CookingMethod::Boiled);
+            assert!(boiled.len() <= raw.len());
+            // Everything kept comes from the raw profile (no signature).
+            for &m in boiled.molecules() {
+                assert!(raw.contains(m));
+            }
+            raw_total += raw.len();
+            lost_total += raw.len() - boiled.len();
+        }
+        let loss = lost_total as f64 / raw_total as f64;
+        assert!(
+            (loss - 0.35).abs() < 0.08,
+            "aggregate boil loss {loss}, expected ≈ 0.35"
+        );
+    }
+
+    #[test]
+    fn browning_methods_add_their_signature() {
+        let k = kitchen();
+        let ing = k.db().ingredient_ids().next().expect("non-empty db");
+        let roasted = k.cook(ing, CookingMethod::Roasted);
+        let pyrazine = k
+            .db()
+            .molecule_by_name("maillard pyrazine")
+            .expect("kitchen interned the signature");
+        assert!(roasted.contains(pyrazine));
+        let smoked = k.cook(ing, CookingMethod::Smoked);
+        let guaiacol = k.db().molecule_by_name("smoke guaiacol").expect("interned");
+        assert!(smoked.contains(guaiacol));
+        assert!(!roasted.contains(guaiacol));
+    }
+
+    #[test]
+    fn same_method_browning_homogenizes_pairing() {
+        let k = kitchen();
+        let ids: Vec<IngredientId> = k.db().ingredient_ids().take(6).collect();
+        let raw_score = recipe_pairing_score(k.db(), &ids);
+        let roasted: Vec<(IngredientId, CookingMethod)> =
+            ids.iter().map(|&i| (i, CookingMethod::Roasted)).collect();
+        let roasted_score = k.prepared_pairing_score(&roasted);
+        assert!(
+            roasted_score > raw_score,
+            "roasting should homogenize: {roasted_score} <= {raw_score}"
+        );
+    }
+
+    #[test]
+    fn mixed_methods_share_less_than_uniform_browning() {
+        let k = kitchen();
+        let ids: Vec<IngredientId> = k.db().ingredient_ids().take(6).collect();
+        let uniform: Vec<_> = ids.iter().map(|&i| (i, CookingMethod::Roasted)).collect();
+        let mixed: Vec<_> = ids
+            .iter()
+            .enumerate()
+            .map(|(k_, &i)| {
+                let m = if k_ % 2 == 0 {
+                    CookingMethod::Roasted
+                } else {
+                    CookingMethod::Smoked
+                };
+                (i, m)
+            })
+            .collect();
+        assert!(k.prepared_pairing_score(&uniform) > k.prepared_pairing_score(&mixed));
+    }
+
+    #[test]
+    fn prepared_score_degenerate() {
+        let k = kitchen();
+        let ing = k.db().ingredient_ids().next().expect("non-empty db");
+        assert_eq!(k.prepared_pairing_score(&[]), 0.0);
+        assert_eq!(
+            k.prepared_pairing_score(&[(ing, CookingMethod::Roasted)]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn kitchen_reuses_existing_molecule_names() {
+        let db = generate_flavor_db(&GeneratorConfig::tiny(12));
+        let n_before = db.n_molecules();
+        let k1 = Kitchen::new(&db);
+        // Building a kitchen from an already-extended db adds nothing.
+        let k2 = Kitchen::new(k1.db());
+        assert_eq!(k2.db().n_molecules(), k1.db().n_molecules());
+        assert!(k1.db().n_molecules() > n_before);
+    }
+}

@@ -1,0 +1,271 @@
+//! Culinary fingerprints and cuisine similarity.
+//!
+//! The paper frames its deviation analysis as access to "culinary
+//! fingerprints" [ref 8] — the signature composition that identifies a
+//! cuisine. This module makes the fingerprint a first-class object:
+//!
+//! * [`CuisineFingerprint`] — a cuisine's normalized ingredient-usage
+//!   vector, category shares, and mean flavor sharing;
+//! * [`cosine_similarity`] / [`similarity_matrix`] — pairwise cuisine
+//!   similarity over the usage vectors;
+//! * [`agglomerate`] — average-linkage hierarchical clustering of
+//!   cuisines, exposing the geo-cultural structure of the corpus (the
+//!   "regional cuisines are like languages/dialects" analogy of §II.A).
+
+use std::collections::HashMap;
+
+use culinaria_flavordb::{FlavorDb, IngredientId};
+use culinaria_recipedb::{Cuisine, RecipeStore, Region};
+use culinaria_tabular::{Column, Frame};
+
+use crate::composition::category_shares;
+use crate::pairing::mean_cuisine_score;
+
+/// A cuisine's signature composition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CuisineFingerprint {
+    /// The region.
+    pub region: Region,
+    /// Ingredient usage shares: ingredient → fraction of the cuisine's
+    /// total ingredient usages (sums to 1 for non-empty cuisines).
+    pub usage: HashMap<IngredientId, f64>,
+    /// Category usage shares.
+    pub category_shares: [f64; 21],
+    /// Mean flavor sharing ⟨N_s⟩.
+    pub mean_ns: f64,
+}
+
+impl CuisineFingerprint {
+    /// Compute the fingerprint of a cuisine.
+    pub fn of(db: &FlavorDb, cuisine: &Cuisine<'_>) -> CuisineFingerprint {
+        let freq = cuisine.frequencies();
+        let total: u64 = freq.values().sum();
+        let usage = if total == 0 {
+            HashMap::new()
+        } else {
+            freq.into_iter()
+                .map(|(id, c)| (id, c as f64 / total as f64))
+                .collect()
+        };
+        CuisineFingerprint {
+            region: cuisine.region(),
+            usage,
+            category_shares: category_shares(db, cuisine),
+            mean_ns: mean_cuisine_score(db, cuisine),
+        }
+    }
+
+    /// The `k` highest-share ingredients, descending (ties by id).
+    pub fn top_ingredients(&self, k: usize) -> Vec<(IngredientId, f64)> {
+        let mut pairs: Vec<(IngredientId, f64)> =
+            self.usage.iter().map(|(&id, &s)| (id, s)).collect();
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs
+    }
+}
+
+/// Cosine similarity of two fingerprints' ingredient-usage vectors.
+/// 0 when either cuisine is empty; 1 for identical usage patterns.
+pub fn cosine_similarity(a: &CuisineFingerprint, b: &CuisineFingerprint) -> f64 {
+    let mut dot = 0.0;
+    for (id, &sa) in &a.usage {
+        if let Some(&sb) = b.usage.get(id) {
+            dot += sa * sb;
+        }
+    }
+    let na: f64 = a.usage.values().map(|s| s * s).sum::<f64>().sqrt();
+    let nb: f64 = b.usage.values().map(|s| s * s).sum::<f64>().sqrt();
+    if na == 0.0 || nb == 0.0 {
+        0.0
+    } else {
+        (dot / (na * nb)).clamp(0.0, 1.0)
+    }
+}
+
+/// Fingerprints for every populated region of a store.
+pub fn world_fingerprints(db: &FlavorDb, store: &RecipeStore) -> Vec<CuisineFingerprint> {
+    store
+        .regions()
+        .into_iter()
+        .map(|r| CuisineFingerprint::of(db, &store.cuisine(r)))
+        .collect()
+}
+
+/// The full pairwise similarity matrix as a frame (`region` column plus
+/// one column per region).
+pub fn similarity_matrix(fingerprints: &[CuisineFingerprint]) -> Frame {
+    let mut f = Frame::new();
+    let codes: Vec<&str> = fingerprints.iter().map(|fp| fp.region.code()).collect();
+    f.add_column("region", Column::from_strs(&codes))
+        .expect("fresh frame");
+    for (j, fb) in fingerprints.iter().enumerate() {
+        let col: Vec<f64> = fingerprints
+            .iter()
+            .map(|fa| cosine_similarity(fa, fb))
+            .collect();
+        f.add_column(codes[j], Column::from_f64s(&col))
+            .expect("region codes unique");
+    }
+    f
+}
+
+/// One merge step of the hierarchical clustering: the two clusters
+/// merged (by member regions) and their average-linkage similarity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Merge {
+    /// Members of the first merged cluster.
+    pub left: Vec<Region>,
+    /// Members of the second merged cluster.
+    pub right: Vec<Region>,
+    /// Average pairwise similarity between the two clusters at merge
+    /// time.
+    pub similarity: f64,
+}
+
+/// Average-linkage agglomerative clustering over cuisine fingerprints.
+/// Returns the merge sequence from most to least similar (n−1 merges
+/// for n fingerprints).
+pub fn agglomerate(fingerprints: &[CuisineFingerprint]) -> Vec<Merge> {
+    let n = fingerprints.len();
+    if n < 2 {
+        return Vec::new();
+    }
+    // Precompute pairwise similarities.
+    let mut sim = vec![vec![0.0f64; n]; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let s = cosine_similarity(&fingerprints[i], &fingerprints[j]);
+            sim[i][j] = s;
+            sim[j][i] = s;
+        }
+    }
+    // Active clusters as member-index lists.
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    let mut merges = Vec::with_capacity(n - 1);
+
+    while clusters.len() > 1 {
+        // Find the pair with maximal average linkage.
+        let mut best = (0usize, 1usize, f64::NEG_INFINITY);
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                let mut total = 0.0;
+                for &i in &clusters[a] {
+                    for &j in &clusters[b] {
+                        total += sim[i][j];
+                    }
+                }
+                let avg = total / (clusters[a].len() * clusters[b].len()) as f64;
+                if avg > best.2 {
+                    best = (a, b, avg);
+                }
+            }
+        }
+        let (a, b, s) = best;
+        let right = clusters.swap_remove(b);
+        let left = clusters.swap_remove(if a > b { a - 1 } else { a });
+        merges.push(Merge {
+            left: left.iter().map(|&i| fingerprints[i].region).collect(),
+            right: right.iter().map(|&i| fingerprints[i].region).collect(),
+            similarity: s,
+        });
+        let mut merged = left;
+        merged.extend(right);
+        clusters.push(merged);
+    }
+    merges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culinaria_datagen::{generate_world, WorldConfig};
+
+    fn world() -> culinaria_datagen::World {
+        generate_world(&WorldConfig::tiny())
+    }
+
+    #[test]
+    fn fingerprint_usage_sums_to_one() {
+        let w = world();
+        for fp in world_fingerprints(&w.flavor, &w.recipes) {
+            let total: f64 = fp.usage.values().sum();
+            assert!((total - 1.0).abs() < 1e-9, "{}: {total}", fp.region.code());
+            let cat_total: f64 = fp.category_shares.iter().sum();
+            assert!((cat_total - 1.0).abs() < 1e-9);
+            assert!(fp.mean_ns >= 0.0);
+        }
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let w = world();
+        let fps = world_fingerprints(&w.flavor, &w.recipes);
+        for fp in &fps {
+            assert!((cosine_similarity(fp, fp) - 1.0).abs() < 1e-9);
+        }
+        // Symmetry.
+        assert!(
+            (cosine_similarity(&fps[0], &fps[1]) - cosine_similarity(&fps[1], &fps[0])).abs()
+                < 1e-12
+        );
+    }
+
+    #[test]
+    fn top_ingredients_descending() {
+        let w = world();
+        let fp = CuisineFingerprint::of(&w.flavor, &w.recipes.cuisine(Region::Italy));
+        let top = fp.top_ingredients(5);
+        assert_eq!(top.len(), 5);
+        for pair in top.windows(2) {
+            assert!(pair[0].1 >= pair[1].1);
+        }
+    }
+
+    #[test]
+    fn similarity_matrix_shape() {
+        let w = world();
+        let fps = world_fingerprints(&w.flavor, &w.recipes);
+        let m = similarity_matrix(&fps);
+        assert_eq!(m.n_rows(), 22);
+        assert_eq!(m.n_cols(), 23);
+        // Diagonal is 1.
+        for (i, fp) in fps.iter().enumerate() {
+            let v = m
+                .get(i, fp.region.code())
+                .expect("cell")
+                .as_float()
+                .expect("float");
+            assert!((v - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn agglomeration_produces_n_minus_one_merges() {
+        let w = world();
+        let fps = world_fingerprints(&w.flavor, &w.recipes);
+        let merges = agglomerate(&fps);
+        assert_eq!(merges.len(), 21);
+        // Similarities are finite and in [0, 1]; the final merge joins
+        // everything.
+        for m in &merges {
+            assert!((0.0..=1.0).contains(&m.similarity));
+        }
+        let last = merges.last().expect("21 merges");
+        assert_eq!(last.left.len() + last.right.len(), 22);
+        // Merge similarities trend downward (not strictly monotone for
+        // average linkage, but the first should beat the last).
+        assert!(merges[0].similarity >= last.similarity);
+    }
+
+    #[test]
+    fn degenerate_agglomeration() {
+        assert!(agglomerate(&[]).is_empty());
+        let w = world();
+        let one = vec![CuisineFingerprint::of(
+            &w.flavor,
+            &w.recipes.cuisine(Region::Italy),
+        )];
+        assert!(agglomerate(&one).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! The Monte-Carlo engine: 100,000 randomized recipes per null model,
+//! scored against the overlap cache, summarized as a
+//! [`NullEnsemble`].
+//!
+//! Parallelism is crossbeam scoped threads over fixed-size *blocks* of
+//! recipes. Each block derives its PRNG seed deterministically from
+//! `(run seed, model, block index)` and accumulates its own
+//! [`RunningStats`]; block results are merged in block order. The
+//! result is therefore **bit-identical regardless of thread count** —
+//! a design choice DESIGN.md calls out.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use culinaria_stats::rng::derive_seed;
+use culinaria_stats::{NullEnsemble, RunningStats};
+
+use crate::null_models::{CuisineSampler, NullModel};
+use crate::pairing::OverlapCache;
+
+/// Recipes per scheduling block (also the determinism granularity).
+const BLOCK: usize = 2048;
+
+/// Monte-Carlo configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MonteCarloConfig {
+    /// Number of randomized recipes per model (paper: 100,000).
+    pub n_recipes: usize,
+    /// Run seed; combined with the model and block index per stream.
+    pub seed: u64,
+    /// Worker threads; 0 means use the available parallelism.
+    pub n_threads: usize,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            n_recipes: 100_000,
+            seed: 0xC0FFEE,
+            n_threads: 0,
+        }
+    }
+}
+
+impl MonteCarloConfig {
+    /// A reduced configuration for tests and quick runs.
+    pub fn quick(n_recipes: usize) -> Self {
+        MonteCarloConfig {
+            n_recipes,
+            ..MonteCarloConfig::default()
+        }
+    }
+
+    fn effective_threads(&self) -> usize {
+        if self.n_threads > 0 {
+            return self.n_threads;
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+}
+
+/// Run one null model for one cuisine: sample `cfg.n_recipes` recipes,
+/// score each against `cache`, and summarize.
+///
+/// Returns `None` when the ensemble is degenerate (fewer than two
+/// recipes sampled).
+pub fn run_null_model(
+    cache: &OverlapCache,
+    sampler: &CuisineSampler,
+    model: NullModel,
+    cfg: &MonteCarloConfig,
+) -> Option<NullEnsemble> {
+    let n_blocks = cfg.n_recipes.div_ceil(BLOCK);
+    if n_blocks == 0 {
+        return None;
+    }
+    let n_threads = cfg.effective_threads().min(n_blocks).max(1);
+
+    // One slot per block; workers claim blocks via the shared counter
+    // and write their block's statistics into its dedicated slot.
+    let slots: Vec<parking_lot::Mutex<RunningStats>> = (0..n_blocks)
+        .map(|_| parking_lot::Mutex::new(RunningStats::new()))
+        .collect();
+    let next_block = std::sync::atomic::AtomicUsize::new(0);
+    crossbeam::thread::scope(|scope| {
+        let slots = &slots;
+        let next_block = &next_block;
+        for _ in 0..n_threads {
+            scope.spawn(move |_| loop {
+                let b = next_block.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if b >= n_blocks {
+                    break;
+                }
+                let lo = b * BLOCK;
+                let hi = ((b + 1) * BLOCK).min(cfg.n_recipes);
+                let stream = (model.index() as u64) << 32 | b as u64;
+                let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, stream));
+                let mut stats = RunningStats::new();
+                for _ in lo..hi {
+                    let recipe = sampler.generate(model, &mut rng);
+                    stats.push(cache.score_local(&recipe));
+                }
+                *slots[b].lock() = stats;
+            });
+        }
+    })
+    .expect("monte-carlo workers do not panic");
+
+    // Deterministic merge in block order.
+    let mut total = RunningStats::new();
+    for s in &slots {
+        total.merge(&s.lock());
+    }
+    NullEnsemble::from_running(&total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culinaria_flavordb::{Category, FlavorDb, IngredientId, MoleculeId};
+    use culinaria_recipedb::{RecipeStore, Region, Source};
+
+    fn fixture() -> (FlavorDb, RecipeStore) {
+        let mut db = FlavorDb::new();
+        db.add_anonymous_molecules(30);
+        // 8 ingredients with overlapping profiles.
+        for i in 0..8u32 {
+            let mols: Vec<MoleculeId> = (i..i + 5).map(MoleculeId).collect();
+            let cat = if i < 4 {
+                Category::Herb
+            } else {
+                Category::Meat
+            };
+            db.add_ingredient(&format!("ing{i}"), cat, mols).unwrap();
+        }
+        let mut store = RecipeStore::new();
+        let ing = |i: u32| IngredientId(i);
+        store
+            .add_recipe(
+                "r1",
+                Region::Italy,
+                Source::Synthetic,
+                vec![ing(0), ing(1), ing(2)],
+            )
+            .unwrap();
+        store
+            .add_recipe(
+                "r2",
+                Region::Italy,
+                Source::Synthetic,
+                vec![ing(3), ing(4), ing(5)],
+            )
+            .unwrap();
+        store
+            .add_recipe(
+                "r3",
+                Region::Italy,
+                Source::Synthetic,
+                vec![ing(5), ing(6), ing(7), ing(0)],
+            )
+            .unwrap();
+        (db, store)
+    }
+
+    #[test]
+    fn ensemble_statistics_are_sane() {
+        let (db, store) = fixture();
+        let cuisine = store.cuisine(Region::Italy);
+        let cache = OverlapCache::for_cuisine(&db, &cuisine);
+        let sampler = CuisineSampler::build(&db, &cuisine).unwrap();
+        let cfg = MonteCarloConfig::quick(5000);
+        for model in NullModel::ALL {
+            let e = run_null_model(&cache, &sampler, model, &cfg).unwrap();
+            assert_eq!(e.n, 5000);
+            assert!(e.mean >= 0.0, "{model}: mean {}", e.mean);
+            assert!(e.std_dev > 0.0, "{model}: zero spread");
+        }
+    }
+
+    #[test]
+    fn deterministic_across_thread_counts() {
+        let (db, store) = fixture();
+        let cuisine = store.cuisine(Region::Italy);
+        let cache = OverlapCache::for_cuisine(&db, &cuisine);
+        let sampler = CuisineSampler::build(&db, &cuisine).unwrap();
+        let base = MonteCarloConfig {
+            n_recipes: 8192,
+            seed: 42,
+            n_threads: 1,
+        };
+        let a = run_null_model(&cache, &sampler, NullModel::Frequency, &base).unwrap();
+        for threads in [2, 3, 8] {
+            let cfg = MonteCarloConfig {
+                n_threads: threads,
+                ..base
+            };
+            let b = run_null_model(&cache, &sampler, NullModel::Frequency, &cfg).unwrap();
+            assert_eq!(a.mean.to_bits(), b.mean.to_bits(), "{threads} threads");
+            assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let (db, store) = fixture();
+        let cuisine = store.cuisine(Region::Italy);
+        let cache = OverlapCache::for_cuisine(&db, &cuisine);
+        let sampler = CuisineSampler::build(&db, &cuisine).unwrap();
+        let a = run_null_model(
+            &cache,
+            &sampler,
+            NullModel::Random,
+            &MonteCarloConfig {
+                n_recipes: 2000,
+                seed: 1,
+                n_threads: 2,
+            },
+        )
+        .unwrap();
+        let b = run_null_model(
+            &cache,
+            &sampler,
+            NullModel::Random,
+            &MonteCarloConfig {
+                n_recipes: 2000,
+                seed: 2,
+                n_threads: 2,
+            },
+        )
+        .unwrap();
+        assert_ne!(a.mean.to_bits(), b.mean.to_bits());
+    }
+
+    #[test]
+    fn zero_recipes_gives_none() {
+        let (db, store) = fixture();
+        let cuisine = store.cuisine(Region::Italy);
+        let cache = OverlapCache::for_cuisine(&db, &cuisine);
+        let sampler = CuisineSampler::build(&db, &cuisine).unwrap();
+        let cfg = MonteCarloConfig::quick(0);
+        assert!(run_null_model(&cache, &sampler, NullModel::Random, &cfg).is_none());
+    }
+
+    #[test]
+    fn partial_final_block_counts_exactly() {
+        let (db, store) = fixture();
+        let cuisine = store.cuisine(Region::Italy);
+        let cache = OverlapCache::for_cuisine(&db, &cuisine);
+        let sampler = CuisineSampler::build(&db, &cuisine).unwrap();
+        let cfg = MonteCarloConfig::quick(3000); // not a multiple of BLOCK
+        let e = run_null_model(&cache, &sampler, NullModel::Random, &cfg).unwrap();
+        assert_eq!(e.n, 3000);
+    }
+}

@@ -1,0 +1,314 @@
+//! The flavor network: ingredients as nodes, edges weighted by shared
+//! flavor compounds — the representation introduced by Ahn et al.
+//! (2011), which the paper's analyses build on and which existing
+//! replications study. Provided as a first-class substrate for
+//! downstream network analyses (backbones, hubs, fingerprints).
+
+use culinaria_flavordb::{FlavorDb, IngredientId};
+use culinaria_recipedb::Cuisine;
+use culinaria_tabular::{Column, Frame};
+
+use crate::pairing::OverlapCache;
+
+/// An undirected weighted edge of the flavor network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Edge {
+    /// Endpoint (the smaller ingredient id).
+    pub a: IngredientId,
+    /// Endpoint (the larger ingredient id).
+    pub b: IngredientId,
+    /// Number of shared flavor compounds.
+    pub weight: u32,
+}
+
+/// The flavor network over an ingredient pool.
+#[derive(Debug, Clone)]
+pub struct FlavorNetwork {
+    nodes: Vec<IngredientId>,
+    /// Edges with weight ≥ 1, endpoints as local node indices.
+    edges: Vec<(u32, u32, u32)>,
+    /// Per-node weighted degree (strength).
+    strength: Vec<u64>,
+    /// Per-node unweighted degree.
+    degree: Vec<u32>,
+}
+
+impl FlavorNetwork {
+    /// Build the network over an explicit pool.
+    pub fn build(db: &FlavorDb, pool: &[IngredientId]) -> FlavorNetwork {
+        let cache = OverlapCache::build(db, pool);
+        let n = cache.len();
+        let mut edges = Vec::new();
+        let mut strength = vec![0u64; n];
+        let mut degree = vec![0u32; n];
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                let w = cache.overlap(i, j);
+                if w > 0 {
+                    edges.push((i, j, w));
+                    strength[i as usize] += u64::from(w);
+                    strength[j as usize] += u64::from(w);
+                    degree[i as usize] += 1;
+                    degree[j as usize] += 1;
+                }
+            }
+        }
+        FlavorNetwork {
+            nodes: pool.to_vec(),
+            edges,
+            strength,
+            degree,
+        }
+    }
+
+    /// Build over a cuisine's ingredient set.
+    pub fn for_cuisine(db: &FlavorDb, cuisine: &Cuisine<'_>) -> FlavorNetwork {
+        FlavorNetwork::build(db, &cuisine.ingredient_set())
+    }
+
+    /// Number of nodes.
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Number of positive-weight edges.
+    pub fn n_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// The nodes in local-index order.
+    pub fn nodes(&self) -> &[IngredientId] {
+        &self.nodes
+    }
+
+    /// Edge density: edges / possible pairs (0 for < 2 nodes).
+    pub fn density(&self) -> f64 {
+        let n = self.nodes.len();
+        if n < 2 {
+            return 0.0;
+        }
+        self.edges.len() as f64 / (n * (n - 1) / 2) as f64
+    }
+
+    /// Unweighted degree of a node (by local index).
+    pub fn degree(&self, node: usize) -> u32 {
+        self.degree[node]
+    }
+
+    /// Weighted degree (strength) of a node.
+    pub fn strength(&self, node: usize) -> u64 {
+        self.strength[node]
+    }
+
+    /// The `k` heaviest edges, descending by weight (ties by indices).
+    pub fn top_edges(&self, k: usize) -> Vec<Edge> {
+        let mut sorted = self.edges.clone();
+        sorted.sort_by(|x, y| y.2.cmp(&x.2).then(x.0.cmp(&y.0)).then(x.1.cmp(&y.1)));
+        sorted
+            .into_iter()
+            .take(k)
+            .map(|(i, j, w)| Edge {
+                a: self.nodes[i as usize],
+                b: self.nodes[j as usize],
+                weight: w,
+            })
+            .collect()
+    }
+
+    /// The network *backbone*: edges with weight ≥ `min_weight`, as a
+    /// new network over the same nodes.
+    pub fn backbone(&self, min_weight: u32) -> FlavorNetwork {
+        let n = self.nodes.len();
+        let mut strength = vec![0u64; n];
+        let mut degree = vec![0u32; n];
+        let edges: Vec<(u32, u32, u32)> = self
+            .edges
+            .iter()
+            .copied()
+            .filter(|&(_, _, w)| w >= min_weight)
+            .collect();
+        for &(i, j, w) in &edges {
+            strength[i as usize] += u64::from(w);
+            strength[j as usize] += u64::from(w);
+            degree[i as usize] += 1;
+            degree[j as usize] += 1;
+        }
+        FlavorNetwork {
+            nodes: self.nodes.clone(),
+            edges,
+            strength,
+            degree,
+        }
+    }
+
+    /// The `k` highest-strength nodes as `(ingredient, strength)` —
+    /// the flavor hubs.
+    pub fn hubs(&self, k: usize) -> Vec<(IngredientId, u64)> {
+        let mut idx: Vec<usize> = (0..self.nodes.len()).collect();
+        idx.sort_by(|&a, &b| {
+            self.strength[b]
+                .cmp(&self.strength[a])
+                .then(self.nodes[a].cmp(&self.nodes[b]))
+        });
+        idx.into_iter()
+            .take(k)
+            .map(|i| (self.nodes[i], self.strength[i]))
+            .collect()
+    }
+
+    /// Global (transitivity-style) clustering coefficient of the
+    /// unweighted backbone: 3 × triangles / connected triples. 0 when
+    /// no triples exist.
+    pub fn clustering_coefficient(&self) -> f64 {
+        let n = self.nodes.len();
+        // Adjacency sets for triangle counting.
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(i, j, _) in &self.edges {
+            adj[i as usize].push(j);
+            adj[j as usize].push(i);
+        }
+        for a in &mut adj {
+            a.sort_unstable();
+        }
+        let mut triangles = 0u64;
+        for &(i, j, _) in &self.edges {
+            // Count common neighbours of i and j (each triangle counted
+            // three times, once per edge).
+            let (ai, aj) = (&adj[i as usize], &adj[j as usize]);
+            let mut x = 0;
+            let mut y = 0;
+            while x < ai.len() && y < aj.len() {
+                match ai[x].cmp(&aj[y]) {
+                    std::cmp::Ordering::Less => x += 1,
+                    std::cmp::Ordering::Greater => y += 1,
+                    std::cmp::Ordering::Equal => {
+                        triangles += 1;
+                        x += 1;
+                        y += 1;
+                    }
+                }
+            }
+        }
+        triangles /= 3;
+        let triples: u64 = self
+            .degree
+            .iter()
+            .map(|&d| u64::from(d) * u64::from(d.saturating_sub(1)) / 2)
+            .sum();
+        if triples == 0 {
+            0.0
+        } else {
+            3.0 * triangles as f64 / triples as f64
+        }
+    }
+
+    /// Degree distribution as a frame (`degree`, `count`).
+    pub fn degree_distribution(&self) -> Frame {
+        let mut counts = std::collections::BTreeMap::new();
+        for &d in &self.degree {
+            *counts.entry(i64::from(d)).or_insert(0i64) += 1;
+        }
+        let (degrees, tallies): (Vec<i64>, Vec<i64>) = counts.into_iter().unzip();
+        Frame::from_columns(vec![
+            ("degree", Column::from_i64s(&degrees)),
+            ("count", Column::from_i64s(&tallies)),
+        ])
+        .expect("fresh frame")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culinaria_flavordb::{Category, MoleculeId};
+
+    /// Triangle a–b–c plus isolated d.
+    fn fixture() -> (FlavorDb, Vec<IngredientId>) {
+        let mut db = FlavorDb::new();
+        db.add_anonymous_molecules(10);
+        let a = db
+            .add_ingredient("a", Category::Herb, vec![MoleculeId(0), MoleculeId(1)])
+            .unwrap();
+        let b = db
+            .add_ingredient("b", Category::Herb, vec![MoleculeId(0), MoleculeId(2)])
+            .unwrap();
+        let c = db
+            .add_ingredient(
+                "c",
+                Category::Herb,
+                vec![MoleculeId(1), MoleculeId(2), MoleculeId(3)],
+            )
+            .unwrap();
+        let d = db
+            .add_ingredient("d", Category::Meat, vec![MoleculeId(9)])
+            .unwrap();
+        (db, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn builds_expected_topology() {
+        let (db, pool) = fixture();
+        let net = FlavorNetwork::build(&db, &pool);
+        assert_eq!(net.n_nodes(), 4);
+        assert_eq!(net.n_edges(), 3); // a–b, a–c, b–c; d isolated
+        assert_eq!(net.degree(0), 2);
+        assert_eq!(net.degree(3), 0);
+        assert_eq!(net.strength(0), 2); // weight 1 + 1
+        assert!((net.density() - 0.5).abs() < 1e-12); // 3 of 6 pairs
+    }
+
+    #[test]
+    fn triangle_clustering_is_one() {
+        let (db, pool) = fixture();
+        let net = FlavorNetwork::build(&db, &pool);
+        assert!((net.clustering_coefficient() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn top_edges_and_hubs() {
+        let (db, pool) = fixture();
+        let net = FlavorNetwork::build(&db, &pool);
+        let top = net.top_edges(2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].weight >= top[1].weight);
+        let hubs = net.hubs(1);
+        // c shares with both a and b → strength 2, tied with a and b;
+        // the smallest id wins ties.
+        assert_eq!(hubs[0].1, 2);
+    }
+
+    #[test]
+    fn backbone_filters_weak_edges() {
+        let (db, pool) = fixture();
+        let net = FlavorNetwork::build(&db, &pool);
+        // All edges have weight 1, so a min-weight-2 backbone is empty.
+        let bb = net.backbone(2);
+        assert_eq!(bb.n_edges(), 0);
+        assert_eq!(bb.n_nodes(), 4);
+        assert_eq!(bb.clustering_coefficient(), 0.0);
+        // min-weight-1 is identity.
+        assert_eq!(net.backbone(1).n_edges(), net.n_edges());
+    }
+
+    #[test]
+    fn degree_distribution_frame() {
+        let (db, pool) = fixture();
+        let net = FlavorNetwork::build(&db, &pool);
+        let f = net.degree_distribution();
+        // Degrees: [2, 2, 2, 0] → two rows: degree 0 × 1, degree 2 × 3.
+        assert_eq!(f.n_rows(), 2);
+        assert_eq!(f.get(0, "count").unwrap(), culinaria_tabular::Value::Int(1));
+        assert_eq!(f.get(1, "count").unwrap(), culinaria_tabular::Value::Int(3));
+    }
+
+    #[test]
+    fn empty_and_single_node() {
+        let (db, pool) = fixture();
+        let empty = FlavorNetwork::build(&db, &[]);
+        assert_eq!(empty.n_nodes(), 0);
+        assert_eq!(empty.density(), 0.0);
+        let single = FlavorNetwork::build(&db, &pool[..1]);
+        assert_eq!(single.n_edges(), 0);
+        assert_eq!(single.density(), 0.0);
+    }
+}

@@ -1,0 +1,306 @@
+//! Higher-order flavor sharing: the paper's proposed extension from
+//! ingredient *pairs* to triples and quadruples (§V: "What are the
+//! patterns at higher order n-tuples?").
+//!
+//! For a recipe R with n ≥ k ingredients we define
+//!
+//! ```text
+//! N_s^(k)(R) = 1 / C(n, k) · Σ_{S ⊆ R, |S| = k} |∩_{i∈S} F_i|
+//! ```
+//!
+//! the mean number of flavor compounds shared by *all* members of a
+//! k-subset. k = 2 recovers the paper's pairwise N_s exactly.
+
+use culinaria_flavordb::{FlavorDb, FlavorProfile, IngredientId};
+use culinaria_recipedb::Cuisine;
+use culinaria_stats::rng::derive_seed;
+use culinaria_stats::{NullEnsemble, RunningStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::null_models::{CuisineSampler, NullModel};
+
+/// Visit all k-subsets of `0..n` (lexicographic), calling `f` with the
+/// current index buffer.
+fn for_each_combination(n: usize, k: usize, mut f: impl FnMut(&[usize])) {
+    if k == 0 || k > n {
+        return;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        f(&idx);
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Size of the k-wise intersection of the given profiles (early exit on
+/// empty running intersection).
+fn kwise_shared(profiles: &[&FlavorProfile]) -> usize {
+    match profiles.len() {
+        0 => 0,
+        1 => profiles[0].len(),
+        2 => profiles[0].shared_count(profiles[1]),
+        _ => {
+            let mut acc = profiles[0].intersection(profiles[1]);
+            for p in &profiles[2..] {
+                if acc.is_empty() {
+                    return 0;
+                }
+                acc = acc.intersection(p);
+            }
+            acc.len()
+        }
+    }
+}
+
+/// N_s^(k) of a recipe. 0 when the recipe has fewer than k ingredients
+/// or k < 2.
+pub fn recipe_ktuple_score(db: &FlavorDb, ingredients: &[IngredientId], k: usize) -> f64 {
+    let n = ingredients.len();
+    if k < 2 || n < k {
+        return 0.0;
+    }
+    let profiles: Vec<&FlavorProfile> = ingredients
+        .iter()
+        .map(|&id| &db.ingredient(id).expect("live ingredient").profile)
+        .collect();
+    let mut total = 0usize;
+    let mut count = 0usize;
+    let mut subset: Vec<&FlavorProfile> = Vec::with_capacity(k);
+    for_each_combination(n, k, |idx| {
+        subset.clear();
+        subset.extend(idx.iter().map(|&i| profiles[i]));
+        total += kwise_shared(&subset);
+        count += 1;
+    });
+    total as f64 / count as f64
+}
+
+/// Mean N_s^(k) over a cuisine's recipes of size ≥ k.
+pub fn mean_cuisine_ktuple_score(db: &FlavorDb, cuisine: &Cuisine<'_>, k: usize) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for r in cuisine.recipes() {
+        if r.size() >= k {
+            total += recipe_ktuple_score(db, r.ingredients(), k);
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Scores k-tuple sharing over *local pool indices* emitted by a
+/// [`CuisineSampler`], for null-model comparison at order k.
+#[derive(Debug, Clone)]
+pub struct KTupleScorer<'a> {
+    profiles: Vec<&'a FlavorProfile>,
+    k: usize,
+}
+
+impl<'a> KTupleScorer<'a> {
+    /// Build over the same pool ordering as
+    /// [`CuisineSampler::build`] / `OverlapCache::for_cuisine` (the
+    /// cuisine's sorted ingredient set).
+    pub fn for_cuisine(db: &'a FlavorDb, cuisine: &Cuisine<'_>, k: usize) -> KTupleScorer<'a> {
+        let profiles = cuisine
+            .ingredient_set()
+            .into_iter()
+            .map(|id| &db.ingredient(id).expect("live ingredient").profile)
+            .collect();
+        KTupleScorer { profiles, k }
+    }
+
+    /// N_s^(k) over local pool positions.
+    pub fn score_local(&self, locals: &[u32]) -> f64 {
+        let n = locals.len();
+        if self.k < 2 || n < self.k {
+            return 0.0;
+        }
+        let mut total = 0usize;
+        let mut count = 0usize;
+        let mut subset: Vec<&FlavorProfile> = Vec::with_capacity(self.k);
+        for_each_combination(n, self.k, |idx| {
+            subset.clear();
+            subset.extend(idx.iter().map(|&i| self.profiles[locals[i] as usize]));
+            total += kwise_shared(&subset);
+            count += 1;
+        });
+        total as f64 / count as f64
+    }
+}
+
+/// Monte-Carlo null ensemble of N_s^(k) for one cuisine and model
+/// (single-threaded — the k-tuple analysis runs at far smaller
+/// `n_recipes` than the pairwise one).
+pub fn ktuple_null_ensemble(
+    scorer: &KTupleScorer<'_>,
+    sampler: &CuisineSampler,
+    model: NullModel,
+    n_recipes: usize,
+    seed: u64,
+) -> Option<NullEnsemble> {
+    let mut rng = StdRng::seed_from_u64(derive_seed(seed, model.index() as u64));
+    let mut stats = RunningStats::new();
+    for _ in 0..n_recipes {
+        let recipe = sampler.generate(model, &mut rng);
+        stats.push(scorer.score_local(&recipe));
+    }
+    NullEnsemble::from_running(&stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairing::recipe_pairing_score;
+    use culinaria_flavordb::{Category, MoleculeId};
+    use culinaria_recipedb::{RecipeStore, Region, Source};
+
+    fn fixture() -> (FlavorDb, Vec<IngredientId>) {
+        let mut db = FlavorDb::new();
+        db.add_anonymous_molecules(12);
+        // a, b, c all share molecule 0; pairs share extra molecules.
+        let a = db
+            .add_ingredient(
+                "a",
+                Category::Herb,
+                vec![MoleculeId(0), MoleculeId(1), MoleculeId(2)],
+            )
+            .unwrap();
+        let b = db
+            .add_ingredient(
+                "b",
+                Category::Herb,
+                vec![MoleculeId(0), MoleculeId(1), MoleculeId(3)],
+            )
+            .unwrap();
+        let c = db
+            .add_ingredient(
+                "c",
+                Category::Herb,
+                vec![MoleculeId(0), MoleculeId(2), MoleculeId(3)],
+            )
+            .unwrap();
+        let d = db
+            .add_ingredient("d", Category::Meat, vec![MoleculeId(9)])
+            .unwrap();
+        (db, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn combinations_enumerate_fully() {
+        let mut seen = Vec::new();
+        for_each_combination(4, 2, |idx| seen.push(idx.to_vec()));
+        assert_eq!(seen.len(), 6);
+        assert_eq!(seen[0], vec![0, 1]);
+        assert_eq!(seen[5], vec![2, 3]);
+        let mut tri = 0;
+        for_each_combination(5, 3, |_| tri += 1);
+        assert_eq!(tri, 10);
+        // Degenerate cases.
+        let mut none = 0;
+        for_each_combination(3, 0, |_| none += 1);
+        for_each_combination(2, 3, |_| none += 1);
+        assert_eq!(none, 0);
+        // k == n yields exactly one subset.
+        let mut one = 0;
+        for_each_combination(3, 3, |idx| {
+            assert_eq!(idx, &[0, 1, 2]);
+            one += 1;
+        });
+        assert_eq!(one, 1);
+    }
+
+    #[test]
+    fn k2_matches_pairwise_score() {
+        let (db, ids) = fixture();
+        for subset in [&ids[0..2], &ids[0..3], &ids[0..4]] {
+            let pairwise = recipe_pairing_score(&db, subset);
+            let k2 = recipe_ktuple_score(&db, subset, 2);
+            assert!((pairwise - k2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn triple_score_known_value() {
+        let (db, ids) = fixture();
+        // (a,b,c): only molecule 0 is in all three → N_s^(3) = 1.
+        let s = recipe_ktuple_score(&db, &ids[0..3], 3);
+        assert!((s - 1.0).abs() < 1e-12);
+        // (a,b,c,d): C(4,3)=4 triples; only (a,b,c) shares (1), others
+        // include d and share 0 → 1/4.
+        let s = recipe_ktuple_score(&db, &ids, 3);
+        assert!((s - 0.25).abs() < 1e-12);
+        // Quadruple over (a,b,c,d): ∩ is empty → 0.
+        assert_eq!(recipe_ktuple_score(&db, &ids, 4), 0.0);
+    }
+
+    #[test]
+    fn degenerate_k_and_small_recipes() {
+        let (db, ids) = fixture();
+        assert_eq!(recipe_ktuple_score(&db, &ids[0..2], 3), 0.0);
+        assert_eq!(recipe_ktuple_score(&db, &ids, 1), 0.0);
+        assert_eq!(recipe_ktuple_score(&db, &[], 2), 0.0);
+    }
+
+    #[test]
+    fn cuisine_mean_and_scorer_agree() {
+        let (db, ids) = fixture();
+        let mut store = RecipeStore::new();
+        store
+            .add_recipe("r1", Region::Italy, Source::Synthetic, ids[0..3].to_vec())
+            .unwrap();
+        store
+            .add_recipe("r2", Region::Italy, Source::Synthetic, ids.clone())
+            .unwrap();
+        let cuisine = store.cuisine(Region::Italy);
+        let mean = mean_cuisine_ktuple_score(&db, &cuisine, 3);
+        assert!((mean - (1.0 + 0.25) / 2.0).abs() < 1e-12);
+
+        let scorer = KTupleScorer::for_cuisine(&db, &cuisine, 3);
+        // Local pool is sorted ids = [a, b, c, d] at positions 0..4.
+        let s = scorer.score_local(&[0, 1, 2]);
+        assert!((s - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn null_ensemble_produces_statistics() {
+        let (db, ids) = fixture();
+        let mut store = RecipeStore::new();
+        store
+            .add_recipe("r1", Region::Italy, Source::Synthetic, ids[0..3].to_vec())
+            .unwrap();
+        store
+            .add_recipe("r2", Region::Italy, Source::Synthetic, ids.clone())
+            .unwrap();
+        let cuisine = store.cuisine(Region::Italy);
+        let sampler = CuisineSampler::build(&db, &cuisine).unwrap();
+        let scorer = KTupleScorer::for_cuisine(&db, &cuisine, 3);
+        let e = ktuple_null_ensemble(&scorer, &sampler, NullModel::Random, 2000, 1).unwrap();
+        assert_eq!(e.n, 2000);
+        assert!(e.mean >= 0.0);
+        // Determinism.
+        let e2 = ktuple_null_ensemble(&scorer, &sampler, NullModel::Random, 2000, 1).unwrap();
+        assert_eq!(e.mean.to_bits(), e2.mean.to_bits());
+    }
+}

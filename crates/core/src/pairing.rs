@@ -1,0 +1,405 @@
+//! The flavor-sharing (food-pairing) score and its overlap cache.
+//!
+//! For a recipe R with n_R ≥ 2 ingredients, the paper defines
+//!
+//! ```text
+//! N_s(R) = 2 / (n_R (n_R − 1)) · Σ_{i<j} |F_i ∩ F_j|
+//! ```
+//!
+//! the mean number of flavor compounds shared by a pair of the recipe's
+//! ingredients. A cuisine's score is the average of N_s over its
+//! recipes.
+//!
+//! Cuisine-scale analyses touch the same ingredient pairs millions of
+//! times (observed scoring, four null models × 100,000 recipes,
+//! leave-one-out contributions), so [`OverlapCache`] precomputes the
+//! symmetric pairwise-overlap matrix over the cuisine's ingredient pool
+//! once; scoring then reduces to O(n²) table lookups per recipe. The
+//! `pairing_score` Criterion bench quantifies the cache's advantage
+//! over direct set intersection (an ablation called out in DESIGN.md).
+
+use std::collections::HashMap;
+
+use culinaria_flavordb::{FlavorDb, IngredientId};
+use culinaria_recipedb::Cuisine;
+
+/// N_s(R) computed directly from flavor profiles (no cache).
+///
+/// Returns 0 for recipes with fewer than two ingredients — such recipes
+/// carry no pairing information (the paper's averages are over pairs).
+///
+/// ```
+/// use culinaria_core::pairing::recipe_pairing_score;
+/// use culinaria_flavordb::{Category, FlavorDb};
+///
+/// let mut db = FlavorDb::new();
+/// let m: Vec<_> = (0..4)
+///     .map(|k| db.add_molecule(&format!("m{k}"), &[]).unwrap())
+///     .collect();
+/// let a = db.add_ingredient("a", Category::Herb, vec![m[0], m[1]]).unwrap();
+/// let b = db.add_ingredient("b", Category::Herb, vec![m[1], m[2]]).unwrap();
+/// let c = db.add_ingredient("c", Category::Meat, vec![m[3]]).unwrap();
+///
+/// // Pairs (a,b)=1, (a,c)=0, (b,c)=0 → Ns = 2·1/(3·2) = 1/3.
+/// let ns = recipe_pairing_score(&db, &[a, b, c]);
+/// assert!((ns - 1.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn recipe_pairing_score(db: &FlavorDb, ingredients: &[IngredientId]) -> f64 {
+    let n = ingredients.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let profiles: Vec<_> = ingredients
+        .iter()
+        .map(|&id| {
+            &db.ingredient(id)
+                .expect("recipes only reference live ingredients")
+                .profile
+        })
+        .collect();
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += profiles[i].shared_count(profiles[j]);
+        }
+    }
+    (2.0 * total as f64) / (n as f64 * (n as f64 - 1.0))
+}
+
+/// Quantity-weighted flavor sharing — the §V extension "how to
+/// incorporate … quantity of ingredients":
+///
+/// ```text
+/// N_s^w(R) = Σ_{i<j} w_i w_j |F_i ∩ F_j| / Σ_{i<j} w_i w_j
+/// ```
+///
+/// With equal weights this reduces exactly to [`recipe_pairing_score`].
+/// Returns 0 for fewer than two positively-weighted ingredients or a
+/// zero total pair weight.
+pub fn weighted_recipe_pairing_score(db: &FlavorDb, ingredients: &[(IngredientId, f64)]) -> f64 {
+    let items: Vec<(&culinaria_flavordb::FlavorProfile, f64)> = ingredients
+        .iter()
+        .filter(|&&(_, w)| w > 0.0)
+        .map(|&(id, w)| {
+            (
+                &db.ingredient(id)
+                    .expect("recipes only reference live ingredients")
+                    .profile,
+                w,
+            )
+        })
+        .collect();
+    if items.len() < 2 {
+        return 0.0;
+    }
+    let mut num = 0.0;
+    let mut den = 0.0;
+    for i in 0..items.len() {
+        for j in (i + 1)..items.len() {
+            let pair_w = items[i].1 * items[j].1;
+            num += pair_w * items[i].0.shared_count(items[j].0) as f64;
+            den += pair_w;
+        }
+    }
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Mean flavor sharing of a cuisine: ⟨N_s⟩ over its recipes (recipes
+/// with fewer than two ingredients are skipped). 0 for an empty cuisine.
+pub fn mean_cuisine_score(db: &FlavorDb, cuisine: &Cuisine<'_>) -> f64 {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for r in cuisine.recipes() {
+        if r.size() >= 2 {
+            total += recipe_pairing_score(db, r.ingredients());
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+/// Precomputed pairwise overlap matrix over an ingredient pool.
+///
+/// The pool is a cuisine's distinct ingredient set mapped to dense
+/// *local* indices `0..len`; overlaps are stored in a packed upper
+/// triangle of `u32`.
+#[derive(Debug, Clone)]
+pub struct OverlapCache {
+    pool: Vec<IngredientId>,
+    local: HashMap<IngredientId, u32>,
+    /// Packed strict upper triangle, row-major: entry (i, j), i < j, at
+    /// `i*(2n−i−1)/2 + (j−i−1)`.
+    tri: Vec<u32>,
+}
+
+impl OverlapCache {
+    /// Build the cache for an ingredient pool. O(n² · profile) once.
+    pub fn build(db: &FlavorDb, pool: &[IngredientId]) -> OverlapCache {
+        let n = pool.len();
+        let profiles: Vec<_> = pool
+            .iter()
+            .map(|&id| &db.ingredient(id).expect("live ingredient").profile)
+            .collect();
+        let mut tri = vec![0u32; n * n.saturating_sub(1) / 2];
+        let mut k = 0usize;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                tri[k] = profiles[i].shared_count(profiles[j]) as u32;
+                k += 1;
+            }
+        }
+        let local = pool
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        OverlapCache {
+            pool: pool.to_vec(),
+            local,
+            tri,
+        }
+    }
+
+    /// Build over a cuisine's distinct ingredient set.
+    pub fn for_cuisine(db: &FlavorDb, cuisine: &Cuisine<'_>) -> OverlapCache {
+        OverlapCache::build(db, &cuisine.ingredient_set())
+    }
+
+    /// Pool size.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// The pool in local-index order.
+    pub fn pool(&self) -> &[IngredientId] {
+        &self.pool
+    }
+
+    /// Local index of an ingredient, if it is in the pool.
+    pub fn local_index(&self, id: IngredientId) -> Option<u32> {
+        self.local.get(&id).copied()
+    }
+
+    /// Overlap between two *local* indices. O(1).
+    ///
+    /// # Panics
+    /// Panics if an index is out of range; `overlap(i, i)` is defined as
+    /// 0 (a recipe never pairs an ingredient with itself).
+    #[inline]
+    pub fn overlap(&self, i: u32, j: u32) -> u32 {
+        if i == j {
+            return 0;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        let (a, b) = (a as usize, b as usize);
+        let n = self.pool.len();
+        debug_assert!(b < n);
+        self.tri[a * (2 * n - a - 1) / 2 + (b - a - 1)]
+    }
+
+    /// N_s over a recipe given as local indices. 0 for fewer than two.
+    pub fn score_local(&self, locals: &[u32]) -> f64 {
+        let n = locals.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mut total = 0u64;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                total += u64::from(self.overlap(locals[i], locals[j]));
+            }
+        }
+        (2.0 * total as f64) / (n as f64 * (n as f64 - 1.0))
+    }
+
+    /// N_s over a recipe given as ingredient ids (ids outside the pool
+    /// are an error in the caller; returns `None` in that case).
+    pub fn score_ids(&self, ingredients: &[IngredientId]) -> Option<f64> {
+        let locals: Option<Vec<u32>> = ingredients.iter().map(|&i| self.local_index(i)).collect();
+        Some(self.score_local(&locals?))
+    }
+
+    /// Mean cuisine score via the cache; skips sub-pair recipes.
+    /// `None` if any recipe references an ingredient outside the pool.
+    pub fn mean_cuisine_score(&self, cuisine: &Cuisine<'_>) -> Option<f64> {
+        let mut total = 0.0;
+        let mut n = 0usize;
+        for r in cuisine.recipes() {
+            if r.size() >= 2 {
+                total += self.score_ids(r.ingredients())?;
+                n += 1;
+            }
+        }
+        Some(if n == 0 { 0.0 } else { total / n as f64 })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culinaria_flavordb::Category;
+    use culinaria_recipedb::{RecipeStore, Region, Source};
+
+    /// db with 4 ingredients; overlaps: (a,b)=2, (a,c)=1, (b,c)=1,
+    /// x shares nothing.
+    fn fixture() -> (FlavorDb, Vec<IngredientId>) {
+        let mut db = FlavorDb::new();
+        let m: Vec<_> = (0..8)
+            .map(|k| db.add_molecule(&format!("m{k}"), &[]).unwrap())
+            .collect();
+        let a = db
+            .add_ingredient("a", Category::Herb, vec![m[0], m[1], m[2]])
+            .unwrap();
+        let b = db
+            .add_ingredient("b", Category::Herb, vec![m[1], m[2], m[3]])
+            .unwrap();
+        let c = db
+            .add_ingredient("c", Category::Spice, vec![m[2], m[4]])
+            .unwrap();
+        let x = db
+            .add_ingredient("x", Category::Meat, vec![m[6], m[7]])
+            .unwrap();
+        (db, vec![a, b, c, x])
+    }
+
+    #[test]
+    fn direct_score_formula() {
+        let (db, ids) = fixture();
+        let (a, b, c, x) = (ids[0], ids[1], ids[2], ids[3]);
+        // Pair (a,b): 2 shared.
+        assert_eq!(recipe_pairing_score(&db, &[a, b]), 2.0);
+        // Triple (a,b,c): pairs share 2+1+1 = 4, over 3 pairs → 4/3.
+        let s = recipe_pairing_score(&db, &[a, b, c]);
+        assert!((s - 4.0 / 3.0).abs() < 1e-12);
+        // Disjoint pair.
+        assert_eq!(recipe_pairing_score(&db, &[a, x]), 0.0);
+        // Degenerate sizes.
+        assert_eq!(recipe_pairing_score(&db, &[a]), 0.0);
+        assert_eq!(recipe_pairing_score(&db, &[]), 0.0);
+    }
+
+    #[test]
+    fn weighted_score_reduces_to_unweighted() {
+        let (db, ids) = fixture();
+        for subset in [&ids[0..2], &ids[0..3], &ids[0..4]] {
+            let plain = recipe_pairing_score(&db, subset);
+            let weighted: Vec<(IngredientId, f64)> = subset.iter().map(|&id| (id, 2.5)).collect();
+            let w = weighted_recipe_pairing_score(&db, &weighted);
+            assert!((plain - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn weighted_score_tracks_the_heavy_pair() {
+        let (db, ids) = fixture();
+        let (a, b, _, x) = (ids[0], ids[1], ids[2], ids[3]);
+        // (a,b) share 2; (a,x) and (b,x) share 0. Up-weighting x drags
+        // the score down; up-weighting a,b raises it.
+        let heavy_ab = weighted_recipe_pairing_score(&db, &[(a, 5.0), (b, 5.0), (x, 0.5)]);
+        let heavy_x = weighted_recipe_pairing_score(&db, &[(a, 0.5), (b, 0.5), (x, 5.0)]);
+        let plain = recipe_pairing_score(&db, &[a, b, x]);
+        assert!(heavy_ab > plain, "{heavy_ab} <= {plain}");
+        assert!(heavy_x < plain, "{heavy_x} >= {plain}");
+    }
+
+    #[test]
+    fn weighted_score_degenerate_inputs() {
+        let (db, ids) = fixture();
+        assert_eq!(weighted_recipe_pairing_score(&db, &[]), 0.0);
+        assert_eq!(weighted_recipe_pairing_score(&db, &[(ids[0], 1.0)]), 0.0);
+        // Zero/negative weights drop out entirely.
+        assert_eq!(
+            weighted_recipe_pairing_score(&db, &[(ids[0], 0.0), (ids[1], -1.0)]),
+            0.0
+        );
+        let only_positive =
+            weighted_recipe_pairing_score(&db, &[(ids[0], 1.0), (ids[1], 1.0), (ids[3], 0.0)]);
+        assert_eq!(only_positive, recipe_pairing_score(&db, &ids[0..2]));
+    }
+
+    #[test]
+    fn cache_matches_direct() {
+        let (db, ids) = fixture();
+        let cache = OverlapCache::build(&db, &ids);
+        assert_eq!(cache.len(), 4);
+        for i in 0..ids.len() {
+            for j in 0..ids.len() {
+                let direct = db.shared_molecules(ids[i], ids[j]).unwrap();
+                let expect = if i == j { 0 } else { direct };
+                assert_eq!(cache.overlap(i as u32, j as u32) as usize, expect);
+            }
+        }
+        // Score parity on several subsets.
+        for subset in [&ids[0..2], &ids[0..3], &ids[1..4], &ids[0..4]] {
+            let direct = recipe_pairing_score(&db, subset);
+            let cached = cache.score_ids(subset).unwrap();
+            assert!((direct - cached).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn cache_symmetry_and_self_zero() {
+        let (db, ids) = fixture();
+        let cache = OverlapCache::build(&db, &ids);
+        for i in 0..4u32 {
+            assert_eq!(cache.overlap(i, i), 0);
+            for j in 0..4u32 {
+                assert_eq!(cache.overlap(i, j), cache.overlap(j, i));
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_ids_give_none() {
+        let (db, ids) = fixture();
+        let cache = OverlapCache::build(&db, &ids[0..2]);
+        assert!(cache.score_ids(&[ids[0], ids[3]]).is_none());
+        assert!(cache.local_index(ids[3]).is_none());
+    }
+
+    #[test]
+    fn cuisine_mean_score() {
+        let (db, ids) = fixture();
+        let (a, b, c, x) = (ids[0], ids[1], ids[2], ids[3]);
+        let mut store = RecipeStore::new();
+        store
+            .add_recipe("r1", Region::Italy, Source::Synthetic, vec![a, b])
+            .unwrap(); // Ns = 2
+        store
+            .add_recipe("r2", Region::Italy, Source::Synthetic, vec![a, x])
+            .unwrap(); // Ns = 0
+        let cuisine = store.cuisine(Region::Italy);
+        let mean = mean_cuisine_score(&db, &cuisine);
+        assert!((mean - 1.0).abs() < 1e-12);
+
+        let cache = OverlapCache::for_cuisine(&db, &cuisine);
+        assert!((cache.mean_cuisine_score(&cuisine).unwrap() - 1.0).abs() < 1e-12);
+        // c is not in this cuisine's pool.
+        assert_eq!(cache.len(), 3);
+        assert!(cache.local_index(c).is_none());
+    }
+
+    #[test]
+    fn empty_cuisine_scores_zero() {
+        let (db, _) = fixture();
+        let store = RecipeStore::new();
+        let cuisine = store.cuisine(Region::Usa);
+        assert_eq!(mean_cuisine_score(&db, &cuisine), 0.0);
+        let cache = OverlapCache::for_cuisine(&db, &cuisine);
+        assert!(cache.is_empty());
+        assert_eq!(cache.mean_cuisine_score(&cuisine), Some(0.0));
+    }
+}

@@ -1,0 +1,92 @@
+//! Recipe-size distributions (Fig 3a).
+
+use culinaria_recipedb::{Cuisine, RecipeStore};
+use culinaria_stats::IntHistogram;
+use culinaria_tabular::{Column, Frame};
+
+/// Histogram of recipe sizes for one cuisine.
+pub fn size_histogram(cuisine: &Cuisine<'_>) -> IntHistogram {
+    IntHistogram::from_values(cuisine.recipe_sizes().into_iter().map(|s| s as i64))
+}
+
+/// Pooled histogram over the whole store (the WORLD curve of Fig 3a).
+pub fn world_size_histogram(store: &RecipeStore) -> IntHistogram {
+    IntHistogram::from_values(store.recipes().map(|r| r.size() as i64))
+}
+
+/// Fig 3a as a frame: one row per observed size with per-region P(s)
+/// columns, a pooled `WORLD` column, and the cumulative WORLD curve
+/// (the inset).
+pub fn size_distribution_frame(store: &RecipeStore) -> Frame {
+    let world = world_size_histogram(store);
+    let sizes: Vec<i64> = world.iter().map(|(v, _)| v).collect();
+    let mut f = Frame::new();
+    f.add_column("size", Column::from_i64s(&sizes))
+        .expect("fresh frame");
+
+    for region in store.regions() {
+        let h = size_histogram(&store.cuisine(region));
+        let col: Vec<f64> = sizes.iter().map(|&s| h.pmf(s)).collect();
+        f.add_column(region.code(), Column::from_f64s(&col))
+            .expect("region codes unique");
+    }
+
+    let world_pmf: Vec<f64> = sizes.iter().map(|&s| world.pmf(s)).collect();
+    f.add_column("WORLD", Column::from_f64s(&world_pmf))
+        .expect("fresh column");
+    let cdf = world.cumulative();
+    let world_cdf: Vec<f64> = sizes.iter().map(|&s| cdf.at(s)).collect();
+    f.add_column("WORLD_cumulative", Column::from_f64s(&world_cdf))
+        .expect("fresh column");
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culinaria_datagen::{generate_world, WorldConfig};
+    use culinaria_recipedb::Region;
+
+    #[test]
+    fn world_histogram_mean_matches_config() {
+        let w = generate_world(&WorldConfig::tiny());
+        let h = world_size_histogram(&w.recipes);
+        let mean = h.mean().unwrap();
+        assert!(
+            (mean - WorldConfig::tiny().mean_recipe_size).abs() < 1.5,
+            "mean {mean}"
+        );
+        // Bounded and thin-tailed.
+        assert!(h.max().unwrap() <= 30);
+        assert!(h.min().unwrap() >= 2);
+    }
+
+    #[test]
+    fn per_region_histogram() {
+        let w = generate_world(&WorldConfig::tiny());
+        let h = size_histogram(&w.recipes.cuisine(Region::Italy));
+        assert_eq!(
+            h.total() as usize,
+            w.recipes.n_region_recipes(Region::Italy)
+        );
+    }
+
+    #[test]
+    fn frame_shape_and_normalization() {
+        let w = generate_world(&WorldConfig::tiny());
+        let f = size_distribution_frame(&w.recipes);
+        // size + 22 regions + WORLD + WORLD_cumulative.
+        assert_eq!(f.n_cols(), 25);
+        assert!(f.n_rows() > 3);
+        // WORLD pmf sums to 1.
+        let total: f64 = f.column("WORLD").unwrap().iter_numeric().sum();
+        assert!((total - 1.0).abs() < 1e-9, "WORLD pmf sums to {total}");
+        // Cumulative ends at 1.
+        let last = f
+            .get(f.n_rows() - 1, "WORLD_cumulative")
+            .unwrap()
+            .as_float()
+            .unwrap();
+        assert!((last - 1.0).abs() < 1e-9);
+    }
+}

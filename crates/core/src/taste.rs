@@ -1,0 +1,228 @@
+//! Taste enumeration — the paper's §V question *"Could it be possible
+//! to enumerate the taste of a recipe?"*.
+//!
+//! Every flavor molecule carries perceptual descriptors ("buttery",
+//! "citrus", "umami", …). A recipe's *taste profile* is the descriptor
+//! distribution over its pooled flavor molecules; cuisines aggregate
+//! recipe profiles. Descriptor coverage follows the underlying
+//! database — the curated fixture is densely annotated, synthetic
+//! worlds are not — so the API reports coverage alongside the profile.
+
+use std::collections::HashMap;
+
+use culinaria_flavordb::{FlavorDb, FlavorProfile, IngredientId};
+use culinaria_recipedb::Cuisine;
+
+/// A descriptor distribution.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TasteProfile {
+    /// descriptor → share of all descriptor occurrences (sums to 1 when
+    /// any descriptor was found).
+    pub shares: HashMap<String, f64>,
+    /// Number of molecules considered.
+    pub n_molecules: usize,
+    /// Number of molecules that carried at least one descriptor.
+    pub n_annotated: usize,
+}
+
+impl TasteProfile {
+    /// Fraction of molecules with descriptors (annotation coverage).
+    pub fn coverage(&self) -> f64 {
+        if self.n_molecules == 0 {
+            0.0
+        } else {
+            self.n_annotated as f64 / self.n_molecules as f64
+        }
+    }
+
+    /// The `k` dominant descriptors, descending by share (ties by
+    /// name).
+    pub fn dominant(&self, k: usize) -> Vec<(String, f64)> {
+        let mut pairs: Vec<(String, f64)> =
+            self.shares.iter().map(|(d, &s)| (d.clone(), s)).collect();
+        pairs.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// Cosine similarity to another taste profile (0 when either is
+    /// unannotated).
+    pub fn similarity(&self, other: &TasteProfile) -> f64 {
+        let mut dot = 0.0;
+        for (d, &a) in &self.shares {
+            if let Some(&b) = other.shares.get(d) {
+                dot += a * b;
+            }
+        }
+        let na: f64 = self.shares.values().map(|s| s * s).sum::<f64>().sqrt();
+        let nb: f64 = other.shares.values().map(|s| s * s).sum::<f64>().sqrt();
+        if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na * nb)).clamp(0.0, 1.0)
+        }
+    }
+}
+
+fn profile_of_molecules(db: &FlavorDb, pooled: &FlavorProfile) -> TasteProfile {
+    let mut counts: HashMap<String, u64> = HashMap::new();
+    let mut n_annotated = 0usize;
+    for &m in pooled.molecules() {
+        let molecule = db.molecule(m).expect("profiles reference live molecules");
+        if !molecule.descriptors.is_empty() {
+            n_annotated += 1;
+        }
+        for d in &molecule.descriptors {
+            *counts.entry(d.clone()).or_insert(0) += 1;
+        }
+    }
+    let total: u64 = counts.values().sum();
+    let shares = if total == 0 {
+        HashMap::new()
+    } else {
+        counts
+            .into_iter()
+            .map(|(d, c)| (d, c as f64 / total as f64))
+            .collect()
+    };
+    TasteProfile {
+        shares,
+        n_molecules: pooled.len(),
+        n_annotated,
+    }
+}
+
+/// Taste profile of a recipe: descriptor distribution over the pooled
+/// flavor molecules of its ingredients.
+pub fn recipe_taste(db: &FlavorDb, ingredients: &[IngredientId]) -> TasteProfile {
+    let profiles: Vec<&FlavorProfile> = ingredients
+        .iter()
+        .map(|&id| &db.ingredient(id).expect("live ingredient").profile)
+        .collect();
+    let pooled = FlavorProfile::pooled(profiles);
+    profile_of_molecules(db, &pooled)
+}
+
+/// Taste profile of a whole cuisine (pooled over all its recipes'
+/// ingredients, usage-weighted by construction since repeated use pools
+/// repeatedly at the recipe level — we pool distinct molecules per
+/// recipe and average the recipe shares).
+pub fn cuisine_taste(db: &FlavorDb, cuisine: &Cuisine<'_>) -> TasteProfile {
+    let mut acc: HashMap<String, f64> = HashMap::new();
+    let mut n_molecules = 0usize;
+    let mut n_annotated = 0usize;
+    let mut n_recipes = 0usize;
+    for r in cuisine.recipes() {
+        let tp = recipe_taste(db, r.ingredients());
+        n_molecules += tp.n_molecules;
+        n_annotated += tp.n_annotated;
+        if tp.shares.is_empty() {
+            continue;
+        }
+        n_recipes += 1;
+        for (d, s) in tp.shares {
+            *acc.entry(d).or_insert(0.0) += s;
+        }
+    }
+    let shares = if n_recipes == 0 {
+        HashMap::new()
+    } else {
+        acc.into_iter()
+            .map(|(d, s)| (d, s / n_recipes as f64))
+            .collect()
+    };
+    TasteProfile {
+        shares,
+        n_molecules,
+        n_annotated,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culinaria_flavordb::curated::curated_db;
+    use culinaria_recipedb::{RecipeStore, Region, Source};
+
+    fn ids(db: &FlavorDb, names: &[&str]) -> Vec<IngredientId> {
+        names
+            .iter()
+            .map(|n| db.ingredient_by_name(n).unwrap_or_else(|| panic!("{n}")))
+            .collect()
+    }
+
+    #[test]
+    fn dairy_recipe_tastes_creamy() {
+        let db = curated_db();
+        let taste = recipe_taste(&db, &ids(&db, &["milk", "cream", "butter"]));
+        assert!(taste.coverage() > 0.8, "coverage {}", taste.coverage());
+        let dominant = taste.dominant(3);
+        let names: Vec<&str> = dominant.iter().map(|(d, _)| d.as_str()).collect();
+        assert!(
+            names.contains(&"creamy") || names.contains(&"buttery"),
+            "dominant {names:?}"
+        );
+        // Shares sum to 1.
+        let total: f64 = taste.shares.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn citrus_vs_dairy_profiles_differ() {
+        let db = curated_db();
+        let citrus = recipe_taste(&db, &ids(&db, &["lemon", "orange", "lemon juice"]));
+        let dairy = recipe_taste(&db, &ids(&db, &["milk", "cream", "yogurt"]));
+        assert!(citrus.shares.contains_key("citrus"));
+        let cross = citrus.similarity(&dairy);
+        let self_sim = citrus.similarity(&citrus);
+        assert!((self_sim - 1.0).abs() < 1e-9);
+        assert!(cross < 0.5, "citrus vs dairy similarity {cross}");
+    }
+
+    #[test]
+    fn unannotated_molecules_reported_in_coverage() {
+        let db = curated_db();
+        // "salt" has no molecules at all; "saffron" has sparsely
+        // annotated ones.
+        let taste = recipe_taste(&db, &ids(&db, &["salt"]));
+        assert_eq!(taste.n_molecules, 0);
+        assert_eq!(taste.coverage(), 0.0);
+        assert!(taste.dominant(3).is_empty());
+    }
+
+    #[test]
+    fn cuisine_taste_averages_recipes() {
+        let db = curated_db();
+        let mut store = RecipeStore::new();
+        store
+            .add_recipe(
+                "a",
+                Region::France,
+                Source::Synthetic,
+                ids(&db, &["milk", "cream"]),
+            )
+            .expect("non-empty");
+        store
+            .add_recipe(
+                "b",
+                Region::France,
+                Source::Synthetic,
+                ids(&db, &["lemon", "orange"]),
+            )
+            .expect("non-empty");
+        let taste = cuisine_taste(&db, &store.cuisine(Region::France));
+        assert!(taste.shares.contains_key("creamy"));
+        assert!(taste.shares.contains_key("citrus"));
+        let total: f64 = taste.shares.values().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cuisine_taste_is_empty() {
+        let db = curated_db();
+        let store = RecipeStore::new();
+        let taste = cuisine_taste(&db, &store.cuisine(Region::Japan));
+        assert!(taste.shares.is_empty());
+        assert_eq!(taste.coverage(), 0.0);
+    }
+}

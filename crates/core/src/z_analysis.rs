@@ -1,0 +1,285 @@
+//! Z-score analysis of cuisines against the null models (Fig 4) and the
+//! full 22-region driver.
+
+use culinaria_flavordb::FlavorDb;
+use culinaria_recipedb::{Cuisine, RecipeStore, Region};
+use culinaria_stats::zscore::z_score_of_mean;
+use culinaria_stats::NullEnsemble;
+use culinaria_tabular::{Column, Frame};
+
+use crate::monte_carlo::{run_null_model, MonteCarloConfig};
+use crate::null_models::{CuisineSampler, NullModel};
+use crate::pairing::OverlapCache;
+
+/// Result of one null-model comparison for one cuisine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ModelComparison {
+    /// The null model compared against.
+    pub model: NullModel,
+    /// Null ensemble summary (mean, σ, n).
+    pub null: NullEnsemble,
+    /// Z = (⟨N_s⟩_cuisine − ⟨N_s⟩_null) / (σ_null / √n_null).
+    /// `None` for a degenerate null.
+    pub z: Option<f64>,
+}
+
+/// The full pairing analysis of one cuisine.
+#[derive(Debug, Clone)]
+pub struct CuisineAnalysis {
+    /// The region analyzed.
+    pub region: Region,
+    /// Recipes with at least two ingredients (the pairing-bearing set).
+    pub n_recipes: usize,
+    /// Distinct ingredients in the cuisine.
+    pub n_ingredients: usize,
+    /// Observed mean flavor sharing ⟨N_s⟩.
+    pub observed_mean: f64,
+    /// One comparison per requested model, in request order.
+    pub comparisons: Vec<ModelComparison>,
+}
+
+impl CuisineAnalysis {
+    /// The comparison against a given model, if it was run.
+    pub fn against(&self, model: NullModel) -> Option<&ModelComparison> {
+        self.comparisons.iter().find(|c| c.model == model)
+    }
+
+    /// Z against the Random model — the headline Fig 4 number.
+    pub fn z_random(&self) -> Option<f64> {
+        self.against(NullModel::Random).and_then(|c| c.z)
+    }
+
+    /// The paper's trichotomy: positive, negative, or indistinguishable
+    /// (|Z| < 1.96 at the 5% level).
+    pub fn verdict(&self) -> PairingVerdict {
+        match self.z_random() {
+            Some(z) if z > 1.96 => PairingVerdict::Uniform,
+            Some(z) if z < -1.96 => PairingVerdict::Contrasting,
+            Some(_) => PairingVerdict::Indistinguishable,
+            None => PairingVerdict::Indistinguishable,
+        }
+    }
+}
+
+/// The three possible characterizations of a cuisine (§II.C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairingVerdict {
+    /// Uniform blend: positive food pairing.
+    Uniform,
+    /// Contrasting blend: negative food pairing.
+    Contrasting,
+    /// Statistically indistinguishable from random.
+    Indistinguishable,
+}
+
+impl std::fmt::Display for PairingVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PairingVerdict::Uniform => "uniform",
+            PairingVerdict::Contrasting => "contrasting",
+            PairingVerdict::Indistinguishable => "random-like",
+        })
+    }
+}
+
+/// Analyze one cuisine against the given models. Returns `None` for
+/// cuisines with no pairing-bearing recipes.
+pub fn analyze_cuisine(
+    db: &FlavorDb,
+    cuisine: &Cuisine<'_>,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+) -> Option<CuisineAnalysis> {
+    let sampler = CuisineSampler::build(db, cuisine)?;
+    let cache = OverlapCache::for_cuisine(db, cuisine);
+    let observed_mean = cache
+        .mean_cuisine_score(cuisine)
+        .expect("cache pool covers the cuisine's own recipes");
+
+    let comparisons: Vec<ModelComparison> = models
+        .iter()
+        .map(|&model| {
+            let null = run_null_model(&cache, &sampler, model, cfg)
+                .expect("n_recipes >= 2 yields an ensemble");
+            let z = z_score_of_mean(observed_mean, &null);
+            ModelComparison { model, null, z }
+        })
+        .collect();
+
+    Some(CuisineAnalysis {
+        region: cuisine.region(),
+        n_recipes: sampler.n_templates(),
+        n_ingredients: cuisine.ingredient_set().len(),
+        observed_mean,
+        comparisons,
+    })
+}
+
+/// Analyze every populated region of a store (the full Fig 4 run).
+pub fn analyze_world(
+    db: &FlavorDb,
+    store: &RecipeStore,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+) -> Vec<CuisineAnalysis> {
+    store
+        .regions()
+        .into_iter()
+        .filter_map(|region| {
+            let cuisine = store.cuisine(region);
+            analyze_cuisine(db, &cuisine, models, cfg)
+        })
+        .collect()
+}
+
+/// Render analyses as a frame: one row per region, `z_<model>` column
+/// per model, plus observed/null means.
+pub fn analyses_to_frame(analyses: &[CuisineAnalysis]) -> Frame {
+    let mut f = Frame::new();
+    let regions: Vec<&str> = analyses.iter().map(|a| a.region.code()).collect();
+    f.add_column("region", Column::from_strs(&regions))
+        .expect("fresh frame");
+    f.add_column(
+        "n_recipes",
+        Column::from_i64s(
+            &analyses
+                .iter()
+                .map(|a| a.n_recipes as i64)
+                .collect::<Vec<_>>(),
+        ),
+    )
+    .expect("fresh column");
+    f.add_column(
+        "observed_ns",
+        Column::from_f64s(&analyses.iter().map(|a| a.observed_mean).collect::<Vec<_>>()),
+    )
+    .expect("fresh column");
+    if let Some(first) = analyses.first() {
+        for (k, c) in first.comparisons.iter().enumerate() {
+            let zs: Vec<Option<f64>> = analyses
+                .iter()
+                .map(|a| a.comparisons.get(k).and_then(|c| c.z))
+                .collect();
+            let means: Vec<Option<f64>> = analyses
+                .iter()
+                .map(|a| a.comparisons.get(k).map(|c| c.null.mean))
+                .collect();
+            f.add_column(&format!("z_{}", c.model.short()), Column::Float(zs))
+                .expect("fresh column");
+            f.add_column(
+                &format!("null_mean_{}", c.model.short()),
+                Column::Float(means),
+            )
+            .expect("fresh column");
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culinaria_datagen::{generate_world, WorldConfig};
+
+    fn quick_cfg() -> MonteCarloConfig {
+        MonteCarloConfig {
+            n_recipes: 4000,
+            seed: 7,
+            n_threads: 2,
+        }
+    }
+
+    #[test]
+    fn positive_and_negative_regions_get_correct_sign() {
+        let world = generate_world(&WorldConfig::tiny());
+        let cfg = quick_cfg();
+        let models = [NullModel::Random];
+
+        let ita = analyze_cuisine(
+            &world.flavor,
+            &world.recipes.cuisine(Region::Italy),
+            &models,
+            &cfg,
+        )
+        .unwrap();
+        let jpn = analyze_cuisine(
+            &world.flavor,
+            &world.recipes.cuisine(Region::Japan),
+            &models,
+            &cfg,
+        )
+        .unwrap();
+        let z_ita = ita.z_random().unwrap();
+        let z_jpn = jpn.z_random().unwrap();
+        assert!(z_ita > 0.0, "ITA z {z_ita} should be positive");
+        assert!(z_jpn < 0.0, "JPN z {z_jpn} should be negative");
+        assert_eq!(ita.verdict(), PairingVerdict::Uniform);
+        assert_eq!(jpn.verdict(), PairingVerdict::Contrasting);
+    }
+
+    #[test]
+    fn frequency_model_shrinks_z_magnitude() {
+        // The paper's key finding: preserving ingredient frequency
+        // largely reproduces the pairing, so |Z| against the Frequency
+        // model is much smaller than against Random.
+        let world = generate_world(&WorldConfig::tiny());
+        let cfg = quick_cfg();
+        let models = [NullModel::Random, NullModel::Frequency];
+        let ita = analyze_cuisine(
+            &world.flavor,
+            &world.recipes.cuisine(Region::Italy),
+            &models,
+            &cfg,
+        )
+        .unwrap();
+        let z_rand = ita.against(NullModel::Random).unwrap().z.unwrap().abs();
+        let z_freq = ita.against(NullModel::Frequency).unwrap().z.unwrap().abs();
+        assert!(
+            z_freq < z_rand,
+            "frequency model should explain pairing: |z_freq| {z_freq} vs |z_rand| {z_rand}"
+        );
+    }
+
+    #[test]
+    fn analyze_world_covers_all_regions() {
+        let world = generate_world(&WorldConfig::tiny());
+        let cfg = MonteCarloConfig {
+            n_recipes: 500,
+            seed: 7,
+            n_threads: 2,
+        };
+        let analyses = analyze_world(&world.flavor, &world.recipes, &[NullModel::Random], &cfg);
+        assert_eq!(analyses.len(), 22);
+        for a in &analyses {
+            assert!(a.observed_mean >= 0.0);
+            assert!(a.n_recipes > 0);
+        }
+    }
+
+    #[test]
+    fn frame_rendering() {
+        let world = generate_world(&WorldConfig::tiny());
+        let cfg = MonteCarloConfig {
+            n_recipes: 300,
+            seed: 7,
+            n_threads: 1,
+        };
+        let analyses = analyze_world(
+            &world.flavor,
+            &world.recipes,
+            &[NullModel::Random, NullModel::Frequency],
+            &cfg,
+        );
+        let frame = analyses_to_frame(&analyses);
+        assert_eq!(frame.n_rows(), 22);
+        for col in ["region", "n_recipes", "observed_ns", "z_random", "z_freq"] {
+            assert!(frame.has_column(col), "{col} missing");
+        }
+    }
+
+    #[test]
+    fn empty_frame_for_no_analyses() {
+        let f = analyses_to_frame(&[]);
+        assert_eq!(f.n_rows(), 0);
+    }
+}

@@ -1,0 +1,172 @@
+//! Property-based tests of the pairing-analysis invariants.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use culinaria_core::ntuple::recipe_ktuple_score;
+use culinaria_core::null_models::{CuisineSampler, NullModel};
+use culinaria_core::pairing::{mean_cuisine_score, recipe_pairing_score, OverlapCache};
+use culinaria_flavordb::generator::{generate_flavor_db, GeneratorConfig};
+use culinaria_flavordb::{FlavorDb, IngredientId};
+use culinaria_recipedb::{RecipeStore, Region, Source};
+
+/// A deterministic 40-ingredient database shared by the properties.
+fn db() -> FlavorDb {
+    generate_flavor_db(&GeneratorConfig {
+        seed: 99,
+        n_molecules: 150,
+        n_ingredients: 40,
+        mean_profile_size: 10.0,
+        profile_sigma: 0.5,
+        category_affinity: 0.5,
+        shared_pool_fraction: 0.3,
+    })
+}
+
+/// Strategy: a recipe as a set of distinct ingredient indices < 40.
+fn arb_recipe() -> impl Strategy<Value = Vec<IngredientId>> {
+    proptest::collection::btree_set(0u32..40, 0..12)
+        .prop_map(|s| s.into_iter().map(IngredientId).collect())
+}
+
+/// Strategy: a small cuisine.
+fn arb_cuisine_recipes() -> impl Strategy<Value = Vec<Vec<IngredientId>>> {
+    proptest::collection::vec(
+        proptest::collection::btree_set(0u32..40, 2..10)
+            .prop_map(|s| s.into_iter().map(IngredientId).collect::<Vec<_>>()),
+        1..15,
+    )
+}
+
+fn build_store(recipes: &[Vec<IngredientId>]) -> RecipeStore {
+    let mut store = RecipeStore::new();
+    for (i, ings) in recipes.iter().enumerate() {
+        store
+            .add_recipe(
+                &format!("r{i}"),
+                Region::Italy,
+                Source::Synthetic,
+                ings.clone(),
+            )
+            .expect("non-empty");
+    }
+    store
+}
+
+proptest! {
+    #[test]
+    fn pairing_score_non_negative_and_bounded(recipe in arb_recipe()) {
+        let db = db();
+        let s = recipe_pairing_score(&db, &recipe);
+        prop_assert!(s >= 0.0);
+        // Bounded by the largest pairwise overlap, which is bounded by
+        // the largest profile.
+        let max_profile = recipe
+            .iter()
+            .map(|&id| db.ingredient(id).expect("live").profile.len())
+            .max()
+            .unwrap_or(0);
+        prop_assert!(s <= max_profile as f64);
+    }
+
+    #[test]
+    fn pairing_score_is_permutation_invariant(recipe in arb_recipe()) {
+        let db = db();
+        let mut reversed = recipe.clone();
+        reversed.reverse();
+        let a = recipe_pairing_score(&db, &recipe);
+        let b = recipe_pairing_score(&db, &reversed);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cache_score_equals_direct(recipes in arb_cuisine_recipes()) {
+        let db = db();
+        let store = build_store(&recipes);
+        let cuisine = store.cuisine(Region::Italy);
+        let cache = OverlapCache::for_cuisine(&db, &cuisine);
+        for r in cuisine.recipes() {
+            let direct = recipe_pairing_score(&db, r.ingredients());
+            let cached = cache.score_ids(r.ingredients()).expect("pool covers recipes");
+            prop_assert!((direct - cached).abs() < 1e-12);
+        }
+        let direct_mean = mean_cuisine_score(&db, &cuisine);
+        let cached_mean = cache.mean_cuisine_score(&cuisine).expect("pool covers recipes");
+        prop_assert!((direct_mean - cached_mean).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k2_always_matches_pairwise(recipe in arb_recipe()) {
+        let db = db();
+        let a = recipe_pairing_score(&db, &recipe);
+        let b = recipe_ktuple_score(&db, &recipe, 2);
+        prop_assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ktuple_scores_decay_with_k(recipe in arb_recipe()) {
+        let db = db();
+        prop_assume!(recipe.len() >= 4);
+        let k2 = recipe_ktuple_score(&db, &recipe, 2);
+        let k3 = recipe_ktuple_score(&db, &recipe, 3);
+        let k4 = recipe_ktuple_score(&db, &recipe, 4);
+        // k-wise intersections shrink monotonically in expectation; as
+        // a hard invariant, N_s^(k+1) ≤ N_s^(k) holds because every
+        // (k+1)-intersection is contained in its k-sub-intersections.
+        prop_assert!(k3 <= k2 + 1e-12, "k3 {k3} > k2 {k2}");
+        prop_assert!(k4 <= k3 + 1e-12, "k4 {k4} > k3 {k3}");
+    }
+
+    #[test]
+    fn null_samples_valid_for_every_model(
+        recipes in arb_cuisine_recipes(),
+        seed in 0u64..500,
+    ) {
+        let db = db();
+        let store = build_store(&recipes);
+        let cuisine = store.cuisine(Region::Italy);
+        let sampler = CuisineSampler::build(&db, &cuisine).expect("size >= 2 recipes exist");
+        let observed_sizes: std::collections::HashSet<usize> = cuisine
+            .recipes()
+            .iter()
+            .filter(|r| r.size() >= 2)
+            .map(|r| r.size())
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for model in NullModel::ALL {
+            for _ in 0..30 {
+                let sampled = sampler.generate(model, &mut rng);
+                // Distinct, in range, and matching an observed size
+                // (pool is at least as large as the biggest recipe).
+                let mut d = sampled.clone();
+                d.sort_unstable();
+                d.dedup();
+                prop_assert_eq!(d.len(), sampled.len(), "{} produced duplicates", model);
+                prop_assert!(sampled.iter().all(|&p| (p as usize) < sampler.pool_len()));
+                prop_assert!(
+                    observed_sizes.contains(&sampled.len()),
+                    "{}: size {} not among observed {:?}",
+                    model, sampled.len(), observed_sizes
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn contribution_zero_sum_sanity(recipes in arb_cuisine_recipes()) {
+        let db = db();
+        let store = build_store(&recipes);
+        let cuisine = store.cuisine(Region::Italy);
+        let contributions =
+            culinaria_core::contribution::ingredient_contributions(&db, &cuisine);
+        // One entry per distinct pool ingredient, all finite.
+        if !contributions.is_empty() {
+            prop_assert_eq!(contributions.len(), cuisine.ingredient_set().len());
+        }
+        for c in &contributions {
+            prop_assert!(c.percent_change.is_finite(), "{}: {}", c.name, c.percent_change);
+            prop_assert!(c.n_recipes >= 1);
+        }
+    }
+}

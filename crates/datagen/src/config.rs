@@ -1,0 +1,122 @@
+//! World-generation configuration.
+
+use culinaria_flavordb::generator::GeneratorConfig;
+
+/// Configuration for [`crate::generate_world`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorldConfig {
+    /// Master seed. All randomness derives from it.
+    pub seed: u64,
+    /// Configuration of the underlying flavor-database generator.
+    pub flavor: GeneratorConfig,
+    /// Multiplier on Table 1 recipe counts. `1.0` reproduces the paper's
+    /// 45,565 region-attributed recipes; tests use much smaller values.
+    /// Each region keeps at least [`WorldConfig::min_region_recipes`].
+    pub recipe_scale: f64,
+    /// Floor on per-region recipe count after scaling.
+    pub min_region_recipes: usize,
+    /// Mean recipe size (paper: ≈ 9 ingredients).
+    pub mean_recipe_size: f64,
+    /// Probability that each ingredient slot after the first is chosen
+    /// by the pairing-biased best/worst-of-K rule rather than plain
+    /// popularity sampling. `0` disables pairing bias entirely.
+    ///
+    /// This is the *residual* co-selection signal that the Frequency
+    /// null model cannot reproduce; the paper finds frequency explains
+    /// pairing "to a large extent" but not exactly, so keep it small.
+    pub pairing_bias: f64,
+    /// Number of candidates scored by the best/worst-of-K rule.
+    pub pairing_candidates: usize,
+    /// Zipf exponent for within-region ingredient popularity.
+    pub popularity_exponent: f64,
+    /// Strength of the similarity-aware popularity ranking: in positive
+    /// regions the most popular ingredients are mutually *similar* in
+    /// flavor, in negative regions mutually *dissimilar*. This is the
+    /// mechanism behind the paper's central finding that ingredient
+    /// frequency accounts for both positive and negative food pairing.
+    pub popularity_similarity_bias: f64,
+}
+
+impl WorldConfig {
+    /// The paper-scale configuration: Table 1 counts, 840-ingredient
+    /// flavor universe, mean recipe size 9.
+    pub fn paper() -> Self {
+        WorldConfig {
+            seed: 2018,
+            flavor: GeneratorConfig {
+                // Looser category clustering: flavor similarity must
+                // not be reducible to category membership, or the
+                // Category null model would (wrongly) explain pairing.
+                category_affinity: 0.25,
+                ..GeneratorConfig::default()
+            },
+            recipe_scale: 1.0,
+            min_region_recipes: 30,
+            mean_recipe_size: 9.0,
+            pairing_bias: 0.35,
+            pairing_candidates: 4,
+            popularity_exponent: 1.0,
+            popularity_similarity_bias: 1.4,
+        }
+    }
+
+    /// A miniature world for unit tests and doc examples: every region
+    /// present, a few hundred recipes total, tiny flavor universe.
+    pub fn tiny() -> Self {
+        WorldConfig {
+            seed: 2018,
+            flavor: GeneratorConfig {
+                category_affinity: 0.25,
+                ..GeneratorConfig::tiny(2018)
+            },
+            recipe_scale: 0.01,
+            min_region_recipes: 12,
+            mean_recipe_size: 7.0,
+            pairing_bias: 0.35,
+            pairing_candidates: 4,
+            popularity_exponent: 1.0,
+            popularity_similarity_bias: 1.4,
+        }
+    }
+
+    /// A mid-size world (~10% of paper scale) for integration tests and
+    /// quick harness runs.
+    pub fn small() -> Self {
+        WorldConfig {
+            seed: 2018,
+            flavor: GeneratorConfig {
+                n_molecules: 800,
+                n_ingredients: 400,
+                category_affinity: 0.25,
+                ..GeneratorConfig::default()
+            },
+            recipe_scale: 0.1,
+            min_region_recipes: 30,
+            mean_recipe_size: 9.0,
+            pairing_bias: 0.35,
+            pairing_candidates: 4,
+            popularity_exponent: 1.0,
+            popularity_similarity_bias: 1.4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_are_sane() {
+        let p = WorldConfig::paper();
+        assert_eq!(p.recipe_scale, 1.0);
+        assert_eq!(p.mean_recipe_size, 9.0);
+        assert!(p.pairing_bias > 0.0 && p.pairing_bias <= 1.0);
+
+        let t = WorldConfig::tiny();
+        assert!(t.recipe_scale < 0.05);
+        assert!(t.flavor.n_ingredients < 100);
+
+        let s = WorldConfig::small();
+        assert!(s.recipe_scale < p.recipe_scale);
+    }
+}

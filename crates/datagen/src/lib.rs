@@ -1,0 +1,37 @@
+#![warn(missing_docs)]
+
+//! # culinaria-datagen
+//!
+//! The calibrated synthetic world generator — the stand-in for the
+//! paper's scraped CulinaryDB corpus, which is not available offline.
+//!
+//! [`generate_world`] produces a [`World`] — a flavor database plus a
+//! recipe store — calibrated to the paper's published statistics:
+//!
+//! * **Table 1 exactly**: each of the 22 regions gets its published
+//!   recipe count and (up to universe size) its published unique
+//!   ingredient pool size, at `recipe_scale = 1.0`;
+//! * **recipe sizes** bounded and thin-tailed with mean ≈ 9 (shifted
+//!   Poisson, clamped) — Fig 3a;
+//! * **ingredient popularity** Zipf-ranked within each region's pool,
+//!   reproducing the consistent rank-frequency scaling of Fig 3b;
+//! * **category composition**: each region ranks its pool by a
+//!   region-specific category-preference table encoding Fig 2's
+//!   observations (France/British Isles/Scandinavia dairy-heavy;
+//!   Indian Subcontinent/Africa/Middle East/Caribbean spice-forward;
+//!   Japan/Korea fish-forward; Mexico maize-rich, …);
+//! * **pairing regime**: ingredient co-selection is biased toward
+//!   flavor-profile overlap in the 16 positive regions and away from it
+//!   in the 6 negative regions (Fig 4's sign pattern), via a
+//!   best/worst-of-K candidate rule that leaves the popularity
+//!   distribution intact — which is exactly the paper's finding that
+//!   frequency largely accounts for pairing.
+//!
+//! Everything is deterministic in `WorldConfig::seed`.
+
+pub mod config;
+pub mod prefs;
+pub mod world;
+
+pub use config::WorldConfig;
+pub use world::{generate_world, World};

@@ -1,0 +1,152 @@
+//! Per-region category-preference tables encoding Fig 2.
+//!
+//! The paper's Fig 2 heatmap shows which ingredient categories each
+//! regional cuisine leans on. We encode a global baseline (§II.A: at the
+//! aggregate level "Vegetable, Spice, Dairy, Herb, Plant, Meat and Fruit
+//! categories are used most frequently") and the named regional
+//! deviations (France/British Isles/Scandinavia use dairy more than
+//! vegetables; the Indian Subcontinent, Africa, Middle East and
+//! Caribbean are spice-predominant), plus geography-informed boosts for
+//! the remaining regions so the heatmap has realistic structure.
+
+use culinaria_flavordb::Category;
+use culinaria_recipedb::Region;
+
+/// Global baseline usage weight per category, [`Category::index`] order.
+/// Encodes the aggregate ranking of Fig 2 (Additive is real but the
+/// paper excludes it from the figure; we keep a moderate weight).
+const BASELINE: [f64; 21] = [
+    12.0, // Vegetable
+    8.0,  // Dairy
+    2.5,  // Legume
+    1.5,  // Maize
+    3.0,  // Cereal
+    6.0,  // Meat
+    3.0,  // NutsAndSeeds
+    6.0,  // Plant
+    2.0,  // Fish
+    1.5,  // Seafood
+    9.0,  // Spice
+    2.5,  // Bakery
+    2.0,  // BeverageAlcoholic
+    2.0,  // Beverage
+    0.5,  // EssentialOil
+    0.5,  // Flower
+    5.0,  // Fruit
+    1.5,  // Fungus
+    7.0,  // Herb
+    4.0,  // Additive
+    2.0,  // Dish
+];
+
+/// Multiplicative regional boosts on the baseline: `(region, category,
+/// factor)`. Factors > 1 increase a category's usage share.
+const BOOSTS: &[(Region, Category, f64)] = &[
+    // "France, British Isles, and Scandinavia regions use dairy products
+    // more prominently than vegetables."
+    (Region::France, Category::Dairy, 2.4),
+    (Region::BritishIsles, Category::Dairy, 2.2),
+    (Region::Scandinavia, Category::Dairy, 2.2),
+    (Region::Scandinavia, Category::Fish, 2.5),
+    // "Among regions with predominant use of spice were Indian
+    // Subcontinent, Africa, Middle East, and Caribbean."
+    (Region::IndianSubcontinent, Category::Spice, 2.8),
+    (Region::IndianSubcontinent, Category::Legume, 2.0),
+    (Region::Africa, Category::Spice, 2.4),
+    (Region::MiddleEast, Category::Spice, 2.3),
+    (Region::MiddleEast, Category::NutsAndSeeds, 1.8),
+    (Region::Caribbean, Category::Spice, 2.2),
+    (Region::Caribbean, Category::Fruit, 1.6),
+    // Geography-informed structure for the remaining regions.
+    (Region::Japan, Category::Fish, 3.2),
+    (Region::Japan, Category::Seafood, 2.8),
+    (Region::Korea, Category::Vegetable, 1.5),
+    (Region::Korea, Category::Fish, 2.2),
+    (Region::China, Category::Vegetable, 1.5),
+    (Region::China, Category::Seafood, 1.6),
+    (Region::Thailand, Category::Herb, 2.0),
+    (Region::Thailand, Category::Spice, 1.6),
+    (Region::SouthEastAsia, Category::Spice, 1.7),
+    (Region::SouthEastAsia, Category::Seafood, 1.8),
+    (Region::Mexico, Category::Maize, 3.5),
+    (Region::Mexico, Category::Spice, 1.8),
+    (Region::Italy, Category::Herb, 1.8),
+    (Region::Italy, Category::Plant, 1.6),
+    (Region::Greece, Category::Plant, 1.8),
+    (Region::Greece, Category::Herb, 1.6),
+    (Region::Spain, Category::Seafood, 1.8),
+    (Region::Spain, Category::Plant, 1.5),
+    (Region::Dach, Category::Meat, 1.9),
+    (Region::Dach, Category::Bakery, 1.8),
+    (Region::EasternEurope, Category::Meat, 1.7),
+    (Region::EasternEurope, Category::Dairy, 1.4),
+    (Region::Usa, Category::Bakery, 1.6),
+    (Region::Usa, Category::Dairy, 1.4),
+    (Region::Canada, Category::Bakery, 1.5),
+    (Region::AustraliaNz, Category::Meat, 1.5),
+    (Region::SouthAmerica, Category::Maize, 2.2),
+    (Region::SouthAmerica, Category::Meat, 1.6),
+];
+
+/// The category usage-preference vector for a region (baseline ×
+/// regional boosts), indexed by [`Category::index`].
+pub fn category_preferences(region: Region) -> [f64; 21] {
+    let mut w = BASELINE;
+    for &(r, c, f) in BOOSTS {
+        if r == region {
+            w[c.index()] *= f;
+        }
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dairy_beats_vegetables_where_paper_says() {
+        for r in [Region::France, Region::BritishIsles, Region::Scandinavia] {
+            let w = category_preferences(r);
+            assert!(
+                w[Category::Dairy.index()] > w[Category::Vegetable.index()],
+                "{r}: dairy should dominate vegetables"
+            );
+        }
+        // And NOT in the aggregate baseline.
+        let ita = category_preferences(Region::Italy);
+        assert!(ita[Category::Vegetable.index()] > ita[Category::Dairy.index()]);
+    }
+
+    #[test]
+    fn spice_forward_regions() {
+        let baseline_spice = BASELINE[Category::Spice.index()];
+        for r in [
+            Region::IndianSubcontinent,
+            Region::Africa,
+            Region::MiddleEast,
+            Region::Caribbean,
+        ] {
+            let w = category_preferences(r);
+            assert!(w[Category::Spice.index()] > 2.0 * baseline_spice, "{r}");
+            // Spice becomes the top category in these cuisines.
+            let max = w.iter().cloned().fold(0.0, f64::max);
+            assert_eq!(w[Category::Spice.index()], max, "{r}: spice should top");
+        }
+    }
+
+    #[test]
+    fn all_weights_positive() {
+        for r in Region::ALL {
+            for (i, &w) in category_preferences(r).iter().enumerate() {
+                assert!(w > 0.0, "{r} category {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn japan_is_fish_forward() {
+        let w = category_preferences(Region::Japan);
+        assert!(w[Category::Fish.index()] > BASELINE[Category::Fish.index()] * 3.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! The paper's 21 ingredient categories.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// Ingredient category (§III.B of the paper lists exactly these 21).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Category {
+    /// Vegetables (onion, carrot, …).
+    Vegetable,
+    /// Dairy products (milk, cream, cheese, …).
+    Dairy,
+    /// Legumes (lentil, chickpea, …).
+    Legume,
+    /// Maize products.
+    Maize,
+    /// Cereals and grains.
+    Cereal,
+    /// Meats.
+    Meat,
+    /// Nuts and seeds.
+    NutsAndSeeds,
+    /// Generic plant-derived items not in a finer category.
+    Plant,
+    /// Fish.
+    Fish,
+    /// Non-fish seafood.
+    Seafood,
+    /// Spices.
+    Spice,
+    /// Bakery items.
+    Bakery,
+    /// Alcoholic beverages.
+    BeverageAlcoholic,
+    /// Non-alcoholic beverages.
+    Beverage,
+    /// Essential oils.
+    EssentialOil,
+    /// Edible flowers.
+    Flower,
+    /// Fruits.
+    Fruit,
+    /// Fungi (mushrooms, truffles, yeast, …).
+    Fungus,
+    /// Herbs.
+    Herb,
+    /// Food additives (baking powder, MSG, …).
+    Additive,
+    /// Ready-made dishes used as ingredients (compound entities).
+    Dish,
+}
+
+impl Category {
+    /// All 21 categories, in the paper's listing order.
+    pub const ALL: [Category; 21] = [
+        Category::Vegetable,
+        Category::Dairy,
+        Category::Legume,
+        Category::Maize,
+        Category::Cereal,
+        Category::Meat,
+        Category::NutsAndSeeds,
+        Category::Plant,
+        Category::Fish,
+        Category::Seafood,
+        Category::Spice,
+        Category::Bakery,
+        Category::BeverageAlcoholic,
+        Category::Beverage,
+        Category::EssentialOil,
+        Category::Flower,
+        Category::Fruit,
+        Category::Fungus,
+        Category::Herb,
+        Category::Additive,
+        Category::Dish,
+    ];
+
+    /// Stable display name matching the paper's table.
+    pub fn name(self) -> &'static str {
+        match self {
+            Category::Vegetable => "Vegetable",
+            Category::Dairy => "Dairy",
+            Category::Legume => "Legume",
+            Category::Maize => "Maize",
+            Category::Cereal => "Cereal",
+            Category::Meat => "Meat",
+            Category::NutsAndSeeds => "Nuts and Seeds",
+            Category::Plant => "Plant",
+            Category::Fish => "Fish",
+            Category::Seafood => "Seafood",
+            Category::Spice => "Spice",
+            Category::Bakery => "Bakery",
+            Category::BeverageAlcoholic => "Beverage Alcoholic",
+            Category::Beverage => "Beverage",
+            Category::EssentialOil => "Essential Oil",
+            Category::Flower => "Flower",
+            Category::Fruit => "Fruit",
+            Category::Fungus => "Fungus",
+            Category::Herb => "Herb",
+            Category::Additive => "Additive",
+            Category::Dish => "Dish",
+        }
+    }
+
+    /// Dense index in `0..21`, usable for flat per-category arrays.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Category::index`]. `None` when out of range.
+    pub fn from_index(idx: usize) -> Option<Category> {
+        Category::ALL.get(idx).copied()
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Category {
+    type Err = String;
+
+    /// Parse a display name (case-insensitive; spaces tolerated).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_lowercase();
+        Category::ALL
+            .iter()
+            .find(|c| c.name().to_lowercase() == norm)
+            .copied()
+            .ok_or_else(|| format!("unknown category '{s}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exactly_21_categories() {
+        assert_eq!(Category::ALL.len(), 21);
+        // All distinct.
+        let mut names: Vec<&str> = Category::ALL.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 21);
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, c) in Category::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(Category::from_index(i), Some(*c));
+        }
+        assert_eq!(Category::from_index(21), None);
+    }
+
+    #[test]
+    fn parse_roundtrip() {
+        for c in Category::ALL {
+            assert_eq!(c.name().parse::<Category>().unwrap(), c);
+        }
+        assert_eq!("spice".parse::<Category>().unwrap(), Category::Spice);
+        assert_eq!(
+            " nuts and seeds ".parse::<Category>().unwrap(),
+            Category::NutsAndSeeds
+        );
+        assert!("Plutonium".parse::<Category>().is_err());
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Category::EssentialOil.to_string(), "Essential Oil");
+    }
+}

@@ -1,0 +1,842 @@
+//! The curated fixture: every ingredient the paper names explicitly.
+//!
+//! This is a faithful, small-scale stand-in for the paper's curated
+//! ingredient list (§III.B). It embeds:
+//!
+//! * a base lexicon of common ingredients across all 21 categories, with
+//!   hand-written flavor profiles over a named molecule universe;
+//! * the **13 specific ingredients** added to the FlavorDB list because
+//!   they matter in recipes: anise oil, apple juice, coconut milk,
+//!   coconut oil, hops beer, lemon juice, brown rice, tomato juice,
+//!   tomato paste, tomato puree, coriander seed, pork fat, cured ham;
+//! * the **4 ingredients from Ahn et al.**: cayenne, yeast, tequila,
+//!   sauerkraut;
+//! * the **7 additives**: baking powder, monosodium glutamate, citric
+//!   acid, cooking spray, gelatin, food coloring, liquid smoke — the
+//!   last four with *no* flavor profile;
+//! * **compound ingredients** with pooled profiles: half half
+//!   (milk + cream), mayonnaise (oil + egg + lemon juice), and bear
+//!   (black + polar + brown bear, the paper's bundling example);
+//! * **synonyms**: bun → bread, lager → beer, curd → yogurt, plus the
+//!   spelling variants whisky → whiskey, hing → asafoetida,
+//!   chile → chili;
+//! * the **removal** of generic/noisy entities (the paper removed 29),
+//!   exercised here on a representative pair.
+
+use crate::category::Category;
+use crate::db::FlavorDb;
+use crate::error::Result;
+use crate::ids::{IngredientId, MoleculeId};
+
+use Category as C;
+
+/// Ingredient spec rows: (name, category, molecule names).
+///
+/// Molecule names are interned on first use; sharing a molecule name
+/// between two ingredients is what creates flavor-pairing overlap.
+const BASE: &[(&str, Category, &[&str])] = &[
+    // Dairy — heavy mutual overlap via lactic molecules.
+    (
+        "milk",
+        C::Dairy,
+        &["lactone", "diacetyl", "butanoic acid", "delta-decalactone"],
+    ),
+    (
+        "cream",
+        C::Dairy,
+        &["lactone", "diacetyl", "delta-decalactone", "vanillin-trace"],
+    ),
+    (
+        "butter",
+        C::Dairy,
+        &["diacetyl", "butanoic acid", "delta-decalactone", "acetoin"],
+    ),
+    (
+        "cheese",
+        C::Dairy,
+        &[
+            "butanoic acid",
+            "acetoin",
+            "methyl ketone",
+            "propionic acid",
+        ],
+    ),
+    (
+        "yogurt",
+        C::Dairy,
+        &["lactone", "acetaldehyde", "diacetyl", "lactic acid"],
+    ),
+    // Vegetables.
+    (
+        "tomato",
+        C::Vegetable,
+        &["hexanal", "geranial", "beta-ionone", "methyl salicylate"],
+    ),
+    (
+        "onion",
+        C::Vegetable,
+        &["allyl sulfide", "propanethiol", "thiophene"],
+    ),
+    (
+        "garlic",
+        C::Vegetable,
+        &["allyl sulfide", "diallyl disulfide", "allicin", "hexanal"],
+    ),
+    (
+        "carrot",
+        C::Vegetable,
+        &["terpinolene", "beta-ionone", "caryophyllene"],
+    ),
+    (
+        "bell pepper",
+        C::Vegetable,
+        &["pyrazine", "hexanal", "linalool"],
+    ),
+    (
+        "cabbage",
+        C::Vegetable,
+        &["allyl isothiocyanate", "thiophene", "hexanal"],
+    ),
+    (
+        "potato",
+        C::Vegetable,
+        &["methional", "pyrazine", "hexanal"],
+    ),
+    ("spinach", C::Vegetable, &["hexanal", "cis-3-hexenol"]),
+    // Fruits — ester/terpene cluster.
+    (
+        "apple",
+        C::Fruit,
+        &["ethyl butanoate", "hexyl acetate", "hexanal", "farnesene"],
+    ),
+    (
+        "lemon",
+        C::Fruit,
+        &["limonene", "citral", "geranial", "beta-pinene"],
+    ),
+    (
+        "orange",
+        C::Fruit,
+        &["limonene", "citral", "valencene", "octanal"],
+    ),
+    (
+        "banana",
+        C::Fruit,
+        &["isoamyl acetate", "eugenol-trace", "ethyl butanoate"],
+    ),
+    (
+        "strawberry",
+        C::Fruit,
+        &["furaneol", "ethyl butanoate", "hexyl acetate"],
+    ),
+    (
+        "coconut",
+        C::Fruit,
+        &["delta-octalactone", "delta-decalactone", "massoia lactone"],
+    ),
+    (
+        "mango",
+        C::Fruit,
+        &["myrcene", "delta-octalactone", "ethyl butanoate"],
+    ),
+    // Spices.
+    (
+        "black pepper",
+        C::Spice,
+        &["piperine", "caryophyllene", "beta-pinene", "limonene"],
+    ),
+    (
+        "cumin",
+        C::Spice,
+        &["cuminaldehyde", "beta-pinene", "terpinene"],
+    ),
+    (
+        "coriander",
+        C::Spice,
+        &["linalool", "geranial", "camphor-trace"],
+    ),
+    (
+        "turmeric",
+        C::Spice,
+        &["turmerone", "zingiberene", "curcumin"],
+    ),
+    (
+        "cinnamon",
+        C::Spice,
+        &["cinnamaldehyde", "eugenol", "linalool"],
+    ),
+    (
+        "clove",
+        C::Spice,
+        &["eugenol", "caryophyllene", "vanillin-trace"],
+    ),
+    (
+        "cardamom",
+        C::Spice,
+        &["cineole", "terpinyl acetate", "limonene", "linalool"],
+    ),
+    (
+        "ginger",
+        C::Spice,
+        &["zingiberene", "gingerol", "citral", "cineole"],
+    ),
+    ("chili", C::Spice, &["capsaicin", "hexanal", "pyrazine"]),
+    (
+        "asafoetida",
+        C::Spice,
+        &["propanethiol", "ferulic acid", "allyl sulfide"],
+    ),
+    ("saffron", C::Spice, &["safranal", "picrocrocin"]),
+    (
+        "vanilla",
+        C::Spice,
+        &["vanillin", "vanillin-trace", "guaiacol"],
+    ),
+    // Herbs — terpene cluster.
+    (
+        "basil",
+        C::Herb,
+        &[
+            "linalool",
+            "estragole",
+            "eugenol",
+            "cineole",
+            "methyl salicylate",
+        ],
+    ),
+    (
+        "oregano",
+        C::Herb,
+        &["carvacrol", "thymol", "caryophyllene", "linalool"],
+    ),
+    ("thyme", C::Herb, &["thymol", "carvacrol", "linalool"]),
+    ("mint", C::Herb, &["menthol", "menthone", "cineole"]),
+    (
+        "cilantro",
+        C::Herb,
+        &["cis-3-hexenol", "linalool", "decanal"],
+    ),
+    ("rosemary", C::Herb, &["cineole", "camphor", "beta-pinene"]),
+    ("dill", C::Herb, &["carvone", "limonene", "phellandrene"]),
+    // Meat — maillard/fatty cluster.
+    (
+        "chicken",
+        C::Meat,
+        &["2-methyl-3-furanthiol", "hexanal", "nonanal", "furfural"],
+    ),
+    (
+        "beef",
+        C::Meat,
+        &["2-methyl-3-furanthiol", "methional", "pyrazine", "nonanal"],
+    ),
+    (
+        "pork",
+        C::Meat,
+        &["nonanal", "hexanal", "furfural", "decanal"],
+    ),
+    (
+        "lamb",
+        C::Meat,
+        &["4-methyloctanoic acid", "nonanal", "pyrazine"],
+    ),
+    (
+        "bacon",
+        C::Meat,
+        &["guaiacol", "furfural", "nonanal", "syringol"],
+    ),
+    (
+        "black bear",
+        C::Meat,
+        &["nonanal", "hexanal", "gamey ketone"],
+    ),
+    (
+        "polar bear",
+        C::Meat,
+        &["nonanal", "trimethylamine", "gamey ketone"],
+    ),
+    (
+        "brown bear",
+        C::Meat,
+        &["nonanal", "gamey ketone", "furfural"],
+    ),
+    // Fish & seafood.
+    (
+        "salmon",
+        C::Fish,
+        &["trimethylamine", "omega-aldehyde", "hexanal"],
+    ),
+    (
+        "tuna",
+        C::Fish,
+        &["trimethylamine", "omega-aldehyde", "methional"],
+    ),
+    ("cod", C::Fish, &["trimethylamine", "hexanal"]),
+    (
+        "shrimp",
+        C::Seafood,
+        &["trimethylamine", "pyrazine", "nonanal"],
+    ),
+    (
+        "oyster",
+        C::Seafood,
+        &["trimethylamine", "dimethyl sulfide", "octanal"],
+    ),
+    (
+        "seaweed",
+        C::Seafood,
+        &["dimethyl sulfide", "bromophenol", "cis-3-hexenol"],
+    ),
+    // Cereals, maize, legumes, bakery.
+    ("wheat", C::Cereal, &["hexanal", "furfural", "maltol"]),
+    ("oats", C::Cereal, &["hexanal", "nonanal", "maltol"]),
+    ("rice", C::Cereal, &["2-acetyl-1-pyrroline", "hexanal"]),
+    (
+        "corn",
+        C::Maize,
+        &["dimethyl sulfide", "2-acetyl-1-pyrroline", "maltol"],
+    ),
+    ("cornmeal", C::Maize, &["maltol", "furfural", "hexanal"]),
+    ("lentil", C::Legume, &["hexanal", "methoxypyrazine"]),
+    (
+        "chickpea",
+        C::Legume,
+        &["hexanal", "methoxypyrazine", "nonanal"],
+    ),
+    ("black bean", C::Legume, &["methoxypyrazine", "furfural"]),
+    (
+        "soybean",
+        C::Legume,
+        &["hexanal", "methoxypyrazine", "maltol"],
+    ),
+    (
+        "bread",
+        C::Bakery,
+        &["2-acetyl-1-pyrroline", "furfural", "maltol", "acetoin"],
+    ),
+    (
+        "cake",
+        C::Bakery,
+        &["vanillin", "maltol", "diacetyl", "furfural"],
+    ),
+    ("cookie", C::Bakery, &["maltol", "vanillin", "furfural"]),
+    // Nuts and seeds.
+    (
+        "almond",
+        C::NutsAndSeeds,
+        &["benzaldehyde", "hexanal", "nonanal"],
+    ),
+    (
+        "peanut",
+        C::NutsAndSeeds,
+        &["pyrazine", "methylpyrazine", "hexanal"],
+    ),
+    (
+        "sesame",
+        C::NutsAndSeeds,
+        &["pyrazine", "furfural", "guaiacol"],
+    ),
+    (
+        "walnut",
+        C::NutsAndSeeds,
+        &["hexanal", "nonanal", "pyrazine"],
+    ),
+    // Beverages.
+    (
+        "coffee",
+        C::Beverage,
+        &["furfural", "guaiacol", "methylpyrazine", "pyrazine"],
+    ),
+    (
+        "tea",
+        C::Beverage,
+        &["linalool", "geraniol", "beta-ionone", "hexanal"],
+    ),
+    (
+        "beer",
+        C::BeverageAlcoholic,
+        &["isoamyl acetate", "diacetyl", "humulone", "ethyl acetate"],
+    ),
+    (
+        "wine",
+        C::BeverageAlcoholic,
+        &[
+            "ethyl acetate",
+            "isoamyl acetate",
+            "tannin note",
+            "diacetyl",
+        ],
+    ),
+    (
+        "whiskey",
+        C::BeverageAlcoholic,
+        &[
+            "guaiacol",
+            "vanillin",
+            "ethyl acetate",
+            "syringol",
+            "citral",
+        ],
+    ),
+    (
+        "rum",
+        C::BeverageAlcoholic,
+        &["ethyl acetate", "vanillin", "furfural"],
+    ),
+    // Plant, flower, fungus, essential oil, dish.
+    (
+        "olive",
+        C::Plant,
+        &["oleuropein", "hexanal", "cis-3-hexenol"],
+    ),
+    (
+        "olive oil",
+        C::Plant,
+        &["oleuropein", "cis-3-hexenol", "decanal", "hexanal"],
+    ),
+    (
+        "soy sauce",
+        C::Dish,
+        &["methional", "furfural", "guaiacol", "glutamate note"],
+    ),
+    (
+        "rose",
+        C::Flower,
+        &["geraniol", "citronellol", "phenylethanol"],
+    ),
+    (
+        "lavender",
+        C::Flower,
+        &["linalool", "linalyl acetate", "camphor"],
+    ),
+    (
+        "mushroom",
+        C::Fungus,
+        &["1-octen-3-ol", "methional", "hexanal"],
+    ),
+    (
+        "truffle",
+        C::Fungus,
+        &["dimethyl sulfide", "1-octen-3-ol", "methional"],
+    ),
+    (
+        "peppermint oil",
+        C::EssentialOil,
+        &["menthol", "menthone", "cineole"],
+    ),
+    (
+        "egg",
+        C::Plant,
+        &["methional", "hexanal", "dimethyl sulfide"],
+    ),
+    ("honey", C::Plant, &["phenylethanol", "furaneol", "maltol"]),
+    ("sugar", C::Additive, &["caramel furanone", "maltol"]),
+    ("salt", C::Additive, &[]),
+];
+
+/// The 13 ingredients the paper added to the FlavorDB list.
+const ADDED_13: &[(&str, Category, &[&str])] = &[
+    (
+        "anise oil",
+        C::EssentialOil,
+        &["anethole", "estragole", "limonene"],
+    ),
+    (
+        "apple juice",
+        C::Beverage,
+        &["ethyl butanoate", "hexyl acetate", "hexanal"],
+    ),
+    (
+        "coconut milk",
+        C::Dairy,
+        &["delta-octalactone", "delta-decalactone", "lactone"],
+    ),
+    (
+        "coconut oil",
+        C::Plant,
+        &["delta-octalactone", "massoia lactone", "decanal"],
+    ),
+    (
+        "hops beer",
+        C::BeverageAlcoholic,
+        &["humulone", "myrcene", "linalool"],
+    ),
+    (
+        "lemon juice",
+        C::Beverage,
+        &["limonene", "citral", "beta-pinene"],
+    ),
+    (
+        "brown rice",
+        C::Cereal,
+        &["2-acetyl-1-pyrroline", "hexanal", "nonanal"],
+    ),
+    (
+        "tomato juice",
+        C::Beverage,
+        &["hexanal", "geranial", "methyl salicylate"],
+    ),
+    (
+        "tomato paste",
+        C::Dish,
+        &["hexanal", "beta-ionone", "furaneol"],
+    ),
+    (
+        "tomato puree",
+        C::Dish,
+        &["hexanal", "beta-ionone", "geranial"],
+    ),
+    (
+        "coriander seed",
+        C::Spice,
+        &["linalool", "geranial", "beta-pinene"],
+    ),
+    ("pork fat", C::Meat, &["nonanal", "decanal", "hexanal"]),
+    (
+        "cured ham",
+        C::Meat,
+        &["nonanal", "guaiacol", "furfural", "decanal"],
+    ),
+];
+
+/// The 4 ingredients included from Ahn et al.'s data.
+const AHN_4: &[(&str, Category, &[&str])] = &[
+    ("cayenne", C::Spice, &["capsaicin", "hexanal", "citral"]),
+    (
+        "yeast",
+        C::Fungus,
+        &["acetoin", "furfural", "phenylethanol"],
+    ),
+    (
+        "tequila",
+        C::BeverageAlcoholic,
+        &["ethyl acetate", "isoamyl acetate", "guaiacol"],
+    ),
+    (
+        "sauerkraut",
+        C::Vegetable,
+        &["lactic acid", "allyl isothiocyanate", "acetaldehyde"],
+    ),
+];
+
+/// The 7 manually-added additives; the last four get no flavor profile,
+/// exactly as in the paper.
+const ADDITIVES_7: &[(&str, &[&str])] = &[
+    ("baking powder", &["carbon dioxide note"]),
+    ("monosodium glutamate", &["glutamate note"]),
+    ("citric acid", &["citral"]),
+    ("cooking spray", &[]),
+    ("gelatin", &[]),
+    ("food coloring", &[]),
+    ("liquid smoke", &[]),
+];
+
+/// Noisy/generic entities registered and then removed, exercising the
+/// paper's deletion of 29 such entries.
+const NOISY: &[&str] = &["food product", "generic meat"];
+
+/// Perceptual descriptors for the named molecules (used by the
+/// taste-enumeration extension). Molecules absent from this table get
+/// no descriptors, exactly like the sparsely-annotated real FlavorDB.
+const DESCRIPTORS: &[(&str, &[&str])] = &[
+    ("diacetyl", &["buttery", "creamy"]),
+    ("lactone", &["creamy", "sweet"]),
+    ("delta-decalactone", &["creamy", "coconut"]),
+    ("delta-octalactone", &["coconut", "sweet"]),
+    ("butanoic acid", &["cheesy", "rancid"]),
+    ("acetoin", &["buttery"]),
+    ("lactic acid", &["sour"]),
+    ("acetaldehyde", &["pungent", "fresh"]),
+    ("vanillin", &["vanilla", "sweet"]),
+    ("vanillin-trace", &["vanilla"]),
+    ("maltol", &["caramel", "sweet"]),
+    ("furaneol", &["caramel", "strawberry"]),
+    ("caramel furanone", &["caramel", "sweet"]),
+    ("furfural", &["bready", "almond"]),
+    ("2-acetyl-1-pyrroline", &["popcorn", "bready"]),
+    ("limonene", &["citrus"]),
+    ("citral", &["citrus", "lemon"]),
+    ("geranial", &["citrus", "rose"]),
+    ("beta-pinene", &["piney", "resinous"]),
+    ("linalool", &["floral", "citrus"]),
+    ("geraniol", &["rose", "floral"]),
+    ("citronellol", &["rose"]),
+    ("phenylethanol", &["rose", "honey"]),
+    ("eugenol", &["clove", "spicy"]),
+    ("eugenol-trace", &["clove"]),
+    ("cinnamaldehyde", &["cinnamon", "spicy"]),
+    ("capsaicin", &["pungent", "hot"]),
+    ("piperine", &["pungent", "woody"]),
+    ("allyl sulfide", &["garlic", "sulfurous"]),
+    ("diallyl disulfide", &["garlic", "sulfurous"]),
+    ("allicin", &["garlic", "pungent"]),
+    ("propanethiol", &["onion", "sulfurous"]),
+    ("thiophene", &["sulfurous"]),
+    ("allyl isothiocyanate", &["pungent", "mustard"]),
+    ("dimethyl sulfide", &["sulfurous", "marine"]),
+    ("trimethylamine", &["fishy"]),
+    ("bromophenol", &["marine", "briny"]),
+    ("hexanal", &["green", "grassy"]),
+    ("cis-3-hexenol", &["green", "leafy"]),
+    ("methional", &["potato", "savory"]),
+    ("methoxypyrazine", &["green", "earthy"]),
+    ("pyrazine", &["roasted", "nutty"]),
+    ("methylpyrazine", &["roasted", "nutty"]),
+    ("2-methyl-3-furanthiol", &["meaty", "savory"]),
+    ("nonanal", &["fatty", "waxy"]),
+    ("decanal", &["fatty", "citrus"]),
+    ("octanal", &["citrus", "fatty"]),
+    ("guaiacol", &["smoky", "woody"]),
+    ("syringol", &["smoky"]),
+    ("benzaldehyde", &["almond", "cherry"]),
+    ("menthol", &["minty", "cooling"]),
+    ("menthone", &["minty"]),
+    ("cineole", &["eucalyptus", "fresh"]),
+    ("carvone", &["caraway", "minty"]),
+    ("thymol", &["herbal", "medicinal"]),
+    ("carvacrol", &["herbal", "spicy"]),
+    ("camphor", &["camphoraceous"]),
+    ("caryophyllene", &["woody", "spicy"]),
+    ("zingiberene", &["spicy", "ginger"]),
+    ("gingerol", &["pungent", "ginger"]),
+    ("cuminaldehyde", &["spicy", "earthy"]),
+    ("safranal", &["saffron", "hay"]),
+    ("ethyl butanoate", &["fruity", "apple"]),
+    ("hexyl acetate", &["fruity", "apple"]),
+    ("isoamyl acetate", &["banana", "fruity"]),
+    ("ethyl acetate", &["fruity", "solvent"]),
+    ("beta-ionone", &["violet", "woody"]),
+    ("myrcene", &["herbal", "resinous"]),
+    ("humulone", &["bitter", "hoppy"]),
+    ("oleuropein", &["bitter", "olive"]),
+    ("glutamate note", &["umami", "savory"]),
+    ("1-octen-3-ol", &["mushroom", "earthy"]),
+    ("anethole", &["anise", "sweet"]),
+    ("estragole", &["anise", "herbal"]),
+];
+
+fn intern_profile(db: &mut FlavorDb, molecules: &[&str]) -> Vec<MoleculeId> {
+    molecules
+        .iter()
+        .map(|m| match db.molecule_by_name(m) {
+            Some(id) => id,
+            None => {
+                let descriptors = DESCRIPTORS
+                    .iter()
+                    .find(|(name, _)| name == m)
+                    .map(|(_, d)| *d)
+                    .unwrap_or(&[]);
+                db.add_molecule(m, descriptors)
+                    .expect("fresh molecule name interns")
+            }
+        })
+        .collect()
+}
+
+/// Build the curated database. Deterministic, no randomness.
+pub fn curated_db() -> FlavorDb {
+    try_curated_db().expect("curated fixture is internally consistent")
+}
+
+fn try_curated_db() -> Result<FlavorDb> {
+    let mut db = FlavorDb::new();
+
+    for &(name, cat, mols) in BASE.iter().chain(ADDED_13).chain(AHN_4) {
+        let profile = intern_profile(&mut db, mols);
+        db.add_ingredient(name, cat, profile)?;
+    }
+    for &(name, mols) in ADDITIVES_7 {
+        let profile = intern_profile(&mut db, mols);
+        db.add_ingredient(name, Category::Additive, profile)?;
+    }
+
+    // Noisy entities: add then remove (ids stay stable for the rest).
+    for &name in NOISY {
+        db.add_ingredient(name, Category::Plant, vec![])?;
+        db.remove_ingredient(name)?;
+    }
+
+    // Compound ingredients with pooled profiles.
+    let milk = id(&db, "milk")?;
+    let cream = id(&db, "cream")?;
+    db.add_compound_ingredient("half half", Category::Dairy, &[milk, cream])?;
+
+    let oil = id(&db, "olive oil")?;
+    let egg = id(&db, "egg")?;
+    let lemon_juice = id(&db, "lemon juice")?;
+    db.add_compound_ingredient("mayonnaise", Category::Dish, &[oil, egg, lemon_juice])?;
+
+    let bears = [
+        id(&db, "black bear")?,
+        id(&db, "polar bear")?,
+        id(&db, "brown bear")?,
+    ];
+    db.add_compound_ingredient("bear", Category::Meat, &bears)?;
+
+    // Synonyms: common names and spelling variants from §III.B.
+    db.add_synonym("bun", "bread")?;
+    db.add_synonym("lager", "beer")?;
+    db.add_synonym("curd", "yogurt")?;
+    db.add_synonym("whisky", "whiskey")?;
+    db.add_synonym("hing", "asafoetida")?;
+    db.add_synonym("chile", "chili")?;
+
+    Ok(db)
+}
+
+fn id(db: &FlavorDb, name: &str) -> Result<IngredientId> {
+    db.ingredient_by_name(name)
+        .ok_or_else(|| crate::error::FlavorDbError::UnknownIngredient(name.to_owned()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_consistently() {
+        let db = curated_db();
+        // 85 base + 13 added + 4 Ahn + 7 additives + 3 compounds, minus
+        // nothing (noisy pair removed after adding).
+        assert_eq!(db.n_ingredients(), BASE.len() + 13 + 4 + 7 + 3);
+        assert!(db.n_molecules() > 80);
+    }
+
+    #[test]
+    fn paper_named_ingredients_present() {
+        let db = curated_db();
+        for name in [
+            "anise oil",
+            "apple juice",
+            "coconut milk",
+            "coconut oil",
+            "hops beer",
+            "lemon juice",
+            "brown rice",
+            "tomato juice",
+            "tomato paste",
+            "tomato puree",
+            "coriander seed",
+            "pork fat",
+            "cured ham", // 13
+            "cayenne",
+            "yeast",
+            "tequila",
+            "sauerkraut", // Ahn 4
+            "baking powder",
+            "monosodium glutamate",
+            "citric acid",
+            "cooking spray",
+            "gelatin",
+            "food coloring",
+            "liquid smoke", // additives 7
+        ] {
+            assert!(db.ingredient_by_name(name).is_some(), "{name} missing");
+        }
+    }
+
+    #[test]
+    fn last_four_additives_have_no_profile() {
+        let db = curated_db();
+        for name in ["cooking spray", "gelatin", "food coloring", "liquid smoke"] {
+            let ing = db.ingredient(db.ingredient_by_name(name).unwrap()).unwrap();
+            assert!(ing.has_empty_profile(), "{name} should be profile-free");
+            assert_eq!(ing.category, Category::Additive);
+        }
+        // The first three DO have profiles.
+        for name in ["baking powder", "monosodium glutamate", "citric acid"] {
+            let ing = db.ingredient(db.ingredient_by_name(name).unwrap()).unwrap();
+            assert!(!ing.has_empty_profile(), "{name} should have a profile");
+        }
+    }
+
+    #[test]
+    fn compounds_pool_constituents() {
+        let db = curated_db();
+        let hh = db
+            .ingredient(db.ingredient_by_name("half half").unwrap())
+            .unwrap();
+        assert!(hh.is_compound);
+        let milk = db
+            .ingredient(db.ingredient_by_name("milk").unwrap())
+            .unwrap();
+        let cream = db
+            .ingredient(db.ingredient_by_name("cream").unwrap())
+            .unwrap();
+        // Pooled profile contains both constituents' molecules.
+        for m in milk
+            .profile
+            .molecules()
+            .iter()
+            .chain(cream.profile.molecules())
+        {
+            assert!(hh.profile.contains(*m));
+        }
+        let bear = db
+            .ingredient(db.ingredient_by_name("bear").unwrap())
+            .unwrap();
+        assert!(bear.is_compound);
+        assert!(bear.profile.len() >= 4);
+    }
+
+    #[test]
+    fn synonyms_resolve() {
+        let db = curated_db();
+        assert_eq!(db.ingredient_by_name("bun"), db.ingredient_by_name("bread"));
+        assert_eq!(
+            db.ingredient_by_name("lager"),
+            db.ingredient_by_name("beer")
+        );
+        assert_eq!(
+            db.ingredient_by_name("curd"),
+            db.ingredient_by_name("yogurt")
+        );
+        assert_eq!(
+            db.ingredient_by_name("whisky"),
+            db.ingredient_by_name("whiskey")
+        );
+        assert_eq!(
+            db.ingredient_by_name("hing"),
+            db.ingredient_by_name("asafoetida")
+        );
+        assert_eq!(
+            db.ingredient_by_name("chile"),
+            db.ingredient_by_name("chili")
+        );
+    }
+
+    #[test]
+    fn noisy_entities_removed() {
+        let db = curated_db();
+        for name in NOISY {
+            assert!(
+                db.ingredient_by_name(name).is_none(),
+                "{name} should be gone"
+            );
+        }
+        // But their slots still exist (tombstoned).
+        assert!(db.n_ingredient_slots() > db.n_ingredients());
+    }
+
+    #[test]
+    fn dairy_cluster_shares_more_than_cross_category() {
+        let db = curated_db();
+        let milk = db.ingredient_by_name("milk").unwrap();
+        let cream = db.ingredient_by_name("cream").unwrap();
+        let onion = db.ingredient_by_name("onion").unwrap();
+        let within = db.shared_molecules(milk, cream).unwrap();
+        let across = db.shared_molecules(milk, onion).unwrap();
+        assert!(within > across, "{within} vs {across}");
+    }
+
+    #[test]
+    fn all_21_categories_populated_or_known() {
+        let db = curated_db();
+        let mut populated = 0;
+        for c in Category::ALL {
+            if !db.ingredients_in_category(c).is_empty() {
+                populated += 1;
+            }
+        }
+        assert_eq!(populated, 21, "every category should have an ingredient");
+    }
+}

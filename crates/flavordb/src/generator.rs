@@ -1,0 +1,296 @@
+//! Seeded synthetic generator for a FlavorDB-scale ingredient universe.
+//!
+//! The real FlavorDB (840 usable natural ingredients, ~25k molecules,
+//! profile sizes from a handful to several hundred) is an online
+//! resource we cannot access; this generator produces a universe with
+//! the same *pairing-relevant geometry*:
+//!
+//! * heterogeneous profile sizes (lognormal — a few molecule-rich
+//!   ingredients, many sparse ones);
+//! * **within-category correlation**: each of the 21 categories owns a
+//!   cluster of molecules, and an ingredient draws a configurable
+//!   fraction of its profile from its own cluster, the rest from a
+//!   shared common pool — so dairy pairs strongly with dairy, herbs
+//!   with herbs, exactly the structure the food-pairing hypothesis
+//!   feeds on;
+//! * a realistic category mix (vegetables, fruits and spices dominate).
+//!
+//! Everything is driven by a single `seed`; identical configs produce
+//! identical databases.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+use crate::category::Category;
+use crate::db::FlavorDb;
+use crate::ids::MoleculeId;
+
+/// Configuration for [`generate_flavor_db`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratorConfig {
+    /// Master seed; every derived choice is deterministic in it.
+    pub seed: u64,
+    /// Total molecule universe size (FlavorDB order: ~2000 distinct
+    /// flavor molecules appear across common ingredients).
+    pub n_molecules: usize,
+    /// Number of ingredients to generate.
+    pub n_ingredients: usize,
+    /// Mean flavor-profile size.
+    pub mean_profile_size: f64,
+    /// Lognormal sigma of profile sizes (0 ⇒ all profiles equal).
+    pub profile_sigma: f64,
+    /// Fraction of each profile drawn from the ingredient's own category
+    /// cluster (the rest comes from the shared pool). Higher ⇒ stronger
+    /// within-category flavor similarity.
+    pub category_affinity: f64,
+    /// Fraction of the molecule universe reserved as the shared pool.
+    pub shared_pool_fraction: f64,
+}
+
+impl Default for GeneratorConfig {
+    fn default() -> Self {
+        GeneratorConfig {
+            seed: 2018,
+            n_molecules: 2000,
+            n_ingredients: 840,
+            mean_profile_size: 28.0,
+            profile_sigma: 0.8,
+            category_affinity: 0.6,
+            shared_pool_fraction: 0.3,
+        }
+    }
+}
+
+impl GeneratorConfig {
+    /// A miniature config for fast tests.
+    pub fn tiny(seed: u64) -> Self {
+        GeneratorConfig {
+            seed,
+            n_molecules: 150,
+            n_ingredients: 60,
+            mean_profile_size: 10.0,
+            profile_sigma: 0.5,
+            category_affinity: 0.6,
+            shared_pool_fraction: 0.3,
+        }
+    }
+}
+
+/// Relative weights of the 21 categories in the generated universe,
+/// mirroring the composition FlavorDB reports (vegetables, fruits,
+/// spices and herbs dominate; essential oils and flowers are rare).
+/// Indexed by [`Category::index`].
+const CATEGORY_WEIGHTS: [f64; 21] = [
+    14.0, // Vegetable
+    5.0,  // Dairy
+    3.0,  // Legume
+    1.0,  // Maize
+    3.0,  // Cereal
+    8.0,  // Meat
+    5.0,  // NutsAndSeeds
+    6.0,  // Plant
+    4.0,  // Fish
+    3.0,  // Seafood
+    9.0,  // Spice
+    3.0,  // Bakery
+    4.0,  // BeverageAlcoholic
+    4.0,  // Beverage
+    1.0,  // EssentialOil
+    1.0,  // Flower
+    12.0, // Fruit
+    2.0,  // Fungus
+    6.0,  // Herb
+    3.0,  // Additive
+    3.0,  // Dish
+];
+
+/// Standard normal via Box–Muller (rand's distribution crate is not in
+/// the approved dependency set).
+fn sample_standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let u1: f64 = rng.random();
+        if u1 <= f64::MIN_POSITIVE {
+            continue;
+        }
+        let u2: f64 = rng.random();
+        return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+    }
+}
+
+/// Lognormal profile-size sample with the configured mean preserved.
+fn sample_profile_size<R: Rng + ?Sized>(cfg: &GeneratorConfig, rng: &mut R) -> usize {
+    if cfg.profile_sigma <= 0.0 {
+        return cfg.mean_profile_size.round().max(1.0) as usize;
+    }
+    // E[lognormal(μ, σ)] = exp(μ + σ²/2) ⇒ μ = ln(mean) − σ²/2.
+    let mu = cfg.mean_profile_size.ln() - cfg.profile_sigma * cfg.profile_sigma / 2.0;
+    let z = sample_standard_normal(rng);
+    let size = (mu + cfg.profile_sigma * z).exp();
+    (size.round() as usize).clamp(1, cfg.n_molecules)
+}
+
+/// Generate a synthetic flavor database.
+pub fn generate_flavor_db(cfg: &GeneratorConfig) -> FlavorDb {
+    assert!(
+        cfg.n_molecules >= 42,
+        "need at least 2 molecules per cluster"
+    );
+    assert!(
+        (0.0..=1.0).contains(&cfg.category_affinity),
+        "category_affinity must lie in [0, 1]"
+    );
+    assert!(
+        (0.0..1.0).contains(&cfg.shared_pool_fraction),
+        "shared_pool_fraction must lie in [0, 1)"
+    );
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut db = FlavorDb::new();
+    db.add_anonymous_molecules(cfg.n_molecules);
+
+    // Partition the universe: first `shared` ids form the common pool,
+    // the remainder is split evenly into 21 category clusters.
+    let shared = ((cfg.n_molecules as f64) * cfg.shared_pool_fraction) as usize;
+    let cluster_size = (cfg.n_molecules - shared) / 21;
+    let cluster_range = |cat: Category| -> std::ops::Range<usize> {
+        let start = shared + cat.index() * cluster_size;
+        start..start + cluster_size
+    };
+
+    let category_sampler = culinaria_stats::WeightedAliasSampler::new(&CATEGORY_WEIGHTS)
+        .expect("static weights are valid");
+
+    for k in 0..cfg.n_ingredients {
+        let cat =
+            Category::from_index(category_sampler.sample(&mut rng)).expect("sampler indexes 0..21");
+        let size = sample_profile_size(cfg, &mut rng);
+        let n_within = ((size as f64) * cfg.category_affinity).round() as usize;
+        let n_within = n_within.min(size);
+        let n_shared = size - n_within;
+
+        let mut profile: Vec<MoleculeId> = Vec::with_capacity(size);
+        let cr = cluster_range(cat);
+        for idx in
+            culinaria_stats::sampling::sample_without_replacement(cr.len(), n_within, &mut rng)
+        {
+            profile.push(MoleculeId((cr.start + idx) as u32));
+        }
+        if shared > 0 {
+            for idx in
+                culinaria_stats::sampling::sample_without_replacement(shared, n_shared, &mut rng)
+            {
+                profile.push(MoleculeId(idx as u32));
+            }
+        }
+        let name = format!(
+            "syn-{:03}-{}",
+            k,
+            cat.name().to_lowercase().replace(' ', "-")
+        );
+        db.add_ingredient(&name, cat, profile)
+            .expect("generated names are unique");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = GeneratorConfig::tiny(7);
+        let a = generate_flavor_db(&cfg);
+        let b = generate_flavor_db(&cfg);
+        assert_eq!(a.n_ingredients(), b.n_ingredients());
+        for (x, y) in a.ingredients().zip(b.ingredients()) {
+            assert_eq!(x, y);
+        }
+        // Different seed → different universe.
+        let c = generate_flavor_db(&GeneratorConfig::tiny(8));
+        let same = a
+            .ingredients()
+            .zip(c.ingredients())
+            .all(|(x, y)| x.profile == y.profile);
+        assert!(!same);
+    }
+
+    #[test]
+    fn respects_scale_parameters() {
+        let cfg = GeneratorConfig {
+            seed: 1,
+            n_molecules: 500,
+            n_ingredients: 200,
+            mean_profile_size: 20.0,
+            profile_sigma: 0.6,
+            category_affinity: 0.6,
+            shared_pool_fraction: 0.3,
+        };
+        let db = generate_flavor_db(&cfg);
+        assert_eq!(db.n_ingredients(), 200);
+        assert_eq!(db.n_molecules(), 500);
+        let mean = db.mean_profile_size();
+        assert!(
+            (mean - 20.0).abs() < 5.0,
+            "mean profile size {mean}, expected ≈ 20"
+        );
+    }
+
+    #[test]
+    fn profiles_are_heterogeneous() {
+        let db = generate_flavor_db(&GeneratorConfig::default());
+        let sizes: Vec<usize> = db.ingredients().map(|i| i.profile.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max >= min * 4, "profile sizes too uniform: {min}..{max}");
+    }
+
+    #[test]
+    fn within_category_similarity_exceeds_cross() {
+        let db = generate_flavor_db(&GeneratorConfig::default());
+        // Average shared count for same-category vs cross-category pairs
+        // over a deterministic subsample.
+        let ings: Vec<_> = db.ingredients().collect();
+        let mut same = (0usize, 0usize);
+        let mut cross = (0usize, 0usize);
+        for (i, a) in ings.iter().enumerate().step_by(7) {
+            for b in ings.iter().skip(i + 1).step_by(11) {
+                let shared = a.profile.shared_count(&b.profile);
+                if a.category == b.category {
+                    same.0 += shared;
+                    same.1 += 1;
+                } else {
+                    cross.0 += shared;
+                    cross.1 += 1;
+                }
+            }
+        }
+        assert!(same.1 > 10 && cross.1 > 10, "subsample too small");
+        let mean_same = same.0 as f64 / same.1 as f64;
+        let mean_cross = cross.0 as f64 / cross.1 as f64;
+        assert!(
+            mean_same > mean_cross * 1.5,
+            "same {mean_same} vs cross {mean_cross}"
+        );
+    }
+
+    #[test]
+    fn all_categories_appear_at_scale() {
+        let db = generate_flavor_db(&GeneratorConfig::default());
+        for cat in Category::ALL {
+            assert!(
+                !db.ingredients_in_category(cat).is_empty(),
+                "category {cat} empty at 840 ingredients"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "category_affinity")]
+    fn invalid_affinity_panics() {
+        let cfg = GeneratorConfig {
+            category_affinity: 1.5,
+            ..GeneratorConfig::tiny(1)
+        };
+        generate_flavor_db(&cfg);
+    }
+}

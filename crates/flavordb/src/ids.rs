@@ -1,0 +1,66 @@
+//! Dense interned identifiers.
+//!
+//! Everything hot operates on `u32` ids assigned densely at insertion,
+//! so per-ingredient state lives in flat vectors and pairwise caches can
+//! be indexed directly.
+
+use std::fmt;
+
+/// Identifier of a flavor molecule within a [`crate::FlavorDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct MoleculeId(pub u32);
+
+/// Identifier of an ingredient within a [`crate::FlavorDb`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct IngredientId(pub u32);
+
+impl MoleculeId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl IngredientId {
+    /// The id as a usize index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for MoleculeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl fmt::Display for IngredientId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "i{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_follows_numeric() {
+        assert!(MoleculeId(1) < MoleculeId(2));
+        assert!(IngredientId(0) < IngredientId(10));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(MoleculeId(7).to_string(), "m7");
+        assert_eq!(IngredientId(7).to_string(), "i7");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        assert_eq!(MoleculeId(42).index(), 42);
+        assert_eq!(IngredientId(42).index(), 42);
+    }
+}

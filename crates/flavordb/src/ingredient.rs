@@ -1,0 +1,48 @@
+//! Ingredient entities.
+
+use crate::category::Category;
+use crate::ids::IngredientId;
+use crate::profile::FlavorProfile;
+
+/// An ingredient: a named entity with a category and a flavor profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Ingredient {
+    /// Dense id within the owning database.
+    pub id: IngredientId,
+    /// Canonical lowercase name (the aliasing pipeline maps raw phrases
+    /// onto these).
+    pub name: String,
+    /// One of the paper's 21 categories.
+    pub category: Category,
+    /// The set of flavor molecules empirically reported for the
+    /// ingredient; empty for the four no-profile additives.
+    pub profile: FlavorProfile,
+    /// True for compound ingredients whose profile was pooled from
+    /// constituents (mayonnaise, "half half", …).
+    pub is_compound: bool,
+}
+
+impl Ingredient {
+    /// True if this ingredient has no flavor molecules (e.g. cooking
+    /// spray, gelatin, food coloring, liquid smoke).
+    pub fn has_empty_profile(&self) -> bool {
+        self.profile.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_profile_flagging() {
+        let ing = Ingredient {
+            id: IngredientId(0),
+            name: "food coloring".into(),
+            category: Category::Additive,
+            profile: FlavorProfile::empty(),
+            is_compound: false,
+        };
+        assert!(ing.has_empty_profile());
+    }
+}

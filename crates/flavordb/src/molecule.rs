@@ -1,0 +1,42 @@
+//! Flavor molecules.
+
+use crate::ids::MoleculeId;
+
+/// A flavor molecule: the unit of the paper's lowest analysis level.
+///
+/// Real FlavorDB records PubChem ids and dozens of physicochemical
+/// properties; the pairing analysis only consumes identity and the
+/// human-facing flavor descriptors, so that is what we keep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Molecule {
+    /// Dense id within the owning database.
+    pub id: MoleculeId,
+    /// Common name, e.g. "limonene".
+    pub name: String,
+    /// Perceptual descriptors, e.g. ["citrus", "sweet"].
+    pub descriptors: Vec<String>,
+}
+
+impl Molecule {
+    /// True if the molecule carries a given descriptor (case-sensitive;
+    /// descriptors are stored lowercase by convention).
+    pub fn has_descriptor(&self, descriptor: &str) -> bool {
+        self.descriptors.iter().any(|d| d == descriptor)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn descriptor_lookup() {
+        let m = Molecule {
+            id: MoleculeId(0),
+            name: "limonene".into(),
+            descriptors: vec!["citrus".into(), "sweet".into()],
+        };
+        assert!(m.has_descriptor("citrus"));
+        assert!(!m.has_descriptor("bitter"));
+    }
+}

@@ -1,0 +1,221 @@
+//! Flavor profiles: sorted sets of molecule ids.
+//!
+//! The food-pairing score is built from pairwise profile intersections,
+//! so the representation is a sorted, deduplicated `Vec<MoleculeId>`
+//! giving O(min(|A|, |B|)) merge-style intersection without hashing.
+
+use crate::ids::MoleculeId;
+
+/// The flavor profile of an ingredient: the set of its flavor molecules.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlavorProfile {
+    /// Sorted, deduplicated molecule ids.
+    molecules: Vec<MoleculeId>,
+}
+
+impl FlavorProfile {
+    /// An empty profile (additives like food coloring have one).
+    pub fn empty() -> Self {
+        FlavorProfile::default()
+    }
+
+    /// Build from arbitrary ids; sorts and deduplicates.
+    pub fn new(mut molecules: Vec<MoleculeId>) -> Self {
+        molecules.sort_unstable();
+        molecules.dedup();
+        FlavorProfile { molecules }
+    }
+
+    /// Number of molecules.
+    pub fn len(&self) -> usize {
+        self.molecules.len()
+    }
+
+    /// True if no molecules.
+    pub fn is_empty(&self) -> bool {
+        self.molecules.is_empty()
+    }
+
+    /// Sorted molecule ids.
+    pub fn molecules(&self) -> &[MoleculeId] {
+        &self.molecules
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, id: MoleculeId) -> bool {
+        self.molecules.binary_search(&id).is_ok()
+    }
+
+    /// Size of the intersection with `other` (sorted-merge walk).
+    pub fn shared_count(&self, other: &FlavorProfile) -> usize {
+        let (a, b) = (&self.molecules, &other.molecules);
+        let mut i = 0;
+        let mut j = 0;
+        let mut shared = 0;
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    shared += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        shared
+    }
+
+    /// The intersection as a new profile.
+    pub fn intersection(&self, other: &FlavorProfile) -> FlavorProfile {
+        let (a, b) = (&self.molecules, &other.molecules);
+        let mut out = Vec::with_capacity(a.len().min(b.len()));
+        let mut i = 0;
+        let mut j = 0;
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        FlavorProfile { molecules: out }
+    }
+
+    /// The union as a new profile — this is how compound-ingredient
+    /// profiles are pooled from constituents.
+    pub fn union(&self, other: &FlavorProfile) -> FlavorProfile {
+        let (a, b) = (&self.molecules, &other.molecules);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let mut i = 0;
+        let mut j = 0;
+        while i < a.len() && j < b.len() {
+            match a[i].cmp(&b[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(a[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        FlavorProfile { molecules: out }
+    }
+
+    /// Pool many profiles into one (union fold).
+    pub fn pooled<'a>(profiles: impl IntoIterator<Item = &'a FlavorProfile>) -> FlavorProfile {
+        let mut all: Vec<MoleculeId> = Vec::new();
+        for p in profiles {
+            all.extend_from_slice(&p.molecules);
+        }
+        FlavorProfile::new(all)
+    }
+
+    /// Jaccard similarity |A∩B| / |A∪B|; 0 when both are empty.
+    pub fn jaccard(&self, other: &FlavorProfile) -> f64 {
+        let inter = self.shared_count(other);
+        let union = self.len() + other.len() - inter;
+        if union == 0 {
+            0.0
+        } else {
+            inter as f64 / union as f64
+        }
+    }
+}
+
+impl FromIterator<MoleculeId> for FlavorProfile {
+    fn from_iter<T: IntoIterator<Item = MoleculeId>>(iter: T) -> Self {
+        FlavorProfile::new(iter.into_iter().collect())
+    }
+}
+
+impl FromIterator<u32> for FlavorProfile {
+    fn from_iter<T: IntoIterator<Item = u32>>(iter: T) -> Self {
+        FlavorProfile::new(iter.into_iter().map(MoleculeId).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile(ids: &[u32]) -> FlavorProfile {
+        ids.iter().copied().collect()
+    }
+
+    #[test]
+    fn construction_sorts_and_dedups() {
+        let p = profile(&[5, 1, 3, 1, 5]);
+        assert_eq!(p.len(), 3);
+        assert_eq!(
+            p.molecules(),
+            &[MoleculeId(1), MoleculeId(3), MoleculeId(5)]
+        );
+    }
+
+    #[test]
+    fn contains_binary_search() {
+        let p = profile(&[2, 4, 6]);
+        assert!(p.contains(MoleculeId(4)));
+        assert!(!p.contains(MoleculeId(5)));
+    }
+
+    #[test]
+    fn shared_count_cases() {
+        assert_eq!(profile(&[1, 2, 3]).shared_count(&profile(&[2, 3, 4])), 2);
+        assert_eq!(profile(&[1, 2]).shared_count(&profile(&[3, 4])), 0);
+        assert_eq!(profile(&[]).shared_count(&profile(&[1])), 0);
+        let p = profile(&[1, 2, 3]);
+        assert_eq!(p.shared_count(&p), 3);
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let a = profile(&[1, 2, 3, 7]);
+        let b = profile(&[2, 3, 9]);
+        assert_eq!(a.intersection(&b), profile(&[2, 3]));
+        assert_eq!(a.union(&b), profile(&[1, 2, 3, 7, 9]));
+        // |A∩B| + |A∪B| = |A| + |B|.
+        assert_eq!(
+            a.intersection(&b).len() + a.union(&b).len(),
+            a.len() + b.len()
+        );
+    }
+
+    #[test]
+    fn pooled_unions_all() {
+        let parts = [profile(&[1, 2]), profile(&[2, 3]), profile(&[9])];
+        let pooled = FlavorProfile::pooled(parts.iter());
+        assert_eq!(pooled, profile(&[1, 2, 3, 9]));
+    }
+
+    #[test]
+    fn jaccard_values() {
+        let a = profile(&[1, 2, 3]);
+        let b = profile(&[2, 3, 4]);
+        assert!((a.jaccard(&b) - 0.5).abs() < 1e-12);
+        assert_eq!(a.jaccard(&a), 1.0);
+        assert_eq!(FlavorProfile::empty().jaccard(&FlavorProfile::empty()), 0.0);
+    }
+
+    #[test]
+    fn empty_profile() {
+        let e = FlavorProfile::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.union(&profile(&[1])), profile(&[1]));
+    }
+}

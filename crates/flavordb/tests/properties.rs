@@ -1,0 +1,169 @@
+//! Property-based tests of flavor-profile algebra and snapshot
+//! round-trips.
+
+use proptest::prelude::*;
+
+use culinaria_flavordb::generator::{generate_flavor_db, GeneratorConfig};
+use culinaria_flavordb::{io, Category, FlavorDb, FlavorProfile, MoleculeId};
+
+fn arb_profile() -> impl Strategy<Value = FlavorProfile> {
+    proptest::collection::vec(0u32..300, 0..60)
+        .prop_map(|ids| ids.into_iter().collect::<FlavorProfile>())
+}
+
+proptest! {
+    #[test]
+    fn profile_set_algebra(a in arb_profile(), b in arb_profile()) {
+        let inter = a.intersection(&b);
+        let union = a.union(&b);
+        // |A∩B| + |A∪B| = |A| + |B|.
+        prop_assert_eq!(inter.len() + union.len(), a.len() + b.len());
+        // Intersection ⊆ both, both ⊆ union.
+        for &m in inter.molecules() {
+            prop_assert!(a.contains(m) && b.contains(m));
+        }
+        for &m in a.molecules().iter().chain(b.molecules()) {
+            prop_assert!(union.contains(m));
+        }
+        // shared_count agrees with materialized intersection.
+        prop_assert_eq!(a.shared_count(&b), inter.len());
+        prop_assert_eq!(b.shared_count(&a), inter.len());
+    }
+
+    #[test]
+    fn profile_jaccard_bounds(a in arb_profile(), b in arb_profile()) {
+        let j = a.jaccard(&b);
+        prop_assert!((0.0..=1.0).contains(&j));
+        if !a.is_empty() {
+            prop_assert_eq!(a.jaccard(&a), 1.0);
+        }
+        prop_assert!((a.jaccard(&b) - b.jaccard(&a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn pooled_is_union_fold(profiles in proptest::collection::vec(arb_profile(), 0..8)) {
+        let pooled = FlavorProfile::pooled(profiles.iter());
+        let mut expected = FlavorProfile::empty();
+        for p in &profiles {
+            expected = expected.union(p);
+        }
+        prop_assert_eq!(pooled, expected);
+    }
+
+    #[test]
+    fn profiles_sorted_dedup_invariant(ids in proptest::collection::vec(0u32..100, 0..80)) {
+        let p: FlavorProfile = ids.iter().copied().collect();
+        let mols = p.molecules();
+        for w in mols.windows(2) {
+            prop_assert!(w[0] < w[1], "not strictly sorted: {mols:?}");
+        }
+        for &id in &ids {
+            prop_assert!(p.contains(MoleculeId(id)));
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_random_dbs(
+        seed in 0u64..10_000,
+        n_ing in 5usize..40,
+        remove_k in 0usize..5,
+    ) {
+        let cfg = GeneratorConfig {
+            seed,
+            n_molecules: 120,
+            n_ingredients: n_ing,
+            mean_profile_size: 8.0,
+            profile_sigma: 0.5,
+            category_affinity: 0.5,
+            shared_pool_fraction: 0.3,
+        };
+        let mut db = generate_flavor_db(&cfg);
+        // Tombstone a few ingredients to stress slot preservation.
+        let names: Vec<String> = db.ingredients().take(remove_k).map(|i| i.name.clone()).collect();
+        for name in &names {
+            db.remove_ingredient(name).expect("exists");
+        }
+        let back = io::from_snapshot(io::to_snapshot(&db)).expect("roundtrip decodes");
+        prop_assert_eq!(back.n_ingredients(), db.n_ingredients());
+        prop_assert_eq!(back.n_ingredient_slots(), db.n_ingredient_slots());
+        for (x, y) in db.ingredients().zip(back.ingredients()) {
+            prop_assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn shared_molecules_symmetric_in_generated_db(seed in 0u64..500) {
+        let db = generate_flavor_db(&GeneratorConfig::tiny(seed));
+        let ids: Vec<_> = db.ingredient_ids().take(12).collect();
+        for &a in &ids {
+            for &b in &ids {
+                prop_assert_eq!(
+                    db.shared_molecules(a, b).expect("live ids"),
+                    db.shared_molecules(b, a).expect("live ids")
+                );
+            }
+            let self_shared = db.shared_molecules(a, a).expect("live id");
+            prop_assert_eq!(self_shared, db.ingredient(a).expect("live").profile.len());
+        }
+    }
+
+    #[test]
+    fn compound_profile_superset_of_constituents(seed in 0u64..200) {
+        let mut db = generate_flavor_db(&GeneratorConfig::tiny(seed));
+        let parts: Vec<_> = db.ingredient_ids().take(3).collect();
+        let compound = db
+            .add_compound_ingredient("test compound", Category::Dish, &parts)
+            .expect("constituents exist");
+        let cp = db.ingredient(compound).expect("live").profile.clone();
+        for &part in &parts {
+            let pp = &db.ingredient(part).expect("live").profile;
+            for &m in pp.molecules() {
+                prop_assert!(cp.contains(m));
+            }
+        }
+    }
+}
+
+#[test]
+fn curated_db_is_internally_consistent() {
+    use culinaria_flavordb::curated::curated_db;
+    let db = curated_db();
+    // Every live ingredient's profile references valid molecules.
+    for ing in db.ingredients() {
+        for &m in ing.profile.molecules() {
+            assert!(
+                db.molecule(m).is_ok(),
+                "{}: dangling molecule {m}",
+                ing.name
+            );
+        }
+    }
+    // Every synonym resolves to a live ingredient.
+    let syns: Vec<(String, _)> = db.synonyms().map(|(s, id)| (s.to_owned(), id)).collect();
+    for (syn, _) in syns {
+        assert!(
+            db.ingredient_by_name(&syn).is_some(),
+            "synonym {syn} does not resolve"
+        );
+    }
+}
+
+#[test]
+fn regenerating_same_config_is_identical_via_snapshot_bytes() {
+    let cfg = GeneratorConfig::tiny(77);
+    let a = generate_flavor_db(&cfg);
+    let b = generate_flavor_db(&cfg);
+    assert_eq!(io::to_snapshot(&a), io::to_snapshot(&b));
+}
+
+#[test]
+fn snapshot_decoding_rejects_mutations_without_panicking() {
+    let db: FlavorDb = generate_flavor_db(&GeneratorConfig::tiny(3));
+    let snap = io::to_snapshot(&db).to_vec();
+    // Flip each byte of the first kilobyte: decode must never panic.
+    for i in 0..snap.len().min(1024) {
+        let mut c = snap.clone();
+        c[i] ^= 0x5A;
+        let _ = io::from_snapshot(bytes::Bytes::from(c));
+    }
+}

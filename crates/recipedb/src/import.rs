@@ -1,0 +1,336 @@
+//! The raw-text import pipeline: scraped recipe → stored recipe.
+//!
+//! This glues the aliasing NLP (`culinaria-text`) to the flavor database
+//! (`culinaria-flavordb`): each ingredient phrase is resolved to
+//! canonical names, canonical names are looked up in the flavor
+//! database (synonyms included), and resolution statistics are kept so
+//! curators can see what fell through — the paper explicitly labels
+//! partial matches and unrecognized ingredients for manual curation.
+
+use culinaria_flavordb::{FlavorDb, IngredientId};
+use culinaria_text::alias::AliasResolver;
+
+use crate::error::Result;
+use crate::recipe::{RecipeId, Source};
+use crate::region::Region;
+use crate::store::RecipeStore;
+
+/// A raw scraped recipe before aliasing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RawRecipe {
+    /// Title as scraped.
+    pub name: String,
+    /// Region annotation.
+    pub region: Region,
+    /// Source site.
+    pub source: Source,
+    /// One free-text line per ingredient
+    /// ("2 jalapeno peppers, roasted and slit").
+    pub ingredient_lines: Vec<String>,
+}
+
+/// Statistics of one import run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ImportStats {
+    /// Raw recipes offered to the importer.
+    pub offered: usize,
+    /// Recipes stored (at least one ingredient resolved).
+    pub stored: usize,
+    /// Recipes dropped because nothing resolved (the paper only keeps
+    /// recipes with usable ingredient lists).
+    pub dropped: usize,
+    /// Ingredient lines that resolved to at least one ingredient.
+    pub lines_resolved: usize,
+    /// Ingredient lines that resolved to nothing.
+    pub lines_unresolved: usize,
+    /// Distinct unresolved tokens, collected for curation.
+    pub unresolved_tokens: Vec<String>,
+}
+
+/// The importer: owns an [`AliasResolver`] primed from a [`FlavorDb`]'s
+/// canonical names and synonyms.
+#[derive(Debug, Clone)]
+pub struct Importer {
+    resolver: AliasResolver,
+}
+
+impl Importer {
+    /// Build an importer whose lexicon is the flavor database's live
+    /// ingredient names plus its synonym table.
+    pub fn from_flavor_db(db: &FlavorDb) -> Importer {
+        let mut resolver = AliasResolver::new();
+        for ing in db.ingredients() {
+            resolver.add_canonical(&ing.name);
+        }
+        for (syn, id) in db.synonyms() {
+            if let Ok(target) = db.ingredient(id) {
+                resolver.add_synonym(syn, &target.name);
+            }
+        }
+        Importer { resolver }
+    }
+
+    /// Access the underlying resolver (e.g. to register ad-hoc aliases).
+    pub fn resolver_mut(&mut self) -> &mut AliasResolver {
+        &mut self.resolver
+    }
+
+    /// Resolve one ingredient line to flavor-database ids.
+    pub fn resolve_line(&self, db: &FlavorDb, line: &str) -> (Vec<IngredientId>, Vec<String>) {
+        let resolution = self.resolver.resolve(line);
+        let mut ids = Vec::with_capacity(resolution.matches.len());
+        for m in &resolution.matches {
+            if let Some(id) = db.ingredient_by_name(&m.canonical) {
+                ids.push(id);
+            }
+        }
+        (ids, resolution.unresolved)
+    }
+
+    /// Resolve a line together with its parsed quantity, normalized to
+    /// grams — groundwork for quantity-weighted pairing (paper §V).
+    ///
+    /// Normalization heuristic: volumes use the water density (1 ml ≈
+    /// 1 g, the convention nutrition databases fall back to), counts
+    /// assume a 50 g median item. Lines with no parsable amount get
+    /// weight 1 g so they still participate. When one line names
+    /// several ingredients the weight is split evenly among them.
+    pub fn resolve_line_weighted(
+        &self,
+        db: &FlavorDb,
+        line: &str,
+    ) -> (Vec<(IngredientId, f64)>, Vec<String>) {
+        use culinaria_text::quantity::{parse_quantity, Unit};
+        let (grams, rest) = match parse_quantity(line) {
+            Some(q) => {
+                let grams = match q.unit {
+                    Unit::Gram => q.value,
+                    Unit::Millilitre => q.value, // water-density convention
+                    Unit::Count => q.value * 50.0,
+                };
+                (grams.max(1e-6), q.rest)
+            }
+            None => (1.0, line.to_owned()),
+        };
+        let (ids, unresolved) = self.resolve_line(db, &rest);
+        let share = if ids.is_empty() {
+            0.0
+        } else {
+            grams / ids.len() as f64
+        };
+        (ids.into_iter().map(|id| (id, share)).collect(), unresolved)
+    }
+
+    /// Import a batch of raw recipes into `store`, resolving through
+    /// `db`. Recipes where no line resolves are dropped and counted.
+    pub fn import(
+        &self,
+        db: &FlavorDb,
+        store: &mut RecipeStore,
+        raw: &[RawRecipe],
+    ) -> Result<ImportStats> {
+        let mut stats = ImportStats {
+            offered: raw.len(),
+            ..ImportStats::default()
+        };
+        let mut seen_unresolved = std::collections::HashSet::new();
+        for r in raw {
+            let mut ingredients: Vec<IngredientId> = Vec::new();
+            for line in &r.ingredient_lines {
+                let (ids, unresolved) = self.resolve_line(db, line);
+                if ids.is_empty() {
+                    stats.lines_unresolved += 1;
+                } else {
+                    stats.lines_resolved += 1;
+                }
+                ingredients.extend(ids);
+                for tok in unresolved {
+                    if seen_unresolved.insert(tok.clone()) {
+                        stats.unresolved_tokens.push(tok);
+                    }
+                }
+            }
+            if ingredients.is_empty() {
+                stats.dropped += 1;
+                continue;
+            }
+            store.add_recipe(&r.name, r.region, r.source, ingredients)?;
+            stats.stored += 1;
+        }
+        stats.unresolved_tokens.sort_unstable();
+        Ok(stats)
+    }
+}
+
+/// Convenience: one stored recipe from raw lines, or `None` if nothing
+/// resolved.
+pub fn import_one(
+    importer: &Importer,
+    db: &FlavorDb,
+    store: &mut RecipeStore,
+    raw: &RawRecipe,
+) -> Result<Option<RecipeId>> {
+    let before = store.n_recipes();
+    importer.import(db, store, std::slice::from_ref(raw))?;
+    Ok((store.n_recipes() > before).then_some(RecipeId(before as u32)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use culinaria_flavordb::curated::curated_db;
+
+    fn raw(name: &str, lines: &[&str]) -> RawRecipe {
+        RawRecipe {
+            name: name.into(),
+            region: Region::Italy,
+            source: Source::Epicurious,
+            ingredient_lines: lines.iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    #[test]
+    fn end_to_end_import() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let mut store = RecipeStore::new();
+        let stats = importer
+            .import(
+                &db,
+                &mut store,
+                &[raw(
+                    "simple marinara",
+                    &[
+                        "3 ripe tomatoes, diced",
+                        "2 cloves garlic, minced",
+                        "1 tbsp olive oil",
+                        "fresh basil leaves, torn",
+                    ],
+                )],
+            )
+            .unwrap();
+        assert_eq!(stats.stored, 1);
+        assert_eq!(stats.dropped, 0);
+        assert_eq!(stats.lines_resolved, 4);
+        let r = store.recipe(RecipeId(0)).unwrap();
+        assert_eq!(r.size(), 4);
+        for name in ["tomato", "garlic", "olive oil", "basil"] {
+            let id = db.ingredient_by_name(name).unwrap();
+            assert!(r.contains(id), "{name} missing from imported recipe");
+        }
+    }
+
+    #[test]
+    fn synonyms_resolve_through_db() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let mut store = RecipeStore::new();
+        importer
+            .import(&db, &mut store, &[raw("toast", &["1 bun", "250g curd"])])
+            .unwrap();
+        let r = store.recipe(RecipeId(0)).unwrap();
+        assert!(r.contains(db.ingredient_by_name("bread").unwrap()));
+        assert!(r.contains(db.ingredient_by_name("yogurt").unwrap()));
+    }
+
+    #[test]
+    fn unresolvable_recipe_dropped_and_tokens_collected() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let mut store = RecipeStore::new();
+        let stats = importer
+            .import(
+                &db,
+                &mut store,
+                &[raw("mystery", &["2 cups quixotic zanthum"])],
+            )
+            .unwrap();
+        assert_eq!(stats.stored, 0);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.lines_unresolved, 1);
+        assert!(stats.unresolved_tokens.contains(&"quixotic".to_string()));
+        assert!(stats.unresolved_tokens.contains(&"zanthum".to_string()));
+        assert_eq!(store.n_recipes(), 0);
+    }
+
+    #[test]
+    fn unresolved_tokens_deduplicated() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let mut store = RecipeStore::new();
+        let stats = importer
+            .import(
+                &db,
+                &mut store,
+                &[
+                    raw("a", &["zanthum paste", "tomato"]),
+                    raw("b", &["zanthum powder", "garlic"]),
+                ],
+            )
+            .unwrap();
+        let count = stats
+            .unresolved_tokens
+            .iter()
+            .filter(|t| *t == "zanthum")
+            .count();
+        assert_eq!(count, 1);
+        assert_eq!(stats.stored, 2);
+    }
+
+    #[test]
+    fn import_one_returns_id() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let mut store = RecipeStore::new();
+        let id = import_one(&importer, &db, &mut store, &raw("x", &["tomato"]))
+            .unwrap()
+            .unwrap();
+        assert_eq!(id, RecipeId(0));
+        let none = import_one(&importer, &db, &mut store, &raw("y", &["xyzzy"])).unwrap();
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn weighted_resolution_scales_with_amount() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let (small, _) = importer.resolve_line_weighted(&db, "100g butter");
+        let (big, _) = importer.resolve_line_weighted(&db, "400g butter");
+        assert_eq!(small.len(), 1);
+        assert_eq!(big.len(), 1);
+        assert_eq!(small[0].0, big[0].0);
+        assert!((big[0].1 / small[0].1 - 4.0).abs() < 1e-9);
+        // Volume uses the 1 ml ≈ 1 g convention.
+        let (cup, _) = importer.resolve_line_weighted(&db, "1 cup milk");
+        assert!((cup[0].1 - 240.0).abs() < 1e-9);
+        // Counts assume 50 g items.
+        let (eggs, _) = importer.resolve_line_weighted(&db, "2 eggs");
+        assert!((eggs[0].1 - 100.0).abs() < 1e-9);
+        // No amount → weight 1.
+        let (pinch, _) = importer.resolve_line_weighted(&db, "basil to garnish");
+        assert!((pinch[0].1 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weighted_resolution_splits_across_matches() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let (both, _) = importer.resolve_line_weighted(&db, "200g tomato and garlic");
+        assert_eq!(both.len(), 2);
+        for (_, w) in &both {
+            assert!((w - 100.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn spelling_variants_fuzzy_resolve() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let mut store = RecipeStore::new();
+        importer
+            .import(&db, &mut store, &[raw("drink", &["a shot of whisky"])])
+            .unwrap();
+        let r = store.recipe(RecipeId(0)).unwrap();
+        assert!(r.contains(db.ingredient_by_name("whiskey").unwrap()));
+    }
+}

@@ -1,0 +1,188 @@
+//! Binary snapshots and CSV export of a [`RecipeStore`].
+//!
+//! Snapshot format `CRDB1` (little-endian):
+//!
+//! ```text
+//! magic "CRDB1"
+//! u32 n_recipes
+//!   per recipe: str name, u8 region, u8 source,
+//!               u32 n_ingredients, u32 × n (ingredient ids)
+//! ```
+//!
+//! `str` = u32 byte length + UTF-8 bytes. Indexes are rebuilt on load.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use culinaria_flavordb::IngredientId;
+
+use crate::error::{RecipeDbError, Result};
+use crate::recipe::Source;
+use crate::region::Region;
+use crate::store::RecipeStore;
+
+const MAGIC: &[u8; 5] = b"CRDB1";
+
+fn put_str(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut Bytes) -> Result<String> {
+    if buf.remaining() < 4 {
+        return Err(RecipeDbError::Snapshot("truncated string length".into()));
+    }
+    let len = buf.get_u32_le() as usize;
+    if buf.remaining() < len {
+        return Err(RecipeDbError::Snapshot("truncated string body".into()));
+    }
+    let raw = buf.copy_to_bytes(len);
+    String::from_utf8(raw.to_vec()).map_err(|_| RecipeDbError::Snapshot("invalid utf-8".into()))
+}
+
+/// Encode a store to its binary snapshot.
+pub fn to_snapshot(store: &RecipeStore) -> Bytes {
+    let mut buf = BytesMut::with_capacity(1 << 16);
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(store.n_recipes() as u32);
+    for r in store.recipes() {
+        put_str(&mut buf, &r.name);
+        buf.put_u8(r.region.index() as u8);
+        buf.put_u8(r.source.index() as u8);
+        buf.put_u32_le(r.size() as u32);
+        for ing in r.ingredients() {
+            buf.put_u32_le(ing.0);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode a snapshot back into a store (indexes rebuilt).
+pub fn from_snapshot(mut buf: Bytes) -> Result<RecipeStore> {
+    if buf.remaining() < MAGIC.len() || &buf.copy_to_bytes(MAGIC.len())[..] != MAGIC {
+        return Err(RecipeDbError::Snapshot("bad magic".into()));
+    }
+    if buf.remaining() < 4 {
+        return Err(RecipeDbError::Snapshot("truncated recipe count".into()));
+    }
+    let n = buf.get_u32_le() as usize;
+    let mut store = RecipeStore::new();
+    for _ in 0..n {
+        let name = get_str(&mut buf)?;
+        if buf.remaining() < 2 {
+            return Err(RecipeDbError::Snapshot("truncated region/source".into()));
+        }
+        let region = Region::from_index(buf.get_u8() as usize)
+            .ok_or_else(|| RecipeDbError::Snapshot("bad region index".into()))?;
+        let source = Source::from_index(buf.get_u8() as usize)
+            .ok_or_else(|| RecipeDbError::Snapshot("bad source index".into()))?;
+        if buf.remaining() < 4 {
+            return Err(RecipeDbError::Snapshot("truncated ingredient count".into()));
+        }
+        let k = buf.get_u32_le() as usize;
+        if buf.remaining() < k * 4 {
+            return Err(RecipeDbError::Snapshot("truncated ingredient list".into()));
+        }
+        let mut ings = Vec::with_capacity(k);
+        for _ in 0..k {
+            ings.push(IngredientId(buf.get_u32_le()));
+        }
+        store
+            .add_recipe(&name, region, source, ings)
+            .map_err(|e| RecipeDbError::Snapshot(format!("recipe replay: {e}")))?;
+    }
+    Ok(store)
+}
+
+/// Export the store as CSV: `recipe_id,name,region,source,ingredients`
+/// with ingredient ids `;`-joined.
+pub fn to_csv(store: &RecipeStore) -> String {
+    let mut out = String::from("recipe_id,name,region,source,ingredients\n");
+    for r in store.recipes() {
+        let ings: Vec<String> = r.ingredients().iter().map(|i| i.0.to_string()).collect();
+        let name = if r.name.contains(',') || r.name.contains('"') {
+            format!("\"{}\"", r.name.replace('"', "\"\""))
+        } else {
+            r.name.clone()
+        };
+        out.push_str(&format!(
+            "{},{},{},{},{}\n",
+            r.id.0,
+            name,
+            r.region.code(),
+            r.source.name(),
+            ings.join(";")
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ing(id: u32) -> IngredientId {
+        IngredientId(id)
+    }
+
+    fn store() -> RecipeStore {
+        let mut s = RecipeStore::new();
+        s.add_recipe(
+            "pasta, fresh",
+            Region::Italy,
+            Source::Epicurious,
+            vec![ing(0), ing(1)],
+        )
+        .unwrap();
+        s.add_recipe(
+            "sushi",
+            Region::Japan,
+            Source::AllRecipes,
+            vec![ing(2), ing(3), ing(4)],
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let s = store();
+        let back = from_snapshot(to_snapshot(&s)).unwrap();
+        assert_eq!(back.n_recipes(), 2);
+        for (a, b) in s.recipes().zip(back.recipes()) {
+            assert_eq!(a, b);
+        }
+        // Indexes rebuilt.
+        assert_eq!(back.recipes_with_ingredient(ing(1)).len(), 1);
+        assert_eq!(back.n_region_recipes(Region::Japan), 1);
+    }
+
+    #[test]
+    fn bad_magic_and_truncation() {
+        assert!(from_snapshot(Bytes::from_static(b"XXXXX")).is_err());
+        let snap = to_snapshot(&store());
+        for cut in [4, 7, 12, snap.len() - 2] {
+            assert!(from_snapshot(snap.slice(0..cut)).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn corrupt_bytes_never_panic() {
+        let snap = to_snapshot(&store()).to_vec();
+        for i in 0..snap.len() {
+            let mut c = snap.clone();
+            c[i] = c[i].wrapping_add(1);
+            let _ = from_snapshot(Bytes::from(c)); // no panic
+        }
+    }
+
+    #[test]
+    fn csv_export_shape() {
+        let csv = to_csv(&store());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "recipe_id,name,region,source,ingredients");
+        assert!(lines[1].contains("\"pasta, fresh\""));
+        assert!(lines[1].contains("ITA"));
+        assert!(lines[2].contains("2;3;4"));
+    }
+}

@@ -1,0 +1,157 @@
+//! Query helpers over the store: co-occurrence, containment, and
+//! per-region ingredient usage.
+
+use std::collections::HashMap;
+
+use culinaria_flavordb::IngredientId;
+
+use crate::recipe::RecipeId;
+use crate::region::Region;
+use crate::store::RecipeStore;
+
+impl RecipeStore {
+    /// Recipes containing *all* of the given ingredients (sorted-list
+    /// intersection over the inverted index, smallest posting first).
+    pub fn recipes_with_all(&self, ingredients: &[IngredientId]) -> Vec<RecipeId> {
+        if ingredients.is_empty() {
+            return Vec::new();
+        }
+        let mut postings: Vec<&[RecipeId]> = ingredients
+            .iter()
+            .map(|&i| self.recipes_with_ingredient(i))
+            .collect();
+        postings.sort_by_key(|p| p.len());
+        if postings[0].is_empty() {
+            return Vec::new();
+        }
+        let mut acc: Vec<RecipeId> = postings[0].to_vec();
+        for p in &postings[1..] {
+            acc.retain(|id| p.binary_search(id).is_ok());
+            if acc.is_empty() {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Number of recipes in which the pair co-occurs.
+    pub fn cooccurrence(&self, a: IngredientId, b: IngredientId) -> usize {
+        self.recipes_with_all(&[a, b]).len()
+    }
+
+    /// Per-region usage count of one ingredient.
+    pub fn regional_usage(&self, ingredient: IngredientId) -> [u64; 22] {
+        let mut out = [0u64; 22];
+        for &rid in self.recipes_with_ingredient(ingredient) {
+            let recipe = self.recipe(rid).expect("index only holds live ids");
+            out[recipe.region.index()] += 1;
+        }
+        out
+    }
+
+    /// The most frequent co-occurring partners of `ingredient`, as
+    /// `(partner, count)`, most frequent first (ties by id).
+    pub fn top_partners(&self, ingredient: IngredientId, k: usize) -> Vec<(IngredientId, usize)> {
+        let mut counts: HashMap<IngredientId, usize> = HashMap::new();
+        for &rid in self.recipes_with_ingredient(ingredient) {
+            let recipe = self.recipe(rid).expect("live id");
+            for &other in recipe.ingredients() {
+                if other != ingredient {
+                    *counts.entry(other).or_insert(0) += 1;
+                }
+            }
+        }
+        let mut pairs: Vec<(IngredientId, usize)> = counts.into_iter().collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(k);
+        pairs
+    }
+
+    /// Recipes of `region` containing `ingredient`.
+    pub fn region_recipes_with(&self, region: Region, ingredient: IngredientId) -> Vec<RecipeId> {
+        self.recipes_with_ingredient(ingredient)
+            .iter()
+            .copied()
+            .filter(|&rid| self.recipe(rid).expect("live id").region == region)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recipe::Source;
+
+    fn ing(id: u32) -> IngredientId {
+        IngredientId(id)
+    }
+
+    fn store() -> RecipeStore {
+        let mut s = RecipeStore::new();
+        s.add_recipe(
+            "a",
+            Region::Italy,
+            Source::Synthetic,
+            vec![ing(0), ing(1), ing(2)],
+        )
+        .unwrap();
+        s.add_recipe("b", Region::Italy, Source::Synthetic, vec![ing(1), ing(2)])
+            .unwrap();
+        s.add_recipe("c", Region::Japan, Source::Synthetic, vec![ing(2), ing(3)])
+            .unwrap();
+        s
+    }
+
+    #[test]
+    fn intersection_queries() {
+        let s = store();
+        assert_eq!(
+            s.recipes_with_all(&[ing(1), ing(2)]),
+            vec![RecipeId(0), RecipeId(1)]
+        );
+        assert_eq!(
+            s.recipes_with_all(&[ing(0), ing(3)]),
+            Vec::<RecipeId>::new()
+        );
+        assert!(s.recipes_with_all(&[]).is_empty());
+        assert!(s.recipes_with_all(&[ing(42)]).is_empty());
+    }
+
+    #[test]
+    fn cooccurrence_counts() {
+        let s = store();
+        assert_eq!(s.cooccurrence(ing(1), ing(2)), 2);
+        assert_eq!(s.cooccurrence(ing(0), ing(3)), 0);
+    }
+
+    #[test]
+    fn regional_usage_counts() {
+        let s = store();
+        let usage = s.regional_usage(ing(2));
+        assert_eq!(usage[Region::Italy.index()], 2);
+        assert_eq!(usage[Region::Japan.index()], 1);
+        assert_eq!(usage[Region::Usa.index()], 0);
+    }
+
+    #[test]
+    fn top_partners_ranked() {
+        let s = store();
+        let partners = s.top_partners(ing(2), 10);
+        assert_eq!(partners[0], (ing(1), 2));
+        assert!(partners.contains(&(ing(0), 1)));
+        assert!(partners.contains(&(ing(3), 1)));
+    }
+
+    #[test]
+    fn region_scoped_containment() {
+        let s = store();
+        assert_eq!(
+            s.region_recipes_with(Region::Italy, ing(2)),
+            vec![RecipeId(0), RecipeId(1)]
+        );
+        assert_eq!(
+            s.region_recipes_with(Region::Japan, ing(2)),
+            vec![RecipeId(2)]
+        );
+    }
+}

@@ -1,0 +1,404 @@
+//! The paper's 22 geo-cultural regions with Table 1 calibration data.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A geo-cultural region (Table 1 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Region {
+    /// Africa.
+    Africa,
+    /// Australia & New Zealand.
+    AustraliaNz,
+    /// British Isles.
+    BritishIsles,
+    /// Canada.
+    Canada,
+    /// Caribbean.
+    Caribbean,
+    /// China.
+    China,
+    /// DACH countries (Germany, Austria, Switzerland).
+    Dach,
+    /// Eastern Europe.
+    EasternEurope,
+    /// France.
+    France,
+    /// Greece.
+    Greece,
+    /// Indian Subcontinent.
+    IndianSubcontinent,
+    /// Italy.
+    Italy,
+    /// Japan.
+    Japan,
+    /// Korea.
+    Korea,
+    /// Mexico.
+    Mexico,
+    /// Middle East.
+    MiddleEast,
+    /// Scandinavia.
+    Scandinavia,
+    /// South America.
+    SouthAmerica,
+    /// South East Asia.
+    SouthEastAsia,
+    /// Spain.
+    Spain,
+    /// Thailand.
+    Thailand,
+    /// USA.
+    Usa,
+}
+
+/// One row of the paper's Table 1 plus the Fig 4 pairing regime.
+struct RegionInfo {
+    code: &'static str,
+    name: &'static str,
+    /// Table 1: number of recipes.
+    recipes: u32,
+    /// Table 1: number of unique (flavor-mapped) ingredients.
+    ingredients: u32,
+    /// Fig 4: true ⇒ uniform (positive) food pairing; false ⇒
+    /// contrasting (negative).
+    positive_pairing: bool,
+}
+
+/// Table 1 verbatim; the per-region pairing sign is read off Fig 4
+/// (16 positive regions, 6 negative).
+const INFO: [RegionInfo; 22] = [
+    RegionInfo {
+        code: "AFR",
+        name: "Africa",
+        recipes: 651,
+        ingredients: 303,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "ANZ",
+        name: "Australia & NZ",
+        recipes: 494,
+        ingredients: 294,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "BRI",
+        name: "British Isles",
+        recipes: 1075,
+        ingredients: 340,
+        positive_pairing: false,
+    },
+    RegionInfo {
+        code: "CAN",
+        name: "Canada",
+        recipes: 1112,
+        ingredients: 368,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "CBN",
+        name: "Caribbean",
+        recipes: 1103,
+        ingredients: 340,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "CHN",
+        name: "China",
+        recipes: 941,
+        ingredients: 302,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "DACH",
+        name: "DACH Countries",
+        recipes: 487,
+        ingredients: 260,
+        positive_pairing: false,
+    },
+    RegionInfo {
+        code: "EE",
+        name: "Eastern Europe",
+        recipes: 565,
+        ingredients: 255,
+        positive_pairing: false,
+    },
+    RegionInfo {
+        code: "FRA",
+        name: "France",
+        recipes: 2703,
+        ingredients: 424,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "GRC",
+        name: "Greece",
+        recipes: 934,
+        ingredients: 280,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "INSC",
+        name: "Indian Subcontinent",
+        recipes: 4058,
+        ingredients: 378,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "ITA",
+        name: "Italy",
+        recipes: 7504,
+        ingredients: 452,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "JPN",
+        name: "Japan",
+        recipes: 580,
+        ingredients: 283,
+        positive_pairing: false,
+    },
+    RegionInfo {
+        code: "KOR",
+        name: "Korea",
+        recipes: 301,
+        ingredients: 198,
+        positive_pairing: false,
+    },
+    RegionInfo {
+        code: "MEX",
+        name: "Mexico",
+        recipes: 3138,
+        ingredients: 376,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "ME",
+        name: "Middle East",
+        recipes: 993,
+        ingredients: 313,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "SCND",
+        name: "Scandinavia",
+        recipes: 404,
+        ingredients: 245,
+        positive_pairing: false,
+    },
+    RegionInfo {
+        code: "SAM",
+        name: "South America",
+        recipes: 310,
+        ingredients: 221,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "SEA",
+        name: "South East Asia",
+        recipes: 611,
+        ingredients: 266,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "ESP",
+        name: "Spain",
+        recipes: 816,
+        ingredients: 312,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "THA",
+        name: "Thailand",
+        recipes: 667,
+        ingredients: 265,
+        positive_pairing: true,
+    },
+    RegionInfo {
+        code: "USA",
+        name: "USA",
+        recipes: 16118,
+        ingredients: 612,
+        positive_pairing: true,
+    },
+];
+
+impl Region {
+    /// All 22 regions in Table 1 order.
+    pub const ALL: [Region; 22] = [
+        Region::Africa,
+        Region::AustraliaNz,
+        Region::BritishIsles,
+        Region::Canada,
+        Region::Caribbean,
+        Region::China,
+        Region::Dach,
+        Region::EasternEurope,
+        Region::France,
+        Region::Greece,
+        Region::IndianSubcontinent,
+        Region::Italy,
+        Region::Japan,
+        Region::Korea,
+        Region::Mexico,
+        Region::MiddleEast,
+        Region::Scandinavia,
+        Region::SouthAmerica,
+        Region::SouthEastAsia,
+        Region::Spain,
+        Region::Thailand,
+        Region::Usa,
+    ];
+
+    fn info(self) -> &'static RegionInfo {
+        &INFO[self as usize]
+    }
+
+    /// Short code as used in the paper's figures ("ITA", "INSC", …).
+    pub fn code(self) -> &'static str {
+        self.info().code
+    }
+
+    /// Full display name ("Indian Subcontinent", …).
+    pub fn name(self) -> &'static str {
+        self.info().name
+    }
+
+    /// Dense index in `0..22`.
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`Region::index`].
+    pub fn from_index(idx: usize) -> Option<Region> {
+        Region::ALL.get(idx).copied()
+    }
+
+    /// Table 1: number of recipes attributed to the region.
+    pub fn paper_recipe_count(self) -> u32 {
+        self.info().recipes
+    }
+
+    /// Table 1: number of unique flavor-mapped ingredients.
+    pub fn paper_ingredient_count(self) -> u32 {
+        self.info().ingredients
+    }
+
+    /// Fig 4: whether the paper observed uniform (positive) food pairing
+    /// for this region. Sixteen regions are positive, six negative.
+    pub fn paper_positive_pairing(self) -> bool {
+        self.info().positive_pairing
+    }
+}
+
+impl fmt::Display for Region {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.code())
+    }
+}
+
+impl FromStr for Region {
+    type Err = String;
+
+    /// Parse a region code ("ITA") or a full name ("Italy"),
+    /// case-insensitively.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let norm = s.trim().to_lowercase();
+        Region::ALL
+            .iter()
+            .find(|r| r.code().to_lowercase() == norm || r.name().to_lowercase() == norm)
+            .copied()
+            .ok_or_else(|| format!("unknown region '{s}'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_totals_match_paper() {
+        // 45,772 total recipes minus the 207 recipes from regions too
+        // small to be independent (Portugal, Belgium, Central America,
+        // Netherlands) = 45,565 across the 22 regions.
+        let total: u32 = Region::ALL.iter().map(|r| r.paper_recipe_count()).sum();
+        assert_eq!(total, 45_565);
+        assert_eq!(total + 207, 45_772);
+    }
+
+    #[test]
+    fn pairing_split_is_16_6() {
+        let positive = Region::ALL
+            .iter()
+            .filter(|r| r.paper_positive_pairing())
+            .count();
+        assert_eq!(positive, 16);
+        // The six contrasting regions named in the paper.
+        for r in [
+            Region::Scandinavia,
+            Region::Japan,
+            Region::Dach,
+            Region::BritishIsles,
+            Region::Korea,
+            Region::EasternEurope,
+        ] {
+            assert!(!r.paper_positive_pairing(), "{r} should be negative");
+        }
+    }
+
+    #[test]
+    fn extremes_match_paper_text() {
+        // "lowest number of recipes from Korea (301) and the largest
+        // collection of recipes from USA (16118)".
+        let min = Region::ALL
+            .iter()
+            .min_by_key(|r| r.paper_recipe_count())
+            .unwrap();
+        let max = Region::ALL
+            .iter()
+            .max_by_key(|r| r.paper_recipe_count())
+            .unwrap();
+        assert_eq!(*min, Region::Korea);
+        assert_eq!(min.paper_recipe_count(), 301);
+        assert_eq!(*max, Region::Usa);
+        assert_eq!(max.paper_recipe_count(), 16_118);
+    }
+
+    #[test]
+    fn mean_unique_ingredients_about_321() {
+        // "the world regions had an average of 321 unique ingredients".
+        let mean: f64 = Region::ALL
+            .iter()
+            .map(|r| r.paper_ingredient_count() as f64)
+            .sum::<f64>()
+            / 22.0;
+        assert!((mean - 321.0).abs() < 2.0, "mean {mean}");
+    }
+
+    #[test]
+    fn index_roundtrip_and_codes_unique() {
+        let mut codes: Vec<&str> = Region::ALL.iter().map(|r| r.code()).collect();
+        for (i, r) in Region::ALL.iter().enumerate() {
+            assert_eq!(r.index(), i);
+            assert_eq!(Region::from_index(i), Some(*r));
+        }
+        assert_eq!(Region::from_index(22), None);
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 22);
+    }
+
+    #[test]
+    fn parse_code_and_name() {
+        assert_eq!("ITA".parse::<Region>().unwrap(), Region::Italy);
+        assert_eq!("italy".parse::<Region>().unwrap(), Region::Italy);
+        assert_eq!(
+            "indian subcontinent".parse::<Region>().unwrap(),
+            Region::IndianSubcontinent
+        );
+        assert!("Atlantis".parse::<Region>().is_err());
+    }
+}

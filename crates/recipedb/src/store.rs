@@ -1,0 +1,240 @@
+//! The indexed recipe store.
+
+use std::collections::HashMap;
+
+use culinaria_flavordb::IngredientId;
+
+use crate::cuisine::Cuisine;
+use crate::error::{RecipeDbError, Result};
+use crate::recipe::{Recipe, RecipeId, Source};
+use crate::region::Region;
+
+/// The recipe store: append-only recipes with per-region partitions and
+/// an inverted ingredient → recipes index, both maintained on insert.
+///
+/// ```
+/// use culinaria_flavordb::IngredientId;
+/// use culinaria_recipedb::{RecipeStore, Region, Source};
+///
+/// let mut store = RecipeStore::new();
+/// store
+///     .add_recipe(
+///         "pasta al pomodoro",
+///         Region::Italy,
+///         Source::Epicurious,
+///         vec![IngredientId(0), IngredientId(1)],
+///     )
+///     .unwrap();
+/// assert_eq!(store.n_region_recipes(Region::Italy), 1);
+/// assert_eq!(store.recipes_with_ingredient(IngredientId(1)).len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RecipeStore {
+    recipes: Vec<Recipe>,
+    by_region: [Vec<RecipeId>; 22],
+    inverted: HashMap<IngredientId, Vec<RecipeId>>,
+}
+
+impl RecipeStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        RecipeStore::default()
+    }
+
+    /// Insert a recipe. The ingredient list is deduplicated; an empty
+    /// list is rejected (the paper only keeps recipes with ingredient
+    /// information).
+    pub fn add_recipe(
+        &mut self,
+        name: &str,
+        region: Region,
+        source: Source,
+        ingredients: Vec<IngredientId>,
+    ) -> Result<RecipeId> {
+        if ingredients.is_empty() {
+            return Err(RecipeDbError::EmptyRecipe(name.to_owned()));
+        }
+        let id = RecipeId(self.recipes.len() as u32);
+        let recipe = Recipe::new(id, name.to_owned(), region, source, ingredients);
+        for &ing in recipe.ingredients() {
+            self.inverted.entry(ing).or_default().push(id);
+        }
+        self.by_region[region.index()].push(id);
+        self.recipes.push(recipe);
+        Ok(id)
+    }
+
+    /// Number of recipes.
+    pub fn n_recipes(&self) -> usize {
+        self.recipes.len()
+    }
+
+    /// Look up a recipe by id.
+    pub fn recipe(&self, id: RecipeId) -> Result<&Recipe> {
+        self.recipes
+            .get(id.index())
+            .ok_or(RecipeDbError::UnknownRecipe(id.0))
+    }
+
+    /// Iterate over all recipes in insertion order.
+    pub fn recipes(&self) -> impl Iterator<Item = &Recipe> {
+        self.recipes.iter()
+    }
+
+    /// Recipe ids attributed to a region.
+    pub fn region_recipe_ids(&self, region: Region) -> &[RecipeId] {
+        &self.by_region[region.index()]
+    }
+
+    /// Number of recipes in a region.
+    pub fn n_region_recipes(&self, region: Region) -> usize {
+        self.by_region[region.index()].len()
+    }
+
+    /// The regions that have at least one recipe, in Table 1 order.
+    pub fn regions(&self) -> Vec<Region> {
+        Region::ALL
+            .iter()
+            .copied()
+            .filter(|r| !self.by_region[r.index()].is_empty())
+            .collect()
+    }
+
+    /// A borrowed cuisine view over one region.
+    pub fn cuisine(&self, region: Region) -> Cuisine<'_> {
+        let recipes: Vec<&Recipe> = self.by_region[region.index()]
+            .iter()
+            .map(|&id| &self.recipes[id.index()])
+            .collect();
+        Cuisine::new(region, recipes)
+    }
+
+    /// A pooled "WORLD" view over every recipe in the store (the paper's
+    /// aggregate row). Region is reported as the provided label region.
+    pub fn world_cuisine(&self) -> Vec<&Recipe> {
+        self.recipes.iter().collect()
+    }
+
+    /// Recipes containing an ingredient, via the inverted index.
+    pub fn recipes_with_ingredient(&self, id: IngredientId) -> &[RecipeId] {
+        self.inverted.get(&id).map_or(&[], Vec::as_slice)
+    }
+
+    /// Number of distinct ingredients used anywhere in the store.
+    pub fn n_distinct_ingredients(&self) -> usize {
+        self.inverted.len()
+    }
+
+    /// Global ingredient usage counts (ingredient → number of recipes
+    /// that use it).
+    pub fn global_frequencies(&self) -> HashMap<IngredientId, u64> {
+        self.inverted
+            .iter()
+            .map(|(&ing, ids)| (ing, ids.len() as u64))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ing(id: u32) -> IngredientId {
+        IngredientId(id)
+    }
+
+    fn store() -> RecipeStore {
+        let mut s = RecipeStore::new();
+        s.add_recipe(
+            "pasta",
+            Region::Italy,
+            Source::Synthetic,
+            vec![ing(0), ing(1), ing(2)],
+        )
+        .unwrap();
+        s.add_recipe(
+            "pizza",
+            Region::Italy,
+            Source::Synthetic,
+            vec![ing(1), ing(2), ing(3)],
+        )
+        .unwrap();
+        s.add_recipe(
+            "sushi",
+            Region::Japan,
+            Source::Synthetic,
+            vec![ing(4), ing(5)],
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn add_and_lookup() {
+        let s = store();
+        assert_eq!(s.n_recipes(), 3);
+        assert_eq!(s.recipe(RecipeId(0)).unwrap().name, "pasta");
+        assert!(s.recipe(RecipeId(9)).is_err());
+    }
+
+    #[test]
+    fn empty_recipe_rejected() {
+        let mut s = store();
+        assert!(matches!(
+            s.add_recipe("nothing", Region::Usa, Source::Synthetic, vec![]),
+            Err(RecipeDbError::EmptyRecipe(_))
+        ));
+    }
+
+    #[test]
+    fn region_partitions() {
+        let s = store();
+        assert_eq!(s.n_region_recipes(Region::Italy), 2);
+        assert_eq!(s.n_region_recipes(Region::Japan), 1);
+        assert_eq!(s.n_region_recipes(Region::Usa), 0);
+        assert_eq!(s.regions(), vec![Region::Italy, Region::Japan]);
+    }
+
+    #[test]
+    fn inverted_index() {
+        let s = store();
+        assert_eq!(
+            s.recipes_with_ingredient(ing(1)),
+            &[RecipeId(0), RecipeId(1)]
+        );
+        assert_eq!(s.recipes_with_ingredient(ing(4)), &[RecipeId(2)]);
+        assert!(s.recipes_with_ingredient(ing(99)).is_empty());
+        assert_eq!(s.n_distinct_ingredients(), 6);
+    }
+
+    #[test]
+    fn global_frequencies() {
+        let s = store();
+        let freq = s.global_frequencies();
+        assert_eq!(freq[&ing(1)], 2);
+        assert_eq!(freq[&ing(0)], 1);
+    }
+
+    #[test]
+    fn duplicate_ingredients_counted_once() {
+        let mut s = RecipeStore::new();
+        s.add_recipe(
+            "dup",
+            Region::Usa,
+            Source::Synthetic,
+            vec![ing(7), ing(7), ing(7)],
+        )
+        .unwrap();
+        assert_eq!(s.recipe(RecipeId(0)).unwrap().size(), 1);
+        assert_eq!(s.recipes_with_ingredient(ing(7)).len(), 1);
+    }
+
+    #[test]
+    fn cuisine_view() {
+        let s = store();
+        let ita = s.cuisine(Region::Italy);
+        assert_eq!(ita.n_recipes(), 2);
+        assert_eq!(ita.region(), Region::Italy);
+        assert_eq!(s.world_cuisine().len(), 3);
+    }
+}

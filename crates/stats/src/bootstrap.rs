@@ -1,0 +1,140 @@
+//! Percentile bootstrap confidence intervals.
+//!
+//! Used to attach uncertainty to per-cuisine mean pairing scores without
+//! distributional assumptions (the N_s distribution over recipes is
+//! skewed).
+
+use rand::{Rng, RngExt};
+
+use crate::descriptive::quantile_sorted;
+
+/// A two-sided bootstrap confidence interval.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+    /// Point estimate on the original sample.
+    pub estimate: f64,
+    /// Confidence level, e.g. 0.95.
+    pub level: f64,
+}
+
+/// Percentile bootstrap CI for an arbitrary statistic.
+///
+/// Resamples `xs` with replacement `n_resamples` times, computes `stat`
+/// on each resample, and returns the percentile interval at `level`.
+/// Returns `None` for empty input, a non-finite statistic, `level`
+/// outside (0, 1), or `n_resamples == 0`.
+pub fn bootstrap_ci<R: Rng + ?Sized>(
+    xs: &[f64],
+    n_resamples: usize,
+    level: f64,
+    stat: impl Fn(&[f64]) -> f64,
+    rng: &mut R,
+) -> Option<ConfidenceInterval> {
+    if xs.is_empty() || n_resamples == 0 || !(0.0..1.0).contains(&level) || level <= 0.0 {
+        return None;
+    }
+    let estimate = stat(xs);
+    if !estimate.is_finite() {
+        return None;
+    }
+    let mut resample = vec![0.0; xs.len()];
+    let mut stats = Vec::with_capacity(n_resamples);
+    for _ in 0..n_resamples {
+        for slot in resample.iter_mut() {
+            *slot = xs[rng.random_range(0..xs.len())];
+        }
+        stats.push(stat(&resample));
+    }
+    stats.sort_by(f64::total_cmp);
+    let alpha = (1.0 - level) / 2.0;
+    Some(ConfidenceInterval {
+        lo: quantile_sorted(&stats, alpha),
+        hi: quantile_sorted(&stats, 1.0 - alpha),
+        estimate,
+        level,
+    })
+}
+
+/// Percentile bootstrap CI of the mean.
+pub fn bootstrap_mean_ci<R: Rng + ?Sized>(
+    xs: &[f64],
+    n_resamples: usize,
+    level: f64,
+    rng: &mut R,
+) -> Option<ConfidenceInterval> {
+    bootstrap_ci(
+        xs,
+        n_resamples,
+        level,
+        |s| s.iter().sum::<f64>() / s.len() as f64,
+        rng,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ci_brackets_true_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // Sample from a known distribution centered at 5.
+        let xs: Vec<f64> = (0..500).map(|_| 5.0 + rng.random::<f64>() - 0.5).collect();
+        let ci = bootstrap_mean_ci(&xs, 2000, 0.95, &mut rng).unwrap();
+        assert!(ci.lo < 5.0 && 5.0 < ci.hi, "CI [{}, {}]", ci.lo, ci.hi);
+        assert!(ci.lo <= ci.estimate && ci.estimate <= ci.hi);
+        assert_eq!(ci.level, 0.95);
+    }
+
+    #[test]
+    fn wider_level_wider_interval() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let xs: Vec<f64> = (0..200).map(|i| (i as f64 * 0.7).sin() * 3.0).collect();
+        let mut rng2 = StdRng::seed_from_u64(13);
+        let narrow = bootstrap_mean_ci(&xs, 3000, 0.80, &mut rng).unwrap();
+        let wide = bootstrap_mean_ci(&xs, 3000, 0.99, &mut rng2).unwrap();
+        assert!(wide.hi - wide.lo > narrow.hi - narrow.lo);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(bootstrap_mean_ci(&[], 100, 0.95, &mut rng).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 0, 0.95, &mut rng).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 100, 0.0, &mut rng).is_none());
+        assert!(bootstrap_mean_ci(&[1.0], 100, 1.0, &mut rng).is_none());
+    }
+
+    #[test]
+    fn single_point_sample_collapses() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let ci = bootstrap_mean_ci(&[4.0], 50, 0.9, &mut rng).unwrap();
+        assert_eq!(ci.lo, 4.0);
+        assert_eq!(ci.hi, 4.0);
+    }
+
+    #[test]
+    fn custom_statistic() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let xs: Vec<f64> = (1..=101).map(|i| i as f64).collect();
+        let ci = bootstrap_ci(
+            &xs,
+            1000,
+            0.95,
+            |s| {
+                let mut v = s.to_vec();
+                v.sort_by(f64::total_cmp);
+                quantile_sorted(&v, 0.5)
+            },
+            &mut rng,
+        )
+        .unwrap();
+        assert!(ci.lo < 51.0 && 51.0 < ci.hi);
+    }
+}

@@ -1,0 +1,220 @@
+//! Pearson's chi-squared goodness-of-fit test.
+//!
+//! Used to quantify how far a region's category composition deviates
+//! from the world aggregate (Fig 2's "salient as well as subtle
+//! patterns", made numeric).
+
+/// Result of a chi-squared test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Result {
+    /// The χ² statistic.
+    pub statistic: f64,
+    /// Degrees of freedom.
+    pub dof: usize,
+    /// Upper-tail p-value.
+    pub p_value: f64,
+}
+
+/// Goodness-of-fit: observed counts vs expected *proportions*.
+///
+/// Categories whose expected proportion is zero are dropped when the
+/// observed count is also zero, and make the test undefined (`None`)
+/// otherwise. Returns `None` for empty input, mismatched lengths, a
+/// zero observation total, or fewer than two usable categories.
+pub fn chi2_goodness_of_fit(observed: &[u64], expected_prop: &[f64]) -> Option<Chi2Result> {
+    if observed.len() != expected_prop.len() || observed.is_empty() {
+        return None;
+    }
+    let total: u64 = observed.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let prop_sum: f64 = expected_prop.iter().sum();
+    if prop_sum <= 0.0 || expected_prop.iter().any(|&p| p < 0.0) {
+        return None;
+    }
+    let mut statistic = 0.0;
+    let mut used = 0usize;
+    for (&obs, &prop) in observed.iter().zip(expected_prop) {
+        let expected = total as f64 * prop / prop_sum;
+        if expected == 0.0 {
+            if obs != 0 {
+                return None; // impossible under the expected model
+            }
+            continue;
+        }
+        let d = obs as f64 - expected;
+        statistic += d * d / expected;
+        used += 1;
+    }
+    if used < 2 {
+        return None;
+    }
+    let dof = used - 1;
+    Some(Chi2Result {
+        statistic,
+        dof,
+        p_value: chi2_sf(statistic, dof),
+    })
+}
+
+/// Upper-tail probability of the χ² distribution with `dof` degrees of
+/// freedom: Q(x; k) = Γ(k/2, x/2) / Γ(k/2), via the regularized
+/// incomplete gamma function (series + continued fraction, Numerical
+/// Recipes style).
+pub fn chi2_sf(x: f64, dof: usize) -> f64 {
+    if x <= 0.0 {
+        return 1.0;
+    }
+    let a = dof as f64 / 2.0;
+    let x = x / 2.0;
+    1.0 - lower_regularized_gamma(a, x)
+}
+
+fn ln_gamma(x: f64) -> f64 {
+    // Lanczos approximation (g = 7, n = 9), standard coefficients.
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection formula.
+        return std::f64::consts::PI.ln()
+            - (std::f64::consts::PI * x).sin().ln()
+            - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut acc = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        acc += c / (x + i as f64);
+    }
+    let t = x + 7.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + acc.ln()
+}
+
+/// Regularized lower incomplete gamma P(a, x).
+fn lower_regularized_gamma(a: f64, x: f64) -> f64 {
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        // Series expansion.
+        let mut term = 1.0 / a;
+        let mut sum = term;
+        let mut n = a;
+        for _ in 0..500 {
+            n += 1.0;
+            term *= x / n;
+            sum += term;
+            if term.abs() < sum.abs() * 1e-15 {
+                break;
+            }
+        }
+        (sum.ln() + a * x.ln() - x - ln_gamma(a))
+            .exp()
+            .clamp(0.0, 1.0)
+    } else {
+        // Continued fraction for Q(a, x) (Lentz's algorithm).
+        let tiny = 1e-300;
+        let mut b = x + 1.0 - a;
+        let mut c = 1.0 / tiny;
+        let mut d = 1.0 / b;
+        let mut h = d;
+        for i in 1..500 {
+            let an = -(i as f64) * (i as f64 - a);
+            b += 2.0;
+            d = an * d + b;
+            if d.abs() < tiny {
+                d = tiny;
+            }
+            c = b + an / c;
+            if c.abs() < tiny {
+                c = tiny;
+            }
+            d = 1.0 / d;
+            let delta = d * c;
+            h *= delta;
+            if (delta - 1.0).abs() < 1e-15 {
+                break;
+            }
+        }
+        let q = (a * x.ln() - x - ln_gamma(a)).exp() * h;
+        (1.0 - q).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn ln_gamma_known_values() {
+        assert_close(ln_gamma(1.0), 0.0, 1e-10);
+        assert_close(ln_gamma(2.0), 0.0, 1e-10);
+        assert_close(ln_gamma(5.0), (24.0f64).ln(), 1e-10); // Γ(5)=4!
+        assert_close(ln_gamma(0.5), (std::f64::consts::PI.sqrt()).ln(), 1e-10);
+    }
+
+    #[test]
+    fn chi2_sf_known_values() {
+        // χ²(1): Q(3.841) ≈ 0.05; χ²(2): Q(5.991) ≈ 0.05.
+        assert_close(chi2_sf(3.841, 1), 0.05, 1e-3);
+        assert_close(chi2_sf(5.991, 2), 0.05, 1e-3);
+        assert_close(chi2_sf(9.488, 4), 0.05, 1e-3);
+        // χ²(2) has closed form Q(x) = exp(−x/2).
+        assert_close(chi2_sf(4.0, 2), (-2.0f64).exp(), 1e-10);
+        assert_eq!(chi2_sf(0.0, 3), 1.0);
+        assert_eq!(chi2_sf(-1.0, 3), 1.0);
+    }
+
+    #[test]
+    fn fair_die_accepted() {
+        // 600 rolls of a fair die, near-uniform counts.
+        let observed = [98, 105, 101, 97, 99, 100];
+        let expected = [1.0 / 6.0; 6];
+        let r = chi2_goodness_of_fit(&observed, &expected).unwrap();
+        assert_eq!(r.dof, 5);
+        assert!(r.statistic < 2.0);
+        assert!(r.p_value > 0.5, "p {}", r.p_value);
+    }
+
+    #[test]
+    fn loaded_die_rejected() {
+        let observed = [200, 80, 80, 80, 80, 80];
+        let expected = [1.0 / 6.0; 6];
+        let r = chi2_goodness_of_fit(&observed, &expected).unwrap();
+        assert!(r.p_value < 1e-6, "p {}", r.p_value);
+    }
+
+    #[test]
+    fn unnormalized_expected_proportions_ok() {
+        // Proportions need not sum to 1; they are normalized.
+        let a = chi2_goodness_of_fit(&[50, 50], &[0.5, 0.5]).unwrap();
+        let b = chi2_goodness_of_fit(&[50, 50], &[2.0, 2.0]).unwrap();
+        assert_close(a.statistic, b.statistic, 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(chi2_goodness_of_fit(&[], &[]).is_none());
+        assert!(chi2_goodness_of_fit(&[1, 2], &[0.5]).is_none());
+        assert!(chi2_goodness_of_fit(&[0, 0], &[0.5, 0.5]).is_none());
+        assert!(chi2_goodness_of_fit(&[1, 2], &[-0.1, 1.1]).is_none());
+        // Observed mass in a zero-probability category.
+        assert!(chi2_goodness_of_fit(&[5, 5], &[1.0, 0.0]).is_none());
+        // Zero-probability category with zero observations is dropped.
+        let r = chi2_goodness_of_fit(&[5, 5, 0], &[0.5, 0.5, 0.0]).unwrap();
+        assert_eq!(r.dof, 1);
+    }
+}

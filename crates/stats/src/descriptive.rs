@@ -1,0 +1,219 @@
+//! Descriptive statistics over `f64` slices.
+//!
+//! Conventions: empty input yields `None` (or NaN-free defaults where
+//! documented); variance is the *sample* variance (n−1 denominator)
+//! unless stated otherwise; quantiles use linear interpolation between
+//! order statistics (type-7, the numpy default).
+
+/// Arithmetic mean. `None` for empty input.
+pub fn mean(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    Some(xs.iter().sum::<f64>() / xs.len() as f64)
+}
+
+/// Sample variance (n−1). `None` for fewer than two observations.
+pub fn variance(xs: &[f64]) -> Option<f64> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let m = mean(xs).expect("non-empty");
+    let ss: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum();
+    Some(ss / (xs.len() - 1) as f64)
+}
+
+/// Population variance (n). `None` for empty input.
+pub fn population_variance(xs: &[f64]) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let m = mean(xs).expect("non-empty");
+    let ss: f64 = xs.iter().map(|&x| (x - m) * (x - m)).sum();
+    Some(ss / xs.len() as f64)
+}
+
+/// Sample standard deviation. `None` for fewer than two observations.
+pub fn std_dev(xs: &[f64]) -> Option<f64> {
+    variance(xs).map(f64::sqrt)
+}
+
+/// Population standard deviation. `None` for empty input.
+pub fn population_std_dev(xs: &[f64]) -> Option<f64> {
+    population_variance(xs).map(f64::sqrt)
+}
+
+/// Median (type-7 quantile at q = 0.5). `None` for empty input.
+pub fn median(xs: &[f64]) -> Option<f64> {
+    quantile(xs, 0.5)
+}
+
+/// Type-7 quantile with linear interpolation. `q` is clamped to [0, 1].
+/// `None` for empty input.
+pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
+    if xs.is_empty() {
+        return None;
+    }
+    let mut sorted: Vec<f64> = xs.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    Some(quantile_sorted(&sorted, q))
+}
+
+/// Type-7 quantile over pre-sorted data (ascending). Avoids re-sorting in
+/// hot loops.
+///
+/// # Panics
+/// Panics if `sorted` is empty.
+pub fn quantile_sorted(sorted: &[f64], q: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    let q = q.clamp(0.0, 1.0);
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let w = pos - lo as f64;
+        sorted[lo] * (1.0 - w) + sorted[hi] * w
+    }
+}
+
+/// Skewness (adjusted Fisher–Pearson, the sample-bias-corrected g1).
+/// `None` for fewer than three observations or zero variance.
+pub fn skewness(xs: &[f64]) -> Option<f64> {
+    let n = xs.len();
+    if n < 3 {
+        return None;
+    }
+    let m = mean(xs).expect("non-empty");
+    let s = std_dev(xs)?;
+    if s == 0.0 {
+        return None;
+    }
+    let nf = n as f64;
+    let m3: f64 = xs.iter().map(|&x| ((x - m) / s).powi(3)).sum::<f64>();
+    Some(m3 * nf / ((nf - 1.0) * (nf - 2.0)))
+}
+
+/// A five-number-plus summary of a sample.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of observations.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Sample standard deviation (0 when n < 2).
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarize a sample. `None` for empty input.
+    pub fn of(xs: &[f64]) -> Option<Summary> {
+        if xs.is_empty() {
+            return None;
+        }
+        let mut sorted = xs.to_vec();
+        sorted.sort_by(f64::total_cmp);
+        Some(Summary {
+            n: xs.len(),
+            mean: mean(xs).expect("non-empty"),
+            std_dev: std_dev(xs).unwrap_or(0.0),
+            min: sorted[0],
+            q1: quantile_sorted(&sorted, 0.25),
+            median: quantile_sorted(&sorted, 0.5),
+            q3: quantile_sorted(&sorted, 0.75),
+            max: *sorted.last().expect("non-empty"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-10, "{a} != {b}");
+    }
+
+    #[test]
+    fn mean_known_values() {
+        assert_close(mean(&[1.0, 2.0, 3.0, 4.0]).unwrap(), 2.5);
+        assert!(mean(&[]).is_none());
+    }
+
+    #[test]
+    fn variance_known_values() {
+        // Sample variance of [2, 4, 4, 4, 5, 5, 7, 9] is 32/7.
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        assert_close(variance(&xs).unwrap(), 32.0 / 7.0);
+        assert_close(population_variance(&xs).unwrap(), 4.0);
+        assert_close(population_std_dev(&xs).unwrap(), 2.0);
+        assert!(variance(&[1.0]).is_none());
+        assert!(population_variance(&[]).is_none());
+    }
+
+    #[test]
+    fn median_even_and_odd() {
+        assert_close(median(&[3.0, 1.0, 2.0]).unwrap(), 2.0);
+        assert_close(median(&[4.0, 1.0, 2.0, 3.0]).unwrap(), 2.5);
+    }
+
+    #[test]
+    fn quantile_interpolates() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_close(quantile(&xs, 0.0).unwrap(), 1.0);
+        assert_close(quantile(&xs, 1.0).unwrap(), 4.0);
+        assert_close(quantile(&xs, 0.25).unwrap(), 1.75);
+        // Out-of-range q is clamped.
+        assert_close(quantile(&xs, 2.0).unwrap(), 4.0);
+        assert_close(quantile(&xs, -1.0).unwrap(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn quantile_sorted_empty_panics() {
+        quantile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    fn skewness_sign() {
+        // Right-skewed data → positive skewness.
+        let right = [1.0, 1.0, 1.0, 2.0, 10.0];
+        assert!(skewness(&right).unwrap() > 0.0);
+        // Symmetric data → ~0 skewness.
+        let sym = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_close(skewness(&sym).unwrap(), 0.0);
+        assert!(skewness(&[1.0, 2.0]).is_none());
+        assert!(skewness(&[3.0, 3.0, 3.0]).is_none());
+    }
+
+    #[test]
+    fn summary_fields() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(s.n, 5);
+        assert_close(s.mean, 3.0);
+        assert_close(s.min, 1.0);
+        assert_close(s.max, 5.0);
+        assert_close(s.median, 3.0);
+        assert_close(s.q1, 2.0);
+        assert_close(s.q3, 4.0);
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn summary_single_value() {
+        let s = Summary::of(&[7.0]).unwrap();
+        assert_close(s.std_dev, 0.0);
+        assert_close(s.median, 7.0);
+    }
+}

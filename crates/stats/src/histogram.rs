@@ -1,0 +1,238 @@
+//! Integer histograms and cumulative distributions.
+//!
+//! Recipe sizes are small integers (the paper reports a bounded,
+//! thin-tailed distribution with mean ≈ 9), so a dense-by-value integer
+//! histogram is the natural representation for Fig 3a.
+
+use std::collections::BTreeMap;
+
+/// A histogram over integer values, sparse in value space.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IntHistogram {
+    counts: BTreeMap<i64, u64>,
+    total: u64,
+}
+
+impl IntHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        IntHistogram::default()
+    }
+
+    /// Build from observations.
+    pub fn from_values(values: impl IntoIterator<Item = i64>) -> Self {
+        let mut h = IntHistogram::new();
+        for v in values {
+            h.add(v);
+        }
+        h
+    }
+
+    /// Record one observation.
+    pub fn add(&mut self, value: i64) {
+        *self.counts.entry(value).or_insert(0) += 1;
+        self.total += 1;
+    }
+
+    /// Record `count` observations of `value`.
+    pub fn add_count(&mut self, value: i64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        *self.counts.entry(value).or_insert(0) += count;
+        self.total += count;
+    }
+
+    /// Total number of observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Count at `value` (0 when absent).
+    pub fn count(&self, value: i64) -> u64 {
+        self.counts.get(&value).copied().unwrap_or(0)
+    }
+
+    /// Number of distinct observed values.
+    pub fn n_bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// `(value, count)` pairs in ascending value order.
+    pub fn iter(&self) -> impl Iterator<Item = (i64, u64)> + '_ {
+        self.counts.iter().map(|(&v, &c)| (v, c))
+    }
+
+    /// Probability mass at `value`.
+    pub fn pmf(&self, value: i64) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.count(value) as f64 / self.total as f64
+        }
+    }
+
+    /// Mean of the observations. `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.total == 0 {
+            return None;
+        }
+        let s: f64 = self.iter().map(|(v, c)| v as f64 * c as f64).sum();
+        Some(s / self.total as f64)
+    }
+
+    /// Smallest observed value.
+    pub fn min(&self) -> Option<i64> {
+        self.counts.keys().next().copied()
+    }
+
+    /// Largest observed value.
+    pub fn max(&self) -> Option<i64> {
+        self.counts.keys().next_back().copied()
+    }
+
+    /// Mode (value with highest count; smallest value wins ties).
+    pub fn mode(&self) -> Option<i64> {
+        self.iter()
+            .max_by(|a, b| a.1.cmp(&b.1).then(b.0.cmp(&a.0)))
+            .map(|(v, _)| v)
+    }
+
+    /// The cumulative distribution of this histogram.
+    pub fn cumulative(&self) -> CumulativeDistribution {
+        let mut points = Vec::with_capacity(self.counts.len());
+        let mut acc = 0u64;
+        for (&v, &c) in &self.counts {
+            acc += c;
+            points.push((v, acc as f64 / self.total.max(1) as f64));
+        }
+        CumulativeDistribution { points }
+    }
+
+    /// Merge another histogram into this one.
+    pub fn merge(&mut self, other: &IntHistogram) {
+        for (v, c) in other.iter() {
+            self.add_count(v, c);
+        }
+    }
+}
+
+/// An empirical CDF over integer support: `(value, P(X ≤ value))` points
+/// in ascending value order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CumulativeDistribution {
+    points: Vec<(i64, f64)>,
+}
+
+impl CumulativeDistribution {
+    /// The CDF points, ascending in value.
+    pub fn points(&self) -> &[(i64, f64)] {
+        &self.points
+    }
+
+    /// P(X ≤ value): step-function evaluation.
+    pub fn at(&self, value: i64) -> f64 {
+        match self.points.binary_search_by_key(&value, |&(v, _)| v) {
+            Ok(i) => self.points[i].1,
+            Err(0) => 0.0,
+            Err(i) => self.points[i - 1].1,
+        }
+    }
+
+    /// Smallest value v with P(X ≤ v) ≥ q (a discrete quantile).
+    pub fn quantile(&self, q: f64) -> Option<i64> {
+        let q = q.clamp(0.0, 1.0);
+        self.points
+            .iter()
+            .find(|&&(_, p)| p >= q - 1e-12)
+            .map(|&(v, _)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> IntHistogram {
+        IntHistogram::from_values([3, 5, 5, 7, 7, 7, 9])
+    }
+
+    #[test]
+    fn counts_and_total() {
+        let h = sample();
+        assert_eq!(h.total(), 7);
+        assert_eq!(h.count(7), 3);
+        assert_eq!(h.count(4), 0);
+        assert_eq!(h.n_bins(), 4);
+    }
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let h = sample();
+        let s: f64 = h.iter().map(|(v, _)| h.pmf(v)).sum();
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(IntHistogram::new().pmf(1), 0.0);
+    }
+
+    #[test]
+    fn mean_min_max_mode() {
+        let h = sample();
+        assert!((h.mean().unwrap() - 43.0 / 7.0).abs() < 1e-12);
+        assert_eq!(h.min(), Some(3));
+        assert_eq!(h.max(), Some(9));
+        assert_eq!(h.mode(), Some(7));
+        assert!(IntHistogram::new().mean().is_none());
+    }
+
+    #[test]
+    fn mode_tie_prefers_smaller() {
+        let h = IntHistogram::from_values([1, 1, 2, 2]);
+        assert_eq!(h.mode(), Some(1));
+    }
+
+    #[test]
+    fn cumulative_is_monotone_and_ends_at_one() {
+        let h = sample();
+        let cdf = h.cumulative();
+        let pts = cdf.points();
+        for w in pts.windows(2) {
+            assert!(w[0].1 <= w[1].1);
+            assert!(w[0].0 < w[1].0);
+        }
+        assert!((pts.last().unwrap().1 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_evaluation() {
+        let cdf = sample().cumulative();
+        assert_eq!(cdf.at(2), 0.0);
+        assert!((cdf.at(3) - 1.0 / 7.0).abs() < 1e-12);
+        assert!((cdf.at(6) - 3.0 / 7.0).abs() < 1e-12);
+        assert!((cdf.at(100) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdf_quantiles() {
+        let cdf = sample().cumulative();
+        assert_eq!(cdf.quantile(0.0), Some(3));
+        assert_eq!(cdf.quantile(0.5), Some(7));
+        assert_eq!(cdf.quantile(1.0), Some(9));
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = IntHistogram::from_values([1, 2]);
+        let b = IntHistogram::from_values([2, 3]);
+        a.merge(&b);
+        assert_eq!(a.total(), 4);
+        assert_eq!(a.count(2), 2);
+    }
+
+    #[test]
+    fn add_count_zero_is_noop() {
+        let mut h = IntHistogram::new();
+        h.add_count(5, 0);
+        assert_eq!(h.total(), 0);
+        assert_eq!(h.n_bins(), 0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Two-sample Kolmogorov–Smirnov test.
+//!
+//! Used by the robustness analyses ("how robust are the patterns to
+//! changes in recipe data?") to compare recipe-size and score
+//! distributions between cuisines or between a cuisine and its null.
+
+/// Result of a two-sample KS test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KsResult {
+    /// The KS statistic D = sup |F₁(x) − F₂(x)|.
+    pub statistic: f64,
+    /// Asymptotic two-sided p-value (Kolmogorov distribution
+    /// approximation; accurate for moderately large samples).
+    pub p_value: f64,
+}
+
+/// Two-sample KS test. Returns `None` when either sample is empty.
+pub fn ks_two_sample(a: &[f64], b: &[f64]) -> Option<KsResult> {
+    if a.is_empty() || b.is_empty() {
+        return None;
+    }
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(f64::total_cmp);
+    sb.sort_by(f64::total_cmp);
+
+    let (na, nb) = (sa.len(), sb.len());
+    let mut i = 0;
+    let mut j = 0;
+    let mut d: f64 = 0.0;
+    while i < na && j < nb {
+        let x = sa[i].min(sb[j]);
+        while i < na && sa[i] <= x {
+            i += 1;
+        }
+        while j < nb && sb[j] <= x {
+            j += 1;
+        }
+        let fa = i as f64 / na as f64;
+        let fb = j as f64 / nb as f64;
+        d = d.max((fa - fb).abs());
+    }
+
+    let ne = (na as f64 * nb as f64) / (na as f64 + nb as f64);
+    let lambda = (ne.sqrt() + 0.12 + 0.11 / ne.sqrt()) * d;
+    Some(KsResult {
+        statistic: d,
+        p_value: kolmogorov_sf(lambda),
+    })
+}
+
+/// Survival function of the Kolmogorov distribution:
+/// Q(λ) = 2 Σ_{k≥1} (−1)^{k−1} exp(−2 k² λ²), clamped to [0, 1].
+fn kolmogorov_sf(lambda: f64) -> f64 {
+    if lambda <= 0.0 {
+        return 1.0;
+    }
+    let mut sum = 0.0;
+    let mut sign = 1.0;
+    for k in 1..=100 {
+        let term = (-2.0 * (k as f64).powi(2) * lambda * lambda).exp();
+        sum += sign * term;
+        sign = -sign;
+        if term < 1e-12 {
+            break;
+        }
+    }
+    (2.0 * sum).clamp(0.0, 1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let r = ks_two_sample(&xs, &xs).unwrap();
+        assert_eq!(r.statistic, 0.0);
+        assert!(r.p_value > 0.99);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert_eq!(r.statistic, 1.0);
+        assert!(r.p_value < 0.2);
+    }
+
+    #[test]
+    fn same_distribution_high_p() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let a: Vec<f64> = (0..400).map(|_| rng.random::<f64>()).collect();
+        let b: Vec<f64> = (0..400).map(|_| rng.random::<f64>()).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.statistic < 0.12);
+        assert!(r.p_value > 0.05, "p {}", r.p_value);
+    }
+
+    #[test]
+    fn shifted_distribution_low_p() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let a: Vec<f64> = (0..400).map(|_| rng.random::<f64>()).collect();
+        let b: Vec<f64> = (0..400).map(|_| rng.random::<f64>() + 0.3).collect();
+        let r = ks_two_sample(&a, &b).unwrap();
+        assert!(r.p_value < 1e-6, "p {}", r.p_value);
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert!(ks_two_sample(&[], &[1.0]).is_none());
+        assert!(ks_two_sample(&[1.0], &[]).is_none());
+    }
+
+    #[test]
+    fn known_small_example() {
+        // F_a jumps at 1,2 (n=2); F_b jumps at 1.5 (n=1). D = 0.5.
+        let r = ks_two_sample(&[1.0, 2.0], &[1.5]).unwrap();
+        assert!((r.statistic - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sf_bounds() {
+        assert_eq!(kolmogorov_sf(0.0), 1.0);
+        assert!(kolmogorov_sf(0.5) > 0.9);
+        assert!(kolmogorov_sf(2.0) < 0.001);
+    }
+}

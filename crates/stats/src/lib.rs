@@ -1,0 +1,48 @@
+#![warn(missing_docs)]
+
+//! # culinaria-stats
+//!
+//! The statistics substrate for the `culinaria` workspace. The paper's
+//! analyses need a small but complete statistical toolkit — descriptive
+//! statistics, streaming accumulators, z-scores against Monte-Carlo null
+//! models, weighted sampling for the frequency-preserving models,
+//! histograms for recipe-size distributions, discrete power-law fits for
+//! ingredient-popularity scaling, bootstrap confidence intervals, and
+//! rank correlations — none of which we take from external crates
+//! (the Rust statistical ecosystem is thin; everything here is
+//! implemented from scratch and unit-tested against known values).
+//!
+//! ## Module map
+//!
+//! * [`descriptive`] — mean, variance, quantiles, five-number summaries
+//! * [`running`] — Welford streaming accumulator (used by the Monte-Carlo
+//!   engine so 100,000 sampled recipes never need to be stored)
+//! * [`histogram`] — integer histograms and cumulative distributions
+//! * [`zscore`] — z-scores of an observed mean against a null ensemble
+//! * [`sampling`] — Walker alias method, linear-CDF sampling (ablation
+//!   baseline), uniform choice, and partial Fisher–Yates draws
+//! * [`powerlaw`] — discrete power-law MLE and rank-frequency utilities
+//! * [`bootstrap`] — percentile bootstrap confidence intervals
+//! * [`correlation`] — Pearson and Spearman coefficients
+//! * [`regression`] — ordinary least squares on (x, y) pairs
+//! * [`ks`] — two-sample Kolmogorov–Smirnov test
+//! * [`rng`] — deterministic seed derivation for parallel PRNG streams
+
+pub mod bootstrap;
+pub mod chi2;
+pub mod correlation;
+pub mod descriptive;
+pub mod histogram;
+pub mod ks;
+pub mod powerlaw;
+pub mod regression;
+pub mod rng;
+pub mod running;
+pub mod sampling;
+pub mod zscore;
+
+pub use descriptive::{mean, median, quantile, std_dev, variance, Summary};
+pub use histogram::{CumulativeDistribution, IntHistogram};
+pub use running::RunningStats;
+pub use sampling::{LinearCdfSampler, WeightedAliasSampler};
+pub use zscore::{z_score, z_score_of_mean, NullEnsemble};

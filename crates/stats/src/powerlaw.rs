@@ -1,0 +1,171 @@
+//! Discrete power-law fitting and rank-frequency utilities.
+//!
+//! Fig 3b of the paper plots ingredient *frequency of use*, normalized by
+//! the most popular ingredient, against popularity rank, and observes "an
+//! exceptionally consistent scaling phenomenon" across all 22 cuisines.
+//! This module provides:
+//!
+//! * [`rank_frequency`] — the normalized rank-frequency series;
+//! * [`fit_discrete_power_law`] — maximum-likelihood exponent for a
+//!   discrete power law P(x) ∝ x^(−α), x ≥ xmin (Clauset–Shalizi–Newman
+//!   approximation);
+//! * [`zipf_exponent`] — log-log OLS slope of the rank curve, the classic
+//!   Zipf characterization used to compare cuisines.
+
+use crate::regression::{ols, OlsFit};
+
+/// Normalized rank-frequency series: frequencies sorted descending and
+/// divided by the largest one. Empty input yields an empty series.
+pub fn rank_frequency(frequencies: &[u64]) -> Vec<f64> {
+    let mut sorted: Vec<u64> = frequencies.iter().copied().filter(|&f| f > 0).collect();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let top = match sorted.first() {
+        Some(&t) => t as f64,
+        None => return Vec::new(),
+    };
+    sorted.into_iter().map(|f| f as f64 / top).collect()
+}
+
+/// Maximum-likelihood exponent of a discrete power law with support
+/// x ≥ `xmin` (CSN 2009, eq. 3.7 approximation):
+///
+/// ```text
+/// α ≈ 1 + n / Σ ln(x_i / (xmin − 1/2))
+/// ```
+///
+/// Returns `None` when fewer than two observations lie at or above
+/// `xmin`, or when `xmin` < 1.
+pub fn fit_discrete_power_law(xs: &[u64], xmin: u64) -> Option<f64> {
+    if xmin < 1 {
+        return None;
+    }
+    let shifted: Vec<f64> = xs
+        .iter()
+        .copied()
+        .filter(|&x| x >= xmin)
+        .map(|x| (x as f64 / (xmin as f64 - 0.5)).ln())
+        .collect();
+    if shifted.len() < 2 {
+        return None;
+    }
+    let denom: f64 = shifted.iter().sum();
+    if denom <= 0.0 {
+        return None;
+    }
+    Some(1.0 + shifted.len() as f64 / denom)
+}
+
+/// Zipf exponent: the negated slope of the OLS fit of
+/// ln(frequency) against ln(rank) over the positive-frequency ranks.
+/// Returns the fit alongside the exponent. `None` when fewer than two
+/// positive frequencies exist.
+pub fn zipf_exponent(frequencies: &[u64]) -> Option<(f64, OlsFit)> {
+    let series = rank_frequency(frequencies);
+    if series.len() < 2 {
+        return None;
+    }
+    let pts: Vec<(f64, f64)> = series
+        .iter()
+        .enumerate()
+        .map(|(i, &f)| (((i + 1) as f64).ln(), f.ln()))
+        .collect();
+    let fit = ols(&pts)?;
+    Some((-fit.slope, fit))
+}
+
+/// Cumulative share of total usage covered by the top `k` ranks, for each
+/// k — the inset statistic of Fig 3b. Output `out[k-1]` = share covered
+/// by ranks 1..=k; the final element is 1.
+pub fn cumulative_share(frequencies: &[u64]) -> Vec<f64> {
+    let mut sorted: Vec<u64> = frequencies.to_vec();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    let total: u64 = sorted.iter().sum();
+    if total == 0 {
+        return Vec::new();
+    }
+    let mut acc = 0u64;
+    sorted
+        .into_iter()
+        .map(|f| {
+            acc += f;
+            acc as f64 / total as f64
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn rank_frequency_sorted_and_normalized() {
+        let rf = rank_frequency(&[3, 10, 0, 5]);
+        assert_eq!(rf.len(), 3); // zero dropped
+        assert_eq!(rf[0], 1.0);
+        assert!((rf[1] - 0.5).abs() < 1e-12);
+        assert!((rf[2] - 0.3).abs() < 1e-12);
+        assert!(rank_frequency(&[]).is_empty());
+        assert!(rank_frequency(&[0, 0]).is_empty());
+    }
+
+    #[test]
+    fn power_law_mle_recovers_exponent() {
+        // Sample from a discrete power law with α = 2.5. The CSN eq-3.7
+        // approximation is accurate for xmin ≳ 6, so generate and fit
+        // with xmin = 6.
+        let mut rng = StdRng::seed_from_u64(7);
+        let alpha = 2.5f64;
+        let xmin = 6.0f64;
+        let xs: Vec<u64> = (0..40_000)
+            .map(|_| {
+                let u: f64 = rng.random();
+                // CSN appendix D discrete generator:
+                // x = ⌊(xmin − ½)(1 − u)^(−1/(α−1)) + ½⌋.
+                let x = (xmin - 0.5) * (1.0 - u).powf(-1.0 / (alpha - 1.0)) + 0.5;
+                (x.floor() as u64).max(xmin as u64)
+            })
+            .collect();
+        let est = fit_discrete_power_law(&xs, xmin as u64).unwrap();
+        assert!(
+            (est - alpha).abs() < 0.1,
+            "estimated {est}, expected ~{alpha}"
+        );
+    }
+
+    #[test]
+    fn power_law_degenerate_inputs() {
+        assert!(fit_discrete_power_law(&[], 1).is_none());
+        assert!(fit_discrete_power_law(&[5], 1).is_none());
+        assert!(fit_discrete_power_law(&[1, 2, 3], 0).is_none());
+        // All observations below xmin.
+        assert!(fit_discrete_power_law(&[1, 1, 1], 5).is_none());
+    }
+
+    #[test]
+    fn zipf_exponent_of_exact_zipf() {
+        // frequencies ∝ 1/rank → exponent 1.
+        let freqs: Vec<u64> = (1..=50u64).map(|r| 100_000 / r).collect();
+        let (s, fit) = zipf_exponent(&freqs).unwrap();
+        assert!((s - 1.0).abs() < 0.02, "slope {s}");
+        assert!(fit.r_squared > 0.999);
+    }
+
+    #[test]
+    fn zipf_needs_two_points() {
+        assert!(zipf_exponent(&[5]).is_none());
+        assert!(zipf_exponent(&[]).is_none());
+    }
+
+    #[test]
+    fn cumulative_share_monotone_to_one() {
+        let cs = cumulative_share(&[10, 30, 60]);
+        assert_eq!(cs.len(), 3);
+        assert!((cs[0] - 0.6).abs() < 1e-12);
+        assert!((cs[1] - 0.9).abs() < 1e-12);
+        assert!((cs[2] - 1.0).abs() < 1e-12);
+        assert!(cumulative_share(&[]).is_empty());
+        assert!(cumulative_share(&[0]).is_empty());
+    }
+}

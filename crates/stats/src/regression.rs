@@ -1,0 +1,114 @@
+//! Ordinary least squares on (x, y) pairs.
+
+/// Result of a simple linear regression y = slope·x + intercept.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlsFit {
+    /// Fitted slope.
+    pub slope: f64,
+    /// Fitted intercept.
+    pub intercept: f64,
+    /// Coefficient of determination R².
+    pub r_squared: f64,
+    /// Number of points used.
+    pub n: usize,
+}
+
+impl OlsFit {
+    /// Predicted y at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.slope * x + self.intercept
+    }
+}
+
+/// Fit y = a·x + b by least squares. Returns `None` for fewer than two
+/// points or when all x are identical (vertical line).
+pub fn ols(points: &[(f64, f64)]) -> Option<OlsFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let mean_x = points.iter().map(|p| p.0).sum::<f64>() / nf;
+    let mean_y = points.iter().map(|p| p.1).sum::<f64>() / nf;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for &(x, y) in points {
+        let dx = x - mean_x;
+        let dy = y - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+        syy += dy * dy;
+    }
+    if sxx == 0.0 {
+        return None;
+    }
+    let slope = sxy / sxx;
+    let intercept = mean_y - slope * mean_x;
+    // R² = 1 − SS_res / SS_tot; for a constant y (syy == 0) the fit is
+    // exact and we define R² = 1.
+    let r_squared = if syy == 0.0 {
+        1.0
+    } else {
+        let ss_res: f64 = points
+            .iter()
+            .map(|&(x, y)| {
+                let e = y - (slope * x + intercept);
+                e * e
+            })
+            .sum();
+        1.0 - ss_res / syy
+    };
+    Some(OlsFit {
+        slope,
+        intercept,
+        r_squared,
+        n,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_line_recovered() {
+        let pts: Vec<(f64, f64)> = (0..10).map(|i| (i as f64, 3.0 * i as f64 - 2.0)).collect();
+        let fit = ols(&pts).unwrap();
+        assert!((fit.slope - 3.0).abs() < 1e-12);
+        assert!((fit.intercept + 2.0).abs() < 1e-12);
+        assert!((fit.r_squared - 1.0).abs() < 1e-12);
+        assert!((fit.predict(20.0) - 58.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_line_r2_below_one() {
+        let pts = [(0.0, 0.1), (1.0, 0.9), (2.0, 2.2), (3.0, 2.8), (4.0, 4.1)];
+        let fit = ols(&pts).unwrap();
+        assert!((fit.slope - 1.0).abs() < 0.1);
+        assert!(fit.r_squared > 0.98 && fit.r_squared < 1.0);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(ols(&[]).is_none());
+        assert!(ols(&[(1.0, 2.0)]).is_none());
+        // Vertical line: identical x.
+        assert!(ols(&[(1.0, 2.0), (1.0, 3.0)]).is_none());
+    }
+
+    #[test]
+    fn constant_y_gives_zero_slope_r2_one() {
+        let fit = ols(&[(0.0, 5.0), (1.0, 5.0), (2.0, 5.0)]).unwrap();
+        assert_eq!(fit.slope, 0.0);
+        assert_eq!(fit.intercept, 5.0);
+        assert_eq!(fit.r_squared, 1.0);
+    }
+
+    #[test]
+    fn negative_slope() {
+        let pts: Vec<(f64, f64)> = (0..5).map(|i| (i as f64, -2.0 * i as f64)).collect();
+        let fit = ols(&pts).unwrap();
+        assert!((fit.slope + 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,207 @@
+//! Welford's streaming mean/variance accumulator.
+//!
+//! The Monte-Carlo engine generates 100,000 randomized recipes per null
+//! model per cuisine; storing every pairing score is wasteful when only
+//! the ensemble mean and standard deviation feed the z-score. Welford's
+//! algorithm is numerically stable for exactly this use.
+
+/// Streaming accumulator for count, mean, and variance.
+///
+/// ```
+/// use culinaria_stats::RunningStats;
+///
+/// let mut stats = RunningStats::new();
+/// stats.extend([2.0, 4.0, 9.0]);
+/// assert_eq!(stats.count(), 3);
+/// assert_eq!(stats.mean(), Some(5.0));
+///
+/// // Parallel reduction: merge partial accumulators.
+/// let mut other = RunningStats::new();
+/// other.push(5.0);
+/// stats.merge(&other);
+/// assert_eq!(stats.count(), 4);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct RunningStats {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// A fresh, empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Fold in one observation.
+    pub fn push(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        let delta2 = x - self.mean;
+        self.m2 += delta * delta2;
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Merge another accumulator into this one (parallel reduction),
+    /// using Chan et al.'s pairwise update.
+    pub fn merge(&mut self, other: &RunningStats) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Number of observations folded in.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Mean of the observations. `None` if empty.
+    pub fn mean(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.mean)
+    }
+
+    /// Sample variance (n−1). `None` for fewer than two observations.
+    pub fn variance(&self) -> Option<f64> {
+        (self.n > 1).then(|| self.m2 / (self.n - 1) as f64)
+    }
+
+    /// Population variance (n). `None` if empty.
+    pub fn population_variance(&self) -> Option<f64> {
+        (self.n > 0).then(|| self.m2 / self.n as f64)
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> Option<f64> {
+        self.variance().map(f64::sqrt)
+    }
+
+    /// Population standard deviation.
+    pub fn population_std_dev(&self) -> Option<f64> {
+        self.population_variance().map(f64::sqrt)
+    }
+
+    /// Smallest observation. `None` if empty.
+    pub fn min(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.min)
+    }
+
+    /// Largest observation. `None` if empty.
+    pub fn max(&self) -> Option<f64> {
+        (self.n > 0).then_some(self.max)
+    }
+}
+
+impl Extend<f64> for RunningStats {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        for x in iter {
+            self.push(x);
+        }
+    }
+}
+
+impl FromIterator<f64> for RunningStats {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        let mut rs = RunningStats::new();
+        rs.extend(iter);
+        rs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::descriptive;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-9, "{a} != {b}");
+    }
+
+    #[test]
+    fn matches_batch_computation() {
+        let xs = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0];
+        let rs: RunningStats = xs.iter().copied().collect();
+        assert_eq!(rs.count(), 8);
+        assert_close(rs.mean().unwrap(), descriptive::mean(&xs).unwrap());
+        assert_close(rs.variance().unwrap(), descriptive::variance(&xs).unwrap());
+        assert_close(
+            rs.population_std_dev().unwrap(),
+            descriptive::population_std_dev(&xs).unwrap(),
+        );
+        assert_close(rs.min().unwrap(), 2.0);
+        assert_close(rs.max().unwrap(), 9.0);
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let rs = RunningStats::new();
+        assert!(rs.mean().is_none());
+        assert!(rs.variance().is_none());
+        assert!(rs.min().is_none());
+
+        let mut rs = RunningStats::new();
+        rs.push(3.0);
+        assert_close(rs.mean().unwrap(), 3.0);
+        assert!(rs.variance().is_none());
+        assert_close(rs.population_variance().unwrap(), 0.0);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let (a, b) = xs.split_at(37);
+        let mut left: RunningStats = a.iter().copied().collect();
+        let right: RunningStats = b.iter().copied().collect();
+        left.merge(&right);
+        let all: RunningStats = xs.iter().copied().collect();
+        assert_eq!(left.count(), all.count());
+        assert_close(left.mean().unwrap(), all.mean().unwrap());
+        assert_close(left.variance().unwrap(), all.variance().unwrap());
+        assert_close(left.min().unwrap(), all.min().unwrap());
+        assert_close(left.max().unwrap(), all.max().unwrap());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a: RunningStats = [1.0, 2.0].iter().copied().collect();
+        let before = a;
+        a.merge(&RunningStats::new());
+        assert_eq!(a, before);
+
+        let mut empty = RunningStats::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn numerically_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case: large mean, tiny variance.
+        let offset = 1e9;
+        let xs: Vec<f64> = [4.0, 7.0, 13.0, 16.0].iter().map(|x| x + offset).collect();
+        let rs: RunningStats = xs.iter().copied().collect();
+        assert_close(rs.variance().unwrap(), 30.0);
+    }
+}

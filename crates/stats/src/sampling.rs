@@ -1,0 +1,352 @@
+//! Random sampling primitives for the null models.
+//!
+//! The frequency-preserving null models need millions of weighted draws
+//! (100,000 recipes × ~9 ingredients × 22 cuisines × 2 models), so the
+//! hot path uses Walker's alias method ([`WeightedAliasSampler`], O(1)
+//! per draw after O(n) setup). A [`LinearCdfSampler`] (O(n) per draw) is
+//! kept as the ablation baseline benchmarked in `culinaria-bench`.
+
+use rand::{Rng, RngExt};
+
+/// Walker/Vose alias-method sampler over indices `0..n` with the given
+/// non-negative weights.
+///
+/// ```
+/// use culinaria_stats::WeightedAliasSampler;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let sampler = WeightedAliasSampler::new(&[1.0, 0.0, 3.0]).unwrap();
+/// let mut rng = StdRng::seed_from_u64(7);
+/// let draw = sampler.sample(&mut rng);
+/// assert!(draw == 0 || draw == 2); // index 1 has zero weight
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedAliasSampler {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+/// Errors constructing a weighted sampler.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SamplingError {
+    /// The weight vector was empty.
+    Empty,
+    /// A weight was negative or non-finite.
+    InvalidWeight(usize),
+    /// All weights were zero.
+    ZeroMass,
+}
+
+impl std::fmt::Display for SamplingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SamplingError::Empty => write!(f, "weight vector is empty"),
+            SamplingError::InvalidWeight(i) => {
+                write!(f, "weight at index {i} is negative or non-finite")
+            }
+            SamplingError::ZeroMass => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for SamplingError {}
+
+fn validate_weights(weights: &[f64]) -> Result<f64, SamplingError> {
+    if weights.is_empty() {
+        return Err(SamplingError::Empty);
+    }
+    let mut total = 0.0;
+    for (i, &w) in weights.iter().enumerate() {
+        if !w.is_finite() || w < 0.0 {
+            return Err(SamplingError::InvalidWeight(i));
+        }
+        total += w;
+    }
+    if total <= 0.0 {
+        return Err(SamplingError::ZeroMass);
+    }
+    Ok(total)
+}
+
+impl WeightedAliasSampler {
+    /// Build the alias table from non-negative weights (need not sum to 1).
+    pub fn new(weights: &[f64]) -> Result<Self, SamplingError> {
+        let total = validate_weights(weights)?;
+        let n = weights.len();
+        assert!(n <= u32::MAX as usize, "alias table limited to u32 indices");
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+
+        // Vose's two-stack construction.
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            alias[s as usize] = l;
+            // The large cell donates (1 − prob[s]) of its mass.
+            prob[l as usize] -= 1.0 - prob[s as usize];
+            if prob[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        // Residual numeric drift: leftover cells take probability 1.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Ok(WeightedAliasSampler { prob, alias })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True when the sampler has no categories (never constructible via
+    /// [`WeightedAliasSampler::new`], which rejects empty weights).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw one index with probability proportional to its weight. O(1).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let i = rng.random_range(0..self.prob.len());
+        if rng.random::<f64>() < self.prob[i] {
+            i
+        } else {
+            self.alias[i] as usize
+        }
+    }
+}
+
+/// Linear-scan CDF sampler: O(n) per draw. Kept as the ablation baseline
+/// against [`WeightedAliasSampler`] (see the `null_models` bench).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinearCdfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl LinearCdfSampler {
+    /// Build the cumulative weight table.
+    pub fn new(weights: &[f64]) -> Result<Self, SamplingError> {
+        validate_weights(weights)?;
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w;
+            cumulative.push(acc);
+        }
+        Ok(LinearCdfSampler { cumulative })
+    }
+
+    /// Number of categories.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// True when there are no categories.
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Draw one index with probability proportional to its weight. O(n).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        let u = rng.random::<f64>() * total;
+        for (i, &c) in self.cumulative.iter().enumerate() {
+            if u < c {
+                return i;
+            }
+        }
+        self.cumulative.len() - 1
+    }
+}
+
+/// Draw `k` distinct indices uniformly from `0..n` via partial
+/// Fisher–Yates. Returns all of `0..n` (shuffled) when `k ≥ n`.
+pub fn sample_without_replacement<R: Rng + ?Sized>(n: usize, k: usize, rng: &mut R) -> Vec<usize> {
+    let mut pool: Vec<usize> = (0..n).collect();
+    let k = k.min(n);
+    for i in 0..k {
+        let j = rng.random_range(i..n);
+        pool.swap(i, j);
+    }
+    pool.truncate(k);
+    pool
+}
+
+/// Uniformly choose one element of a slice. `None` for an empty slice.
+pub fn choose_uniform<'a, T, R: Rng + ?Sized>(items: &'a [T], rng: &mut R) -> Option<&'a T> {
+    if items.is_empty() {
+        None
+    } else {
+        Some(&items[rng.random_range(0..items.len())])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    /// Empirical frequencies of a sampler over many draws.
+    fn frequencies(mut draw: impl FnMut(&mut StdRng) -> usize, n: usize, iters: usize) -> Vec<f64> {
+        let mut r = rng();
+        let mut counts = vec![0usize; n];
+        for _ in 0..iters {
+            counts[draw(&mut r)] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / iters as f64).collect()
+    }
+
+    #[test]
+    fn alias_matches_weights() {
+        let weights = [1.0, 2.0, 3.0, 4.0];
+        let s = WeightedAliasSampler::new(&weights).unwrap();
+        let freq = frequencies(|r| s.sample(r), 4, 200_000);
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / 10.0;
+            assert!(
+                (freq[i] - expected).abs() < 0.01,
+                "index {i}: {} vs {}",
+                freq[i],
+                expected
+            );
+        }
+    }
+
+    #[test]
+    fn linear_cdf_matches_weights() {
+        let weights = [5.0, 1.0, 4.0];
+        let s = LinearCdfSampler::new(&weights).unwrap();
+        let freq = frequencies(|r| s.sample(r), 3, 200_000);
+        for (i, &w) in weights.iter().enumerate() {
+            assert!((freq[i] - w / 10.0).abs() < 0.01);
+        }
+    }
+
+    #[test]
+    fn alias_and_linear_agree() {
+        let weights = [0.1, 0.0, 7.3, 2.2, 0.9, 12.0];
+        let a = WeightedAliasSampler::new(&weights).unwrap();
+        let l = LinearCdfSampler::new(&weights).unwrap();
+        let fa = frequencies(|r| a.sample(r), 6, 300_000);
+        let fl = frequencies(|r| l.sample(r), 6, 300_000);
+        for i in 0..6 {
+            assert!(
+                (fa[i] - fl[i]).abs() < 0.01,
+                "index {i}: {} vs {}",
+                fa[i],
+                fl[i]
+            );
+        }
+    }
+
+    #[test]
+    fn zero_weight_categories_never_drawn() {
+        let s = WeightedAliasSampler::new(&[0.0, 1.0, 0.0]).unwrap();
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert_eq!(s.sample(&mut r), 1);
+        }
+    }
+
+    #[test]
+    fn degenerate_single_category() {
+        let s = WeightedAliasSampler::new(&[3.5]).unwrap();
+        let mut r = rng();
+        assert_eq!(s.sample(&mut r), 0);
+        assert_eq!(s.len(), 1);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn invalid_weights_rejected() {
+        assert_eq!(
+            WeightedAliasSampler::new(&[]).unwrap_err(),
+            SamplingError::Empty
+        );
+        assert_eq!(
+            WeightedAliasSampler::new(&[1.0, -0.5]).unwrap_err(),
+            SamplingError::InvalidWeight(1)
+        );
+        assert_eq!(
+            WeightedAliasSampler::new(&[1.0, f64::NAN]).unwrap_err(),
+            SamplingError::InvalidWeight(1)
+        );
+        assert_eq!(
+            WeightedAliasSampler::new(&[0.0, 0.0]).unwrap_err(),
+            SamplingError::ZeroMass
+        );
+        assert_eq!(
+            LinearCdfSampler::new(&[]).unwrap_err(),
+            SamplingError::Empty
+        );
+        assert_eq!(
+            LinearCdfSampler::new(&[0.0]).unwrap_err(),
+            SamplingError::ZeroMass
+        );
+    }
+
+    #[test]
+    fn without_replacement_is_distinct_and_in_range() {
+        let mut r = rng();
+        for _ in 0..100 {
+            let draw = sample_without_replacement(20, 7, &mut r);
+            assert_eq!(draw.len(), 7);
+            let mut sorted = draw.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), 7, "duplicates in {draw:?}");
+            assert!(draw.iter().all(|&i| i < 20));
+        }
+    }
+
+    #[test]
+    fn without_replacement_k_ge_n_returns_permutation() {
+        let mut r = rng();
+        let mut draw = sample_without_replacement(5, 99, &mut r);
+        draw.sort_unstable();
+        assert_eq!(draw, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn without_replacement_uniform_coverage() {
+        // Each of 0..10 should appear in a size-5 draw about half the time.
+        let mut r = rng();
+        let mut hits = vec![0usize; 10];
+        let iters = 40_000;
+        for _ in 0..iters {
+            for i in sample_without_replacement(10, 5, &mut r) {
+                hits[i] += 1;
+            }
+        }
+        for &h in &hits {
+            let p = h as f64 / iters as f64;
+            assert!((p - 0.5).abs() < 0.02, "coverage {p}");
+        }
+    }
+
+    #[test]
+    fn choose_uniform_basics() {
+        let mut r = rng();
+        let items = [10, 20, 30];
+        let c = choose_uniform(&items, &mut r).unwrap();
+        assert!(items.contains(c));
+        let empty: [i32; 0] = [];
+        assert!(choose_uniform(&empty, &mut r).is_none());
+    }
+}

@@ -1,0 +1,145 @@
+//! Z-scores of an observed statistic against a Monte-Carlo null ensemble.
+//!
+//! The paper compares a cuisine's mean flavor-sharing score ⟨N_s⟩ against
+//! the same statistic over a randomized cuisine of `N_rand` = 100,000
+//! recipes, and reports
+//!
+//! ```text
+//! Z = (⟨N_s⟩_cuisine − ⟨N_s⟩_rand) / (σ_rand / √N_rand)
+//! ```
+//!
+//! i.e. the deviation of the observed mean in units of the null
+//! ensemble's *standard error of the mean* — the same construction used
+//! by Ahn et al. (2011). [`NullEnsemble`] packages the null's summary
+//! statistics; [`z_score_of_mean`] applies the formula.
+
+use crate::running::RunningStats;
+
+/// Summary of a null (randomized) ensemble of scores.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NullEnsemble {
+    /// Ensemble mean.
+    pub mean: f64,
+    /// Ensemble standard deviation (sample, n−1).
+    pub std_dev: f64,
+    /// Number of randomized draws in the ensemble.
+    pub n: u64,
+}
+
+impl NullEnsemble {
+    /// Summarize a completed [`RunningStats`] accumulator.
+    ///
+    /// Returns `None` when the accumulator holds fewer than two
+    /// observations (no standard deviation is defined).
+    pub fn from_running(rs: &RunningStats) -> Option<NullEnsemble> {
+        Some(NullEnsemble {
+            mean: rs.mean()?,
+            std_dev: rs.std_dev()?,
+            n: rs.count(),
+        })
+    }
+
+    /// Standard error of the ensemble mean: σ / √n.
+    pub fn standard_error(&self) -> f64 {
+        self.std_dev / (self.n as f64).sqrt()
+    }
+}
+
+/// Classic single-observation z-score: (x − μ) / σ.
+///
+/// Returns `None` when σ is zero or not finite.
+pub fn z_score(x: f64, mu: f64, sigma: f64) -> Option<f64> {
+    if sigma <= 0.0 || !sigma.is_finite() {
+        return None;
+    }
+    Some((x - mu) / sigma)
+}
+
+/// The paper's z-score: observed mean vs a null ensemble, scaled by the
+/// ensemble's standard error of the mean.
+///
+/// Returns `None` when the ensemble is degenerate (zero spread).
+pub fn z_score_of_mean(observed_mean: f64, null: &NullEnsemble) -> Option<f64> {
+    z_score(observed_mean, null.mean, null.standard_error())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn z_score_basic() {
+        assert_eq!(z_score(12.0, 10.0, 2.0), Some(1.0));
+        assert_eq!(z_score(8.0, 10.0, 2.0), Some(-1.0));
+        assert_eq!(z_score(1.0, 0.0, 0.0), None);
+        assert_eq!(z_score(1.0, 0.0, f64::NAN), None);
+        assert_eq!(z_score(1.0, 0.0, -1.0), None);
+    }
+
+    #[test]
+    fn standard_error_shrinks_with_n() {
+        let a = NullEnsemble {
+            mean: 0.0,
+            std_dev: 2.0,
+            n: 4,
+        };
+        let b = NullEnsemble {
+            mean: 0.0,
+            std_dev: 2.0,
+            n: 100,
+        };
+        assert!((a.standard_error() - 1.0).abs() < 1e-12);
+        assert!((b.standard_error() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn z_of_mean_uses_standard_error() {
+        let null = NullEnsemble {
+            mean: 10.0,
+            std_dev: 5.0,
+            n: 10_000,
+        };
+        // SE = 5/100 = 0.05; observed 10.1 → z = 2.
+        let z = z_score_of_mean(10.1, &null).unwrap();
+        assert!((z - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn larger_ensembles_amplify_z() {
+        // Same observed deviation, bigger null ensemble → larger |Z|,
+        // exactly the paper's sensitivity to N_rand = 100,000.
+        let small = NullEnsemble {
+            mean: 10.0,
+            std_dev: 5.0,
+            n: 100,
+        };
+        let big = NullEnsemble {
+            mean: 10.0,
+            std_dev: 5.0,
+            n: 100_000,
+        };
+        let z_small = z_score_of_mean(10.5, &small).unwrap();
+        let z_big = z_score_of_mean(10.5, &big).unwrap();
+        assert!(z_big > z_small);
+        assert!((z_big / z_small - (1000.0f64).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn from_running_stats() {
+        let rs: RunningStats = [1.0, 2.0, 3.0].iter().copied().collect();
+        let null = NullEnsemble::from_running(&rs).unwrap();
+        assert_eq!(null.n, 3);
+        assert!((null.mean - 2.0).abs() < 1e-12);
+        assert!((null.std_dev - 1.0).abs() < 1e-12);
+
+        let single: RunningStats = [1.0].iter().copied().collect();
+        assert!(NullEnsemble::from_running(&single).is_none());
+    }
+
+    #[test]
+    fn degenerate_null_gives_none() {
+        let rs: RunningStats = [5.0, 5.0, 5.0].iter().copied().collect();
+        let null = NullEnsemble::from_running(&rs).unwrap();
+        assert!(z_score_of_mean(6.0, &null).is_none());
+    }
+}

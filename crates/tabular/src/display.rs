@@ -1,0 +1,112 @@
+//! Fixed-width pretty printing of frames for harness output.
+
+use std::fmt;
+
+use crate::frame::Frame;
+use crate::value::Value;
+
+/// Maximum number of rows printed by `Display`; longer frames are elided
+/// with a `… (N more rows)` footer.
+const MAX_DISPLAY_ROWS: usize = 50;
+
+impl Frame {
+    /// Render the frame as an aligned text table. `max_rows` limits the
+    /// body; the footer reports elided rows.
+    pub fn to_table_string(&self, max_rows: usize) -> String {
+        let n = self.n_rows().min(max_rows);
+        let mut cells: Vec<Vec<String>> = Vec::with_capacity(n + 1);
+        cells.push(self.names().to_vec());
+        for row in 0..n {
+            let mut line = Vec::with_capacity(self.n_cols());
+            for name in self.names() {
+                let v = self.get(row, name).expect("in range");
+                line.push(render_cell(&v));
+            }
+            cells.push(line);
+        }
+
+        let n_cols = self.n_cols();
+        let mut widths = vec![0usize; n_cols];
+        for line in &cells {
+            for (c, cell) in line.iter().enumerate() {
+                widths[c] = widths[c].max(cell.chars().count());
+            }
+        }
+
+        let mut out = String::new();
+        for (i, line) in cells.iter().enumerate() {
+            let rendered: Vec<String> = line
+                .iter()
+                .enumerate()
+                .map(|(c, cell)| format!("{:<width$}", cell, width = widths[c]))
+                .collect();
+            out.push_str(rendered.join("  ").trim_end());
+            out.push('\n');
+            if i == 0 {
+                let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+                out.push_str(&sep.join("  "));
+                out.push('\n');
+            }
+        }
+        if self.n_rows() > n {
+            out.push_str(&format!("… ({} more rows)\n", self.n_rows() - n));
+        }
+        out
+    }
+}
+
+fn render_cell(v: &Value) -> String {
+    match v {
+        Value::Null => "∅".to_owned(),
+        Value::Float(x) => {
+            // Limit noise: 4 significant decimals is plenty for reports.
+            if x.fract() == 0.0 && x.abs() < 1e15 {
+                format!("{x:.1}")
+            } else {
+                format!("{x:.4}")
+            }
+        }
+        other => other.to_string(),
+    }
+}
+
+impl fmt::Display for Frame {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.to_table_string(MAX_DISPLAY_ROWS))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    #[test]
+    fn aligned_output() {
+        let f = Frame::from_columns(vec![
+            ("region", Column::from_strs(&["ITA", "JPN"])),
+            ("z", Column::from_f64s(&[30.1234567, -4.0])),
+        ])
+        .unwrap();
+        let s = f.to_string();
+        assert!(s.contains("region"));
+        assert!(s.contains("30.1235"));
+        assert!(s.contains("-4.0"));
+        // Header separator present.
+        assert!(s.lines().nth(1).unwrap().starts_with('-'));
+    }
+
+    #[test]
+    fn elision_footer() {
+        let vals: Vec<i64> = (0..100).collect();
+        let f = Frame::from_columns(vec![("v", Column::from_i64s(&vals))]).unwrap();
+        let s = f.to_table_string(10);
+        assert!(s.contains("90 more rows"));
+    }
+
+    #[test]
+    fn nulls_render_visibly() {
+        let f = Frame::from_columns(vec![("v", Column::Int(vec![None, Some(1)]))]).unwrap();
+        assert!(f.to_string().contains('∅'));
+    }
+}

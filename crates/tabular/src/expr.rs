@@ -1,0 +1,390 @@
+//! A tiny predicate-expression language over frame rows.
+//!
+//! [`Expr`] lets callers build reusable, composable filters without
+//! closures, which keeps harness code declarative:
+//!
+//! ```
+//! use culinaria_tabular::{Frame, Column, Expr, Value};
+//!
+//! let f = Frame::from_columns(vec![
+//!     ("region", Column::from_strs(&["ITA", "JPN"])),
+//!     ("z", Column::from_f64s(&[30.0, -4.0])),
+//! ]).unwrap();
+//!
+//! let positive = Expr::col("z").gt(Expr::lit(0.0));
+//! let out = f.filter_expr(&positive).unwrap();
+//! assert_eq!(out.n_rows(), 1);
+//! ```
+
+use crate::error::Result;
+use crate::frame::{Frame, RowView};
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// A predicate / scalar expression evaluated against a row.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A column reference.
+    Col(String),
+    /// A literal value.
+    Lit(Value),
+    /// Equality.
+    Eq(Box<Expr>, Box<Expr>),
+    /// Inequality.
+    Ne(Box<Expr>, Box<Expr>),
+    /// Strictly less-than (by [`Value::total_cmp`]).
+    Lt(Box<Expr>, Box<Expr>),
+    /// Less-than-or-equal.
+    Le(Box<Expr>, Box<Expr>),
+    /// Strictly greater-than.
+    Gt(Box<Expr>, Box<Expr>),
+    /// Greater-than-or-equal.
+    Ge(Box<Expr>, Box<Expr>),
+    /// Logical conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Logical disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Logical negation.
+    Not(Box<Expr>),
+    /// True when the inner expression evaluates to null.
+    IsNull(Box<Expr>),
+    /// Numeric addition (null-propagating).
+    Add(Box<Expr>, Box<Expr>),
+    /// Numeric subtraction.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Numeric multiplication.
+    Mul(Box<Expr>, Box<Expr>),
+    /// Numeric division; division by zero yields null.
+    Div(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// A column reference.
+    pub fn col(name: &str) -> Expr {
+        Expr::Col(name.to_owned())
+    }
+
+    /// A literal.
+    pub fn lit<V: Into<Value>>(v: V) -> Expr {
+        Expr::Lit(v.into())
+    }
+
+    /// `self == other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Eq(Box::new(self), Box::new(other))
+    }
+
+    /// `self != other`.
+    pub fn ne(self, other: Expr) -> Expr {
+        Expr::Ne(Box::new(self), Box::new(other))
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::Lt(Box::new(self), Box::new(other))
+    }
+
+    /// `self <= other`.
+    pub fn le(self, other: Expr) -> Expr {
+        Expr::Le(Box::new(self), Box::new(other))
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::Gt(Box::new(self), Box::new(other))
+    }
+
+    /// `self >= other`.
+    pub fn ge(self, other: Expr) -> Expr {
+        Expr::Ge(Box::new(self), Box::new(other))
+    }
+
+    /// `self && other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self || other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `!self`.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(self) -> Expr {
+        Expr::Not(Box::new(self))
+    }
+
+    /// `self IS NULL`.
+    pub fn is_null(self) -> Expr {
+        Expr::IsNull(Box::new(self))
+    }
+
+    /// Evaluate to a [`Value`]. Comparisons involving null evaluate to
+    /// `Bool(false)` (SQL-like, but two-valued for simplicity); unknown
+    /// columns evaluate to null.
+    pub fn eval(&self, row: &RowView<'_>) -> Value {
+        match self {
+            Expr::Col(name) => row.get(name).unwrap_or(Value::Null),
+            Expr::Lit(v) => v.clone(),
+            Expr::Eq(a, b) => cmp_bool(a, b, row, |o| o == Ordering::Equal),
+            Expr::Ne(a, b) => cmp_bool(a, b, row, |o| o != Ordering::Equal),
+            Expr::Lt(a, b) => cmp_bool(a, b, row, |o| o == Ordering::Less),
+            Expr::Le(a, b) => cmp_bool(a, b, row, |o| o != Ordering::Greater),
+            Expr::Gt(a, b) => cmp_bool(a, b, row, |o| o == Ordering::Greater),
+            Expr::Ge(a, b) => cmp_bool(a, b, row, |o| o != Ordering::Less),
+            Expr::And(a, b) => Value::Bool(truthy(&a.eval(row)) && truthy(&b.eval(row))),
+            Expr::Or(a, b) => Value::Bool(truthy(&a.eval(row)) || truthy(&b.eval(row))),
+            Expr::Not(a) => Value::Bool(!truthy(&a.eval(row))),
+            Expr::IsNull(a) => Value::Bool(a.eval(row).is_null()),
+            Expr::Add(a, b) => arith(a, b, row, |x, y| Some(x + y)),
+            Expr::Sub(a, b) => arith(a, b, row, |x, y| Some(x - y)),
+            Expr::Mul(a, b) => arith(a, b, row, |x, y| Some(x * y)),
+            Expr::Div(a, b) => arith(a, b, row, |x, y| (y != 0.0).then(|| x / y)),
+        }
+    }
+
+    /// Evaluate as a boolean predicate (null / non-bool → false).
+    pub fn matches(&self, row: &RowView<'_>) -> bool {
+        truthy(&self.eval(row))
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    /// Numeric addition; null-propagating (see [`Expr::eval`]).
+    fn add(self, other: Expr) -> Expr {
+        Expr::Add(Box::new(self), Box::new(other))
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    /// Numeric subtraction; null-propagating.
+    fn sub(self, other: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(other))
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    /// Numeric multiplication; null-propagating.
+    fn mul(self, other: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(other))
+    }
+}
+
+impl std::ops::Div for Expr {
+    type Output = Expr;
+    /// Numeric division; division by zero evaluates to null.
+    fn div(self, other: Expr) -> Expr {
+        Expr::Div(Box::new(self), Box::new(other))
+    }
+}
+
+fn truthy(v: &Value) -> bool {
+    v.as_bool().unwrap_or(false)
+}
+
+/// Numeric binary operation: ints widen to floats; any null or
+/// non-numeric operand (or an op returning `None`) yields null.
+fn arith(a: &Expr, b: &Expr, row: &RowView<'_>, op: impl Fn(f64, f64) -> Option<f64>) -> Value {
+    let (Some(x), Some(y)) = (a.eval(row).as_float(), b.eval(row).as_float()) else {
+        return Value::Null;
+    };
+    match op(x, y) {
+        Some(v) => Value::from(v), // NaN normalizes to Null via From
+        None => Value::Null,
+    }
+}
+
+fn cmp_bool(a: &Expr, b: &Expr, row: &RowView<'_>, pred: impl Fn(Ordering) -> bool) -> Value {
+    let va = a.eval(row);
+    let vb = b.eval(row);
+    if va.is_null() || vb.is_null() {
+        return Value::Bool(false);
+    }
+    Value::Bool(pred(va.total_cmp(&vb)))
+}
+
+impl Frame {
+    /// [`Frame::filter`] driven by an [`Expr`] predicate.
+    pub fn filter_expr(&self, expr: &Expr) -> Result<Frame> {
+        self.filter(|row| expr.matches(&row))
+    }
+
+    /// A new frame with an extra float column `name` computed by
+    /// evaluating `expr` on every row (non-numeric results become
+    /// null). Errors if `name` already exists.
+    pub fn with_column(&self, name: &str, expr: &Expr) -> Result<Frame> {
+        let values: Vec<Option<f64>> = self.rows().map(|row| expr.eval(&row).as_float()).collect();
+        let mut out = self.clone();
+        out.add_column(name, crate::column::Column::Float(values))?;
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn sample() -> Frame {
+        Frame::from_columns(vec![
+            ("region", Column::from_strs(&["ITA", "JPN", "USA"])),
+            ("z", Column::Float(vec![Some(30.0), Some(-4.0), None])),
+            ("big", Column::from_bools(&[true, false, true])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn comparisons() {
+        let f = sample();
+        assert_eq!(
+            f.filter_expr(&Expr::col("z").gt(Expr::lit(0.0)))
+                .unwrap()
+                .n_rows(),
+            1
+        );
+        assert_eq!(
+            f.filter_expr(&Expr::col("z").le(Expr::lit(30.0)))
+                .unwrap()
+                .n_rows(),
+            2
+        );
+        assert_eq!(
+            f.filter_expr(&Expr::col("region").eq(Expr::lit("JPN")))
+                .unwrap()
+                .n_rows(),
+            1
+        );
+        assert_eq!(
+            f.filter_expr(&Expr::col("region").ne(Expr::lit("JPN")))
+                .unwrap()
+                .n_rows(),
+            2
+        );
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let f = sample();
+        // Row with null z matches neither z>x nor z<=x.
+        let gt = f
+            .filter_expr(&Expr::col("z").gt(Expr::lit(-100.0)))
+            .unwrap();
+        let le = f.filter_expr(&Expr::col("z").le(Expr::lit(100.0))).unwrap();
+        assert_eq!(gt.n_rows() + le.n_rows(), 4); // 2 + 2, null row excluded from both
+    }
+
+    #[test]
+    fn is_null_detects() {
+        let f = sample();
+        let nulls = f.filter_expr(&Expr::col("z").is_null()).unwrap();
+        assert_eq!(nulls.n_rows(), 1);
+        assert_eq!(nulls.get(0, "region").unwrap(), Value::str("USA"));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let f = sample();
+        let e = Expr::col("big")
+            .eq(Expr::lit(true))
+            .and(Expr::col("z").gt(Expr::lit(0.0)));
+        assert_eq!(f.filter_expr(&e).unwrap().n_rows(), 1);
+
+        let e = Expr::col("region")
+            .eq(Expr::lit("JPN"))
+            .or(Expr::col("region").eq(Expr::lit("USA")));
+        assert_eq!(f.filter_expr(&e).unwrap().n_rows(), 2);
+
+        let e = Expr::col("big").eq(Expr::lit(true)).not();
+        assert_eq!(f.filter_expr(&e).unwrap().n_rows(), 1);
+    }
+
+    #[test]
+    fn unknown_column_is_null() {
+        let f = sample();
+        let e = Expr::col("missing").is_null();
+        assert_eq!(f.filter_expr(&e).unwrap().n_rows(), 3);
+    }
+
+    #[test]
+    fn arithmetic_expressions() {
+        let f = Frame::from_columns(vec![
+            ("a", Column::from_f64s(&[6.0, 10.0])),
+            ("b", Column::from_i64s(&[2, 0])),
+        ])
+        .unwrap();
+        let g = f
+            .with_column("sum", &(Expr::col("a") + Expr::col("b")))
+            .unwrap()
+            .with_column("diff", &(Expr::col("a") - Expr::col("b")))
+            .unwrap()
+            .with_column("prod", &(Expr::col("a") * Expr::col("b")))
+            .unwrap()
+            .with_column("quot", &(Expr::col("a") / Expr::col("b")))
+            .unwrap();
+        assert_eq!(g.get(0, "sum").unwrap(), Value::Float(8.0));
+        assert_eq!(g.get(0, "diff").unwrap(), Value::Float(4.0));
+        assert_eq!(g.get(0, "prod").unwrap(), Value::Float(12.0));
+        assert_eq!(g.get(0, "quot").unwrap(), Value::Float(3.0));
+        // Division by zero → null.
+        assert!(g.get(1, "quot").unwrap().is_null());
+        // Name collision rejected.
+        assert!(g.with_column("sum", &Expr::lit(1.0)).is_err());
+    }
+
+    #[test]
+    fn arithmetic_null_propagation() {
+        let f = Frame::from_columns(vec![
+            ("a", Column::Float(vec![Some(1.0), None])),
+            ("s", Column::from_strs(&["x", "y"])),
+        ])
+        .unwrap();
+        let g = f
+            .with_column("na", &(Expr::col("a") + Expr::lit(1.0)))
+            .unwrap()
+            .with_column("ns", &(Expr::col("s") * Expr::lit(2.0)))
+            .unwrap();
+        assert_eq!(g.get(0, "na").unwrap(), Value::Float(2.0));
+        assert!(g.get(1, "na").unwrap().is_null()); // null operand
+        assert!(g.get(0, "ns").unwrap().is_null()); // non-numeric operand
+    }
+
+    #[test]
+    fn derived_column_in_predicate() {
+        let f = Frame::from_columns(vec![
+            ("obs", Column::from_f64s(&[10.0, 2.0])),
+            ("null_mean", Column::from_f64s(&[5.0, 4.0])),
+        ])
+        .unwrap();
+        // ratio = obs / null_mean, filter ratio > 1.
+        let g = f
+            .with_column("ratio", &(Expr::col("obs") / Expr::col("null_mean")))
+            .unwrap();
+        let hits = g
+            .filter_expr(&Expr::col("ratio").gt(Expr::lit(1.0)))
+            .unwrap();
+        assert_eq!(hits.n_rows(), 1);
+        assert_eq!(hits.get(0, "obs").unwrap(), Value::Float(10.0));
+    }
+
+    #[test]
+    fn ge_and_lt() {
+        let f = sample();
+        assert_eq!(
+            f.filter_expr(&Expr::col("z").ge(Expr::lit(-4.0)))
+                .unwrap()
+                .n_rows(),
+            2
+        );
+        assert_eq!(
+            f.filter_expr(&Expr::col("z").lt(Expr::lit(0.0)))
+                .unwrap()
+                .n_rows(),
+            1
+        );
+    }
+}

@@ -1,0 +1,327 @@
+//! Hash-based group-by with the aggregations the analyses need.
+
+use std::collections::HashMap;
+
+use crate::column::{Column, ColumnType};
+use crate::error::{Result, TabularError};
+use crate::frame::Frame;
+use crate::value::{GroupKey, Value};
+
+/// The result of [`Frame::group_by`]: groups of row indices keyed by the
+/// values of the grouping columns, in first-appearance order.
+#[derive(Debug, Clone)]
+pub struct GroupBy<'a> {
+    frame: &'a Frame,
+    key_columns: Vec<String>,
+    /// Group keys in first-appearance order.
+    keys: Vec<Vec<Value>>,
+    /// Row indices per group, parallel to `keys`.
+    groups: Vec<Vec<usize>>,
+}
+
+impl Frame {
+    /// Group rows by the named columns.
+    pub fn group_by(&self, columns: &[&str]) -> Result<GroupBy<'_>> {
+        for &c in columns {
+            // Validate before any work.
+            self.column(c)?;
+        }
+        let key_vals: Vec<Vec<Value>> = columns
+            .iter()
+            .map(|&c| self.column(c).expect("validated").iter_values().collect())
+            .collect();
+
+        let mut order: Vec<Vec<Value>> = Vec::new();
+        let mut groups: Vec<Vec<usize>> = Vec::new();
+        let mut seen: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+
+        for row in 0..self.n_rows() {
+            let key: Vec<GroupKey> = key_vals.iter().map(|col| col[row].group_key()).collect();
+            let slot = *seen.entry(key).or_insert_with(|| {
+                order.push(key_vals.iter().map(|col| col[row].clone()).collect());
+                groups.push(Vec::new());
+                groups.len() - 1
+            });
+            groups[slot].push(row);
+        }
+
+        Ok(GroupBy {
+            frame: self,
+            key_columns: columns.iter().map(|&c| c.to_owned()).collect(),
+            keys: order,
+            groups,
+        })
+    }
+}
+
+impl<'a> GroupBy<'a> {
+    /// Number of distinct groups.
+    pub fn n_groups(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// Row indices of each group, parallel to the key order.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Build the output frame skeleton: one row per group with the key
+    /// columns filled in.
+    fn key_frame(&self) -> Frame {
+        let mut out = Frame::new();
+        for (ki, name) in self.key_columns.iter().enumerate() {
+            // Determine the column type from the source frame.
+            let src_ty = self
+                .frame
+                .column(name)
+                .expect("key column exists")
+                .column_type();
+            let mut col = Column::empty(src_ty);
+            for key in &self.keys {
+                col.push(key[ki].clone())
+                    .expect("key value fits its column");
+            }
+            out.add_column(name, col).expect("unique key names");
+        }
+        out
+    }
+
+    /// Group sizes, as a frame with the key columns plus `count`.
+    pub fn count(&self) -> Frame {
+        let mut out = self.key_frame();
+        let counts: Vec<i64> = self.groups.iter().map(|g| g.len() as i64).collect();
+        out.add_column("count", Column::from_i64s(&counts))
+            .expect("count column is fresh");
+        out
+    }
+
+    /// Apply a numeric fold over `column` per group and attach the result
+    /// as `out_name`.
+    fn numeric_agg(
+        &self,
+        column: &str,
+        out_name: &str,
+        f: impl Fn(&[f64]) -> Option<f64>,
+    ) -> Result<Frame> {
+        let col = self.frame.column(column)?;
+        match col.column_type() {
+            ColumnType::Int | ColumnType::Float => {}
+            other => {
+                return Err(TabularError::TypeMismatch {
+                    column: column.to_owned(),
+                    expected: "numeric",
+                    actual: other.name(),
+                })
+            }
+        }
+        let vals: Vec<Option<f64>> = col.iter_values().map(|v| v.as_float()).collect();
+        let mut out = self.key_frame();
+        let mut agg: Vec<Option<f64>> = Vec::with_capacity(self.groups.len());
+        let mut scratch: Vec<f64> = Vec::new();
+        for g in &self.groups {
+            scratch.clear();
+            scratch.extend(g.iter().filter_map(|&i| vals[i]));
+            agg.push(f(&scratch));
+        }
+        out.add_column(out_name, Column::Float(agg))
+            .expect("fresh aggregation column");
+        Ok(out)
+    }
+
+    /// Per-group arithmetic mean of a numeric column (nulls skipped; empty
+    /// groups yield null). Output column: `<column>_mean`.
+    pub fn mean(&self, column: &str) -> Result<Frame> {
+        self.numeric_agg(column, &format!("{column}_mean"), |xs| {
+            if xs.is_empty() {
+                None
+            } else {
+                Some(xs.iter().sum::<f64>() / xs.len() as f64)
+            }
+        })
+    }
+
+    /// Per-group sum. Output column: `<column>_sum`. Empty groups sum to 0.
+    pub fn sum(&self, column: &str) -> Result<Frame> {
+        self.numeric_agg(column, &format!("{column}_sum"), |xs| {
+            Some(xs.iter().sum::<f64>())
+        })
+    }
+
+    /// Per-group minimum. Output column: `<column>_min`.
+    pub fn min(&self, column: &str) -> Result<Frame> {
+        self.numeric_agg(column, &format!("{column}_min"), |xs| {
+            xs.iter().copied().reduce(f64::min)
+        })
+    }
+
+    /// Per-group maximum. Output column: `<column>_max`.
+    pub fn max(&self, column: &str) -> Result<Frame> {
+        self.numeric_agg(column, &format!("{column}_max"), |xs| {
+            xs.iter().copied().reduce(f64::max)
+        })
+    }
+
+    /// Apply several aggregations at once. Produces the key columns plus
+    /// one column per `(column, agg)` pair.
+    pub fn aggregate(&self, specs: &[(&str, Aggregation)]) -> Result<Frame> {
+        let mut out = self.key_frame();
+        for &(column, agg) in specs {
+            let partial = match agg {
+                Aggregation::Count => {
+                    let counts: Vec<i64> = self.groups.iter().map(|g| g.len() as i64).collect();
+                    let mut f = self.key_frame();
+                    f.add_column(&format!("{column}_count"), Column::from_i64s(&counts))
+                        .expect("fresh column");
+                    f
+                }
+                Aggregation::Mean => self.mean(column)?,
+                Aggregation::Sum => self.sum(column)?,
+                Aggregation::Min => self.min(column)?,
+                Aggregation::Max => self.max(column)?,
+            };
+            // Attach the last column of `partial` to `out`.
+            let name = partial
+                .names()
+                .last()
+                .expect("agg output has columns")
+                .clone();
+            out.add_column(&name, partial.column(&name)?.clone())?;
+        }
+        Ok(out)
+    }
+}
+
+/// Aggregation kinds supported by [`GroupBy::aggregate`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Aggregation {
+    /// Group size.
+    Count,
+    /// Arithmetic mean (nulls skipped).
+    Mean,
+    /// Sum (nulls skipped).
+    Sum,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Frame {
+        Frame::from_columns(vec![
+            (
+                "region",
+                Column::from_strs(&["ITA", "JPN", "ITA", "JPN", "ITA"]),
+            ),
+            (
+                "v",
+                Column::Float(vec![Some(1.0), Some(10.0), Some(3.0), None, Some(5.0)]),
+            ),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn groups_in_first_appearance_order() {
+        let f = sample();
+        let g = f.group_by(&["region"]).unwrap();
+        assert_eq!(g.n_groups(), 2);
+        let counted = g.count();
+        assert_eq!(counted.get(0, "region").unwrap(), Value::str("ITA"));
+        assert_eq!(counted.get(0, "count").unwrap(), Value::Int(3));
+        assert_eq!(counted.get(1, "count").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn mean_skips_nulls() {
+        let f = sample();
+        let m = f.group_by(&["region"]).unwrap().mean("v").unwrap();
+        assert_eq!(m.get(0, "v_mean").unwrap(), Value::Float(3.0));
+        // JPN has one null; mean over the single non-null value.
+        assert_eq!(m.get(1, "v_mean").unwrap(), Value::Float(10.0));
+    }
+
+    #[test]
+    fn sum_min_max() {
+        let f = sample();
+        let gb = f.group_by(&["region"]).unwrap();
+        assert_eq!(
+            gb.sum("v").unwrap().get(0, "v_sum").unwrap(),
+            Value::Float(9.0)
+        );
+        assert_eq!(
+            gb.min("v").unwrap().get(0, "v_min").unwrap(),
+            Value::Float(1.0)
+        );
+        assert_eq!(
+            gb.max("v").unwrap().get(0, "v_max").unwrap(),
+            Value::Float(5.0)
+        );
+    }
+
+    #[test]
+    fn aggregate_multi() {
+        let f = sample();
+        let out = f
+            .group_by(&["region"])
+            .unwrap()
+            .aggregate(&[("v", Aggregation::Mean), ("v", Aggregation::Count)])
+            .unwrap();
+        assert!(out.has_column("v_mean"));
+        assert!(out.has_column("v_count"));
+        assert_eq!(out.n_rows(), 2);
+    }
+
+    #[test]
+    fn non_numeric_agg_rejected() {
+        let f = sample();
+        let err = f.group_by(&["region"]).unwrap().mean("region").unwrap_err();
+        assert!(matches!(err, TabularError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn group_by_multiple_keys() {
+        let f = Frame::from_columns(vec![
+            ("a", Column::from_strs(&["x", "x", "y"])),
+            ("b", Column::from_i64s(&[1, 1, 1])),
+            ("v", Column::from_f64s(&[1.0, 2.0, 3.0])),
+        ])
+        .unwrap();
+        let g = f.group_by(&["a", "b"]).unwrap();
+        assert_eq!(g.n_groups(), 2);
+    }
+
+    #[test]
+    fn empty_group_mean_is_null() {
+        // All-null numeric column → group exists, mean is null.
+        let f = Frame::from_columns(vec![
+            ("k", Column::from_strs(&["a"])),
+            ("v", Column::Float(vec![None])),
+        ])
+        .unwrap();
+        let m = f.group_by(&["k"]).unwrap().mean("v").unwrap();
+        assert!(m.get(0, "v_mean").unwrap().is_null());
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        assert!(sample().group_by(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn null_keys_form_their_own_group() {
+        let f = Frame::from_columns(vec![
+            ("k", Column::Str(vec![Some("a".into()), None, None])),
+            ("v", Column::from_f64s(&[1.0, 2.0, 3.0])),
+        ])
+        .unwrap();
+        let g = f.group_by(&["k"]).unwrap();
+        assert_eq!(g.n_groups(), 2);
+        let c = g.count();
+        assert_eq!(c.get(1, "count").unwrap(), Value::Int(2));
+        assert!(c.get(1, "k").unwrap().is_null());
+    }
+}

@@ -1,0 +1,183 @@
+//! Hash inner join between two frames.
+
+use std::collections::HashMap;
+
+use crate::error::{Result, TabularError};
+use crate::frame::Frame;
+use crate::value::GroupKey;
+
+impl Frame {
+    /// Inner join with `other` on equality of the named key columns
+    /// (`left_on[i]` joins against `right_on[i]`).
+    ///
+    /// Output columns: all of `self`'s columns, followed by `other`'s
+    /// non-key columns. A right column whose name collides with a left
+    /// column is suffixed with `_right`. Rows with null join keys never
+    /// match (SQL semantics). Output order: left-row order, then right-row
+    /// order within duplicate key matches.
+    pub fn inner_join(&self, other: &Frame, left_on: &[&str], right_on: &[&str]) -> Result<Frame> {
+        if left_on.len() != right_on.len() || left_on.is_empty() {
+            return Err(TabularError::UnknownColumn(
+                "join key lists must be non-empty and equal length".to_owned(),
+            ));
+        }
+        for &c in left_on {
+            self.column(c)?;
+        }
+        for &c in right_on {
+            other.column(c)?;
+        }
+
+        // Build hash table over the (smaller) right side.
+        let mut table: HashMap<Vec<GroupKey>, Vec<usize>> = HashMap::new();
+        'right: for row in 0..other.n_rows() {
+            let mut key = Vec::with_capacity(right_on.len());
+            for &c in right_on {
+                let v = other.get(row, c).expect("validated column, row in range");
+                if v.is_null() {
+                    continue 'right;
+                }
+                key.push(v.group_key());
+            }
+            table.entry(key).or_default().push(row);
+        }
+
+        let mut left_idx: Vec<usize> = Vec::new();
+        let mut right_idx: Vec<usize> = Vec::new();
+        'left: for row in 0..self.n_rows() {
+            let mut key = Vec::with_capacity(left_on.len());
+            for &c in left_on {
+                let v = self.get(row, c).expect("validated column, row in range");
+                if v.is_null() {
+                    continue 'left;
+                }
+                key.push(v.group_key());
+            }
+            if let Some(matches) = table.get(&key) {
+                for &r in matches {
+                    left_idx.push(row);
+                    right_idx.push(r);
+                }
+            }
+        }
+
+        let mut out = self.take(&left_idx);
+        let right_keys: Vec<&str> = right_on.to_vec();
+        for (name, _) in other.names().iter().zip(0..) {
+            if right_keys.contains(&name.as_str()) {
+                continue;
+            }
+            let col = other.column(name)?.take(&right_idx);
+            let out_name = if out.has_column(name) {
+                format!("{name}_right")
+            } else {
+                name.clone()
+            };
+            out.add_column(&out_name, col)?;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+    use crate::value::Value;
+
+    fn regions() -> Frame {
+        Frame::from_columns(vec![
+            ("code", Column::from_strs(&["ITA", "JPN", "KOR"])),
+            ("recipes", Column::from_i64s(&[7504, 580, 301])),
+        ])
+        .unwrap()
+    }
+
+    fn zscores() -> Frame {
+        Frame::from_columns(vec![
+            ("code", Column::from_strs(&["JPN", "ITA", "ITA", "XXX"])),
+            ("z", Column::from_f64s(&[-4.0, 30.0, 29.0, 1.0])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn basic_inner_join() {
+        let j = regions()
+            .inner_join(&zscores(), &["code"], &["code"])
+            .unwrap();
+        assert_eq!(j.n_rows(), 3); // ITA×2 + JPN×1, KOR/XXX unmatched
+        assert_eq!(j.names(), &["code", "recipes", "z"]);
+        // Left-row order preserved: ITA rows first.
+        assert_eq!(j.get(0, "code").unwrap(), Value::str("ITA"));
+        assert_eq!(j.get(2, "code").unwrap(), Value::str("JPN"));
+    }
+
+    #[test]
+    fn name_collision_suffixes() {
+        let left = Frame::from_columns(vec![
+            ("k", Column::from_i64s(&[1])),
+            ("v", Column::from_i64s(&[10])),
+        ])
+        .unwrap();
+        let right = Frame::from_columns(vec![
+            ("k", Column::from_i64s(&[1])),
+            ("v", Column::from_i64s(&[20])),
+        ])
+        .unwrap();
+        let j = left.inner_join(&right, &["k"], &["k"]).unwrap();
+        assert_eq!(j.names(), &["k", "v", "v_right"]);
+        assert_eq!(j.get(0, "v_right").unwrap(), Value::Int(20));
+    }
+
+    #[test]
+    fn null_keys_never_match() {
+        let left =
+            Frame::from_columns(vec![("k", Column::Str(vec![Some("a".into()), None]))]).unwrap();
+        let right =
+            Frame::from_columns(vec![("k", Column::Str(vec![Some("a".into()), None]))]).unwrap();
+        let j = left.inner_join(&right, &["k"], &["k"]).unwrap();
+        assert_eq!(j.n_rows(), 1);
+    }
+
+    #[test]
+    fn differing_key_names() {
+        let left = Frame::from_columns(vec![("a", Column::from_i64s(&[1, 2]))]).unwrap();
+        let right = Frame::from_columns(vec![
+            ("b", Column::from_i64s(&[2, 3])),
+            ("tag", Column::from_strs(&["two", "three"])),
+        ])
+        .unwrap();
+        let j = left.inner_join(&right, &["a"], &["b"]).unwrap();
+        assert_eq!(j.n_rows(), 1);
+        assert_eq!(j.get(0, "tag").unwrap(), Value::str("two"));
+    }
+
+    #[test]
+    fn bad_keys_error() {
+        assert!(regions().inner_join(&zscores(), &[], &[]).is_err());
+        assert!(regions()
+            .inner_join(&zscores(), &["code"], &["nope"])
+            .is_err());
+        assert!(regions()
+            .inner_join(&zscores(), &["code", "recipes"], &["code"])
+            .is_err());
+    }
+
+    #[test]
+    fn multi_key_join() {
+        let left = Frame::from_columns(vec![
+            ("a", Column::from_i64s(&[1, 1, 2])),
+            ("b", Column::from_strs(&["x", "y", "x"])),
+        ])
+        .unwrap();
+        let right = Frame::from_columns(vec![
+            ("a", Column::from_i64s(&[1, 2])),
+            ("b", Column::from_strs(&["y", "x"])),
+            ("v", Column::from_f64s(&[0.5, 0.7])),
+        ])
+        .unwrap();
+        let j = left.inner_join(&right, &["a", "b"], &["a", "b"]).unwrap();
+        assert_eq!(j.n_rows(), 2);
+    }
+}

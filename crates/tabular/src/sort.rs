@@ -1,0 +1,132 @@
+//! Multi-key stable sorting of frames.
+
+use crate::error::Result;
+use crate::frame::Frame;
+use crate::value::Value;
+use std::cmp::Ordering;
+
+/// Direction of one sort key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SortOrder {
+    /// Smallest first (nulls first, per [`Value::total_cmp`]).
+    Ascending,
+    /// Largest first (nulls last).
+    Descending,
+}
+
+impl Frame {
+    /// Stable sort by the named columns, all ascending.
+    pub fn sort_by(&self, columns: &[&str]) -> Result<Frame> {
+        let keys: Vec<(&str, SortOrder)> =
+            columns.iter().map(|&c| (c, SortOrder::Ascending)).collect();
+        self.sort_by_with(&keys)
+    }
+
+    /// Stable sort by `(column, order)` keys, applied left to right.
+    pub fn sort_by_with(&self, keys: &[(&str, SortOrder)]) -> Result<Frame> {
+        // Materialize key values once: O(rows × keys) Value clones, then a
+        // standard stable index sort.
+        let mut key_cols = Vec::with_capacity(keys.len());
+        for &(name, order) in keys {
+            let col = self.column(name)?;
+            let vals: Vec<Value> = col.iter_values().collect();
+            key_cols.push((vals, order));
+        }
+        let mut idx: Vec<usize> = (0..self.n_rows()).collect();
+        idx.sort_by(|&a, &b| {
+            for (vals, order) in &key_cols {
+                let ord = vals[a].total_cmp(&vals[b]);
+                let ord = match order {
+                    SortOrder::Ascending => ord,
+                    SortOrder::Descending => ord.reverse(),
+                };
+                if ord != Ordering::Equal {
+                    return ord;
+                }
+            }
+            Ordering::Equal
+        });
+        Ok(self.take(&idx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::column::Column;
+
+    fn sample() -> Frame {
+        Frame::from_columns(vec![
+            ("g", Column::from_strs(&["b", "a", "b", "a"])),
+            ("v", Column::from_i64s(&[2, 9, 1, 3])),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn single_key_ascending() {
+        let f = sample().sort_by(&["v"]).unwrap();
+        let vs: Vec<i64> = f
+            .column("v")
+            .unwrap()
+            .iter_values()
+            .map(|v| v.as_int().unwrap())
+            .collect();
+        assert_eq!(vs, vec![1, 2, 3, 9]);
+    }
+
+    #[test]
+    fn multi_key_with_direction() {
+        let f = sample()
+            .sort_by_with(&[("g", SortOrder::Ascending), ("v", SortOrder::Descending)])
+            .unwrap();
+        let rows: Vec<(String, i64)> = f
+            .rows()
+            .map(|r| {
+                (
+                    r.get("g").unwrap().as_str().unwrap().to_owned(),
+                    r.get("v").unwrap().as_int().unwrap(),
+                )
+            })
+            .collect();
+        assert_eq!(
+            rows,
+            vec![
+                ("a".into(), 9),
+                ("a".into(), 3),
+                ("b".into(), 2),
+                ("b".into(), 1)
+            ]
+        );
+    }
+
+    #[test]
+    fn sort_is_stable() {
+        let f = Frame::from_columns(vec![
+            ("k", Column::from_i64s(&[1, 1, 1])),
+            ("tag", Column::from_strs(&["first", "second", "third"])),
+        ])
+        .unwrap();
+        let s = f.sort_by(&["k"]).unwrap();
+        let tags: Vec<String> = s
+            .column("tag")
+            .unwrap()
+            .iter_values()
+            .map(|v| v.as_str().unwrap().to_owned())
+            .collect();
+        assert_eq!(tags, vec!["first", "second", "third"]);
+    }
+
+    #[test]
+    fn nulls_sort_first_ascending() {
+        let f = Frame::from_columns(vec![("v", Column::Float(vec![Some(2.0), None, Some(1.0)]))])
+            .unwrap();
+        let s = f.sort_by(&["v"]).unwrap();
+        assert!(s.get(0, "v").unwrap().is_null());
+    }
+
+    #[test]
+    fn unknown_column_errors() {
+        assert!(sample().sort_by(&["nope"]).is_err());
+    }
+}

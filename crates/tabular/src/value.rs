@@ -1,0 +1,253 @@
+//! Dynamically-typed cell values.
+//!
+//! [`Value`] is the row-level escape hatch of the column store: columns are
+//! stored as typed vectors, but predicates, joins and group-by keys need a
+//! uniform cell representation. `Value` is cheap to clone for everything
+//! except strings and implements a total ordering so it can serve as a sort
+//! and grouping key.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A single dynamically-typed cell.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Missing value.
+    Null,
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float. NaN is normalized to `Null` at column boundaries.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Shorthand for building a string value from a `&str`.
+    pub fn str(s: &str) -> Self {
+        Value::Str(s.to_owned())
+    }
+
+    /// True if the value is [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Extract an integer, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Extract a float; integers are widened, other types yield `None`.
+    pub fn as_float(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// Extract a string slice, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Extract a boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Rank used to order values of different types: Null < Bool < Int ≈
+    /// Float < Str. Ints and floats share a rank and compare numerically.
+    fn type_rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) | Value::Float(_) => 2,
+            Value::Str(_) => 3,
+        }
+    }
+
+    /// Total ordering across all values. Numeric values compare
+    /// numerically across `Int`/`Float`; NaN sorts after all other floats.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        let (ra, rb) = (self.type_rank(), other.type_rank());
+        if ra != rb {
+            return ra.cmp(&rb);
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (a, b) => {
+                // Mixed numeric comparison (Int vs Float or Float vs Float).
+                let fa = a.as_float().expect("rank-2 value is numeric");
+                let fb = b.as_float().expect("rank-2 value is numeric");
+                fa.total_cmp(&fb)
+            }
+        }
+    }
+
+    /// A hashable grouping key. Floats are keyed by their bit pattern, so
+    /// `-0.0` and `0.0` are distinct keys; analyses that group by floats
+    /// should round first.
+    pub fn group_key(&self) -> GroupKey {
+        match self {
+            Value::Null => GroupKey::Null,
+            Value::Bool(b) => GroupKey::Bool(*b),
+            Value::Int(v) => GroupKey::Int(*v),
+            Value::Float(v) => GroupKey::FloatBits(v.to_bits()),
+            Value::Str(s) => GroupKey::Str(s.clone()),
+        }
+    }
+}
+
+/// Hashable projection of a [`Value`], used as a group-by / join key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum GroupKey {
+    /// Key for a missing value.
+    Null,
+    /// Key for a boolean.
+    Bool(bool),
+    /// Key for an integer.
+    Int(i64),
+    /// Key for a float, by IEEE-754 bit pattern.
+    FloatBits(u64),
+    /// Key for a string.
+    Str(String),
+}
+
+impl fmt::Display for Value {
+    /// Writes the CSV-facing textual form (empty string for null).
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => Ok(()),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Bool(b) => write!(f, "{b}"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        if v.is_nan() {
+            Value::Null
+        } else {
+            Value::Float(v)
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        assert_eq!(Value::Int(7).as_int(), Some(7));
+        assert_eq!(Value::Int(7).as_float(), Some(7.0));
+        assert_eq!(Value::Float(1.5).as_float(), Some(1.5));
+        assert_eq!(Value::str("a").as_str(), Some("a"));
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert!(Value::Null.is_null());
+        assert_eq!(Value::str("a").as_int(), None);
+        assert_eq!(Value::Bool(true).as_float(), None);
+    }
+
+    #[test]
+    fn nan_becomes_null() {
+        assert!(Value::from(f64::NAN).is_null());
+        assert_eq!(Value::from(2.5), Value::Float(2.5));
+    }
+
+    #[test]
+    fn ordering_across_types_is_stable() {
+        let mut vals = [
+            Value::str("b"),
+            Value::Int(3),
+            Value::Null,
+            Value::Float(2.5),
+            Value::Bool(false),
+        ];
+        vals.sort_by(|a, b| a.total_cmp(b));
+        assert!(vals[0].is_null());
+        assert_eq!(vals[1], Value::Bool(false));
+        assert_eq!(vals[2], Value::Float(2.5));
+        assert_eq!(vals[3], Value::Int(3));
+        assert_eq!(vals[4], Value::str("b"));
+    }
+
+    #[test]
+    fn int_float_compare_numerically() {
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.0)), Ordering::Equal);
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(
+            Value::Float(3.5).total_cmp(&Value::Int(3)),
+            Ordering::Greater
+        );
+    }
+
+    #[test]
+    fn group_keys_distinguish_values() {
+        assert_eq!(Value::Int(1).group_key(), Value::Int(1).group_key());
+        assert_ne!(Value::Int(1).group_key(), Value::Int(2).group_key());
+        assert_ne!(Value::Int(1).group_key(), Value::Float(1.0).group_key());
+        assert_eq!(Value::str("x").group_key(), Value::str("x").group_key());
+        assert_eq!(Value::Null.group_key(), Value::Null.group_key());
+    }
+
+    #[test]
+    fn display_is_csv_friendly() {
+        assert_eq!(Value::Null.to_string(), "");
+        assert_eq!(Value::Int(-4).to_string(), "-4");
+        assert_eq!(Value::Float(0.5).to_string(), "0.5");
+        assert_eq!(Value::str("hi").to_string(), "hi");
+        assert_eq!(Value::Bool(true).to_string(), "true");
+    }
+
+    #[test]
+    fn from_impls() {
+        assert_eq!(Value::from(1i64), Value::Int(1));
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(String::from("t")), Value::str("t"));
+        assert_eq!(Value::from(false), Value::Bool(false));
+    }
+}

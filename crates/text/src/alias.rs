@@ -1,0 +1,419 @@
+//! The alias-resolution pipeline: free-text phrase → canonical
+//! ingredients.
+//!
+//! [`AliasResolver`] holds the curated ingredient lexicon (canonical
+//! names, possibly multi-word) and a synonym table (bun → bread,
+//! curd → yogurt, …). Resolution follows the paper's protocol:
+//! normalize → drop stopwords → singularize → greedy longest-n-gram
+//! matching (n ≤ 6) against the lexicon, with a Damerau–Levenshtein
+//! fallback for single-token spelling variants, and explicit flagging of
+//! unresolved tokens for manual curation.
+
+use std::collections::HashMap;
+
+use crate::edit_distance::within_distance;
+use crate::normalize::tokenize;
+use crate::singularize::singularize;
+use crate::stopwords::is_stopword;
+
+/// How a piece of text was matched to a canonical ingredient.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MatchKind {
+    /// The n-gram equals a canonical name.
+    Exact,
+    /// The n-gram equals a registered synonym of a canonical name.
+    Synonym,
+    /// A single token within edit distance 1 of a canonical name or
+    /// synonym (spelling variant).
+    Fuzzy,
+}
+
+/// One resolved span of a phrase.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResolvedMatch {
+    /// The canonical ingredient name.
+    pub canonical: String,
+    /// The (cleaned) text that matched.
+    pub matched_text: String,
+    /// How the match was found.
+    pub kind: MatchKind,
+}
+
+/// Full result of resolving one phrase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Resolution {
+    /// Matched ingredients, in phrase order.
+    pub matches: Vec<ResolvedMatch>,
+    /// Cleaned tokens that failed to match anything — the paper labels
+    /// these for manual curation.
+    pub unresolved: Vec<String>,
+}
+
+/// The ingredient lexicon and matching engine.
+#[derive(Debug, Clone, Default)]
+pub struct AliasResolver {
+    /// Normalized canonical name → itself (set semantics, map for reuse).
+    canonical: HashMap<String, ()>,
+    /// Normalized synonym → canonical name.
+    synonyms: HashMap<String, String>,
+    /// Length-bucketed single-token keys for the fuzzy pass:
+    /// `fuzzy_index[len]` holds `(key, canonical)` pairs.
+    fuzzy_index: HashMap<usize, Vec<(String, String)>>,
+    /// Every token occurring in a lexicon entry. Tokens in this set are
+    /// exempt from stopword removal so entries like "virgin olive oil"
+    /// or "half half" stay matchable even when their words are generic
+    /// culinary stopwords.
+    lexicon_tokens: std::collections::HashSet<String>,
+    /// Maximum n-gram length tried (paper: 6).
+    max_ngram: usize,
+    /// Maximum edit distance for the fuzzy pass.
+    fuzzy_max_distance: usize,
+    /// Minimum token length eligible for fuzzy matching (short tokens
+    /// produce too many false positives).
+    fuzzy_min_len: usize,
+}
+
+impl AliasResolver {
+    /// A resolver with the paper's parameters: n-grams up to 6, fuzzy
+    /// distance 1 for tokens of at least 5 characters.
+    pub fn new() -> Self {
+        AliasResolver {
+            canonical: HashMap::new(),
+            synonyms: HashMap::new(),
+            fuzzy_index: HashMap::new(),
+            lexicon_tokens: std::collections::HashSet::new(),
+            max_ngram: 6,
+            fuzzy_max_distance: 1,
+            fuzzy_min_len: 5,
+        }
+    }
+
+    /// Normalize a lexicon entry the same way phrases are normalized:
+    /// tokenize, singularize (stopwords are *kept* — curated names
+    /// should not contain any).
+    fn canon_key(name: &str) -> String {
+        tokenize(name)
+            .iter()
+            .map(|t| singularize(t))
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    /// Register a canonical ingredient name (possibly multi-word).
+    /// Returns the normalized key under which it was stored.
+    pub fn add_canonical(&mut self, name: &str) -> String {
+        let key = Self::canon_key(name);
+        self.canonical.insert(key.clone(), ());
+        self.index_for_fuzzy(&key, &key);
+        self.remember_tokens(&key);
+        key
+    }
+
+    fn remember_tokens(&mut self, key: &str) {
+        // Only multi-word entries earn the stopword exemption: a
+        // single-word entry that doubles as a culinary stopword
+        // ("clove" in "2 cloves garlic") is overwhelmingly the
+        // container/measure sense in free text.
+        if !key.contains(' ') {
+            return;
+        }
+        for tok in key.split(' ') {
+            self.lexicon_tokens.insert(tok.to_owned());
+        }
+    }
+
+    /// Register `synonym` as an alias of `canonical` (the canonical need
+    /// not be registered yet; matches resolve to its normalized form).
+    pub fn add_synonym(&mut self, synonym: &str, canonical: &str) {
+        let skey = Self::canon_key(synonym);
+        let ckey = Self::canon_key(canonical);
+        self.index_for_fuzzy(&skey, &ckey);
+        self.remember_tokens(&skey);
+        self.synonyms.insert(skey, ckey);
+    }
+
+    fn index_for_fuzzy(&mut self, key: &str, canonical: &str) {
+        if !key.contains(' ') && key.chars().count() >= self.fuzzy_min_len {
+            self.fuzzy_index
+                .entry(key.chars().count())
+                .or_default()
+                .push((key.to_owned(), canonical.to_owned()));
+        }
+    }
+
+    /// Number of canonical entries.
+    pub fn n_canonical(&self) -> usize {
+        self.canonical.len()
+    }
+
+    /// Number of synonyms.
+    pub fn n_synonyms(&self) -> usize {
+        self.synonyms.len()
+    }
+
+    /// True if the normalized form of `name` is a canonical entry.
+    pub fn is_canonical(&self, name: &str) -> bool {
+        self.canonical.contains_key(&Self::canon_key(name))
+    }
+
+    /// Exact/synonym lookup of an already-normalized n-gram.
+    fn lookup(&self, gram: &str) -> Option<(String, MatchKind)> {
+        if self.canonical.contains_key(gram) {
+            return Some((gram.to_owned(), MatchKind::Exact));
+        }
+        if let Some(c) = self.synonyms.get(gram) {
+            return Some((c.clone(), MatchKind::Synonym));
+        }
+        None
+    }
+
+    /// Fuzzy lookup of a single token against length-adjacent buckets.
+    fn lookup_fuzzy(&self, token: &str) -> Option<String> {
+        let len = token.chars().count();
+        if len < self.fuzzy_min_len {
+            return None;
+        }
+        let lo = len.saturating_sub(self.fuzzy_max_distance);
+        let hi = len + self.fuzzy_max_distance;
+        for bucket_len in lo..=hi {
+            if let Some(bucket) = self.fuzzy_index.get(&bucket_len) {
+                for (key, canonical) in bucket {
+                    if within_distance(token, key, self.fuzzy_max_distance) {
+                        return Some(canonical.clone());
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Clean a phrase into match-ready tokens: tokenize, singularize,
+    /// then drop stopwords — except tokens that occur in a lexicon
+    /// entry ("virgin olive oil", "half half"), which must survive
+    /// cleaning to stay matchable.
+    pub fn clean_tokens(&self, phrase: &str) -> Vec<String> {
+        tokenize(phrase)
+            .into_iter()
+            .map(|t| singularize(&t))
+            .filter(|t| !is_stopword(t) || self.lexicon_tokens.contains(t))
+            .collect()
+    }
+
+    /// Resolve a phrase: greedy longest-n-gram matching, left to right.
+    pub fn resolve(&self, phrase: &str) -> Resolution {
+        let tokens = self.clean_tokens(phrase);
+        let mut matches = Vec::new();
+        let mut unresolved = Vec::new();
+        let mut pos = 0;
+        'outer: while pos < tokens.len() {
+            let top = self.max_ngram.min(tokens.len() - pos);
+            for n in (1..=top).rev() {
+                let gram = tokens[pos..pos + n].join(" ");
+                if let Some((canonical, kind)) = self.lookup(&gram) {
+                    matches.push(ResolvedMatch {
+                        canonical,
+                        matched_text: gram,
+                        kind,
+                    });
+                    pos += n;
+                    continue 'outer;
+                }
+            }
+            // Single-token fuzzy fallback.
+            if let Some(canonical) = self.lookup_fuzzy(&tokens[pos]) {
+                matches.push(ResolvedMatch {
+                    canonical,
+                    matched_text: tokens[pos].clone(),
+                    kind: MatchKind::Fuzzy,
+                });
+            } else {
+                unresolved.push(tokens[pos].clone());
+            }
+            pos += 1;
+        }
+        Resolution {
+            matches,
+            unresolved,
+        }
+    }
+
+    /// Convenience: just the matches of [`AliasResolver::resolve`].
+    pub fn resolve_phrase(&self, phrase: &str) -> Vec<ResolvedMatch> {
+        self.resolve(phrase).matches
+    }
+}
+
+/// Mine candidate new-lexicon entries from a corpus of unresolved
+/// phrases: counts every n-gram (n ≤ `max_n`) across the phrases and
+/// returns those occurring at least `min_count` times, most frequent
+/// first. This is the paper's curation aid for "commonly occurring
+/// ingredients which were either not present in the database or were
+/// variations of existing entities".
+pub fn mine_frequent_ngrams(
+    phrases: &[String],
+    max_n: usize,
+    min_count: usize,
+) -> Vec<(String, usize)> {
+    let mut counts: HashMap<String, usize> = HashMap::new();
+    for phrase in phrases {
+        let tokens: Vec<String> = tokenize(phrase)
+            .into_iter()
+            .filter(|t| !is_stopword(t))
+            .map(|t| singularize(&t))
+            .collect();
+        for gram in crate::ngram::ngram_strings(&tokens, max_n) {
+            *counts.entry(gram).or_insert(0) += 1;
+        }
+    }
+    let mut out: Vec<(String, usize)> = counts
+        .into_iter()
+        .filter(|&(_, c)| c >= min_count)
+        .collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn resolver() -> AliasResolver {
+        let mut r = AliasResolver::new();
+        r.add_canonical("tomato");
+        r.add_canonical("olive oil");
+        r.add_canonical("extra virgin olive oil");
+        r.add_canonical("jalapeno pepper");
+        r.add_canonical("bread");
+        r.add_canonical("yogurt");
+        r.add_canonical("whiskey");
+        r.add_canonical("chili");
+        r.add_canonical("garlic");
+        r.add_synonym("bun", "bread");
+        r.add_synonym("curd", "yogurt");
+        r.add_synonym("chile", "chili");
+        r
+    }
+
+    #[test]
+    fn exact_single_token() {
+        let m = resolver().resolve_phrase("3 ripe tomatoes, diced");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].canonical, "tomato");
+        assert_eq!(m[0].kind, MatchKind::Exact);
+    }
+
+    #[test]
+    fn longest_match_wins() {
+        // "extra" and "virgin" are culinary stopwords, but both occur
+        // in the multi-word lexicon entry "extra virgin olive oil", so
+        // they survive cleaning and the longest (4-gram) entry matches
+        // — not the embedded "olive oil".
+        let mut r = resolver();
+        r.add_canonical("virgin olive oil");
+        let m = r.resolve_phrase("2 tbsp extra-virgin olive oil");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].canonical, "extra virgin olive oil");
+
+        // Without the longer entries, the stopwords fall away and the
+        // bare "olive oil" still matches.
+        let mut r2 = AliasResolver::new();
+        r2.add_canonical("olive oil");
+        let m = r2.resolve_phrase("2 tbsp extra-virgin olive oil");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].canonical, "olive oil");
+    }
+
+    #[test]
+    fn multiword_before_parts() {
+        let m = resolver().resolve_phrase("olive oil for frying");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].canonical, "olive oil");
+        assert_eq!(m[0].matched_text, "olive oil");
+    }
+
+    #[test]
+    fn synonyms_map_to_canonical() {
+        let m = resolver().resolve_phrase("1 bun");
+        assert_eq!(m[0].canonical, "bread");
+        assert_eq!(m[0].kind, MatchKind::Synonym);
+        let m = resolver().resolve_phrase("250g curd");
+        assert_eq!(m[0].canonical, "yogurt");
+    }
+
+    #[test]
+    fn plural_and_case_insensitive() {
+        let m = resolver().resolve_phrase("Jalapeno Peppers");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].canonical, "jalapeno pepper");
+    }
+
+    #[test]
+    fn fuzzy_spelling_variants() {
+        let m = resolver().resolve_phrase("a dram of whisky");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].canonical, "whiskey");
+        assert_eq!(m[0].kind, MatchKind::Fuzzy);
+    }
+
+    #[test]
+    fn fuzzy_requires_min_length() {
+        let mut r = AliasResolver::new();
+        r.add_canonical("rice");
+        // "rise" is within distance 1 of "rice" but too short for fuzzy.
+        let res = r.resolve("rise");
+        assert!(res.matches.is_empty());
+        assert_eq!(res.unresolved, vec!["rise"]);
+    }
+
+    #[test]
+    fn unresolved_flagged() {
+        let res = resolver().resolve("2 cups unobtainium flakes");
+        assert!(res.matches.is_empty());
+        assert_eq!(res.unresolved, vec!["unobtainium", "flake"]);
+    }
+
+    #[test]
+    fn mixed_resolution() {
+        let res = resolver().resolve("garlic and xyzzy with chile");
+        let canon: Vec<&str> = res.matches.iter().map(|m| m.canonical.as_str()).collect();
+        assert_eq!(canon, vec!["garlic", "chili"]);
+        assert_eq!(res.unresolved, vec!["xyzzy"]);
+    }
+
+    #[test]
+    fn paper_example_phrase() {
+        let m = resolver().resolve_phrase("2 jalapeno peppers, roasted and slit");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].canonical, "jalapeno pepper");
+    }
+
+    #[test]
+    fn counts_reported() {
+        let r = resolver();
+        assert_eq!(r.n_canonical(), 9);
+        assert_eq!(r.n_synonyms(), 3);
+        assert!(r.is_canonical("Tomatoes"));
+        assert!(!r.is_canonical("pineapple"));
+    }
+
+    #[test]
+    fn mining_finds_common_unknowns() {
+        let phrases: Vec<String> = vec![
+            "2 cups panko crumbs".into(),
+            "panko crumbs for coating".into(),
+            "1 cup panko crumbs, divided".into(),
+            "something else".into(),
+        ];
+        let mined = mine_frequent_ngrams(&phrases, 6, 3);
+        assert!(mined.iter().any(|(g, c)| g == "panko crumb" && *c == 3));
+        // Rare grams excluded.
+        assert!(!mined.iter().any(|(g, _)| g == "something else"));
+    }
+
+    #[test]
+    fn empty_phrase() {
+        let res = resolver().resolve("");
+        assert!(res.matches.is_empty());
+        assert!(res.unresolved.is_empty());
+    }
+}

@@ -1,0 +1,145 @@
+//! Damerau–Levenshtein edit distance (optimal string alignment).
+//!
+//! Used to absorb spelling variants the paper calls out explicitly:
+//! whiskey/whisky, chili/chile, asafoetida/asafetida. Transpositions
+//! count as a single edit, which matters for keyboard-swap variants.
+
+/// Optimal-string-alignment Damerau–Levenshtein distance between two
+/// strings, computed over `char`s (not bytes).
+pub fn damerau_levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let (m, n) = (a.len(), b.len());
+    if m == 0 {
+        return n;
+    }
+    if n == 0 {
+        return m;
+    }
+
+    // Three-row rolling DP (previous-previous needed for transpositions).
+    let mut prev_prev = vec![0usize; n + 1];
+    let mut prev: Vec<usize> = (0..=n).collect();
+    let mut curr = vec![0usize; n + 1];
+
+    for i in 1..=m {
+        curr[0] = i;
+        for j in 1..=n {
+            let cost = usize::from(a[i - 1] != b[j - 1]);
+            let mut best = (prev[j] + 1) // deletion
+                .min(curr[j - 1] + 1) // insertion
+                .min(prev[j - 1] + cost); // substitution
+            if i > 1 && j > 1 && a[i - 1] == b[j - 2] && a[i - 2] == b[j - 1] {
+                best = best.min(prev_prev[j - 2] + 1); // transposition
+            }
+            curr[j] = best;
+        }
+        std::mem::swap(&mut prev_prev, &mut prev);
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[n]
+}
+
+/// True if the distance between `a` and `b` is at most `max`, with an
+/// early length-difference reject (cheap guard for the hot path).
+pub fn within_distance(a: &str, b: &str, max: usize) -> bool {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    if la.abs_diff(lb) > max {
+        return false;
+    }
+    damerau_levenshtein(a, b) <= max
+}
+
+/// Normalized similarity in [0, 1]: 1 − distance / max-length. Both
+/// empty strings are defined as similarity 1.
+pub fn similarity(a: &str, b: &str) -> f64 {
+    let la = a.chars().count();
+    let lb = b.chars().count();
+    let denom = la.max(lb);
+    if denom == 0 {
+        return 1.0;
+    }
+    1.0 - damerau_levenshtein(a, b) as f64 / denom as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_and_empty() {
+        assert_eq!(damerau_levenshtein("garlic", "garlic"), 0);
+        assert_eq!(damerau_levenshtein("", ""), 0);
+        assert_eq!(damerau_levenshtein("abc", ""), 3);
+        assert_eq!(damerau_levenshtein("", "abcd"), 4);
+    }
+
+    #[test]
+    fn paper_spelling_variants_are_close() {
+        assert_eq!(damerau_levenshtein("whiskey", "whisky"), 1);
+        assert_eq!(damerau_levenshtein("chili", "chile"), 1);
+        assert_eq!(damerau_levenshtein("asafoetida", "asafetida"), 1);
+        assert_eq!(damerau_levenshtein("yoghurt", "yogurt"), 1);
+    }
+
+    #[test]
+    fn substitution_insertion_deletion() {
+        assert_eq!(damerau_levenshtein("kitten", "sitten"), 1);
+        assert_eq!(damerau_levenshtein("kitten", "sitting"), 3);
+        assert_eq!(damerau_levenshtein("flour", "floured"), 2);
+    }
+
+    #[test]
+    fn transposition_counts_one() {
+        assert_eq!(damerau_levenshtein("recieve", "receive"), 1);
+        assert_eq!(damerau_levenshtein("ab", "ba"), 1);
+        // Plain Levenshtein would give 2 for both.
+    }
+
+    #[test]
+    fn unicode_chars() {
+        assert_eq!(damerau_levenshtein("jalapeño", "jalapeno"), 1);
+        assert_eq!(damerau_levenshtein("crème", "creme"), 1);
+    }
+
+    #[test]
+    fn within_distance_guard() {
+        assert!(within_distance("whiskey", "whisky", 1));
+        assert!(!within_distance("whiskey", "wine", 2));
+        // Length-difference early reject.
+        assert!(!within_distance("a", "abcdef", 2));
+    }
+
+    #[test]
+    fn similarity_bounds() {
+        assert_eq!(similarity("", ""), 1.0);
+        assert_eq!(similarity("abc", "abc"), 1.0);
+        assert_eq!(similarity("abc", "xyz"), 0.0);
+        let s = similarity("whiskey", "whisky");
+        assert!(s > 0.8 && s < 1.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let pairs = [("chili", "chile"), ("tomato", "tomatoes"), ("a", "ab")];
+        for (a, b) in pairs {
+            assert_eq!(damerau_levenshtein(a, b), damerau_levenshtein(b, a));
+        }
+    }
+
+    #[test]
+    fn triangle_inequality_spot_checks() {
+        let words = ["chili", "chile", "child", "chilled"];
+        for a in words {
+            for b in words {
+                for c in words {
+                    let ab = damerau_levenshtein(a, b);
+                    let bc = damerau_levenshtein(b, c);
+                    let ac = damerau_levenshtein(a, c);
+                    assert!(ac <= ab + bc, "{a} {b} {c}");
+                }
+            }
+        }
+    }
+}

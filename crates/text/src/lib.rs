@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # culinaria-text
+//!
+//! The ingredient-aliasing NLP pipeline, reproducing the paper's protocol
+//! for mapping free-text ingredient phrases ("2 jalapeno peppers, roasted
+//! and slit") onto canonical ingredient entities with flavor profiles.
+//!
+//! The paper's multi-step protocol (§IV.A) is implemented end to end:
+//!
+//! 1. lowercase; strip punctuation and special characters
+//!    ([`normalize`]);
+//! 2. remove English stopwords *and* culinary stopwords — units,
+//!    preparation verbs, quantity words ([`stopwords`]);
+//! 3. singularize every token with a rule-plus-irregulars engine
+//!    standing in for Python's `inflect` ([`singularize()`](singularize::singularize));
+//! 4. generate n-grams up to 6 tokens over the cleaned phrase
+//!    ([`ngram`]);
+//! 5. resolve n-grams against the ingredient lexicon and synonym table,
+//!    longest match first, with a Damerau–Levenshtein fallback for
+//!    spelling variants (whiskey/whisky, chili/chile) and explicit
+//!    flagging of partial/unrecognized matches for curation
+//!    ([`alias`], [`edit_distance`]).
+//!
+//! ```
+//! use culinaria_text::alias::{AliasResolver, MatchKind};
+//!
+//! let mut resolver = AliasResolver::new();
+//! resolver.add_canonical("jalapeno pepper");
+//! resolver.add_canonical("olive oil");
+//! resolver.add_canonical("chili");
+//! resolver.add_synonym("chile", "chili");
+//!
+//! let matches = resolver.resolve_phrase("2 Jalapeno Peppers, roasted and slit");
+//! assert_eq!(matches.len(), 1);
+//! assert_eq!(matches[0].canonical, "jalapeno pepper");
+//! assert_eq!(matches[0].kind, MatchKind::Exact);
+//! ```
+
+pub mod alias;
+pub mod edit_distance;
+pub mod ngram;
+pub mod normalize;
+pub mod quantity;
+pub mod singularize;
+pub mod stopwords;
+
+pub use alias::{AliasResolver, MatchKind, ResolvedMatch};
+pub use edit_distance::{damerau_levenshtein, within_distance};
+pub use ngram::ngrams_up_to;
+pub use normalize::{normalize_phrase, tokenize};
+pub use singularize::singularize;
+pub use stopwords::{is_culinary_stopword, is_english_stopword, is_stopword};

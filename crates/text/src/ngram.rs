@@ -1,0 +1,79 @@
+//! N-gram extraction over token slices.
+//!
+//! The paper builds n-grams up to 6 tokens from cleaned ingredient
+//! phrases to find multi-word ingredients ("extra virgin olive oil") and
+//! to mine frequently co-occurring unknown phrases for curation.
+
+/// All contiguous n-grams of exactly `n` tokens, in order of occurrence.
+/// Empty when `n == 0` or `n > tokens.len()`.
+pub fn ngrams(tokens: &[String], n: usize) -> Vec<Vec<String>> {
+    if n == 0 || n > tokens.len() {
+        return Vec::new();
+    }
+    tokens.windows(n).map(|w| w.to_vec()).collect()
+}
+
+/// All n-grams for `n` in `1..=max_n`, longest first (the resolution
+/// order the aliasing pipeline wants: prefer the most specific match).
+pub fn ngrams_up_to(tokens: &[String], max_n: usize) -> Vec<Vec<String>> {
+    let mut out = Vec::new();
+    let top = max_n.min(tokens.len());
+    for n in (1..=top).rev() {
+        out.extend(ngrams(tokens, n));
+    }
+    out
+}
+
+/// N-grams joined into space-separated strings, longest first.
+pub fn ngram_strings(tokens: &[String], max_n: usize) -> Vec<String> {
+    ngrams_up_to(tokens, max_n)
+        .into_iter()
+        .map(|g| g.join(" "))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(words: &[&str]) -> Vec<String> {
+        words.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn exact_n() {
+        let t = toks(&["a", "b", "c"]);
+        assert_eq!(ngrams(&t, 2), vec![toks(&["a", "b"]), toks(&["b", "c"])]);
+        assert_eq!(ngrams(&t, 3), vec![toks(&["a", "b", "c"])]);
+        assert!(ngrams(&t, 4).is_empty());
+        assert!(ngrams(&t, 0).is_empty());
+    }
+
+    #[test]
+    fn up_to_orders_longest_first() {
+        let t = toks(&["olive", "oil"]);
+        let grams = ngram_strings(&t, 6);
+        assert_eq!(grams, vec!["olive oil", "olive", "oil"]);
+    }
+
+    #[test]
+    fn up_to_respects_max() {
+        let t = toks(&["a", "b", "c", "d"]);
+        let grams = ngram_strings(&t, 2);
+        assert_eq!(grams, vec!["a b", "b c", "c d", "a", "b", "c", "d"]);
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        // For m tokens and max n, count = Σ_{k=1..min(n,m)} (m − k + 1).
+        let t = toks(&["a", "b", "c", "d", "e", "f", "g"]);
+        let grams = ngrams_up_to(&t, 6);
+        let expected: usize = (1..=6).map(|k| 7 - k + 1).sum();
+        assert_eq!(grams.len(), expected);
+    }
+
+    #[test]
+    fn empty_tokens() {
+        assert!(ngrams_up_to(&[], 6).is_empty());
+    }
+}

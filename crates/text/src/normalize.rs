@@ -1,0 +1,133 @@
+//! Phrase normalization: lowercasing, punctuation stripping, whitespace
+//! collapsing, and tokenization.
+//!
+//! This is step 1 of the paper's aliasing protocol. Hyphens and slashes
+//! are treated as separators ("extra-virgin" → "extra virgin",
+//! "salt/pepper" → "salt pepper"); apostrophes are dropped so
+//! possessives collapse onto their stem ("baker's" → "bakers");
+//! parenthetical content is kept (its words are tokenized like any
+//! other), since annotations such as "(fresh)" are removed later by the
+//! culinary stopword list.
+
+/// Lowercase a phrase, map punctuation/special characters to spaces
+/// (apostrophes are removed entirely), and collapse whitespace runs.
+pub fn normalize_phrase(phrase: &str) -> String {
+    let mut out = String::with_capacity(phrase.len());
+    let mut last_space = true;
+    for ch in phrase.chars() {
+        let lower = ch.to_lowercase();
+        for c in lower {
+            if c == '\'' || c == '’' {
+                // Drop apostrophes: "baker's" → "bakers".
+                continue;
+            }
+            let mapped = if c.is_alphanumeric() { Some(c) } else { None };
+            match mapped {
+                Some(c) => {
+                    out.push(c);
+                    last_space = false;
+                }
+                None => {
+                    if !last_space {
+                        out.push(' ');
+                        last_space = true;
+                    }
+                }
+            }
+        }
+    }
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out
+}
+
+/// Tokenize a phrase: normalize, split on whitespace, and drop tokens
+/// that are purely numeric (quantities like "2" or "1/2" — the slash has
+/// already become a separator, leaving bare numbers).
+pub fn tokenize(phrase: &str) -> Vec<String> {
+    normalize_phrase(phrase)
+        .split_whitespace()
+        .filter(|t| !t.chars().all(|c| c.is_ascii_digit()))
+        .map(str::to_owned)
+        .collect()
+}
+
+/// Tokenize but keep numeric tokens (used by quantity-aware tooling).
+pub fn tokenize_keep_numbers(phrase: &str) -> Vec<String> {
+    normalize_phrase(phrase)
+        .split_whitespace()
+        .map(str::to_owned)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lowercases_and_strips_punctuation() {
+        assert_eq!(
+            normalize_phrase("2 Jalapeno Peppers, roasted & slit!"),
+            "2 jalapeno peppers roasted slit"
+        );
+    }
+
+    #[test]
+    fn hyphens_and_slashes_split() {
+        assert_eq!(
+            normalize_phrase("extra-virgin olive-oil"),
+            "extra virgin olive oil"
+        );
+        assert_eq!(normalize_phrase("salt/pepper"), "salt pepper");
+    }
+
+    #[test]
+    fn apostrophes_removed_not_split() {
+        assert_eq!(normalize_phrase("baker's yeast"), "bakers yeast");
+        assert_eq!(
+            normalize_phrase("confectioner’s sugar"),
+            "confectioners sugar"
+        );
+    }
+
+    #[test]
+    fn whitespace_collapsed() {
+        assert_eq!(normalize_phrase("  a   b\t c \n"), "a b c");
+        assert_eq!(normalize_phrase(""), "");
+        assert_eq!(normalize_phrase("..."), "");
+    }
+
+    #[test]
+    fn unicode_lowercasing() {
+        assert_eq!(normalize_phrase("Crème Fraîche"), "crème fraîche");
+        assert_eq!(normalize_phrase("JALAPEÑO"), "jalapeño");
+    }
+
+    #[test]
+    fn tokenize_drops_pure_numbers() {
+        assert_eq!(
+            tokenize("2 cups flour, 1/2 teaspoon salt"),
+            vec!["cups", "flour", "teaspoon", "salt"]
+        );
+    }
+
+    #[test]
+    fn tokenize_keeps_alphanumeric_mixtures() {
+        // "7up" style tokens are not pure numbers and survive.
+        assert_eq!(tokenize("7up soda"), vec!["7up", "soda"]);
+    }
+
+    #[test]
+    fn tokenize_keep_numbers_keeps_them() {
+        assert_eq!(tokenize_keep_numbers("2 eggs"), vec!["2", "eggs"]);
+    }
+
+    #[test]
+    fn parenthetical_content_tokenized() {
+        assert_eq!(
+            tokenize("1 (15 ounce) can black beans"),
+            vec!["ounce", "can", "black", "beans"]
+        );
+    }
+}

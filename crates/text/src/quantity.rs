@@ -1,0 +1,311 @@
+//! Quantity parsing for ingredient lines — groundwork for the paper's
+//! §V question *"How to incorporate details of recipe preparation and
+//! quantity of ingredients?"*.
+//!
+//! Parses the leading amount of a phrase ("2 1/2 cups flour", "250g
+//! butter", "1 (15 ounce) can beans") into a numeric value and a
+//! normalized [`Unit`], leaving the remainder for the aliasing
+//! pipeline. Unit conversions normalize to millilitres (volume) and
+//! grams (mass) so quantities are comparable across recipes.
+
+/// Dimension-normalized units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Unit {
+    /// Volume in millilitres.
+    Millilitre,
+    /// Mass in grams.
+    Gram,
+    /// A dimensionless count ("2 eggs", "3 cloves").
+    Count,
+}
+
+/// A parsed quantity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Quantity {
+    /// Amount in the normalized unit.
+    pub value: f64,
+    /// Normalized unit.
+    pub unit: Unit,
+    /// The remainder of the phrase after the amount and unit tokens.
+    pub rest: String,
+}
+
+/// `(unit token, factor, unit)` — value × factor converts to the
+/// normalized unit. Tokens are matched after lowercasing and
+/// trailing-`s`/`.` stripping.
+const UNITS: &[(&str, f64, Unit)] = &[
+    ("cup", 240.0, Unit::Millilitre),
+    ("tablespoon", 15.0, Unit::Millilitre),
+    ("tbsp", 15.0, Unit::Millilitre),
+    ("teaspoon", 5.0, Unit::Millilitre),
+    ("tsp", 5.0, Unit::Millilitre),
+    ("millilitre", 1.0, Unit::Millilitre),
+    ("milliliter", 1.0, Unit::Millilitre),
+    ("ml", 1.0, Unit::Millilitre),
+    ("litre", 1000.0, Unit::Millilitre),
+    ("liter", 1000.0, Unit::Millilitre),
+    ("l", 1000.0, Unit::Millilitre),
+    ("pint", 473.0, Unit::Millilitre),
+    ("quart", 946.0, Unit::Millilitre),
+    ("gallon", 3785.0, Unit::Millilitre),
+    ("fluid", 0.0, Unit::Millilitre), // handled via "fluid ounce" pairing
+    ("gram", 1.0, Unit::Gram),
+    ("g", 1.0, Unit::Gram),
+    ("kilogram", 1000.0, Unit::Gram),
+    ("kg", 1000.0, Unit::Gram),
+    ("ounce", 28.35, Unit::Gram),
+    ("oz", 28.35, Unit::Gram),
+    ("pound", 453.6, Unit::Gram),
+    ("lb", 453.6, Unit::Gram),
+];
+
+/// Parse a single numeric token: integer ("2"), decimal ("2.5"),
+/// fraction ("1/2"), or unicode vulgar fraction ("½").
+fn parse_number(token: &str) -> Option<f64> {
+    match token {
+        "½" => return Some(0.5),
+        "⅓" => return Some(1.0 / 3.0),
+        "⅔" => return Some(2.0 / 3.0),
+        "¼" => return Some(0.25),
+        "¾" => return Some(0.75),
+        _ => {}
+    }
+    if let Some((num, den)) = token.split_once('/') {
+        let n: f64 = num.parse().ok()?;
+        let d: f64 = den.parse().ok()?;
+        if d == 0.0 {
+            return None;
+        }
+        return Some(n / d);
+    }
+    token.parse().ok()
+}
+
+/// Split a token like "250g" into ("250", "g"); `None` when the token
+/// has no digit→alpha boundary.
+fn split_attached_unit(token: &str) -> Option<(String, String)> {
+    let boundary = token
+        .char_indices()
+        .find(|&(i, c)| i > 0 && c.is_alphabetic())
+        .map(|(i, _)| i)?;
+    let (num, unit) = token.split_at(boundary);
+    if num
+        .chars()
+        .all(|c| c.is_ascii_digit() || c == '.' || c == '/')
+    {
+        Some((num.to_owned(), unit.to_owned()))
+    } else {
+        None
+    }
+}
+
+fn lookup_unit(token: &str) -> Option<(f64, Unit)> {
+    let clean = token.trim_end_matches('.').trim_end_matches('s');
+    // Exact plural forms survived the `s` strip only for tokens like
+    // "tbsps"; the singular table is canonical.
+    UNITS
+        .iter()
+        .find(|(name, _, _)| *name == clean && *name != "fluid")
+        .map(|&(_, factor, unit)| (factor, unit))
+}
+
+/// Parse the leading quantity of an ingredient phrase.
+///
+/// Supports: integers, decimals, fractions, mixed numbers ("2 1/2"),
+/// attached units ("250g"), parenthesized size qualifiers
+/// ("1 (15 ounce) can …" → 1 × 15 oz), and bare counts ("2 eggs").
+/// Returns `None` when the phrase does not start with a number.
+///
+/// ```
+/// use culinaria_text::quantity::{parse_quantity, Unit};
+///
+/// let q = parse_quantity("2 1/2 cups flour, sifted").unwrap();
+/// assert_eq!(q.unit, Unit::Millilitre);
+/// assert_eq!(q.value, 600.0); // 2.5 × 240 ml
+/// assert_eq!(q.rest, "flour, sifted");
+///
+/// assert!(parse_quantity("salt to taste").is_none());
+/// ```
+pub fn parse_quantity(phrase: &str) -> Option<Quantity> {
+    let tokens: Vec<&str> = phrase.split_whitespace().collect();
+    if tokens.is_empty() {
+        return None;
+    }
+    let mut idx;
+
+    // Leading amount: number, possibly a mixed fraction, or "250g".
+    let mut amount;
+    let mut attached: Option<(f64, Unit)> = None;
+    if let Some(v) = parse_number(tokens[0]) {
+        amount = v;
+        idx = 1;
+        // Mixed number: "2 1/2".
+        if idx < tokens.len() && tokens[idx].contains('/') {
+            if let Some(frac) = parse_number(tokens[idx]) {
+                amount += frac;
+                idx += 1;
+            }
+        }
+    } else if let Some((num, unit_tok)) = split_attached_unit(tokens[0]) {
+        amount = parse_number(&num)?;
+        attached = lookup_unit(&unit_tok);
+        attached?;
+        idx = 1;
+    } else {
+        return None;
+    }
+
+    if let Some((factor, unit)) = attached {
+        return Some(Quantity {
+            value: amount * factor,
+            unit,
+            rest: tokens[idx..].join(" "),
+        });
+    }
+
+    // Parenthesized size qualifier: "1 (15 ounce) can ...".
+    if idx + 1 < tokens.len() && tokens[idx].starts_with('(') {
+        let inner_num = tokens[idx].trim_start_matches('(');
+        if let Some(size) = parse_number(inner_num) {
+            let unit_tok = tokens[idx + 1].trim_end_matches(')');
+            if let Some((factor, unit)) = lookup_unit(&unit_tok.to_lowercase()) {
+                // Skip over "(15 ounce)" and an optional container word.
+                let mut rest_idx = idx + 2;
+                if rest_idx < tokens.len()
+                    && [
+                        "can", "cans", "package", "packages", "jar", "jars", "box", "boxes",
+                    ]
+                    .contains(&tokens[rest_idx].to_lowercase().as_str())
+                {
+                    rest_idx += 1;
+                }
+                return Some(Quantity {
+                    value: amount * size * factor,
+                    unit,
+                    rest: tokens[rest_idx..].join(" "),
+                });
+            }
+        }
+    }
+
+    // Unit token after the amount ("2 cups flour"); "fluid ounce" is a
+    // volume despite "ounce" being mass.
+    if idx < tokens.len() {
+        let tok = tokens[idx].to_lowercase();
+        if (tok == "fluid" || tok == "fl") && idx + 1 < tokens.len() {
+            let next = tokens[idx + 1].to_lowercase();
+            let clean = next.trim_end_matches('.').trim_end_matches('s');
+            if clean == "ounce" || clean == "oz" {
+                return Some(Quantity {
+                    value: amount * 29.57,
+                    unit: Unit::Millilitre,
+                    rest: tokens[idx + 2..].join(" "),
+                });
+            }
+        }
+        if let Some((factor, unit)) = lookup_unit(&tok) {
+            return Some(Quantity {
+                value: amount * factor,
+                unit,
+                rest: tokens[idx + 1..].join(" "),
+            });
+        }
+    }
+
+    // Bare count: "2 eggs".
+    Some(Quantity {
+        value: amount,
+        unit: Unit::Count,
+        rest: tokens[idx..].join(" "),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(phrase: &str) -> Quantity {
+        parse_quantity(phrase).unwrap_or_else(|| panic!("no quantity in {phrase:?}"))
+    }
+
+    #[test]
+    fn volumes() {
+        let v = q("2 cups flour");
+        assert_eq!(v.unit, Unit::Millilitre);
+        assert!((v.value - 480.0).abs() < 1e-9);
+        assert_eq!(v.rest, "flour");
+
+        assert!((q("1 tbsp olive oil").value - 15.0).abs() < 1e-9);
+        assert!((q("3 teaspoons vanilla").value - 15.0).abs() < 1e-9);
+        assert!((q("1 liter water").value - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masses() {
+        let m = q("250g butter");
+        assert_eq!(m.unit, Unit::Gram);
+        assert!((m.value - 250.0).abs() < 1e-9);
+        assert_eq!(m.rest, "butter");
+
+        assert!((q("1 pound beef").value - 453.6).abs() < 1e-9);
+        assert!((q("2 kg potatoes").value - 2000.0).abs() < 1e-9);
+        assert!((q("4 oz cheese").value - 113.4).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_and_mixed_numbers() {
+        assert!((q("1/2 cup milk").value - 120.0).abs() < 1e-9);
+        assert!((q("2 1/2 cups sugar").value - 600.0).abs() < 1e-9);
+        assert!((q("½ cup cream").value - 120.0).abs() < 1e-9);
+        assert!((q("2.5 cups broth").value - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn counts() {
+        let c = q("2 eggs");
+        assert_eq!(c.unit, Unit::Count);
+        assert_eq!(c.value, 2.0);
+        assert_eq!(c.rest, "eggs");
+        assert_eq!(q("3 ripe tomatoes, diced").rest, "ripe tomatoes, diced");
+    }
+
+    #[test]
+    fn parenthesized_size() {
+        let p = q("1 (15 ounce) can black beans");
+        assert_eq!(p.unit, Unit::Gram);
+        assert!((p.value - 15.0 * 28.35).abs() < 1e-6);
+        assert_eq!(p.rest, "black beans");
+
+        let two = q("2 (8 oz) packages cream cheese");
+        assert!((two.value - 2.0 * 8.0 * 28.35).abs() < 1e-6);
+        assert_eq!(two.rest, "cream cheese");
+    }
+
+    #[test]
+    fn fluid_ounces_are_volume() {
+        let f = q("6 fluid ounces milk");
+        assert_eq!(f.unit, Unit::Millilitre);
+        assert!((f.value - 6.0 * 29.57).abs() < 1e-6);
+        assert_eq!(f.rest, "milk");
+        let f2 = q("2 fl oz rum");
+        assert_eq!(f2.unit, Unit::Millilitre);
+    }
+
+    #[test]
+    fn no_leading_number() {
+        assert!(parse_quantity("salt to taste").is_none());
+        assert!(parse_quantity("").is_none());
+        assert!(parse_quantity("a pinch of saffron").is_none());
+    }
+
+    #[test]
+    fn degenerate_fractions() {
+        assert!(parse_quantity("1/0 cup oops").is_none());
+    }
+
+    #[test]
+    fn plural_and_dotted_units() {
+        assert!((q("2 tbsps. honey").value - 30.0).abs() < 1e-9);
+        assert!((q("3 lbs chicken").value - 3.0 * 453.6).abs() < 1e-6);
+    }
+}

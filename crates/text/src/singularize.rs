@@ -1,0 +1,257 @@
+//! Rule-based English singularization (an `inflect` stand-in).
+//!
+//! The paper converts every token to its singular form before matching.
+//! The engine below applies, in order: an invariant list (words that are
+//! their own plural or look plural but aren't), an irregular table, then
+//! suffix rules from most to least specific. It is tuned for the food
+//! domain — the test suite doubles as the specification.
+
+/// Words that must never be transformed: uncountables, false plurals,
+/// and singular words ending in `s`.
+const INVARIANT: &[&str] = &[
+    "molasses",
+    "couscous",
+    "hummus",
+    "asparagus",
+    "citrus",
+    "swiss",
+    "brussels",
+    "watercress",
+    "cress",
+    "bass",
+    "grass",
+    "lemongrass",
+    "chassis",
+    "schnapps",
+    "octopus",
+    "haggis",
+    "species",
+    "series",
+    "sugar",
+    "rice",
+    "bread",
+    "butter",
+    "water",
+    "flour",
+    "salt",
+    "milk",
+    "honey",
+    "tahini",
+    "wasabi",
+    "pasta",
+    "paprika",
+    "masala",
+    "quinoa",
+    "tofu",
+    "miso",
+    "sake",
+    "shortening",
+];
+
+/// Irregular plural → singular pairs (domain-relevant).
+const IRREGULAR: &[(&str, &str)] = &[
+    ("leaves", "leaf"),
+    ("loaves", "loaf"),
+    ("halves", "half"),
+    ("calves", "calf"),
+    ("knives", "knife"),
+    ("wives", "wife"),
+    ("lives", "life"),
+    ("children", "child"),
+    ("men", "man"),
+    ("women", "woman"),
+    ("teeth", "tooth"),
+    ("feet", "foot"),
+    ("geese", "goose"),
+    ("mice", "mouse"),
+    ("people", "person"),
+    ("anchovies", "anchovy"),
+];
+
+/// Singularize one lowercase token.
+///
+/// Words of three characters or fewer are returned unchanged (avoids
+/// "gas" → "ga" style damage on short tokens).
+pub fn singularize(word: &str) -> String {
+    if word.len() <= 3 {
+        return word.to_owned();
+    }
+    if INVARIANT.contains(&word) {
+        return word.to_owned();
+    }
+    for &(plural, singular) in IRREGULAR {
+        if word == plural {
+            return singular.to_owned();
+        }
+    }
+
+    // Suffix rules, most specific first.
+    if let Some(stem) = word.strip_suffix("ies") {
+        // berries → berry; but "ies" after a vowel keeps the e: "movies"
+        // → "movie" (rare in food text; pies → pie handled below since
+        // "pies" has stem "p" — guard on stem length).
+        if stem.len() >= 2 {
+            return format!("{stem}y");
+        }
+        return format!("{stem}ie");
+    }
+    if let Some(stem) = word.strip_suffix("oes") {
+        // tomatoes → tomato, potatoes → potato.
+        return format!("{stem}o");
+    }
+    if let Some(stem) = word.strip_suffix("sses") {
+        // glasses → glass.
+        return format!("{stem}ss");
+    }
+    if let Some(stem) = word.strip_suffix("ses") {
+        // molasses excluded above; "cheeses" → "cheese".
+        return format!("{stem}se");
+    }
+    if let Some(stem) = word.strip_suffix("xes") {
+        return format!("{stem}x");
+    }
+    if let Some(stem) = word.strip_suffix("zes") {
+        return format!("{stem}ze");
+    }
+    if let Some(stem) = word.strip_suffix("ches") {
+        return format!("{stem}ch");
+    }
+    if let Some(stem) = word.strip_suffix("shes") {
+        return format!("{stem}sh");
+    }
+    if word.ends_with("ss") || word.ends_with("us") || word.ends_with("is") {
+        // glass, octopus, couscous-like; also "is" endings (basis).
+        return word.to_owned();
+    }
+    if let Some(stem) = word.strip_suffix('s') {
+        // peppers → pepper, eggs → egg. Avoid stripping "ous"/"as".
+        if stem.ends_with('a') || stem.ends_with('i') || stem.ends_with('u') {
+            // "peas" → "pea" is correct, but "bias"-like words were
+            // handled by the "is/us/ss" guard; allow vowel stems.
+            return stem.to_owned();
+        }
+        return stem.to_owned();
+    }
+    word.to_owned()
+}
+
+/// Singularize every token in a slice.
+pub fn singularize_all(tokens: &[String]) -> Vec<String> {
+    tokens.iter().map(|t| singularize(t)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(w: &str) -> String {
+        singularize(w)
+    }
+
+    #[test]
+    fn common_food_plurals() {
+        assert_eq!(s("tomatoes"), "tomato");
+        assert_eq!(s("potatoes"), "potato");
+        assert_eq!(s("peppers"), "pepper");
+        assert_eq!(s("onions"), "onion");
+        assert_eq!(s("eggs"), "egg");
+        assert_eq!(s("carrots"), "carrot");
+        assert_eq!(s("mushrooms"), "mushroom");
+        assert_eq!(s("almonds"), "almond");
+        assert_eq!(s("peas"), "pea");
+        assert_eq!(s("olives"), "olive");
+    }
+
+    #[test]
+    fn ies_rule() {
+        assert_eq!(s("berries"), "berry");
+        assert_eq!(s("cherries"), "cherry");
+        assert_eq!(s("anchovies"), "anchovy");
+        assert_eq!(s("pies"), "pie");
+    }
+
+    #[test]
+    fn es_rules() {
+        assert_eq!(s("peaches"), "peach");
+        assert_eq!(s("radishes"), "radish");
+        assert_eq!(s("boxes"), "box");
+        assert_eq!(s("cheeses"), "cheese");
+    }
+
+    #[test]
+    fn irregulars() {
+        assert_eq!(s("leaves"), "leaf");
+        assert_eq!(s("loaves"), "loaf");
+        assert_eq!(s("halves"), "half");
+        assert_eq!(s("knives"), "knife");
+    }
+
+    #[test]
+    fn invariants_untouched() {
+        for w in [
+            "molasses",
+            "couscous",
+            "hummus",
+            "asparagus",
+            "rice",
+            "bread",
+            "milk",
+            "watercress",
+            "swiss",
+        ] {
+            assert_eq!(s(w), w, "{w} should be invariant");
+        }
+    }
+
+    #[test]
+    fn singular_words_untouched() {
+        for w in ["tomato", "pepper", "cheese", "garlic", "basil", "cream"] {
+            assert_eq!(s(w), w, "{w} already singular");
+        }
+    }
+
+    #[test]
+    fn sses_rule() {
+        assert_eq!(s("glasses"), "glass");
+        assert_eq!(s("molasses"), "molasses"); // invariant wins
+    }
+
+    #[test]
+    fn us_is_ss_endings_untouched() {
+        assert_eq!(s("glass"), "glass");
+        assert_eq!(s("octopus"), "octopus");
+        assert_eq!(s("citrus"), "citrus");
+    }
+
+    #[test]
+    fn short_words_untouched() {
+        assert_eq!(s("gas"), "gas");
+        assert_eq!(s("as"), "as");
+        assert_eq!(s("is"), "is");
+    }
+
+    #[test]
+    fn idempotent_on_outputs() {
+        // Applying twice never changes the result further.
+        for w in [
+            "tomatoes",
+            "berries",
+            "leaves",
+            "peaches",
+            "eggs",
+            "onions",
+            "cheeses",
+            "anchovies",
+            "potatoes",
+        ] {
+            let once = s(w);
+            assert_eq!(s(&once), once, "not idempotent for {w}");
+        }
+    }
+
+    #[test]
+    fn singularize_all_maps() {
+        let toks: Vec<String> = ["roma", "tomatoes"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(singularize_all(&toks), vec!["roma", "tomato"]);
+    }
+}

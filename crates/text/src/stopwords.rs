@@ -1,0 +1,418 @@
+//! English and culinary stopword lists.
+//!
+//! The paper removes "stopwords, including some culinary stopwords"
+//! before matching. The culinary list covers measurement units,
+//! preparation verbs/participles, container words, and qualifier
+//! adjectives that appear in ingredient lines but never name an
+//! ingredient.
+
+use std::collections::HashSet;
+use std::sync::OnceLock;
+
+/// Core English stopwords (function words) — a compact list sufficient
+/// for ingredient phrases, which are short noun phrases.
+const ENGLISH: &[&str] = &[
+    "a",
+    "an",
+    "the",
+    "and",
+    "or",
+    "of",
+    "in",
+    "on",
+    "for",
+    "to",
+    "with",
+    "without",
+    "into",
+    "at",
+    "by",
+    "from",
+    "as",
+    "is",
+    "are",
+    "was",
+    "were",
+    "be",
+    "been",
+    "it",
+    "its",
+    "if",
+    "then",
+    "than",
+    "that",
+    "this",
+    "these",
+    "those",
+    "each",
+    "per",
+    "plus",
+    "more",
+    "most",
+    "very",
+    "such",
+    "so",
+    "but",
+    "not",
+    "no",
+    "only",
+    "own",
+    "same",
+    "other",
+    "any",
+    "all",
+    "both",
+    "few",
+    "some",
+    "about",
+    "again",
+    "too",
+    "up",
+    "down",
+    "out",
+    "off",
+    "over",
+    "under",
+    "until",
+    "your",
+    "you",
+    "needed",
+    "desired",
+    "optional",
+    "taste",
+    "divided",
+    "preferably",
+    "well",
+    "like",
+    "i",
+    "we",
+    "use",
+    "used",
+    "using",
+];
+
+/// Culinary stopwords: units, preparation words, container words, and
+/// qualifiers that never name an ingredient.
+const CULINARY: &[&str] = &[
+    // Units and measures.
+    "cup",
+    "cups",
+    "teaspoon",
+    "teaspoons",
+    "tsp",
+    "tablespoon",
+    "tablespoons",
+    "tbsp",
+    "ounce",
+    "ounces",
+    "oz",
+    "pound",
+    "pounds",
+    "lb",
+    "lbs",
+    "gram",
+    "grams",
+    "g",
+    "kg",
+    "kilogram",
+    "kilograms",
+    "ml",
+    "milliliter",
+    "milliliters",
+    "liter",
+    "liters",
+    "l",
+    "quart",
+    "quarts",
+    "pint",
+    "pints",
+    "gallon",
+    "gallons",
+    "dash",
+    "dashes",
+    "pinch",
+    "pinches",
+    "handful",
+    "stick",
+    "sticks",
+    "inch",
+    "inches",
+    "cm",
+    "fluid",
+    "fl",
+    // Containers and forms.
+    "can",
+    "cans",
+    "canned",
+    "jar",
+    "jars",
+    "package",
+    "packages",
+    "pkg",
+    "bag",
+    "bags",
+    "box",
+    "boxes",
+    "bottle",
+    "bottles",
+    "carton",
+    "cartons",
+    "container",
+    "containers",
+    "bunch",
+    "bunches",
+    "head",
+    "heads",
+    "clove",
+    "cloves",
+    "sprig",
+    "sprigs",
+    "stalk",
+    "stalks",
+    "slice",
+    "slices",
+    "piece",
+    "pieces",
+    "strip",
+    "strips",
+    "cube",
+    "cubes",
+    "wedge",
+    "wedges",
+    "envelope",
+    "envelopes",
+    "sheet",
+    "sheets",
+    "loaf",
+    "leaf",
+    "leaves",
+    "pod",
+    "pods",
+    "thread",
+    "threads",
+    "knob",
+    "knobs",
+    "dram",
+    "shot",
+    "shots",
+    "floret",
+    "florets",
+    "rib",
+    "ribs",
+    // Preparation verbs and participles.
+    "chopped",
+    "minced",
+    "diced",
+    "sliced",
+    "grated",
+    "shredded",
+    "crushed",
+    "ground",
+    "peeled",
+    "seeded",
+    "cored",
+    "pitted",
+    "trimmed",
+    "halved",
+    "quartered",
+    "cubed",
+    "julienned",
+    "mashed",
+    "beaten",
+    "whisked",
+    "melted",
+    "softened",
+    "chilled",
+    "cooled",
+    "warmed",
+    "heated",
+    "cooked",
+    "uncooked",
+    "boiled",
+    "steamed",
+    "roasted",
+    "toasted",
+    "grilled",
+    "fried",
+    "baked",
+    "broiled",
+    "blanched",
+    "drained",
+    "rinsed",
+    "washed",
+    "dried",
+    "thawed",
+    "frozen",
+    "defrosted",
+    "crumbled",
+    "flaked",
+    "torn",
+    "cut",
+    "split",
+    "slit",
+    "scored",
+    "separated",
+    "removed",
+    "discarded",
+    "reserved",
+    "packed",
+    "sifted",
+    "strained",
+    "squeezed",
+    "zested",
+    "juiced",
+    "stemmed",
+    "shelled",
+    "deveined",
+    "boned",
+    "skinned",
+    "scrubbed",
+    "prepared",
+    "refrigerated",
+    "room",
+    "temperature",
+    "finely",
+    "coarsely",
+    "thinly",
+    "thickly",
+    "roughly",
+    "lightly",
+    "freshly",
+    "firmly",
+    "loosely",
+    "approximately",
+    "garnish",
+    "serving",
+    "servings",
+    // Qualifiers that never name an ingredient. NOTE: "fresh"/"dried"
+    // stay out of ingredient names by convention in our lexicon.
+    "fresh",
+    "large",
+    "medium",
+    "small",
+    "extra",
+    "jumbo",
+    "mini",
+    "ripe",
+    "overripe",
+    "raw",
+    "whole",
+    "half",
+    "halves",
+    "fine",
+    "coarse",
+    "thick",
+    "thin",
+    "heaping",
+    "virgin",
+    "level",
+    "rounded",
+    "scant",
+    "generous",
+    "good",
+    "quality",
+    "best",
+    "favorite",
+    "store",
+    "bought",
+    "homemade",
+    "leftover",
+    "instant",
+    "quick",
+    "cooking",
+    "style",
+    "type",
+    "variety",
+    "assorted",
+    "mixed",
+    "additional",
+    "substitute",
+    "equivalent",
+    "ml-sized",
+    "size",
+    "sized",
+    "amount",
+    "amounts",
+];
+
+fn english_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| ENGLISH.iter().copied().collect())
+}
+
+fn culinary_set() -> &'static HashSet<&'static str> {
+    static SET: OnceLock<HashSet<&'static str>> = OnceLock::new();
+    SET.get_or_init(|| CULINARY.iter().copied().collect())
+}
+
+/// True if `token` (already lowercased) is an English function word.
+pub fn is_english_stopword(token: &str) -> bool {
+    english_set().contains(token)
+}
+
+/// True if `token` (already lowercased) is a culinary stopword.
+pub fn is_culinary_stopword(token: &str) -> bool {
+    culinary_set().contains(token)
+}
+
+/// True if `token` is either kind of stopword.
+pub fn is_stopword(token: &str) -> bool {
+    is_english_stopword(token) || is_culinary_stopword(token)
+}
+
+/// Drop stopword tokens, preserving order.
+pub fn remove_stopwords(tokens: &[String]) -> Vec<String> {
+    tokens.iter().filter(|t| !is_stopword(t)).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn english_words_detected() {
+        for w in ["the", "and", "of", "with"] {
+            assert!(is_english_stopword(w), "{w}");
+            assert!(is_stopword(w));
+        }
+        assert!(!is_english_stopword("garlic"));
+    }
+
+    #[test]
+    fn culinary_words_detected() {
+        for w in ["chopped", "cups", "tablespoon", "minced", "canned", "fresh"] {
+            assert!(is_culinary_stopword(w), "{w}");
+        }
+        assert!(!is_culinary_stopword("tomato"));
+        assert!(!is_culinary_stopword("pepper"));
+    }
+
+    #[test]
+    fn ingredient_names_survive() {
+        // Words that must never be swallowed by the stopword lists.
+        for w in [
+            "tomato", "garlic", "pepper", "onion", "chicken", "basil", "cream", "butter", "milk",
+            "rice", "olive", "oil", "bean", "ginger",
+        ] {
+            assert!(!is_stopword(w), "{w} wrongly classified as stopword");
+        }
+    }
+
+    #[test]
+    fn remove_stopwords_preserves_order() {
+        let tokens: Vec<String> = ["2", "cups", "chopped", "roma", "tomatoes"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        assert_eq!(remove_stopwords(&tokens), vec!["2", "roma", "tomatoes"]);
+    }
+
+    #[test]
+    fn no_overlap_surprises() {
+        // Sanity: the two lists don't disagree about capitalization —
+        // everything is stored lowercase.
+        for w in ENGLISH.iter().chain(CULINARY) {
+            assert_eq!(*w, w.to_lowercase(), "stopword {w} not lowercase");
+        }
+    }
+}

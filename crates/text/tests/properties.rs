@@ -1,0 +1,131 @@
+//! Property-based tests of the NLP pipeline invariants.
+
+use proptest::prelude::*;
+
+use culinaria_text::alias::AliasResolver;
+use culinaria_text::edit_distance::{damerau_levenshtein, similarity, within_distance};
+use culinaria_text::ngram::{ngram_strings, ngrams, ngrams_up_to};
+use culinaria_text::normalize::{normalize_phrase, tokenize};
+use culinaria_text::singularize::singularize;
+
+fn arb_phrase() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[A-Za-z0-9 ,.!()'&/-]{0,60}").expect("valid regex")
+}
+
+fn arb_word() -> impl Strategy<Value = String> {
+    proptest::string::string_regex("[a-z]{1,15}").expect("valid regex")
+}
+
+proptest! {
+    #[test]
+    fn normalization_output_is_clean(phrase in arb_phrase()) {
+        let out = normalize_phrase(&phrase);
+        // Only lowercase alphanumerics and single spaces.
+        prop_assert!(out.chars().all(|c| c.is_alphanumeric() || c == ' '), "{out:?}");
+        prop_assert!(!out.contains("  "), "double space in {out:?}");
+        prop_assert!(!out.starts_with(' ') && !out.ends_with(' '), "{out:?}");
+        prop_assert!(!out.chars().any(|c| c.is_uppercase()));
+        // Idempotent.
+        prop_assert_eq!(normalize_phrase(&out), out.clone());
+    }
+
+    #[test]
+    fn tokenize_never_produces_empty_or_numeric_tokens(phrase in arb_phrase()) {
+        for tok in tokenize(&phrase) {
+            prop_assert!(!tok.is_empty());
+            prop_assert!(!tok.chars().all(|c| c.is_ascii_digit()), "numeric token {tok}");
+        }
+    }
+
+    #[test]
+    fn singularize_is_idempotent(word in arb_word()) {
+        let once = singularize(&word);
+        let twice = singularize(&once);
+        prop_assert_eq!(&twice, &once, "word {}", word);
+    }
+
+    #[test]
+    fn singularize_never_empties(word in arb_word()) {
+        prop_assert!(!singularize(&word).is_empty());
+    }
+
+    #[test]
+    fn edit_distance_is_a_metric(a in arb_word(), b in arb_word(), c in arb_word()) {
+        let dab = damerau_levenshtein(&a, &b);
+        let dba = damerau_levenshtein(&b, &a);
+        prop_assert_eq!(dab, dba, "symmetry");
+        prop_assert_eq!(damerau_levenshtein(&a, &a), 0, "identity");
+        if a != b {
+            prop_assert!(dab > 0, "distinct strings at distance 0");
+        }
+        // OSA triangle inequality (holds for these short random words).
+        let dac = damerau_levenshtein(&a, &c);
+        let dcb = damerau_levenshtein(&c, &b);
+        prop_assert!(dab <= dac + dcb, "triangle: d({a},{b})={dab} > {dac}+{dcb}");
+    }
+
+    #[test]
+    fn edit_distance_bounded_by_longer_word(a in arb_word(), b in arb_word()) {
+        let d = damerau_levenshtein(&a, &b);
+        prop_assert!(d <= a.chars().count().max(b.chars().count()));
+        let s = similarity(&a, &b);
+        prop_assert!((0.0..=1.0).contains(&s));
+        prop_assert_eq!(within_distance(&a, &b, d), true);
+        if d > 0 {
+            prop_assert_eq!(within_distance(&a, &b, d - 1), false);
+        }
+    }
+
+    #[test]
+    fn ngram_counts_follow_formula(words in proptest::collection::vec(arb_word(), 0..12), max_n in 1usize..8) {
+        let grams = ngrams_up_to(&words, max_n);
+        let m = words.len();
+        let expected: usize = (1..=max_n.min(m)).map(|k| m - k + 1).sum();
+        prop_assert_eq!(grams.len(), expected);
+        // Every gram is a contiguous subsequence.
+        for g in &grams {
+            prop_assert!(!g.is_empty() && g.len() <= max_n);
+        }
+        // Exact-n matches windows().
+        for n in 1..=max_n.min(m) {
+            prop_assert_eq!(ngrams(&words, n).len(), m - n + 1);
+        }
+        // String form has the same count.
+        prop_assert_eq!(ngram_strings(&words, max_n).len(), expected);
+    }
+
+    #[test]
+    fn resolver_accounts_for_every_clean_token(
+        lexicon in proptest::collection::hash_set(arb_word(), 1..10),
+        phrase in arb_phrase(),
+    ) {
+        let mut resolver = AliasResolver::new();
+        for w in &lexicon {
+            resolver.add_canonical(w);
+        }
+        let cleaned = resolver.clean_tokens(&phrase);
+        let res = resolver.resolve(&phrase);
+        // Every cleaned token is either covered by a match or reported
+        // unresolved; nothing disappears.
+        let matched_tokens: usize = res
+            .matches
+            .iter()
+            .map(|m| m.matched_text.split(' ').count())
+            .sum();
+        prop_assert_eq!(matched_tokens + res.unresolved.len(), cleaned.len());
+    }
+
+    #[test]
+    fn exact_lexicon_words_always_resolve(word in arb_word()) {
+        // Skip words that the cleaning pipeline legitimately removes or
+        // rewrites (stopwords, plural forms).
+        prop_assume!(!culinaria_text::is_stopword(&word));
+        prop_assume!(singularize(&word) == word);
+        let mut resolver = AliasResolver::new();
+        resolver.add_canonical(&word);
+        let res = resolver.resolve(&word);
+        prop_assert_eq!(res.matches.len(), 1, "word {}", &word);
+        prop_assert_eq!(&res.matches[0].canonical, &word);
+        prop_assert!(res.unresolved.is_empty());
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests of the quantity parser.
+
+use proptest::prelude::*;
+
+use culinaria_text::quantity::{parse_quantity, Unit};
+
+proptest! {
+    #[test]
+    fn never_panics_on_arbitrary_text(phrase in "[ -~]{0,60}") {
+        let _ = parse_quantity(&phrase);
+    }
+
+    #[test]
+    fn integer_counts_roundtrip(n in 1u32..10_000, rest in "[a-z]{1,12}( [a-z]{1,12}){0,3}") {
+        let q = parse_quantity(&format!("{n} {rest}")).expect("leading number parses");
+        // The rest must not itself start with a unit token for Count.
+        // Mirror the parser's normalization: trailing '.' and 's' strip.
+        let first = rest.split(' ').next().expect("non-empty rest");
+        let stripped = first.trim_end_matches('.').trim_end_matches('s');
+        let is_unit = [
+            "cup", "tbsp", "tsp", "teaspoon", "tablespoon", "ml", "l", "g", "kg",
+            "oz", "lb", "gram", "ounce", "pound", "liter", "litre", "millilitre",
+            "milliliter", "pint", "quart", "gallon", "kilogram", "fluid", "fl",
+        ].contains(&stripped);
+        prop_assume!(!is_unit);
+        prop_assert_eq!(q.unit, Unit::Count);
+        prop_assert_eq!(q.value, f64::from(n));
+        prop_assert_eq!(q.rest, rest);
+    }
+
+    #[test]
+    fn volumes_scale_linearly(n in 1u32..100) {
+        let one = parse_quantity("1 cup flour").expect("parses");
+        let many = parse_quantity(&format!("{n} cups flour")).expect("parses");
+        prop_assert_eq!(many.unit, Unit::Millilitre);
+        prop_assert!((many.value - one.value * f64::from(n)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn masses_scale_linearly(n in 1u32..100) {
+        let one = parse_quantity("1 gram salt").expect("parses");
+        let many = parse_quantity(&format!("{n} grams salt")).expect("parses");
+        prop_assert_eq!(many.unit, Unit::Gram);
+        prop_assert!((many.value - one.value * f64::from(n)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fractions_are_positive_and_bounded(num in 1u32..20, den in 1u32..20) {
+        let q = parse_quantity(&format!("{num}/{den} cup milk")).expect("parses");
+        prop_assert!(q.value > 0.0);
+        prop_assert!((q.value - 240.0 * f64::from(num) / f64::from(den)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mixed_numbers_exceed_their_integer_part(whole in 1u32..10, num in 1u32..5, den in 2u32..8) {
+        prop_assume!(num < den);
+        let mixed = parse_quantity(&format!("{whole} {num}/{den} cups x")).expect("parses");
+        let plain = parse_quantity(&format!("{whole} cups x")).expect("parses");
+        prop_assert!(mixed.value > plain.value);
+        prop_assert!(mixed.value < plain.value + 240.0);
+    }
+
+    #[test]
+    fn attached_units_equal_spaced_units(n in 1u32..1000) {
+        let attached = parse_quantity(&format!("{n}g butter")).expect("parses");
+        let spaced = parse_quantity(&format!("{n} g butter")).expect("parses");
+        prop_assert_eq!(attached.unit, spaced.unit);
+        prop_assert!((attached.value - spaced.value).abs() < 1e-9);
+        prop_assert_eq!(attached.rest, spaced.rest);
+    }
+}

@@ -1,0 +1,62 @@
+//! Food-design application the paper motivates: generate *novel flavor
+//! pairings* — ingredient pairs with high flavor-compound overlap that
+//! a cuisine rarely uses together — and suggest recipe tweaks.
+//!
+//! For a chosen cuisine, every ingredient pair is scored by
+//! `overlap / (1 + co-occurrence)`: high overlap (the food-pairing
+//! hypothesis says they should taste well together) but low observed
+//! co-usage (so the pairing is actually novel for that cuisine).
+//!
+//! ```sh
+//! cargo run --release --example novel_pairings
+//! ```
+
+use culinaria::analysis::pairing::OverlapCache;
+use culinaria::datagen::{generate_world, WorldConfig};
+use culinaria::recipedb::Region;
+
+fn main() {
+    let world = generate_world(&WorldConfig::small());
+    let region = Region::Italy;
+    let cuisine = world.recipes.cuisine(region);
+    let cache = OverlapCache::for_cuisine(&world.flavor, &cuisine);
+    let pool = cache.pool().to_vec();
+
+    println!(
+        "novel pairing candidates for {} ({} ingredients, {} recipes)\n",
+        region.name(),
+        pool.len(),
+        cuisine.n_recipes()
+    );
+
+    let mut candidates: Vec<(f64, usize, usize, usize, usize)> = Vec::new();
+    for i in 0..pool.len() {
+        for j in (i + 1)..pool.len() {
+            let overlap = cache.overlap(i as u32, j as u32) as usize;
+            if overlap == 0 {
+                continue;
+            }
+            let cooc = world.recipes.cooccurrence(pool[i], pool[j]);
+            let novelty = overlap as f64 / (1.0 + cooc as f64);
+            candidates.push((novelty, overlap, cooc, i, j));
+        }
+    }
+    candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
+
+    println!("{:>8} {:>8} {:>6}   pair", "novelty", "overlap", "cooc");
+    for &(novelty, overlap, cooc, i, j) in candidates.iter().take(15) {
+        let a = &world.flavor.ingredient(pool[i]).expect("live id").name;
+        let b = &world.flavor.ingredient(pool[j]).expect("live id").name;
+        println!("{novelty:>8.1} {overlap:>8} {cooc:>6}   {a} + {b}");
+    }
+
+    // The flip side: the cuisine's signature pairings (high overlap AND
+    // high co-occurrence) — its culinary fingerprint.
+    candidates.sort_by_key(|&(_, overlap, cooc, _, _)| std::cmp::Reverse(overlap * cooc));
+    println!("\nsignature pairings (culinary fingerprint):");
+    for &(_, overlap, cooc, i, j) in candidates.iter().take(5) {
+        let a = &world.flavor.ingredient(pool[i]).expect("live id").name;
+        let b = &world.flavor.ingredient(pool[j]).expect("live id").name;
+        println!("  {a} + {b}  (overlap {overlap}, used together {cooc}×)");
+    }
+}

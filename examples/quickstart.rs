@@ -1,0 +1,54 @@
+//! Quickstart: generate a world, score a cuisine, compare it against a
+//! randomized null, and print the verdict.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use culinaria::analysis::z_analysis::analyze_cuisine;
+use culinaria::analysis::{MonteCarloConfig, NullModel};
+use culinaria::datagen::{generate_world, WorldConfig};
+use culinaria::recipedb::Region;
+
+fn main() {
+    // A small world: every region present, ~4.5k recipes (10% scale).
+    let world = generate_world(&WorldConfig::small());
+    println!(
+        "world: {} recipes across {} regions, {} ingredients",
+        world.recipes.n_recipes(),
+        world.recipes.regions().len(),
+        world.flavor.n_ingredients()
+    );
+
+    // Analyze two cuisines with opposite pairing regimes.
+    let mc = MonteCarloConfig::quick(20_000);
+    for region in [Region::Italy, Region::Japan] {
+        let cuisine = world.recipes.cuisine(region);
+        let analysis = analyze_cuisine(
+            &world.flavor,
+            &cuisine,
+            &[NullModel::Random, NullModel::Frequency],
+            &mc,
+        )
+        .expect("populated cuisine");
+        println!(
+            "\n{} ({} recipes, {} ingredients)",
+            region.name(),
+            analysis.n_recipes,
+            analysis.n_ingredients
+        );
+        println!(
+            "  observed mean flavor sharing <Ns> = {:.3}",
+            analysis.observed_mean
+        );
+        for c in &analysis.comparisons {
+            println!(
+                "  vs {:22} null mean {:.3}  ->  z = {:+.1}",
+                c.model.name(),
+                c.null.mean,
+                c.z.unwrap_or(f64::NAN)
+            );
+        }
+        println!("  verdict: {} food pairing", analysis.verdict());
+    }
+}

@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # culinaria
+//!
+//! Umbrella crate for the `culinaria` workspace — a from-scratch Rust
+//! reproduction of *"Data-driven investigations of culinary patterns in
+//! traditional recipes across the world"* (Singh & Bagler, ICDE 2018).
+//!
+//! This crate re-exports every subsystem under a stable, discoverable
+//! namespace so downstream users can depend on a single crate:
+//!
+//! * [`tabular`] — lightweight columnar data-frame (analysis output substrate)
+//! * [`stats`] — descriptive statistics, sampling, z-scores, power-law fits
+//! * [`text`] — the ingredient-aliasing NLP pipeline
+//! * [`flavordb`] — flavor molecule database (profiles, categories, compounds)
+//! * [`recipedb`] — recipe store with regions, indexes and import pipeline
+//! * [`datagen`] — calibrated synthetic world generator (CulinaryDB stand-in)
+//! * [`analysis`] — the paper's contribution: food-pairing analysis,
+//!   null models, Monte-Carlo engine, ingredient contribution
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use culinaria::datagen::{WorldConfig, generate_world};
+//! use culinaria::analysis::pairing::mean_cuisine_score;
+//!
+//! // A miniature world (the full paper-scale world uses WorldConfig::paper()).
+//! let world = generate_world(&WorldConfig::tiny());
+//! let region = world.recipes.regions()[0];
+//! let cuisine = world.recipes.cuisine(region);
+//! let score = mean_cuisine_score(&world.flavor, &cuisine);
+//! assert!(score.is_finite());
+//! ```
+
+pub use culinaria_core as analysis;
+pub use culinaria_datagen as datagen;
+pub use culinaria_flavordb as flavordb;
+pub use culinaria_recipedb as recipedb;
+pub use culinaria_stats as stats;
+pub use culinaria_tabular as tabular;
+pub use culinaria_text as text;

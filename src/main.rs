@@ -1,0 +1,277 @@
+//! `culinaria` — command-line front end for the culinary-patterns
+//! framework.
+//!
+//! ```text
+//! culinaria generate [--scale S] [--seed N] [--out DIR]
+//! culinaria analyze  [--scale S] [--seed N] [--mc N]
+//! culinaria report   <REGION> [--scale S] [--seed N]
+//! culinaria pairings <REGION> [--scale S] [--top K]
+//! culinaria regions
+//! ```
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::process::ExitCode;
+
+use culinaria::analysis::contribution::top_contributors;
+use culinaria::analysis::generation::{Objective, RecipeGenerator};
+use culinaria::analysis::pairing::OverlapCache;
+use culinaria::analysis::z_analysis::{analyses_to_frame, analyze_cuisine, analyze_world};
+use culinaria::analysis::{MonteCarloConfig, NullModel};
+use culinaria::datagen::{generate_world, World, WorldConfig};
+use culinaria::recipedb::Region;
+
+struct Args {
+    flags: HashMap<String, String>,
+    positional: Vec<String>,
+}
+
+fn parse_args(raw: &[String]) -> Args {
+    let mut flags = HashMap::new();
+    let mut positional = Vec::new();
+    let mut i = 0;
+    while i < raw.len() {
+        if let Some(name) = raw[i].strip_prefix("--") {
+            let value = raw.get(i + 1).cloned().unwrap_or_default();
+            flags.insert(name.to_owned(), value);
+            i += 2;
+        } else {
+            positional.push(raw[i].clone());
+            i += 1;
+        }
+    }
+    Args { flags, positional }
+}
+
+impl Args {
+    fn flag<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        self.flags
+            .get(name)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
+fn build_world(args: &Args) -> World {
+    let mut cfg = WorldConfig::paper();
+    cfg.recipe_scale = args.flag("scale", 0.1);
+    cfg.seed = args.flag("seed", 2018u64);
+    eprintln!(
+        "generating world (scale {}, seed {})…",
+        cfg.recipe_scale, cfg.seed
+    );
+    generate_world(&cfg)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  \
+         culinaria generate [--scale S] [--seed N] [--out DIR]   write dataset snapshots + CSV\n  \
+         culinaria analyze  [--scale S] [--seed N] [--mc N]      Fig-4 z-score table\n  \
+         culinaria report   <REGION> [--scale S] [--seed N]      one cuisine in depth\n  \
+         culinaria pairings <REGION> [--scale S] [--top K]       novel pairing suggestions\n  \
+         culinaria suggest  <REGION> [--size N] [--uniform|--contrast]  generate a recipe\n  \
+         culinaria regions                                       list Table 1 regions"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let Some(command) = raw.first().cloned() else {
+        return usage();
+    };
+    let args = parse_args(&raw[1..]);
+
+    match command.as_str() {
+        "regions" => {
+            println!(
+                "{:5} {:24} {:>8} {:>12} {:>12}",
+                "code", "name", "recipes", "ingredients", "pairing"
+            );
+            for r in Region::ALL {
+                println!(
+                    "{:5} {:24} {:>8} {:>12} {:>12}",
+                    r.code(),
+                    r.name(),
+                    r.paper_recipe_count(),
+                    r.paper_ingredient_count(),
+                    if r.paper_positive_pairing() {
+                        "uniform"
+                    } else {
+                        "contrasting"
+                    }
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "generate" => {
+            let world = build_world(&args);
+            let out = args
+                .flags
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| "culinaria-data".to_owned());
+            if let Err(e) = std::fs::create_dir_all(&out) {
+                eprintln!("cannot create {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let write = |name: &str, bytes: &[u8]| -> std::io::Result<()> {
+                let path = format!("{out}/{name}");
+                let mut f = std::fs::File::create(&path)?;
+                f.write_all(bytes)?;
+                println!("wrote {path} ({} bytes)", bytes.len());
+                Ok(())
+            };
+            let flavor = culinaria::flavordb::io::to_snapshot(&world.flavor);
+            let recipes = culinaria::recipedb::io::to_snapshot(&world.recipes);
+            let csv = culinaria::recipedb::io::to_csv(&world.recipes);
+            if let Err(e) = write("flavor.cfdb", &flavor)
+                .and_then(|_| write("recipes.crdb", &recipes))
+                .and_then(|_| write("recipes.csv", csv.as_bytes()))
+            {
+                eprintln!("write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        "analyze" => {
+            let world = build_world(&args);
+            let mc = MonteCarloConfig {
+                n_recipes: args.flag("mc", 20_000usize),
+                seed: args.flag("seed", 2018u64),
+                n_threads: 0,
+            };
+            let analyses = analyze_world(&world.flavor, &world.recipes, &NullModel::ALL, &mc);
+            println!("{}", analyses_to_frame(&analyses).to_table_string(22));
+            let matches = analyses
+                .iter()
+                .filter(|a| {
+                    (a.z_random().unwrap_or(0.0) > 0.0) == a.region.paper_positive_pairing()
+                })
+                .count();
+            println!("pairing-sign agreement with the paper: {matches}/22");
+            ExitCode::SUCCESS
+        }
+        "report" => {
+            let Some(region) = args
+                .positional
+                .first()
+                .and_then(|s| s.parse::<Region>().ok())
+            else {
+                eprintln!("report needs a region code (see `culinaria regions`)");
+                return ExitCode::from(2);
+            };
+            let world = build_world(&args);
+            let cuisine = world.recipes.cuisine(region);
+            let mc = MonteCarloConfig {
+                n_recipes: args.flag("mc", 20_000usize),
+                seed: args.flag("seed", 2018u64),
+                n_threads: 0,
+            };
+            let Some(analysis) = analyze_cuisine(&world.flavor, &cuisine, &NullModel::ALL, &mc)
+            else {
+                eprintln!("{region}: no pairing-bearing recipes");
+                return ExitCode::FAILURE;
+            };
+            println!(
+                "{} — {} recipes, {} ingredients",
+                region.name(),
+                analysis.n_recipes,
+                analysis.n_ingredients
+            );
+            println!("observed <Ns> = {:.3}", analysis.observed_mean);
+            for c in &analysis.comparisons {
+                println!(
+                    "  vs {:22} z = {:+10.1}",
+                    c.model.name(),
+                    c.z.unwrap_or(f64::NAN)
+                );
+            }
+            println!("verdict: {} food pairing", analysis.verdict());
+            let positive = analysis.z_random().unwrap_or(0.0) > 0.0;
+            println!("\ntop contributors:");
+            for c in top_contributors(&world.flavor, &cuisine, 5, positive) {
+                println!(
+                    "  {:30} {:+7.2}%  ({} recipes)",
+                    c.name, c.percent_change, c.n_recipes
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "suggest" => {
+            let Some(region) = args
+                .positional
+                .first()
+                .and_then(|s| s.parse::<Region>().ok())
+            else {
+                eprintln!("suggest needs a region code (see `culinaria regions`)");
+                return ExitCode::from(2);
+            };
+            let world = build_world(&args);
+            let size: usize = args.flag("size", 7usize);
+            let cuisine = world.recipes.cuisine(region);
+            let objective = if args.flags.contains_key("contrast") {
+                Objective::MinimizeSharing
+            } else {
+                Objective::MaximizeSharing
+            };
+            let generator = RecipeGenerator::new(&world.flavor, &cuisine, 100);
+            let Some(recipe) = generator.generate_recipe(size, objective, 0) else {
+                eprintln!("{region}: pool too small for a {size}-ingredient recipe");
+                return ExitCode::FAILURE;
+            };
+            println!(
+                "generated {} recipe for {} (Ns = {:.2}):",
+                match objective {
+                    Objective::MinimizeSharing => "contrasting",
+                    _ => "uniform",
+                },
+                region.name(),
+                recipe.ns
+            );
+            for id in &recipe.ingredients {
+                println!("  {}", generator.name(*id));
+            }
+            ExitCode::SUCCESS
+        }
+        "pairings" => {
+            let Some(region) = args
+                .positional
+                .first()
+                .and_then(|s| s.parse::<Region>().ok())
+            else {
+                eprintln!("pairings needs a region code (see `culinaria regions`)");
+                return ExitCode::from(2);
+            };
+            let world = build_world(&args);
+            let top_k: usize = args.flag("top", 10usize);
+            let cuisine = world.recipes.cuisine(region);
+            let cache = OverlapCache::for_cuisine(&world.flavor, &cuisine);
+            let pool = cache.pool().to_vec();
+            let mut candidates: Vec<(f64, usize, usize, usize, usize)> = Vec::new();
+            for i in 0..pool.len() {
+                for j in (i + 1)..pool.len() {
+                    let overlap = cache.overlap(i as u32, j as u32) as usize;
+                    if overlap == 0 {
+                        continue;
+                    }
+                    let cooc = world.recipes.cooccurrence(pool[i], pool[j]);
+                    candidates.push((overlap as f64 / (1.0 + cooc as f64), overlap, cooc, i, j));
+                }
+            }
+            candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
+            println!(
+                "novel pairings for {} (high overlap, low co-use):",
+                region.name()
+            );
+            for &(novelty, overlap, cooc, i, j) in candidates.iter().take(top_k) {
+                let a = &world.flavor.ingredient(pool[i]).expect("live id").name;
+                let b = &world.flavor.ingredient(pool[j]).expect("live id").name;
+                println!("  {novelty:7.1}  {a} + {b}  (overlap {overlap}, co-used {cooc}×)");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,103 @@
+//! Integration tests of the `culinaria` command-line interface.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> (bool, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_culinaria"))
+        .args(args)
+        .output()
+        .expect("binary runs");
+    (
+        out.status.success(),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn regions_lists_all_22() {
+    let (ok, stdout, _) = run(&["regions"]);
+    assert!(ok);
+    for code in ["AFR", "ITA", "USA", "KOR", "SCND"] {
+        assert!(stdout.contains(code), "{code} missing");
+    }
+    assert_eq!(stdout.lines().count(), 23); // header + 22 rows
+    assert!(stdout.contains("contrasting"));
+}
+
+#[test]
+fn no_command_shows_usage() {
+    let (ok, _, stderr) = run(&[]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+    let (ok, _, stderr) = run(&["frobnicate"]);
+    assert!(!ok);
+    assert!(stderr.contains("usage"));
+}
+
+#[test]
+fn report_requires_valid_region() {
+    let (ok, _, stderr) = run(&["report", "ATLANTIS"]);
+    assert!(!ok);
+    assert!(stderr.contains("region code"));
+}
+
+#[test]
+fn report_produces_verdict() {
+    let (ok, stdout, _) = run(&["report", "JPN", "--scale", "0.02", "--mc", "2000"]);
+    assert!(ok, "stdout: {stdout}");
+    assert!(stdout.contains("Japan"));
+    assert!(stdout.contains("verdict:"));
+    assert!(stdout.contains("top contributors"));
+}
+
+#[test]
+fn analyze_emits_agreement_line() {
+    let (ok, stdout, _) = run(&["analyze", "--scale", "0.01", "--mc", "1500"]);
+    assert!(ok);
+    assert!(stdout.contains("z_random"));
+    assert!(stdout.contains("pairing-sign agreement with the paper:"));
+}
+
+#[test]
+fn generate_writes_snapshots() {
+    let dir = std::env::temp_dir().join(format!("culinaria-cli-test-{}", std::process::id()));
+    let dir_str = dir.to_str().expect("utf-8 temp path");
+    let (ok, stdout, _) = run(&["generate", "--scale", "0.01", "--out", dir_str]);
+    assert!(ok, "stdout: {stdout}");
+    for file in ["flavor.cfdb", "recipes.crdb", "recipes.csv"] {
+        let path = dir.join(file);
+        assert!(path.exists(), "{file} missing");
+        assert!(
+            path.metadata().expect("stat").len() > 100,
+            "{file} too small"
+        );
+    }
+    // Snapshots decode.
+    let flavor_bytes = std::fs::read(dir.join("flavor.cfdb")).expect("readable");
+    let db = culinaria::flavordb::io::from_snapshot(flavor_bytes.into()).expect("decodes");
+    assert!(db.n_ingredients() > 100);
+    let recipe_bytes = std::fs::read(dir.join("recipes.crdb")).expect("readable");
+    let store = culinaria::recipedb::io::from_snapshot(recipe_bytes.into()).expect("decodes");
+    assert!(store.n_recipes() > 100);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn pairings_lists_candidates() {
+    let (ok, stdout, _) = run(&["pairings", "ITA", "--scale", "0.02", "--top", "3"]);
+    assert!(ok);
+    assert!(stdout.contains("novel pairings"));
+    assert!(stdout.contains("overlap"));
+}
+
+#[test]
+fn suggest_generates_a_recipe() {
+    let (ok, stdout, _) = run(&["suggest", "ITA", "--scale", "0.02", "--size", "5"]);
+    assert!(ok);
+    assert!(stdout.contains("generated uniform recipe for Italy"));
+    assert_eq!(stdout.lines().filter(|l| l.starts_with("  ")).count(), 5);
+    let (ok, stdout, _) = run(&["suggest", "JPN", "--scale", "0.02", "--contrast", "true"]);
+    assert!(ok);
+    assert!(stdout.contains("contrasting"));
+}

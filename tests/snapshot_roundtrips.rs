@@ -1,0 +1,66 @@
+//! Integration: dataset snapshots round-trip across crates — a
+//! generated world survives flavor-DB and recipe-store serialization,
+//! and the analyses computed before and after are identical.
+
+use culinaria::analysis::pairing::mean_cuisine_score;
+use culinaria::datagen::{generate_world, WorldConfig};
+use culinaria::flavordb::io as flavor_io;
+use culinaria::recipedb::io as recipe_io;
+use culinaria::recipedb::Region;
+
+#[test]
+fn world_snapshot_preserves_analysis_results() {
+    let world = generate_world(&WorldConfig::tiny());
+
+    let flavor_snap = flavor_io::to_snapshot(&world.flavor);
+    let recipe_snap = recipe_io::to_snapshot(&world.recipes);
+
+    let flavor2 = flavor_io::from_snapshot(flavor_snap).expect("flavor snapshot decodes");
+    let recipes2 = recipe_io::from_snapshot(recipe_snap).expect("recipe snapshot decodes");
+
+    assert_eq!(world.flavor.n_ingredients(), flavor2.n_ingredients());
+    assert_eq!(world.recipes.n_recipes(), recipes2.n_recipes());
+
+    for region in [Region::Italy, Region::Japan, Region::Usa] {
+        let before = mean_cuisine_score(&world.flavor, &world.recipes.cuisine(region));
+        let after = mean_cuisine_score(&flavor2, &recipes2.cuisine(region));
+        assert_eq!(
+            before.to_bits(),
+            after.to_bits(),
+            "{region}: score changed across snapshot"
+        );
+    }
+}
+
+#[test]
+fn recipe_csv_export_is_loadable_tabular() {
+    let world = generate_world(&WorldConfig::tiny());
+    let csv = recipe_io::to_csv(&world.recipes);
+    let frame = culinaria::tabular::Frame::from_csv_str(&csv).expect("own CSV parses");
+    assert_eq!(frame.n_rows(), world.recipes.n_recipes());
+    for col in ["recipe_id", "name", "region", "source", "ingredients"] {
+        assert!(frame.has_column(col), "{col} missing from export");
+    }
+    // Region codes in the export are valid Table 1 codes.
+    let regions = frame.column("region").expect("column exists");
+    for v in regions.iter_values() {
+        let code = v.as_str().expect("region column is strings");
+        assert!(code.parse::<Region>().is_ok(), "bad region code {code}");
+    }
+}
+
+#[test]
+fn snapshots_are_stable_across_identical_worlds() {
+    let a = generate_world(&WorldConfig::tiny());
+    let b = generate_world(&WorldConfig::tiny());
+    assert_eq!(
+        flavor_io::to_snapshot(&a.flavor),
+        flavor_io::to_snapshot(&b.flavor),
+        "flavor snapshots differ for identical configs"
+    );
+    assert_eq!(
+        recipe_io::to_snapshot(&a.recipes),
+        recipe_io::to_snapshot(&b.recipes),
+        "recipe snapshots differ for identical configs"
+    );
+}
