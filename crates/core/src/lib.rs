@@ -13,7 +13,7 @@
 //!   Frequency + Category), each preserving the cuisine's ingredient
 //!   set and recipe-size distribution;
 //! * [`monte_carlo`] — the 100,000-recipe Monte-Carlo engine, parallel
-//!   via crossbeam scoped threads with per-chunk deterministic seeds;
+//!   via the shared worker pool with per-block deterministic seeds;
 //! * [`z_analysis`] — z-scores of each cuisine against each null model
 //!   (Fig 4) and the full 22-region analysis driver;
 //! * [`contribution`] — per-ingredient contribution to a cuisine's

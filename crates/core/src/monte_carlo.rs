@@ -2,24 +2,70 @@
 //! scored against the overlap cache, summarized as a
 //! [`NullEnsemble`].
 //!
-//! Parallelism is crossbeam scoped threads over fixed-size *blocks* of
-//! recipes. Each block derives its PRNG seed deterministically from
-//! `(run seed, model, block index)` and accumulates its own
-//! [`RunningStats`]; block results are merged in block order. The
-//! result is therefore **bit-identical regardless of thread count** —
-//! a design choice DESIGN.md calls out.
+//! Parallelism is the shared worker pool ([`culinaria_stats::pool`])
+//! over fixed-size *blocks* of recipes. Each block derives its PRNG
+//! seed deterministically from `(run seed, model, block index)` and
+//! accumulates its own [`RunningStats`]; the pool returns block results
+//! in block order (one lock-free slot per block, one writer per slot),
+//! and they are merged in that canonical order. The result is therefore
+//! **bit-identical regardless of thread count** — a design choice
+//! DESIGN.md calls out.
+//!
+//! Workers carry a reusable `McScratch` (recipe buffer + distinctness
+//! bitmask), so the steady state of a run allocates nothing per sampled
+//! recipe.
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use culinaria_stats::pool;
 use culinaria_stats::rng::derive_seed;
 use culinaria_stats::{NullEnsemble, RunningStats};
 
-use crate::null_models::{CuisineSampler, NullModel};
+use crate::null_models::{CuisineSampler, NullModel, SampleScratch};
 use crate::pairing::OverlapCache;
 
 /// Recipes per scheduling block (also the determinism granularity).
-const BLOCK: usize = 2048;
+pub(crate) const BLOCK: usize = 2048;
+
+/// Per-worker reusable buffers for Monte-Carlo sampling.
+#[derive(Debug, Default)]
+pub(crate) struct McScratch {
+    recipe: Vec<u32>,
+    sample: SampleScratch,
+}
+
+impl McScratch {
+    pub(crate) fn new() -> McScratch {
+        McScratch::default()
+    }
+}
+
+/// Sample and score one block of recipes — the unit of work both the
+/// single-cuisine runner and the flattened world pipeline feed to the
+/// pool. `run_seed` is the seed the whole run was configured with;
+/// the block's own stream is derived from `(run_seed, model, block)`,
+/// so a block's statistics depend only on those three values.
+pub(crate) fn block_stats(
+    cache: &OverlapCache,
+    sampler: &CuisineSampler,
+    model: NullModel,
+    run_seed: u64,
+    block: usize,
+    n_recipes: usize,
+    scratch: &mut McScratch,
+) -> RunningStats {
+    let lo = block * BLOCK;
+    let hi = ((block + 1) * BLOCK).min(n_recipes);
+    let stream = (model.index() as u64) << 32 | block as u64;
+    let mut rng = StdRng::seed_from_u64(derive_seed(run_seed, stream));
+    let mut stats = RunningStats::new();
+    for _ in lo..hi {
+        sampler.generate_into(model, &mut rng, &mut scratch.recipe, &mut scratch.sample);
+        stats.push(cache.score_local(&scratch.recipe));
+    }
+    stats
+}
 
 /// Monte-Carlo configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,15 +96,6 @@ impl MonteCarloConfig {
             ..MonteCarloConfig::default()
         }
     }
-
-    fn effective_threads(&self) -> usize {
-        if self.n_threads > 0 {
-            return self.n_threads;
-        }
-        std::thread::available_parallelism()
-            .map(|n| n.get())
-            .unwrap_or(1)
-    }
 }
 
 /// Run one null model for one cuisine: sample `cfg.n_recipes` recipes,
@@ -76,42 +113,15 @@ pub fn run_null_model(
     if n_blocks == 0 {
         return None;
     }
-    let n_threads = cfg.effective_threads().min(n_blocks).max(1);
+    let blocks = pool::run(cfg.n_threads, n_blocks, McScratch::new, |scratch, b| {
+        block_stats(cache, sampler, model, cfg.seed, b, cfg.n_recipes, scratch)
+    });
 
-    // One slot per block; workers claim blocks via the shared counter
-    // and write their block's statistics into its dedicated slot.
-    let slots: Vec<parking_lot::Mutex<RunningStats>> = (0..n_blocks)
-        .map(|_| parking_lot::Mutex::new(RunningStats::new()))
-        .collect();
-    let next_block = std::sync::atomic::AtomicUsize::new(0);
-    crossbeam::thread::scope(|scope| {
-        let slots = &slots;
-        let next_block = &next_block;
-        for _ in 0..n_threads {
-            scope.spawn(move |_| loop {
-                let b = next_block.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if b >= n_blocks {
-                    break;
-                }
-                let lo = b * BLOCK;
-                let hi = ((b + 1) * BLOCK).min(cfg.n_recipes);
-                let stream = (model.index() as u64) << 32 | b as u64;
-                let mut rng = StdRng::seed_from_u64(derive_seed(cfg.seed, stream));
-                let mut stats = RunningStats::new();
-                for _ in lo..hi {
-                    let recipe = sampler.generate(model, &mut rng);
-                    stats.push(cache.score_local(&recipe));
-                }
-                *slots[b].lock() = stats;
-            });
-        }
-    })
-    .expect("monte-carlo workers do not panic");
-
-    // Deterministic merge in block order.
+    // Deterministic merge in block order (the pool already returned the
+    // blocks in that order).
     let mut total = RunningStats::new();
-    for s in &slots {
-        total.merge(&s.lock());
+    for s in &blocks {
+        total.merge(s);
     }
     NullEnsemble::from_running(&total)
 }

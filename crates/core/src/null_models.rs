@@ -85,6 +85,41 @@ impl std::fmt::Display for NullModel {
     }
 }
 
+/// Reusable per-worker scratch for allocation-free sampling via
+/// [`CuisineSampler::generate_into`].
+///
+/// Holds the membership bitmask of the recipe under construction (one
+/// bit per pool position), replacing the `chosen.contains(..)` linear
+/// scans of the reference path. A single scratch is reused across the
+/// 100,000 recipes a Monte-Carlo worker generates.
+#[derive(Debug, Clone, Default)]
+pub struct SampleScratch {
+    mask: Vec<u64>,
+}
+
+impl SampleScratch {
+    /// An empty scratch; sized lazily on first use.
+    pub fn new() -> SampleScratch {
+        SampleScratch::default()
+    }
+
+    /// Reset for a pool of `n_pool` positions.
+    fn begin(&mut self, n_pool: usize) {
+        self.mask.clear();
+        self.mask.resize(n_pool.div_ceil(64), 0);
+    }
+
+    #[inline]
+    fn contains(&self, c: u32) -> bool {
+        (self.mask[c as usize / 64] >> (c % 64)) & 1 == 1
+    }
+
+    #[inline]
+    fn insert(&mut self, c: u32) {
+        self.mask[c as usize / 64] |= 1u64 << (c % 64);
+    }
+}
+
 /// Immutable sampling state for one cuisine; shared read-only across
 /// Monte-Carlo threads.
 #[derive(Debug, Clone)]
@@ -199,6 +234,108 @@ impl CuisineSampler {
             }
         }
         (0..self.n_pool as u32).find(|c| !chosen.contains(c))
+    }
+
+    /// Masked variant of [`CuisineSampler::draw_distinct`]: membership
+    /// is tested against the scratch bitmask in O(1) instead of a
+    /// linear scan. Consumes the RNG identically to the reference path
+    /// (a membership test returns the same answer either way), which is
+    /// what keeps [`CuisineSampler::generate_into`] stream-compatible
+    /// with [`CuisineSampler::generate`].
+    fn draw_distinct_masked<R: Rng + ?Sized>(
+        &self,
+        scratch: &SampleScratch,
+        rng: &mut R,
+        mut draw: impl FnMut(&mut R) -> u32,
+    ) -> Option<u32> {
+        for _ in 0..64 {
+            let c = draw(rng);
+            if !scratch.contains(c) {
+                return Some(c);
+            }
+        }
+        (0..self.n_pool as u32).find(|&c| !scratch.contains(c))
+    }
+
+    /// Allocation-free [`CuisineSampler::generate`]: writes the recipe
+    /// into `out` and tracks distinctness in `scratch`'s bitmask.
+    ///
+    /// Given the same RNG state this produces exactly the recipe
+    /// `generate` would (and leaves the RNG in the same state) — the
+    /// `generate_into_matches_generate` test pins that contract. The
+    /// Monte-Carlo workers call this path; `generate` remains as the
+    /// allocating reference implementation.
+    pub fn generate_into<R: Rng + ?Sized>(
+        &self,
+        model: NullModel,
+        rng: &mut R,
+        out: &mut Vec<u32>,
+        scratch: &mut SampleScratch,
+    ) {
+        out.clear();
+        scratch.begin(self.n_pool);
+        match model {
+            NullModel::Random | NullModel::Frequency => {
+                let size = self.sizes[rng.random_range(0..self.sizes.len())] as usize;
+                let size = size.min(self.n_pool);
+                while out.len() < size {
+                    let next = match model {
+                        NullModel::Random => self.draw_distinct_masked(scratch, rng, |r| {
+                            r.random_range(0..self.n_pool) as u32
+                        }),
+                        _ => {
+                            self.draw_distinct_masked(scratch, rng, |r| self.freq.sample(r) as u32)
+                        }
+                    };
+                    match next {
+                        Some(c) => {
+                            scratch.insert(c);
+                            out.push(c);
+                        }
+                        None => break,
+                    }
+                }
+            }
+            NullModel::Category | NullModel::FrequencyCategory => {
+                let template = &self.templates[rng.random_range(0..self.templates.len())];
+                for &cat in template {
+                    let members = &self.by_category[cat.index()];
+                    let next = if members.is_empty() {
+                        self.draw_distinct_masked(scratch, rng, |r| {
+                            r.random_range(0..self.n_pool) as u32
+                        })
+                    } else {
+                        let within = match model {
+                            NullModel::Category => self.draw_distinct_masked(scratch, rng, |r| {
+                                members[r.random_range(0..members.len())]
+                            }),
+                            _ => {
+                                let sampler = self.freq_by_category[cat.index()]
+                                    .as_ref()
+                                    .expect("non-empty category has a sampler");
+                                self.draw_distinct_masked(scratch, rng, |r| {
+                                    members[sampler.sample(r)]
+                                })
+                            }
+                        };
+                        let exhausted = members.iter().all(|&m| scratch.contains(m));
+                        match within {
+                            Some(c) if !exhausted || !scratch.contains(c) => Some(c),
+                            _ => self.draw_distinct_masked(scratch, rng, |r| {
+                                r.random_range(0..self.n_pool) as u32
+                            }),
+                        }
+                    };
+                    match next {
+                        Some(c) => {
+                            scratch.insert(c);
+                            out.push(c);
+                        }
+                        None => break,
+                    }
+                }
+            }
+        }
     }
 
     /// Sample one randomized recipe as local pool positions. The output
@@ -438,6 +575,28 @@ mod tests {
                     allowed.contains(&cats),
                     "{model}: composition {cats:?} not in templates"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn generate_into_matches_generate() {
+        let (db, store) = sampler();
+        let cuisine = store.cuisine(Region::Italy);
+        let s = CuisineSampler::build(&db, &cuisine).unwrap();
+        let mut out = Vec::new();
+        let mut scratch = SampleScratch::new();
+        for model in NullModel::ALL {
+            // Two clones of one RNG: the reference and optimized paths
+            // must produce identical recipes from identical streams,
+            // draw after draw (which also proves they consume the same
+            // number of RNG outputs).
+            let mut rng_a = StdRng::seed_from_u64(0xFEED ^ model.index() as u64);
+            let mut rng_b = rng_a.clone();
+            for step in 0..2000 {
+                let reference = s.generate(model, &mut rng_a);
+                s.generate_into(model, &mut rng_b, &mut out, &mut scratch);
+                assert_eq!(reference, out, "{model}: diverged at draw {step}");
             }
         }
     }

@@ -20,8 +20,9 @@
 
 use std::collections::HashMap;
 
-use culinaria_flavordb::{FlavorDb, IngredientId};
+use culinaria_flavordb::{BitProfile, FlavorDb, IngredientId, MoleculeUniverse};
 use culinaria_recipedb::Cuisine;
+use culinaria_stats::pool;
 
 /// N_s(R) computed directly from flavor profiles (no cache).
 ///
@@ -141,20 +142,51 @@ pub struct OverlapCache {
 }
 
 impl OverlapCache {
-    /// Build the cache for an ingredient pool. O(n² · profile) once.
+    /// Build the cache for an ingredient pool, using the available
+    /// parallelism for the O(n²) intersection sweep.
+    ///
+    /// Profiles are first packed as bitsets over the pool's own
+    /// molecule universe ([`culinaria_flavordb::MoleculeUniverse`]), so
+    /// each intersection is a word-AND + popcount instead of a sorted
+    /// merge; rows of the triangle are then computed across the worker
+    /// pool. Overlap counts are exact integers, so the result is
+    /// identical for every thread count.
     pub fn build(db: &FlavorDb, pool: &[IngredientId]) -> OverlapCache {
+        OverlapCache::build_with_threads(db, pool, 0)
+    }
+
+    /// [`OverlapCache::build`] with an explicit worker count
+    /// (0 = available parallelism).
+    pub fn build_with_threads(
+        db: &FlavorDb,
+        pool: &[IngredientId],
+        n_threads: usize,
+    ) -> OverlapCache {
         let n = pool.len();
         let profiles: Vec<_> = pool
             .iter()
             .map(|&id| &db.ingredient(id).expect("live ingredient").profile)
             .collect();
-        let mut tri = vec![0u32; n * n.saturating_sub(1) / 2];
-        let mut k = 0usize;
-        for i in 0..n {
-            for j in (i + 1)..n {
-                tri[k] = profiles[i].shared_count(profiles[j]) as u32;
-                k += 1;
-            }
+        let universe = MoleculeUniverse::build(profiles.iter().copied());
+        let bits: Vec<BitProfile> = profiles.iter().map(|p| universe.pack(p)).collect();
+
+        // Row i of the strict upper triangle holds overlaps (i, j) for
+        // j in i+1..n — exactly the packed layout, so the rows
+        // concatenate back in task order.
+        let rows = pool::run(
+            n_threads,
+            n.saturating_sub(1),
+            || (),
+            |_, i| {
+                let row_bits = &bits[i];
+                (i + 1..n)
+                    .map(|j| row_bits.shared_count(&bits[j]) as u32)
+                    .collect::<Vec<u32>>()
+            },
+        );
+        let mut tri = Vec::with_capacity(n * n.saturating_sub(1) / 2);
+        for row in rows {
+            tri.extend_from_slice(&row);
         }
         let local = pool
             .iter()
@@ -171,6 +203,16 @@ impl OverlapCache {
     /// Build over a cuisine's distinct ingredient set.
     pub fn for_cuisine(db: &FlavorDb, cuisine: &Cuisine<'_>) -> OverlapCache {
         OverlapCache::build(db, &cuisine.ingredient_set())
+    }
+
+    /// [`OverlapCache::for_cuisine`] with an explicit worker count
+    /// (0 = available parallelism).
+    pub fn for_cuisine_with_threads(
+        db: &FlavorDb,
+        cuisine: &Cuisine<'_>,
+        n_threads: usize,
+    ) -> OverlapCache {
+        OverlapCache::build_with_threads(db, &cuisine.ingredient_set(), n_threads)
     }
 
     /// Pool size.
@@ -228,8 +270,23 @@ impl OverlapCache {
     /// N_s over a recipe given as ingredient ids (ids outside the pool
     /// are an error in the caller; returns `None` in that case).
     pub fn score_ids(&self, ingredients: &[IngredientId]) -> Option<f64> {
-        let locals: Option<Vec<u32>> = ingredients.iter().map(|&i| self.local_index(i)).collect();
-        Some(self.score_local(&locals?))
+        self.score_ids_with(ingredients, &mut Vec::new())
+    }
+
+    /// [`OverlapCache::score_ids`] writing local indices into a
+    /// caller-owned scratch buffer, so batch scoring (a cuisine's whole
+    /// recipe list, a Monte-Carlo ensemble) allocates nothing per
+    /// recipe.
+    pub fn score_ids_with(
+        &self,
+        ingredients: &[IngredientId],
+        scratch: &mut Vec<u32>,
+    ) -> Option<f64> {
+        scratch.clear();
+        for &id in ingredients {
+            scratch.push(self.local_index(id)?);
+        }
+        Some(self.score_local(scratch))
     }
 
     /// Mean cuisine score via the cache; skips sub-pair recipes.
@@ -237,9 +294,10 @@ impl OverlapCache {
     pub fn mean_cuisine_score(&self, cuisine: &Cuisine<'_>) -> Option<f64> {
         let mut total = 0.0;
         let mut n = 0usize;
+        let mut scratch = Vec::new();
         for r in cuisine.recipes() {
             if r.size() >= 2 {
-                total += self.score_ids(r.ingredients())?;
+                total += self.score_ids_with(r.ingredients(), &mut scratch)?;
                 n += 1;
             }
         }
@@ -360,6 +418,36 @@ mod tests {
                 assert_eq!(cache.overlap(i, j), cache.overlap(j, i));
             }
         }
+    }
+
+    #[test]
+    fn build_identical_for_any_thread_count() {
+        let (db, ids) = fixture();
+        let serial = OverlapCache::build_with_threads(&db, &ids, 1);
+        for threads in [0, 2, 8] {
+            let parallel = OverlapCache::build_with_threads(&db, &ids, threads);
+            assert_eq!(serial.tri, parallel.tri, "{threads} threads");
+            assert_eq!(serial.pool, parallel.pool);
+        }
+    }
+
+    #[test]
+    fn score_ids_with_reuses_scratch() {
+        let (db, ids) = fixture();
+        let cache = OverlapCache::build(&db, &ids);
+        let mut scratch = Vec::new();
+        for subset in [&ids[0..2], &ids[0..3], &ids[0..4]] {
+            let fresh = cache.score_ids(subset).unwrap();
+            let reused = cache.score_ids_with(subset, &mut scratch).unwrap();
+            assert_eq!(fresh.to_bits(), reused.to_bits());
+            assert_eq!(scratch.len(), subset.len());
+        }
+        // Unknown id: None, scratch stays usable afterwards.
+        let small = OverlapCache::build(&db, &ids[0..2]);
+        assert!(small
+            .score_ids_with(&[ids[0], ids[3]], &mut scratch)
+            .is_none());
+        assert!(small.score_ids_with(&ids[0..2], &mut scratch).is_some());
     }
 
     #[test]

@@ -1,13 +1,27 @@
 //! Z-score analysis of cuisines against the null models (Fig 4) and the
 //! full 22-region driver.
+//!
+//! The world driver does not run region after region: it flattens every
+//! `(region, model, block)` triple of the full Fig 4 run into one task
+//! queue on the shared worker pool, so a thread finishing the last
+//! block of one cuisine immediately starts the next cuisine's work
+//! instead of idling at a per-region barrier.
+//!
+//! Each region's Monte-Carlo streams are salted with its region code
+//! (`derive_seed_labeled(cfg.seed, region.code())`) — in both
+//! [`analyze_cuisine`] and [`analyze_world`] — so (a) no two regions
+//! share a random stream, and (b) analyzing a cuisine alone is
+//! bit-identical to its row of the world run.
 
 use culinaria_flavordb::FlavorDb;
 use culinaria_recipedb::{Cuisine, RecipeStore, Region};
+use culinaria_stats::pool;
+use culinaria_stats::rng::derive_seed_labeled;
 use culinaria_stats::zscore::z_score_of_mean;
-use culinaria_stats::NullEnsemble;
+use culinaria_stats::{NullEnsemble, RunningStats};
 use culinaria_tabular::{Column, Frame};
 
-use crate::monte_carlo::{run_null_model, MonteCarloConfig};
+use crate::monte_carlo::{block_stats, run_null_model, McScratch, MonteCarloConfig, BLOCK};
 use crate::null_models::{CuisineSampler, NullModel};
 use crate::pairing::OverlapCache;
 
@@ -84,6 +98,10 @@ impl std::fmt::Display for PairingVerdict {
 
 /// Analyze one cuisine against the given models. Returns `None` for
 /// cuisines with no pairing-bearing recipes.
+///
+/// The Monte-Carlo streams are salted with the cuisine's region code,
+/// so the result is bit-identical to the same region's row of
+/// [`analyze_world`] under the same configuration.
 pub fn analyze_cuisine(
     db: &FlavorDb,
     cuisine: &Cuisine<'_>,
@@ -91,15 +109,19 @@ pub fn analyze_cuisine(
     cfg: &MonteCarloConfig,
 ) -> Option<CuisineAnalysis> {
     let sampler = CuisineSampler::build(db, cuisine)?;
-    let cache = OverlapCache::for_cuisine(db, cuisine);
+    let cache = OverlapCache::for_cuisine_with_threads(db, cuisine, cfg.n_threads);
     let observed_mean = cache
         .mean_cuisine_score(cuisine)
         .expect("cache pool covers the cuisine's own recipes");
 
+    let region_cfg = MonteCarloConfig {
+        seed: derive_seed_labeled(cfg.seed, cuisine.region().code()),
+        ..*cfg
+    };
     let comparisons: Vec<ModelComparison> = models
         .iter()
         .map(|&model| {
-            let null = run_null_model(&cache, &sampler, model, cfg)
+            let null = run_null_model(&cache, &sampler, model, &region_cfg)
                 .expect("n_recipes >= 2 yields an ensemble");
             let z = z_score_of_mean(observed_mean, &null);
             ModelComparison { model, null, z }
@@ -115,19 +137,111 @@ pub fn analyze_cuisine(
     })
 }
 
+/// A region's immutable per-run state, shared read-only by every
+/// worker of the flattened world queue.
+struct PreparedRegion {
+    region: Region,
+    sampler: CuisineSampler,
+    cache: OverlapCache,
+    observed_mean: f64,
+    n_recipes: usize,
+    n_ingredients: usize,
+    /// Region-salted Monte-Carlo seed.
+    seed: u64,
+}
+
 /// Analyze every populated region of a store (the full Fig 4 run).
+///
+/// All `(region, model, block)` Monte-Carlo work units go through one
+/// shared worker pool as a single flattened queue — there is no
+/// per-region or per-model barrier, so late stragglers of one cuisine
+/// overlap with the next cuisine's blocks. Block statistics come back
+/// in canonical task order and are merged per `(region, model)` in
+/// block order, keeping every number bit-identical for any thread
+/// count and equal to the per-region [`analyze_cuisine`] results.
 pub fn analyze_world(
     db: &FlavorDb,
     store: &RecipeStore,
     models: &[NullModel],
     cfg: &MonteCarloConfig,
 ) -> Vec<CuisineAnalysis> {
-    store
+    // Setup pass: samplers, overlap caches (internally parallel), and
+    // observed means per populated region.
+    let prepared: Vec<PreparedRegion> = store
         .regions()
         .into_iter()
         .filter_map(|region| {
             let cuisine = store.cuisine(region);
-            analyze_cuisine(db, &cuisine, models, cfg)
+            let sampler = CuisineSampler::build(db, &cuisine)?;
+            let cache = OverlapCache::for_cuisine_with_threads(db, &cuisine, cfg.n_threads);
+            let observed_mean = cache
+                .mean_cuisine_score(&cuisine)
+                .expect("cache pool covers the cuisine's own recipes");
+            Some(PreparedRegion {
+                region,
+                n_recipes: sampler.n_templates(),
+                n_ingredients: cuisine.ingredient_set().len(),
+                sampler,
+                cache,
+                observed_mean,
+                seed: derive_seed_labeled(cfg.seed, region.code()),
+            })
+        })
+        .collect();
+
+    // Flattened Monte-Carlo queue: task index ↔ (region, model, block)
+    // by uniform stride, so no task list needs materializing.
+    let n_models = models.len();
+    let n_blocks = cfg.n_recipes.div_ceil(BLOCK);
+    let per_region = n_models * n_blocks;
+    let block_results = pool::run(
+        cfg.n_threads,
+        prepared.len() * per_region,
+        McScratch::new,
+        |scratch, t| {
+            let p = &prepared[t / per_region];
+            let rem = t % per_region;
+            let model = models[rem / n_blocks];
+            let block = rem % n_blocks;
+            block_stats(
+                &p.cache,
+                &p.sampler,
+                model,
+                p.seed,
+                block,
+                cfg.n_recipes,
+                scratch,
+            )
+        },
+    );
+
+    // Canonical merge: per (region, model), fold blocks in block order.
+    prepared
+        .iter()
+        .enumerate()
+        .map(|(pi, p)| {
+            let comparisons: Vec<ModelComparison> = models
+                .iter()
+                .enumerate()
+                .map(|(mi, &model)| {
+                    let mut total = RunningStats::new();
+                    let base = pi * per_region + mi * n_blocks;
+                    for stats in &block_results[base..base + n_blocks] {
+                        total.merge(stats);
+                    }
+                    let null = NullEnsemble::from_running(&total)
+                        .expect("n_recipes >= 2 yields an ensemble");
+                    let z = z_score_of_mean(p.observed_mean, &null);
+                    ModelComparison { model, null, z }
+                })
+                .collect();
+            CuisineAnalysis {
+                region: p.region,
+                n_recipes: p.n_recipes,
+                n_ingredients: p.n_ingredients,
+                observed_mean: p.observed_mean,
+                comparisons,
+            }
         })
         .collect()
 }
@@ -254,6 +368,103 @@ mod tests {
             assert!(a.observed_mean >= 0.0);
             assert!(a.n_recipes > 0);
         }
+    }
+
+    #[test]
+    fn analyze_world_bit_identical_across_thread_counts() {
+        let world = generate_world(&WorldConfig::tiny());
+        let models = [NullModel::Random, NullModel::Frequency];
+        let base = MonteCarloConfig {
+            n_recipes: 4096, // 2 blocks per (region, model)
+            seed: 99,
+            n_threads: 1,
+        };
+        let reference = analyze_world(&world.flavor, &world.recipes, &models, &base);
+        for threads in [2, 8] {
+            let cfg = MonteCarloConfig {
+                n_threads: threads,
+                ..base
+            };
+            let run = analyze_world(&world.flavor, &world.recipes, &models, &cfg);
+            assert_eq!(run.len(), reference.len());
+            for (a, b) in reference.iter().zip(&run) {
+                assert_eq!(a.region, b.region, "{threads} threads");
+                assert_eq!(a.observed_mean.to_bits(), b.observed_mean.to_bits());
+                for (ca, cb) in a.comparisons.iter().zip(&b.comparisons) {
+                    assert_eq!(ca.model, cb.model);
+                    assert_eq!(
+                        ca.null.mean.to_bits(),
+                        cb.null.mean.to_bits(),
+                        "{threads} threads, {}, {}",
+                        a.region.code(),
+                        ca.model
+                    );
+                    assert_eq!(ca.null.std_dev.to_bits(), cb.null.std_dev.to_bits());
+                    assert_eq!(
+                        ca.z.map(f64::to_bits),
+                        cb.z.map(f64::to_bits),
+                        "{threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn world_rows_match_single_cuisine_runs() {
+        // Region-salted streams make the flattened world pipeline
+        // reproduce exactly what analyzing each cuisine alone gives.
+        let world = generate_world(&WorldConfig::tiny());
+        let models = [NullModel::Random];
+        let cfg = MonteCarloConfig {
+            n_recipes: 3000, // exercises a partial final block too
+            seed: 5,
+            n_threads: 2,
+        };
+        let all = analyze_world(&world.flavor, &world.recipes, &models, &cfg);
+        for row in all.iter().take(4) {
+            let solo = analyze_cuisine(
+                &world.flavor,
+                &world.recipes.cuisine(row.region),
+                &models,
+                &cfg,
+            )
+            .unwrap();
+            assert_eq!(row.observed_mean.to_bits(), solo.observed_mean.to_bits());
+            let (a, b) = (&row.comparisons[0], &solo.comparisons[0]);
+            assert_eq!(
+                a.null.mean.to_bits(),
+                b.null.mean.to_bits(),
+                "{}",
+                row.region.code()
+            );
+            assert_eq!(a.null.n, b.null.n);
+            assert_eq!(a.z.map(f64::to_bits), b.z.map(f64::to_bits));
+        }
+    }
+
+    #[test]
+    fn regions_use_distinct_streams() {
+        // Two regions must not share null-model randomness: their
+        // ensemble means should differ even with everything else equal.
+        let world = generate_world(&WorldConfig::tiny());
+        let cfg = MonteCarloConfig {
+            n_recipes: 2000,
+            seed: 11,
+            n_threads: 2,
+        };
+        let all = analyze_world(&world.flavor, &world.recipes, &[NullModel::Random], &cfg);
+        let mut means: Vec<u64> = all
+            .iter()
+            .map(|a| a.comparisons[0].null.mean.to_bits())
+            .collect();
+        means.sort_unstable();
+        means.dedup();
+        assert_eq!(
+            means.len(),
+            all.len(),
+            "null ensembles collide across regions"
+        );
     }
 
     #[test]

@@ -70,7 +70,7 @@ impl WorldConfig {
                 ..GeneratorConfig::tiny(2018)
             },
             recipe_scale: 0.01,
-            min_region_recipes: 12,
+            min_region_recipes: 20,
             mean_recipe_size: 7.0,
             pairing_bias: 0.35,
             pairing_candidates: 4,

@@ -45,8 +45,8 @@ const BOOSTS: &[(Region, Category, f64)] = &[
     // "France, British Isles, and Scandinavia regions use dairy products
     // more prominently than vegetables."
     (Region::France, Category::Dairy, 2.4),
-    (Region::BritishIsles, Category::Dairy, 2.2),
-    (Region::Scandinavia, Category::Dairy, 2.2),
+    (Region::BritishIsles, Category::Dairy, 2.8),
+    (Region::Scandinavia, Category::Dairy, 2.8),
     (Region::Scandinavia, Category::Fish, 2.5),
     // "Among regions with predominant use of spice were Indian
     // Subcontinent, Africa, Middle East, and Caribbean."
@@ -62,8 +62,8 @@ const BOOSTS: &[(Region, Category, f64)] = &[
     (Region::Japan, Category::Seafood, 2.8),
     (Region::Korea, Category::Vegetable, 1.5),
     (Region::Korea, Category::Fish, 2.2),
-    (Region::China, Category::Vegetable, 1.5),
-    (Region::China, Category::Seafood, 1.6),
+    (Region::China, Category::Vegetable, 2.0),
+    (Region::China, Category::Seafood, 2.6),
     (Region::Thailand, Category::Herb, 2.0),
     (Region::Thailand, Category::Spice, 1.6),
     (Region::SouthEastAsia, Category::Spice, 1.7),
@@ -72,20 +72,26 @@ const BOOSTS: &[(Region, Category, f64)] = &[
     (Region::Mexico, Category::Spice, 1.8),
     (Region::Italy, Category::Herb, 1.8),
     (Region::Italy, Category::Plant, 1.6),
-    (Region::Greece, Category::Plant, 1.8),
-    (Region::Greece, Category::Herb, 1.6),
-    (Region::Spain, Category::Seafood, 1.8),
-    (Region::Spain, Category::Plant, 1.5),
+    (Region::Greece, Category::Plant, 2.4),
+    (Region::Greece, Category::Herb, 2.0),
+    (Region::Spain, Category::Seafood, 2.4),
+    (Region::Spain, Category::Plant, 1.9),
     (Region::Dach, Category::Meat, 1.9),
     (Region::Dach, Category::Bakery, 1.8),
     (Region::EasternEurope, Category::Meat, 1.7),
     (Region::EasternEurope, Category::Dairy, 1.4),
     (Region::Usa, Category::Bakery, 1.6),
     (Region::Usa, Category::Dairy, 1.4),
-    (Region::Canada, Category::Bakery, 1.5),
-    (Region::AustraliaNz, Category::Meat, 1.5),
-    (Region::SouthAmerica, Category::Maize, 2.2),
-    (Region::SouthAmerica, Category::Meat, 1.6),
+    (Region::Canada, Category::Bakery, 2.2),
+    (Region::Canada, Category::Cereal, 1.8),
+    (Region::Canada, Category::Fish, 2.0),
+    (Region::Canada, Category::Fruit, 1.6),
+    (Region::AustraliaNz, Category::Meat, 2.2),
+    (Region::AustraliaNz, Category::Dairy, 1.5),
+    (Region::AustraliaNz, Category::Seafood, 1.8),
+    (Region::SouthAmerica, Category::Maize, 2.8),
+    (Region::SouthAmerica, Category::Meat, 2.0),
+    (Region::SouthAmerica, Category::Fruit, 2.0),
 ];
 
 /// The category usage-preference vector for a region (baseline ×

@@ -185,7 +185,10 @@ impl<'a> RegionGen<'a> {
                     .ingredient(id)
                     .expect("live id from ingredient_ids")
                     .category;
-                prefs[cat.index()] * (0.25 + 1.5 * rng.random::<f64>())
+                // Mild jitter only: the category-preference signal (Fig 2)
+                // must survive any PRNG stream, so the per-ingredient
+                // noise stays well inside the preference ratios.
+                prefs[cat.index()] * (0.6 + 0.8 * rng.random::<f64>())
             })
             .collect();
         let chosen = weighted_sample_without_replacement(&weights, pool_target, rng);

@@ -48,4 +48,4 @@ pub use error::{FlavorDbError, Result};
 pub use ids::{IngredientId, MoleculeId};
 pub use ingredient::Ingredient;
 pub use molecule::Molecule;
-pub use profile::FlavorProfile;
+pub use profile::{BitProfile, FlavorProfile, MoleculeUniverse};

@@ -3,6 +3,14 @@
 //! The food-pairing score is built from pairwise profile intersections,
 //! so the representation is a sorted, deduplicated `Vec<MoleculeId>`
 //! giving O(min(|A|, |B|)) merge-style intersection without hashing.
+//!
+//! For cuisine-scale work the sorted-merge walk is still the hot loop:
+//! an overlap matrix over an n-ingredient pool needs n²/2 intersections
+//! over profiles of hundreds of molecules each. [`MoleculeUniverse`]
+//! remaps the molecules that actually occur in a pool to dense bit
+//! positions, and [`BitProfile`] packs a profile into `u64` words over
+//! that universe, turning each intersection into a handful of
+//! word-ANDs + popcounts.
 
 use crate::ids::MoleculeId;
 
@@ -136,6 +144,108 @@ impl FlavorProfile {
     }
 }
 
+/// A dense remap of the molecules occurring in some ingredient pool.
+///
+/// FlavorDB molecule ids are global and sparse relative to any one
+/// cuisine: a pool of ~100 ingredients typically touches a small
+/// fraction of the molecule table. The universe collects the distinct
+/// molecules of the pool's profiles (sorted, so the mapping is
+/// deterministic) and assigns each a bit position `0..len`, sizing the
+/// [`BitProfile`] words to the pool instead of the whole database.
+#[derive(Debug, Clone, Default)]
+pub struct MoleculeUniverse {
+    /// Sorted distinct molecule ids; position = bit index.
+    molecules: Vec<MoleculeId>,
+}
+
+impl MoleculeUniverse {
+    /// Collect the universe of every molecule in `profiles`.
+    pub fn build<'a>(profiles: impl IntoIterator<Item = &'a FlavorProfile>) -> MoleculeUniverse {
+        let mut molecules: Vec<MoleculeId> = Vec::new();
+        for p in profiles {
+            molecules.extend_from_slice(&p.molecules);
+        }
+        molecules.sort_unstable();
+        molecules.dedup();
+        MoleculeUniverse { molecules }
+    }
+
+    /// Number of distinct molecules (= number of bit positions).
+    pub fn len(&self) -> usize {
+        self.molecules.len()
+    }
+
+    /// True when no molecules were collected.
+    pub fn is_empty(&self) -> bool {
+        self.molecules.is_empty()
+    }
+
+    /// `u64` words needed per [`BitProfile`].
+    pub fn words(&self) -> usize {
+        self.molecules.len().div_ceil(64)
+    }
+
+    /// Bit position of a molecule, if it is in the universe.
+    pub fn bit_of(&self, id: MoleculeId) -> Option<usize> {
+        self.molecules.binary_search(&id).ok()
+    }
+
+    /// Pack a profile into bit words over this universe. Molecules
+    /// outside the universe are dropped — callers build the universe
+    /// from the same pool they pack, so nothing is lost in practice.
+    pub fn pack(&self, profile: &FlavorProfile) -> BitProfile {
+        let mut words = vec![0u64; self.words()];
+        for &m in &profile.molecules {
+            if let Some(bit) = self.bit_of(m) {
+                words[bit / 64] |= 1u64 << (bit % 64);
+            }
+        }
+        BitProfile { words }
+    }
+}
+
+/// A flavor profile packed as a bitset over a [`MoleculeUniverse`].
+///
+/// Two profiles packed over the *same* universe intersect in
+/// O(words) word-ANDs + popcounts; comparing profiles from different
+/// universes is a logic error (lengths differ, and bit positions mean
+/// different molecules).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitProfile {
+    words: Vec<u64>,
+}
+
+impl BitProfile {
+    /// Number of molecules set.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The packed words.
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Size of the intersection: word-AND + popcount.
+    ///
+    /// # Panics
+    /// Debug-asserts both profiles come from the same universe (equal
+    /// word counts).
+    #[inline]
+    pub fn shared_count(&self, other: &BitProfile) -> usize {
+        debug_assert_eq!(
+            self.words.len(),
+            other.words.len(),
+            "bit profiles from different universes"
+        );
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a & b).count_ones() as usize)
+            .sum()
+    }
+}
+
 impl FromIterator<MoleculeId> for FlavorProfile {
     fn from_iter<T: IntoIterator<Item = MoleculeId>>(iter: T) -> Self {
         FlavorProfile::new(iter.into_iter().collect())
@@ -217,5 +327,50 @@ mod tests {
         assert!(e.is_empty());
         assert_eq!(e.len(), 0);
         assert_eq!(e.union(&profile(&[1])), profile(&[1]));
+    }
+
+    #[test]
+    fn universe_collects_sorted_distinct() {
+        let ps = [profile(&[9, 1]), profile(&[1, 70]), profile(&[200])];
+        let u = MoleculeUniverse::build(ps.iter());
+        assert_eq!(u.len(), 4);
+        assert_eq!(u.words(), 1);
+        assert_eq!(u.bit_of(MoleculeId(1)), Some(0));
+        assert_eq!(u.bit_of(MoleculeId(200)), Some(3));
+        assert_eq!(u.bit_of(MoleculeId(5)), None);
+        assert!(MoleculeUniverse::default().is_empty());
+    }
+
+    #[test]
+    fn bit_shared_count_matches_sorted_merge() {
+        // Spread ids across several words (ids up to 300 → ≥ 5 words).
+        let a = profile(&[0, 63, 64, 65, 127, 128, 250, 300]);
+        let b = profile(&[1, 63, 65, 128, 129, 300]);
+        let c = profile(&[2, 4, 6]);
+        let u = MoleculeUniverse::build([&a, &b, &c]);
+        let (ba, bb, bc) = (u.pack(&a), u.pack(&b), u.pack(&c));
+        assert_eq!(ba.shared_count(&bb), a.shared_count(&b));
+        assert_eq!(ba.shared_count(&bc), a.shared_count(&c));
+        assert_eq!(bb.shared_count(&bc), b.shared_count(&c));
+        assert_eq!(ba.count_ones(), a.len());
+        assert_eq!(ba.shared_count(&ba), a.len());
+    }
+
+    #[test]
+    fn pack_drops_out_of_universe_molecules() {
+        let base = profile(&[1, 2, 3]);
+        let u = MoleculeUniverse::build([&base]);
+        let packed = u.pack(&profile(&[2, 3, 99]));
+        assert_eq!(packed.count_ones(), 2);
+        assert_eq!(packed.shared_count(&u.pack(&base)), 2);
+    }
+
+    #[test]
+    fn empty_universe_and_profiles() {
+        let u = MoleculeUniverse::build(std::iter::empty::<&FlavorProfile>());
+        assert_eq!(u.words(), 0);
+        let e = u.pack(&FlavorProfile::empty());
+        assert_eq!(e.count_ones(), 0);
+        assert_eq!(e.shared_count(&e), 0);
     }
 }

@@ -31,6 +31,25 @@ proptest! {
     }
 
     #[test]
+    fn bitset_shared_count_matches_sorted_merge(
+        a in arb_profile(),
+        b in arb_profile(),
+        extra in proptest::collection::vec(arb_profile(), 0..4),
+    ) {
+        use culinaria_flavordb::MoleculeUniverse;
+        // The universe may be built from any superset of the two
+        // profiles (in production: a whole cuisine's ingredient pool);
+        // packed AND+popcount must agree with the sorted-merge walk.
+        let universe = MoleculeUniverse::build([&a, &b].into_iter().chain(extra.iter()));
+        let pa = universe.pack(&a);
+        let pb = universe.pack(&b);
+        prop_assert_eq!(pa.shared_count(&pb), a.shared_count(&b));
+        prop_assert_eq!(pb.shared_count(&pa), a.shared_count(&b));
+        prop_assert_eq!(pa.count_ones(), a.len());
+        prop_assert_eq!(pb.count_ones(), b.len());
+    }
+
+    #[test]
     fn profile_jaccard_bounds(a in arb_profile(), b in arb_profile()) {
         let j = a.jaccard(&b);
         prop_assert!((0.0..=1.0).contains(&j));

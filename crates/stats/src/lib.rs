@@ -27,6 +27,8 @@
 //! * [`regression`] — ordinary least squares on (x, y) pairs
 //! * [`ks`] — two-sample Kolmogorov–Smirnov test
 //! * [`rng`] — deterministic seed derivation for parallel PRNG streams
+//! * [`pool`] — shared worker pool with a deterministic, statically
+//!   indexed task queue (results always in task order)
 
 pub mod bootstrap;
 pub mod chi2;
@@ -34,6 +36,7 @@ pub mod correlation;
 pub mod descriptive;
 pub mod histogram;
 pub mod ks;
+pub mod pool;
 pub mod powerlaw;
 pub mod regression;
 pub mod rng;

@@ -1,0 +1,186 @@
+//! A shared worker pool for deterministic data-parallel task queues.
+//!
+//! The Monte-Carlo engine and the world-analysis driver both follow the
+//! same pattern: a *flattened*, statically indexed list of independent
+//! tasks (blocks of randomized recipes, rows of an overlap matrix,
+//! per-region setup jobs) whose results must be combined in **task
+//! order** so the outcome is bit-identical regardless of how many
+//! threads ran it. This module is that pattern, extracted:
+//!
+//! * work is claimed dynamically (an atomic cursor), so imbalanced
+//!   tasks still load-balance;
+//! * every task index is claimed by exactly one worker, which writes
+//!   the result into the index's dedicated slot — no locks, no
+//!   post-hoc sorting;
+//! * the caller receives `Vec<T>` in task order, making the canonical
+//!   merge a plain in-order fold.
+//!
+//! Workers can carry mutable per-worker scratch state (`init` builds
+//! one per worker), which is how the samplers reuse allocation-free
+//! buffers across tasks.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Resolve a requested thread count: `0` means "use the machine",
+/// anything else is taken literally (callers cap by task count).
+pub fn effective_threads(requested: usize) -> usize {
+    if requested > 0 {
+        return requested;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// One result slot per task. Safety rests on the claim protocol: an
+/// index is handed to exactly one worker (atomic `fetch_add`), so each
+/// cell has exactly one writer, and the scope join orders all writes
+/// before the read-back.
+struct Slots<T> {
+    cells: Vec<UnsafeCell<MaybeUninit<T>>>,
+}
+
+// SAFETY: cells are only accessed through disjoint indices (one writer
+// each, no readers until after the thread scope ends).
+unsafe impl<T: Send> Sync for Slots<T> {}
+
+impl<T> Slots<T> {
+    fn new(n: usize) -> Slots<T> {
+        Slots {
+            cells: (0..n)
+                .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+                .collect(),
+        }
+    }
+
+    /// # Safety
+    /// `idx` must be claimed by exactly one worker, exactly once.
+    unsafe fn write(&self, idx: usize, value: T) {
+        (*self.cells[idx].get()).write(value);
+    }
+
+    /// # Safety
+    /// Every index must have been written exactly once.
+    unsafe fn into_vec(self) -> Vec<T> {
+        self.cells
+            .into_iter()
+            .map(|c| c.into_inner().assume_init())
+            .collect()
+    }
+}
+
+/// Run `n_tasks` independent tasks across `n_threads` workers and
+/// return their results **in task order**.
+///
+/// `init` builds one scratch state per worker; `task` maps
+/// `(scratch, task index)` to a result. Task results do not depend on
+/// which worker ran them, so as long as `task` itself is deterministic
+/// per index, the returned vector is identical for every thread count —
+/// the determinism contract DESIGN.md documents.
+///
+/// `n_threads == 0` means "use the available parallelism"; the count is
+/// always capped by `n_tasks`. With one effective thread the queue runs
+/// inline with no thread machinery at all.
+pub fn run<S, T, Init, Task>(n_threads: usize, n_tasks: usize, init: Init, task: Task) -> Vec<T>
+where
+    T: Send,
+    Init: Fn() -> S + Sync,
+    Task: Fn(&mut S, usize) -> T + Sync,
+{
+    if n_tasks == 0 {
+        return Vec::new();
+    }
+    let n_threads = effective_threads(n_threads).min(n_tasks).max(1);
+    if n_threads == 1 {
+        let mut state = init();
+        return (0..n_tasks).map(|i| task(&mut state, i)).collect();
+    }
+
+    let slots = Slots::new(n_tasks);
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let slots = &slots;
+        let cursor = &cursor;
+        let init = &init;
+        let task = &task;
+        for _ in 0..n_threads {
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n_tasks {
+                        break;
+                    }
+                    let result = task(&mut state, i);
+                    // SAFETY: `i` came from the shared cursor, so this
+                    // worker is its unique writer.
+                    unsafe { slots.write(i, result) };
+                }
+            });
+        }
+    });
+    // SAFETY: the scope joined every worker and the cursor covered
+    // 0..n_tasks, so each slot was written exactly once.
+    unsafe { slots.into_vec() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_task_order_for_any_thread_count() {
+        for threads in [0, 1, 2, 3, 8, 17] {
+            let out = run(threads, 100, || (), |_, i| i * i);
+            let expect: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(out, expect, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_reused_not_shared() {
+        // Each worker counts its own tasks; the sum must equal n_tasks.
+        let counts = run(
+            4,
+            64,
+            || 0usize,
+            |state, _| {
+                *state += 1;
+                *state
+            },
+        );
+        // Every worker's sequence 1, 2, 3, … appears interleaved; the
+        // number of 1s equals the number of workers that claimed work.
+        let ones = counts.iter().filter(|&&c| c == 1).count();
+        assert!((1..=4).contains(&ones), "{ones} workers participated");
+        assert_eq!(counts.len(), 64);
+    }
+
+    #[test]
+    fn empty_and_single_task() {
+        assert_eq!(run(4, 0, || (), |_, i| i), Vec::<usize>::new());
+        assert_eq!(run(4, 1, || (), |_, i| i + 41), vec![41]);
+    }
+
+    #[test]
+    fn heavier_than_thread_count() {
+        let out = run(2, 1000, || (), |_, i| i as u64);
+        assert_eq!(out.iter().sum::<u64>(), 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn non_copy_results() {
+        let out = run(3, 10, || (), |_, i| format!("task-{i}"));
+        for (i, s) in out.iter().enumerate() {
+            assert_eq!(s, &format!("task-{i}"));
+        }
+    }
+
+    #[test]
+    fn effective_threads_resolution() {
+        assert_eq!(effective_threads(3), 3);
+        assert!(effective_threads(0) >= 1);
+    }
+}

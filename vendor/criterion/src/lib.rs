@@ -1,0 +1,330 @@
+#![warn(missing_docs)]
+
+//! Vendored minimal stand-in for the `criterion` crate.
+//!
+//! The build environment is offline, so the workspace vendors the small
+//! benchmark-harness surface its benches use: [`Criterion`],
+//! [`BenchmarkGroup`], [`BenchmarkId`], [`Bencher::iter`],
+//! [`black_box`], and the [`criterion_group!`] / [`criterion_main!`]
+//! macros.
+//!
+//! Measurement model: per benchmark, warm up briefly, size an iteration
+//! batch to ~`measurement_time / sample_size`, time `sample_size`
+//! batches, and report the median ns/iteration to stdout. `--test`
+//! (as passed by `cargo bench -- --test`) runs each body once and skips
+//! measurement; a positional argument filters benchmarks by substring.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// The benchmark harness handle passed to every bench function.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            filter: None,
+            test_mode: false,
+            sample_size: 10,
+            measurement_time: Duration::from_millis(500),
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from the process arguments (`--test`, substring filter;
+    /// cargo-injected flags like `--bench` are ignored).
+    pub fn from_args() -> Criterion {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                c.test_mode = true;
+            } else if !arg.starts_with('-') {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_benchmark(self, name, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = id.into().label().to_string();
+        self.bench_function(&label, |b| f(b, input))
+    }
+
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+            measurement_time: None,
+        }
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+    measurement_time: Option<Duration>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Target measurement time per benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = Some(d);
+        self
+    }
+
+    /// Run one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.into().label());
+        let mut scoped = Criterion {
+            filter: self.criterion.filter.clone(),
+            test_mode: self.criterion.test_mode,
+            sample_size: self.sample_size.unwrap_or(self.criterion.sample_size),
+            measurement_time: self
+                .measurement_time
+                .unwrap_or(self.criterion.measurement_time),
+        };
+        run_benchmark(&mut scoped, &full, f);
+        self
+    }
+
+    /// Run one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (upstream writes reports here; a no-op).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier: a function name, optionally parameterized.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Just a parameter (the group provides the name).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    measurement_time: Duration,
+    /// Median ns/iter of the last `iter` call, if measured.
+    measured_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measure a closure. In `--test` mode it runs exactly once.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
+        // Warm-up and batch sizing: grow the batch until it costs at
+        // least ~1/sample_size of the measurement budget.
+        let budget = self.measurement_time;
+        let mut batch: u64 = 1;
+        let batch_target = budget
+            .div_f64(self.sample_size as f64)
+            .max(Duration::from_micros(200));
+        loop {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let took = t.elapsed();
+            if took >= batch_target || batch >= 1 << 40 {
+                break;
+            }
+            // Scale toward the target, at least doubling.
+            let scale = if took.as_nanos() == 0 {
+                8.0
+            } else {
+                (batch_target.as_nanos() as f64 / took.as_nanos() as f64).clamp(2.0, 8.0)
+            };
+            batch = ((batch as f64) * scale).ceil() as u64;
+        }
+        let mut samples: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(f64::total_cmp);
+        self.measured_ns = Some(samples[samples.len() / 2]);
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(c: &mut Criterion, name: &str, mut f: F) {
+    if !c.selected(name) {
+        return;
+    }
+    let mut b = Bencher {
+        test_mode: c.test_mode,
+        sample_size: c.sample_size.max(2),
+        measurement_time: c.measurement_time,
+        measured_ns: None,
+    };
+    f(&mut b);
+    match b.measured_ns {
+        Some(ns) => println!("{name:<50} time: {}", format_ns(ns)),
+        None if c.test_mode => println!("{name:<50} ok (test mode)"),
+        None => println!("{name:<50} (no measurement: body never called iter)"),
+    }
+}
+
+/// Bundle benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_prints() {
+        let mut c = Criterion {
+            measurement_time: Duration::from_millis(20),
+            sample_size: 3,
+            ..Criterion::default()
+        };
+        let mut ran = false;
+        c.bench_function("smoke", |b| {
+            b.iter(|| black_box(2u64 + 2));
+            ran = true;
+        });
+        assert!(ran);
+    }
+
+    #[test]
+    fn groups_filter_and_test_mode() {
+        let mut c = Criterion {
+            test_mode: true,
+            filter: Some("keep".into()),
+            ..Criterion::default()
+        };
+        let mut kept = 0;
+        {
+            let mut g = c.benchmark_group("g");
+            g.sample_size(2);
+            g.bench_function(BenchmarkId::from_parameter("keep-me"), |b| {
+                b.iter(|| ());
+                kept += 1;
+            });
+            g.bench_with_input(BenchmarkId::new("skip", 1), &1, |b, _| {
+                b.iter(|| ());
+                kept += 100;
+            });
+            g.finish();
+        }
+        assert_eq!(kept, 1, "filter selects by substring; test mode runs once");
+    }
+}

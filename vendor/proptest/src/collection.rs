@@ -1,0 +1,183 @@
+//! Collection strategies: `vec`, `btree_set`, `hash_set`.
+
+use std::collections::{BTreeSet, HashSet};
+use std::hash::Hash;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// A size specification for generated collections (half-open, like
+/// `Range<usize>`).
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn draw(&self, rng: &mut TestRng) -> usize {
+        if self.lo >= self.hi {
+            self.lo
+        } else {
+            rng.random_range(self.lo..self.hi)
+        }
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> SizeRange {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<std::ops::Range<usize>> for SizeRange {
+    fn from(r: std::ops::Range<usize>) -> SizeRange {
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+    fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+        SizeRange {
+            lo: *r.start(),
+            hi: r.end() + 1,
+        }
+    }
+}
+
+/// `Vec`s of `size` elements drawn from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`vec()`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.draw(rng);
+        (0..n).map(|_| self.element.new_value(rng)).collect()
+    }
+}
+
+/// `BTreeSet`s of roughly `size` distinct elements drawn from
+/// `element`. Like upstream, the set may be smaller than requested when
+/// the element domain is too narrow (bounded retries).
+pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    BTreeSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`btree_set`].
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+where
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.draw(rng);
+        let mut out = BTreeSet::new();
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n * 10 + 16 {
+            out.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+/// `HashSet`s of roughly `size` distinct elements drawn from `element`
+/// (may undershoot on narrow domains, like [`btree_set`]).
+pub fn hash_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    HashSetStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// Strategy returned by [`hash_set`].
+#[derive(Debug, Clone)]
+pub struct HashSetStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for HashSetStrategy<S>
+where
+    S::Value: Hash + Eq,
+{
+    type Value = HashSet<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        let n = self.size.draw(rng);
+        let mut out = HashSet::new();
+        let mut attempts = 0usize;
+        while out.len() < n && attempts < n * 10 + 16 {
+            out.insert(self.element.new_value(rng));
+            attempts += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vec_sizes_respect_range() {
+        let mut rng = TestRng::for_case("collection::tests", 0);
+        let s = vec(0u32..100, 2..6);
+        for _ in 0..200 {
+            let v = s.new_value(&mut rng);
+            assert!((2..6).contains(&v.len()), "len {}", v.len());
+            assert!(v.iter().all(|&x| x < 100));
+        }
+    }
+
+    #[test]
+    fn sets_are_distinct() {
+        let mut rng = TestRng::for_case("collection::tests", 1);
+        let s = btree_set(0u32..1000, 5..10);
+        for _ in 0..100 {
+            let set = s.new_value(&mut rng);
+            assert!((5..10).contains(&set.len()));
+        }
+        // Narrow domain: undershoots rather than spinning forever.
+        let narrow = hash_set(0u32..3, 8..9);
+        let set = narrow.new_value(&mut rng);
+        assert!(set.len() <= 3);
+    }
+
+    #[test]
+    fn exact_size_from_usize() {
+        let mut rng = TestRng::for_case("collection::tests", 2);
+        let s = vec(0u8..255, 7usize);
+        assert_eq!(s.new_value(&mut rng).len(), 7);
+    }
+}

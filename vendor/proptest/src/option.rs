@@ -1,0 +1,43 @@
+//! `Option` strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// `Some` three times out of four, `None` otherwise (matching
+/// upstream's default weighting).
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// Strategy returned by [`of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+        if rng.random_range(0u32..4) == 0 {
+            None
+        } else {
+            Some(self.inner.new_value(rng))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn yields_both_variants() {
+        let s = of(0u32..10);
+        let mut rng = TestRng::for_case("option::tests", 0);
+        let values: Vec<Option<u32>> = (0..200).map(|_| s.new_value(&mut rng)).collect();
+        assert!(values.iter().any(Option::is_none));
+        assert!(values.iter().any(Option::is_some));
+        assert!(values.iter().flatten().all(|&v| v < 10));
+    }
+}

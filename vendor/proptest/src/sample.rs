@@ -1,0 +1,40 @@
+//! Sampling from fixed collections.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// A strategy picking one element of a fixed list, uniformly.
+pub fn select<T: Clone>(items: Vec<T>) -> Select<T> {
+    assert!(!items.is_empty(), "select requires a non-empty list");
+    Select { items }
+}
+
+/// Strategy returned by [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T> {
+    items: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn new_value(&self, rng: &mut TestRng) -> T {
+        self.items[rng.random_range(0..self.items.len())].clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_only_from_list() {
+        let s = select(vec!["a", "b", "c"]);
+        let mut rng = TestRng::for_case("sample::tests", 0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(s.new_value(&mut rng));
+        }
+        assert_eq!(seen.len(), 3, "all elements eventually drawn");
+    }
+}

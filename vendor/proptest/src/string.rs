@@ -1,0 +1,351 @@
+//! Regex-shaped string generation (`string_regex`), and the machinery
+//! behind string-literal strategies.
+//!
+//! Supports the subset of regex syntax the workspace's tests use:
+//! literals, escapes, character classes with ranges (`[A-Za-z0-9 -]`),
+//! groups, alternation, and the `{m}` / `{m,n}` / `?` / `*` / `+`
+//! quantifiers (`*` and `+` are capped at 8 repetitions).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// A parse error from [`string_regex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "regex parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[derive(Debug, Clone)]
+enum Node {
+    /// Concatenation of parts.
+    Seq(Vec<Node>),
+    /// One alternative chosen uniformly.
+    Alt(Vec<Node>),
+    /// One char chosen uniformly from inclusive ranges (weighted by
+    /// range width).
+    Class(Vec<(char, char)>),
+    /// A literal char.
+    Lit(char),
+    /// `min..=max` repetitions of the inner node.
+    Repeat(Box<Node>, u32, u32),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl Parser<'_> {
+    fn err(msg: impl Into<String>) -> Error {
+        Error(msg.into())
+    }
+
+    fn parse_alternation(&mut self) -> Result<Node, Error> {
+        let mut branches = vec![self.parse_sequence()?];
+        while self.chars.peek() == Some(&'|') {
+            self.chars.next();
+            branches.push(self.parse_sequence()?);
+        }
+        Ok(if branches.len() == 1 {
+            branches.pop().expect("one branch")
+        } else {
+            Node::Alt(branches)
+        })
+    }
+
+    fn parse_sequence(&mut self) -> Result<Node, Error> {
+        let mut parts = Vec::new();
+        while let Some(&c) = self.chars.peek() {
+            if c == ')' || c == '|' {
+                break;
+            }
+            let atom = self.parse_atom()?;
+            parts.push(self.parse_quantifier(atom)?);
+        }
+        Ok(Node::Seq(parts))
+    }
+
+    fn parse_atom(&mut self) -> Result<Node, Error> {
+        match self.chars.next() {
+            Some('(') => {
+                let inner = self.parse_alternation()?;
+                if self.chars.next() != Some(')') {
+                    return Err(Self::err("unclosed group"));
+                }
+                Ok(inner)
+            }
+            Some('[') => self.parse_class(),
+            Some('\\') => {
+                let c = self
+                    .chars
+                    .next()
+                    .ok_or_else(|| Self::err("dangling escape"))?;
+                Ok(Node::Lit(unescape(c)))
+            }
+            Some(c) if c == '{' || c == '}' || c == ']' => {
+                Err(Self::err(format!("unexpected `{c}`")))
+            }
+            Some(c) if c == '*' || c == '+' || c == '?' => Err(Self::err(format!(
+                "quantifier `{c}` with nothing to repeat"
+            ))),
+            Some('.') => Ok(Node::Class(vec![(' ', '~')])),
+            Some(c) => Ok(Node::Lit(c)),
+            None => Err(Self::err("unexpected end of pattern")),
+        }
+    }
+
+    fn parse_class(&mut self) -> Result<Node, Error> {
+        let mut ranges: Vec<(char, char)> = Vec::new();
+        if self.chars.peek() == Some(&'^') {
+            return Err(Self::err("negated classes are not supported"));
+        }
+        loop {
+            let c = match self.chars.next() {
+                None => return Err(Self::err("unclosed character class")),
+                Some(']') => {
+                    if ranges.is_empty() {
+                        return Err(Self::err("empty character class"));
+                    }
+                    return Ok(Node::Class(ranges));
+                }
+                Some('\\') => {
+                    let e = self
+                        .chars
+                        .next()
+                        .ok_or_else(|| Self::err("dangling escape"))?;
+                    unescape(e)
+                }
+                Some(c) => c,
+            };
+            // `a-z` range, unless `-` is the last char before `]`.
+            if self.chars.peek() == Some(&'-') {
+                let mut lookahead = self.chars.clone();
+                lookahead.next();
+                match lookahead.peek() {
+                    Some(&']') | None => ranges.push((c, c)),
+                    Some(_) => {
+                        self.chars.next();
+                        let hi = match self.chars.next() {
+                            Some('\\') => unescape(
+                                self.chars
+                                    .next()
+                                    .ok_or_else(|| Self::err("dangling escape"))?,
+                            ),
+                            Some(h) => h,
+                            None => return Err(Self::err("unclosed character class")),
+                        };
+                        if hi < c {
+                            return Err(Self::err(format!("invalid range {c}-{hi}")));
+                        }
+                        ranges.push((c, hi));
+                    }
+                }
+            } else {
+                ranges.push((c, c));
+            }
+        }
+    }
+
+    fn parse_quantifier(&mut self, atom: Node) -> Result<Node, Error> {
+        match self.chars.peek() {
+            Some('{') => {
+                self.chars.next();
+                let mut min_text = String::new();
+                while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                    min_text.push(self.chars.next().expect("digit"));
+                }
+                let min: u32 = min_text
+                    .parse()
+                    .map_err(|_| Self::err("bad quantifier minimum"))?;
+                let max = match self.chars.next() {
+                    Some('}') => min,
+                    Some(',') => {
+                        let mut max_text = String::new();
+                        while matches!(self.chars.peek(), Some(c) if c.is_ascii_digit()) {
+                            max_text.push(self.chars.next().expect("digit"));
+                        }
+                        if self.chars.next() != Some('}') {
+                            return Err(Self::err("unclosed quantifier"));
+                        }
+                        if max_text.is_empty() {
+                            min.saturating_add(8)
+                        } else {
+                            max_text
+                                .parse()
+                                .map_err(|_| Self::err("bad quantifier maximum"))?
+                        }
+                    }
+                    _ => return Err(Self::err("unclosed quantifier")),
+                };
+                if max < min {
+                    return Err(Self::err("quantifier maximum below minimum"));
+                }
+                Ok(Node::Repeat(Box::new(atom), min, max))
+            }
+            Some('?') => {
+                self.chars.next();
+                Ok(Node::Repeat(Box::new(atom), 0, 1))
+            }
+            Some('*') => {
+                self.chars.next();
+                Ok(Node::Repeat(Box::new(atom), 0, 8))
+            }
+            Some('+') => {
+                self.chars.next();
+                Ok(Node::Repeat(Box::new(atom), 1, 8))
+            }
+            _ => Ok(atom),
+        }
+    }
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        '0' => '\0',
+        other => other,
+    }
+}
+
+fn generate(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Seq(parts) => {
+            for p in parts {
+                generate(p, rng, out);
+            }
+        }
+        Node::Alt(branches) => {
+            let pick = rng.random_range(0..branches.len());
+            generate(&branches[pick], rng, out);
+        }
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let total: u32 = ranges
+                .iter()
+                .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+                .sum();
+            let mut pick = rng.random_range(0..total);
+            for &(lo, hi) in ranges {
+                let width = hi as u32 - lo as u32 + 1;
+                if pick < width {
+                    out.push(char::from_u32(lo as u32 + pick).unwrap_or(lo));
+                    return;
+                }
+                pick -= width;
+            }
+        }
+        Node::Repeat(inner, min, max) => {
+            let n = rng.random_range(*min..=*max);
+            for _ in 0..n {
+                generate(inner, rng, out);
+            }
+        }
+    }
+}
+
+/// A strategy generating strings matching a regex pattern.
+#[derive(Debug, Clone)]
+pub struct RegexGeneratorStrategy {
+    root: Node,
+}
+
+impl Strategy for RegexGeneratorStrategy {
+    type Value = String;
+    fn new_value(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        generate(&self.root, rng, &mut out);
+        out
+    }
+}
+
+/// Build a string strategy from a regex pattern.
+pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+    let mut parser = Parser {
+        chars: pattern.chars().peekable(),
+    };
+    let root = parser.parse_alternation()?;
+    if parser.chars.next().is_some() {
+        return Err(Parser::err("trailing characters after pattern"));
+    }
+    Ok(RegexGeneratorStrategy { root })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(pattern: &str, valid: impl Fn(&str) -> bool) {
+        let strat = string_regex(pattern).expect("valid pattern");
+        let mut rng = TestRng::for_case("string::tests", 0);
+        for _ in 0..300 {
+            let s = strat.new_value(&mut rng);
+            assert!(valid(&s), "{pattern:?} generated invalid {s:?}");
+        }
+    }
+
+    #[test]
+    fn simple_class_with_counts() {
+        check("[a-z]{1,15}", |s| {
+            (1..=15).contains(&s.chars().count()) && s.chars().all(|c| c.is_ascii_lowercase())
+        });
+    }
+
+    #[test]
+    fn printable_ascii_range() {
+        check("[ -~]{0,60}", |s| {
+            s.chars().count() <= 60 && s.chars().all(|c| (' '..='~').contains(&c))
+        });
+    }
+
+    #[test]
+    fn class_with_escape_and_literals() {
+        check("[ -~\n]{0,20}", |s| {
+            s.chars().all(|c| (' '..='~').contains(&c) || c == '\n')
+        });
+        check("[A-Za-z0-9 ,.!()'&/-]{0,60}", |s| {
+            s.chars()
+                .all(|c| c.is_ascii_alphanumeric() || " ,.!()'&/-".contains(c))
+        });
+    }
+
+    #[test]
+    fn groups_and_word_phrases() {
+        check("[a-z]{1,12}( [a-z]{1,12}){0,3}", |s| {
+            let words: Vec<&str> = s.split(' ').collect();
+            (1..=4).contains(&words.len())
+                && words
+                    .iter()
+                    .all(|w| !w.is_empty() && w.chars().all(|c| c.is_ascii_lowercase()))
+        });
+    }
+
+    #[test]
+    fn alternation_and_quantifiers() {
+        check("(ab|cd)+x?", |s| {
+            let trimmed = s.strip_suffix('x').unwrap_or(s);
+            !trimmed.is_empty()
+                && trimmed.len() % 2 == 0
+                && trimmed
+                    .as_bytes()
+                    .chunks(2)
+                    .all(|c| c == b"ab" || c == b"cd")
+        });
+    }
+
+    #[test]
+    fn invalid_patterns_error() {
+        assert!(string_regex("[a-").is_err());
+        assert!(string_regex("(abc").is_err());
+        assert!(string_regex("a{2,1}").is_err());
+        assert!(string_regex("[^a]").is_err());
+        assert!(string_regex("*a").is_err());
+    }
+}
