@@ -1,13 +1,16 @@
 //! Benchmarks of the ingredient-aliasing NLP pipeline: end-to-end
-//! phrase resolution, and the individual stages (normalization,
-//! singularization, edit distance).
+//! phrase resolution (trie engine vs the frozen legacy matcher, with
+//! and without scratch/memo reuse), and the individual stages
+//! (normalization, singularization, edit distance).
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 use culinaria_flavordb::curated::curated_db;
 use culinaria_recipedb::import::Importer;
+use culinaria_text::alias::{AliasResolver, ResolveScratch};
 use culinaria_text::edit_distance::damerau_levenshtein;
+use culinaria_text::legacy::LegacyAliasResolver;
 use culinaria_text::normalize::tokenize;
 use culinaria_text::singularize::singularize;
 
@@ -25,21 +28,50 @@ const PHRASES: &[&str] = &[
 fn bench_aliasing(c: &mut Criterion) {
     let db = curated_db();
     let importer = Importer::from_flavor_db(&db);
-    let resolver = {
-        // Borrow the importer's resolver indirectly: rebuild one with
-        // the same lexicon for the resolver-only benchmark.
-        let mut r = culinaria_text::alias::AliasResolver::new();
-        for ing in db.ingredients() {
-            r.add_canonical(&ing.name);
+    let mut resolver = AliasResolver::new();
+    let mut legacy = LegacyAliasResolver::new();
+    for ing in db.ingredients() {
+        resolver.add_canonical(&ing.name);
+        legacy.add_canonical(&ing.name);
+    }
+    for (syn, id) in db.synonyms() {
+        if let Ok(target) = db.ingredient(id) {
+            resolver.add_synonym(syn, &target.name);
+            legacy.add_synonym(syn, &target.name);
         }
-        r
-    };
+    }
 
-    c.bench_function("resolve_phrase", |b| {
+    c.bench_function("resolve_phrase_trie", |b| {
         let mut i = 0;
         b.iter(|| {
             i = (i + 1) % PHRASES.len();
             black_box(resolver.resolve(PHRASES[i]))
+        })
+    });
+
+    c.bench_function("resolve_phrase_trie_scratch", |b| {
+        let mut scratch = ResolveScratch::with_memo_capacity(0);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % PHRASES.len();
+            black_box(resolver.resolve_with(PHRASES[i], &mut scratch))
+        })
+    });
+
+    c.bench_function("resolve_phrase_trie_memo", |b| {
+        let mut scratch = ResolveScratch::new();
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % PHRASES.len();
+            black_box(resolver.resolve_with(PHRASES[i], &mut scratch))
+        })
+    });
+
+    c.bench_function("resolve_phrase_legacy", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % PHRASES.len();
+            black_box(legacy.resolve(PHRASES[i]))
         })
     });
 

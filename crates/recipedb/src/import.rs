@@ -6,9 +6,22 @@
 //! database (synonyms included), and resolution statistics are kept so
 //! curators can see what fell through — the paper explicitly labels
 //! partial matches and unrecognized ingredients for manual curation.
+//!
+//! # Batch import and determinism
+//!
+//! [`Importer::import_batch`] fans recipe resolution — the CPU-bound
+//! part — over the shared worker pool (`culinaria_stats::pool`), one
+//! task per recipe, with a [`ResolveScratch`] per worker so the hot
+//! path reuses buffers and its memo cache without locking. Mutation of
+//! the store and the statistics happens in a **serial task-order
+//! merge** over the pool's in-order results, so recipe ids, stored
+//! recipes, and [`ImportStats`] (including the frequency-ranked
+//! unresolved-token list) are bit-identical for every thread count.
+//! [`Importer::import`] is the single-threaded special case.
 
 use culinaria_flavordb::{FlavorDb, IngredientId};
-use culinaria_text::alias::AliasResolver;
+use culinaria_stats::pool;
+use culinaria_text::alias::{AliasResolver, ResolveScratch};
 
 use crate::error::Result;
 use crate::recipe::{RecipeId, Source};
@@ -43,8 +56,20 @@ pub struct ImportStats {
     pub lines_resolved: usize,
     /// Ingredient lines that resolved to nothing.
     pub lines_unresolved: usize,
-    /// Distinct unresolved tokens, collected for curation.
-    pub unresolved_tokens: Vec<String>,
+    /// Unresolved tokens with their occurrence counts, most frequent
+    /// first (ties alphabetical) — the curation worklist, pre-ranked so
+    /// the highest-impact gaps come first.
+    pub unresolved_tokens: Vec<(String, usize)>,
+}
+
+/// Per-recipe resolution result, produced by workers and merged
+/// serially in task order.
+#[derive(Debug, Clone)]
+struct ResolvedRecipe {
+    ingredients: Vec<IngredientId>,
+    lines_resolved: usize,
+    lines_unresolved: usize,
+    unresolved: Vec<String>,
 }
 
 /// The importer: owns an [`AliasResolver`] primed from a [`FlavorDb`]'s
@@ -77,7 +102,20 @@ impl Importer {
 
     /// Resolve one ingredient line to flavor-database ids.
     pub fn resolve_line(&self, db: &FlavorDb, line: &str) -> (Vec<IngredientId>, Vec<String>) {
-        let resolution = self.resolver.resolve(line);
+        let mut scratch = ResolveScratch::with_memo_capacity(0);
+        self.resolve_line_with(db, line, &mut scratch)
+    }
+
+    /// [`Importer::resolve_line`] with caller-owned working state — the
+    /// batch-import hot path. One scratch per worker keeps resolution
+    /// allocation-free and memoizes repeated lines.
+    pub fn resolve_line_with(
+        &self,
+        db: &FlavorDb,
+        line: &str,
+        scratch: &mut ResolveScratch,
+    ) -> (Vec<IngredientId>, Vec<String>) {
+        let resolution = self.resolver.resolve_with(line, scratch);
         let mut ids = Vec::with_capacity(resolution.matches.len());
         for m in &resolution.matches {
             if let Some(id) = db.ingredient_by_name(&m.canonical) {
@@ -121,43 +159,99 @@ impl Importer {
         (ids.into_iter().map(|id| (id, share)).collect(), unresolved)
     }
 
+    /// Resolve all lines of one raw recipe (no store mutation — safe to
+    /// run on any worker).
+    fn resolve_recipe(
+        &self,
+        db: &FlavorDb,
+        raw: &RawRecipe,
+        scratch: &mut ResolveScratch,
+    ) -> ResolvedRecipe {
+        let mut out = ResolvedRecipe {
+            ingredients: Vec::new(),
+            lines_resolved: 0,
+            lines_unresolved: 0,
+            unresolved: Vec::new(),
+        };
+        for line in &raw.ingredient_lines {
+            let (ids, unresolved) = self.resolve_line_with(db, line, scratch);
+            if ids.is_empty() {
+                out.lines_unresolved += 1;
+            } else {
+                out.lines_resolved += 1;
+            }
+            out.ingredients.extend(ids);
+            out.unresolved.extend(unresolved);
+        }
+        out
+    }
+
     /// Import a batch of raw recipes into `store`, resolving through
     /// `db`. Recipes where no line resolves are dropped and counted.
+    ///
+    /// Equivalent to [`Importer::import_batch`] with one thread.
     pub fn import(
         &self,
         db: &FlavorDb,
         store: &mut RecipeStore,
         raw: &[RawRecipe],
     ) -> Result<ImportStats> {
+        self.import_batch(db, store, raw, 1)
+    }
+
+    /// Import a batch of raw recipes, resolving lines on `n_threads`
+    /// workers (`0` = use the machine).
+    ///
+    /// Determinism contract: per-recipe resolution is a pure function
+    /// of the recipe, the pool returns results in task order, and all
+    /// store/statistics mutation happens in a serial in-order merge —
+    /// so the stored recipes, their ids, and the returned
+    /// [`ImportStats`] are bit-identical for every thread count.
+    pub fn import_batch(
+        &self,
+        db: &FlavorDb,
+        store: &mut RecipeStore,
+        raw: &[RawRecipe],
+        n_threads: usize,
+    ) -> Result<ImportStats> {
+        let resolved = pool::run(n_threads, raw.len(), ResolveScratch::new, |scratch, i| {
+            self.resolve_recipe(db, &raw[i], scratch)
+        });
+
         let mut stats = ImportStats {
             offered: raw.len(),
             ..ImportStats::default()
         };
-        let mut seen_unresolved = std::collections::HashSet::new();
-        for r in raw {
-            let mut ingredients: Vec<IngredientId> = Vec::new();
-            for line in &r.ingredient_lines {
-                let (ids, unresolved) = self.resolve_line(db, line);
-                if ids.is_empty() {
-                    stats.lines_unresolved += 1;
-                } else {
-                    stats.lines_resolved += 1;
-                }
-                ingredients.extend(ids);
-                for tok in unresolved {
-                    if seen_unresolved.insert(tok.clone()) {
-                        stats.unresolved_tokens.push(tok);
-                    }
-                }
+        let mut token_counts: std::collections::HashMap<String, usize> =
+            std::collections::HashMap::new();
+        store.reserve(
+            resolved
+                .iter()
+                .filter(|r| !r.ingredients.is_empty())
+                .count(),
+        );
+        for (r, raw_recipe) in resolved.into_iter().zip(raw) {
+            stats.lines_resolved += r.lines_resolved;
+            stats.lines_unresolved += r.lines_unresolved;
+            for tok in r.unresolved {
+                *token_counts.entry(tok).or_insert(0) += 1;
             }
-            if ingredients.is_empty() {
+            if r.ingredients.is_empty() {
                 stats.dropped += 1;
                 continue;
             }
-            store.add_recipe(&r.name, r.region, r.source, ingredients)?;
+            store.add_recipe(
+                &raw_recipe.name,
+                raw_recipe.region,
+                raw_recipe.source,
+                r.ingredients,
+            )?;
             stats.stored += 1;
         }
-        stats.unresolved_tokens.sort_unstable();
+        stats.unresolved_tokens = token_counts.into_iter().collect();
+        stats
+            .unresolved_tokens
+            .sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
         Ok(stats)
     }
 }
@@ -248,13 +342,19 @@ mod tests {
         assert_eq!(stats.stored, 0);
         assert_eq!(stats.dropped, 1);
         assert_eq!(stats.lines_unresolved, 1);
-        assert!(stats.unresolved_tokens.contains(&"quixotic".to_string()));
-        assert!(stats.unresolved_tokens.contains(&"zanthum".to_string()));
+        assert!(stats
+            .unresolved_tokens
+            .iter()
+            .any(|(t, c)| t == "quixotic" && *c == 1));
+        assert!(stats
+            .unresolved_tokens
+            .iter()
+            .any(|(t, c)| t == "zanthum" && *c == 1));
         assert_eq!(store.n_recipes(), 0);
     }
 
     #[test]
-    fn unresolved_tokens_deduplicated() {
+    fn unresolved_tokens_frequency_ranked() {
         let db = curated_db();
         let importer = Importer::from_flavor_db(&db);
         let mut store = RecipeStore::new();
@@ -268,13 +368,52 @@ mod tests {
                 ],
             )
             .unwrap();
-        let count = stats
+        // "zanthum" occurred twice, collapsed into one ranked entry.
+        let zanthum: Vec<_> = stats
             .unresolved_tokens
             .iter()
-            .filter(|t| *t == "zanthum")
-            .count();
-        assert_eq!(count, 1);
+            .filter(|(t, _)| t == "zanthum")
+            .collect();
+        assert_eq!(zanthum.len(), 1);
+        assert_eq!(*zanthum[0], ("zanthum".to_string(), 2));
+        // Most frequent first; within equal counts, alphabetical.
+        let counts: Vec<usize> = stats.unresolved_tokens.iter().map(|(_, c)| *c).collect();
+        assert!(counts.windows(2).all(|w| w[0] >= w[1]));
+        assert_eq!(stats.unresolved_tokens[0].0, "zanthum");
         assert_eq!(stats.stored, 2);
+    }
+
+    #[test]
+    fn import_batch_matches_serial_across_thread_counts() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let raws: Vec<RawRecipe> = (0..24)
+            .map(|i| {
+                raw(
+                    &format!("recipe {i}"),
+                    &[
+                        "3 ripe tomatoes, diced",
+                        "2 cloves garlic",
+                        "1 tbsp olive oil",
+                        "zanthum gum",
+                        "a shot of whisky",
+                    ][..(i % 5) + 1],
+                )
+            })
+            .collect();
+        let mut serial_store = RecipeStore::new();
+        let serial_stats = importer.import(&db, &mut serial_store, &raws).unwrap();
+        for threads in [1, 2, 8] {
+            let mut store = RecipeStore::new();
+            let stats = importer
+                .import_batch(&db, &mut store, &raws, threads)
+                .unwrap();
+            assert_eq!(stats, serial_stats, "stats diverged at {threads} threads");
+            assert_eq!(store.n_recipes(), serial_store.n_recipes());
+            for (a, b) in store.recipes().zip(serial_store.recipes()) {
+                assert_eq!(a, b, "recipe diverged at {threads} threads");
+            }
+        }
     }
 
     #[test]

@@ -41,6 +41,12 @@ impl RecipeStore {
         RecipeStore::default()
     }
 
+    /// Reserve capacity for `additional` more recipes (batch importers
+    /// know their insert count up front).
+    pub fn reserve(&mut self, additional: usize) {
+        self.recipes.reserve(additional);
+    }
+
     /// Insert a recipe. The ingredient list is deduplicated; an empty
     /// list is rejected (the paper only keeps recipes with ingredient
     /// information).

@@ -3,8 +3,47 @@
 
 use proptest::prelude::*;
 
+use culinaria_flavordb::curated::curated_db;
 use culinaria_flavordb::IngredientId;
+use culinaria_recipedb::import::{Importer, RawRecipe};
 use culinaria_recipedb::{io, Recipe, RecipeId, RecipeStore, Region, Source};
+
+/// Strategy: raw recipes over a mix of resolvable phrases (curated-db
+/// names, synonyms, misspellings) and junk.
+fn arb_raw_recipes() -> impl Strategy<Value = Vec<RawRecipe>> {
+    const FIXED_LINES: &[&str] = &[
+        "3 ripe tomatoes, diced",
+        "2 cloves garlic, minced",
+        "1 tbsp extra-virgin olive oil",
+        "a shot of whisky",
+        "250g curd",
+        "1 bun, toasted",
+        "2 cups quixotic zanthum",
+    ];
+    let line = (
+        0usize..FIXED_LINES.len() + 1,
+        proptest::string::string_regex("[a-z]{1,12}( [a-z]{1,12}){0,3}").expect("valid regex"),
+    )
+        .prop_map(|(pick, random)| {
+            FIXED_LINES
+                .get(pick)
+                .map(|s| s.to_string())
+                .unwrap_or(random)
+        });
+    let recipe = (0usize..22, 0usize..5, proptest::collection::vec(line, 0..6));
+    proptest::collection::vec(recipe, 0..24).prop_map(|specs| {
+        specs
+            .into_iter()
+            .enumerate()
+            .map(|(i, (region_idx, source_idx, lines))| RawRecipe {
+                name: format!("raw-{i}"),
+                region: Region::from_index(region_idx).expect("index < 22"),
+                source: Source::from_index(source_idx).expect("index < 5"),
+                ingredient_lines: lines,
+            })
+            .collect()
+    })
+}
 
 /// Strategy: a store with 0..40 random recipes over 30 ingredients.
 fn arb_store() -> impl Strategy<Value = RecipeStore> {
@@ -124,6 +163,27 @@ proptest! {
         }
         // Co-occurrence symmetry.
         prop_assert_eq!(store.cooccurrence(ia, ib), store.cooccurrence(ib, ia));
+    }
+
+    #[test]
+    fn import_batch_is_thread_count_invariant(raws in arb_raw_recipes()) {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let mut serial_store = RecipeStore::new();
+        let serial_stats = importer
+            .import(&db, &mut serial_store, &raws)
+            .expect("serial import succeeds");
+        for threads in [1usize, 2, 8] {
+            let mut store = RecipeStore::new();
+            let stats = importer
+                .import_batch(&db, &mut store, &raws, threads)
+                .expect("batch import succeeds");
+            prop_assert_eq!(&stats, &serial_stats, "stats diverged at {} threads", threads);
+            prop_assert_eq!(store.n_recipes(), serial_store.n_recipes());
+            for (a, b) in store.recipes().zip(serial_store.recipes()) {
+                prop_assert_eq!(a, b, "recipe diverged at {} threads", threads);
+            }
+        }
     }
 
     #[test]

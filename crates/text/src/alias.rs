@@ -8,12 +8,39 @@
 //! matching (n ≤ 6) against the lexicon, with a Damerau–Levenshtein
 //! fallback for single-token spelling variants, and explicit flagging of
 //! unresolved tokens for manual curation.
+//!
+//! # Engine layout (the ingestion hot path)
+//!
+//! The matcher is an **interned-token phrase trie** rather than a
+//! string-keyed hash map:
+//!
+//! * a [`TokenInterner`] maps every token occurring in a lexicon entry
+//!   to a dense `u32` id;
+//! * lexicon entries (canonical names and synonyms) are id-sequences in
+//!   a flat trie — one arena of nodes, each with a sorted transition
+//!   list probed by binary search;
+//! * [`AliasResolver::resolve_with`] walks token-id windows of the
+//!   cleaned phrase directly down the trie, so the greedy
+//!   longest-match-first scan needs **no n-gram materialization, no
+//!   `join(" ")`, and no per-candidate string hashing** — the costs
+//!   the legacy matcher ([`crate::legacy`]) pays for every candidate;
+//! * the fuzzy pass is a precomputed **deletion-neighborhood index**
+//!   (SymSpell-style): each indexed single-token key is bucketed under
+//!   itself and its distance-1 deletions, so Damerau–Levenshtein runs
+//!   only on bucket collisions instead of every length-adjacent key;
+//! * a bounded memo cache in [`ResolveScratch`] short-circuits repeated
+//!   ingredient lines — real corpora are highly duplicated.
+//!
+//! Cleaning reuses caller-owned buffers ([`ResolveScratch`]), so a
+//! steady-state import loop allocates only for the `Resolution`s it
+//! returns (and not even those on memo hits' cache-internal storage).
 
-use std::collections::HashMap;
+use std::borrow::Cow;
+use std::collections::{HashMap, HashSet};
 
 use crate::edit_distance::within_distance;
-use crate::normalize::tokenize;
-use crate::singularize::singularize;
+use crate::normalize::{normalize_phrase_into, tokenize};
+use crate::singularize::{singularize, singularized};
 use crate::stopwords::is_stopword;
 
 /// How a piece of text was matched to a canonical ingredient.
@@ -49,21 +76,167 @@ pub struct Resolution {
     pub unresolved: Vec<String>,
 }
 
-/// The ingredient lexicon and matching engine.
+/// Sentinel id for a phrase token that occurs in no lexicon entry: it
+/// can never advance the trie, so the walk rejects it immediately.
+const NO_TOKEN: u32 = u32::MAX;
+
+/// Dense string interner: token text → `u32` id, id → text.
 #[derive(Debug, Clone, Default)]
+pub struct TokenInterner {
+    ids: HashMap<String, u32>,
+    strings: Vec<String>,
+}
+
+impl TokenInterner {
+    /// Id of `tok`, allocating a new one on first sight.
+    pub fn intern(&mut self, tok: &str) -> u32 {
+        if let Some(&id) = self.ids.get(tok) {
+            return id;
+        }
+        let id = self.strings.len() as u32;
+        self.ids.insert(tok.to_owned(), id);
+        self.strings.push(tok.to_owned());
+        id
+    }
+
+    /// Id of `tok` if it has been interned.
+    pub fn get(&self, tok: &str) -> Option<u32> {
+        self.ids.get(tok).copied()
+    }
+
+    /// The text of an interned id.
+    pub fn text(&self, id: u32) -> &str {
+        &self.strings[id as usize]
+    }
+
+    /// Number of distinct interned tokens.
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// True when nothing has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+/// One node of the flat phrase trie. Transitions are kept sorted by
+/// token id for binary-search probing; terminal payloads point into the
+/// resolver's canonical-name table.
+#[derive(Debug, Clone, Default)]
+struct TrieNode {
+    /// Sorted `(token id, child node index)` transitions.
+    edges: Vec<(u32, u32)>,
+    /// Path spells a canonical name → its canonical-table index.
+    exact: Option<u32>,
+    /// Path spells a synonym → the target's canonical-table index.
+    synonym: Option<u32>,
+}
+
+/// One single-token key eligible for the fuzzy pass.
+#[derive(Debug, Clone)]
+struct FuzzyEntry {
+    /// The key text (a canonical name or synonym, one token).
+    key: String,
+    /// `key.chars().count()`, cached for the legacy-order tie-break.
+    key_len: u32,
+    /// Canonical-table index the key resolves to.
+    canonical: u32,
+}
+
+const DEFAULT_MEMO_CAPACITY: usize = 8192;
+
+/// Reusable per-caller working state for [`AliasResolver::resolve_with`]:
+/// cleaning buffers plus the bounded memo cache for repeated lines.
+///
+/// One scratch per worker thread gives an allocation-free steady state
+/// *and* keeps memoization lock-free — the cache is a pure function
+/// table, so per-worker caches cannot disturb determinism.
+#[derive(Debug, Clone)]
+pub struct ResolveScratch {
+    /// Normalized-phrase buffer.
+    norm: String,
+    /// Cleaned tokens, concatenated with single spaces (so a matched
+    /// span is one contiguous subslice — no `join` needed).
+    tok_buf: String,
+    /// Byte range of each cleaned token within `tok_buf`.
+    spans: Vec<(u32, u32)>,
+    /// Interned id of each cleaned token (`NO_TOKEN` when unknown).
+    ids: Vec<u32>,
+    /// Deletion-variant buffer for the fuzzy pass.
+    variant: String,
+    /// Candidate-entry buffer for the fuzzy pass.
+    candidates: Vec<u32>,
+    /// Bounded phrase → resolution memo (cleared wholesale when full,
+    /// so the bound is hard and the policy deterministic).
+    memo: HashMap<String, Resolution>,
+    memo_capacity: usize,
+}
+
+impl Default for ResolveScratch {
+    fn default() -> Self {
+        ResolveScratch::new()
+    }
+}
+
+impl ResolveScratch {
+    /// A scratch with the default memo bound (8192 distinct lines).
+    pub fn new() -> Self {
+        ResolveScratch::with_memo_capacity(DEFAULT_MEMO_CAPACITY)
+    }
+
+    /// A scratch bounding the memo cache to `capacity` distinct lines;
+    /// `0` disables memoization entirely.
+    pub fn with_memo_capacity(capacity: usize) -> Self {
+        ResolveScratch {
+            norm: String::new(),
+            tok_buf: String::new(),
+            spans: Vec::new(),
+            ids: Vec::new(),
+            variant: String::new(),
+            candidates: Vec::new(),
+            memo: HashMap::new(),
+            memo_capacity: capacity,
+        }
+    }
+
+    /// Number of lines currently memoized.
+    pub fn memo_len(&self) -> usize {
+        self.memo.len()
+    }
+
+    /// The text of cleaned token `i` (valid after a resolve).
+    fn token(&self, i: usize) -> &str {
+        let (s, e) = self.spans[i];
+        &self.tok_buf[s as usize..e as usize]
+    }
+}
+
+/// The ingredient lexicon and matching engine.
+#[derive(Debug, Clone)]
 pub struct AliasResolver {
-    /// Normalized canonical name → itself (set semantics, map for reuse).
-    canonical: HashMap<String, ()>,
-    /// Normalized synonym → canonical name.
-    synonyms: HashMap<String, String>,
-    /// Length-bucketed single-token keys for the fuzzy pass:
-    /// `fuzzy_index[len]` holds `(key, canonical)` pairs.
-    fuzzy_index: HashMap<usize, Vec<(String, String)>>,
-    /// Every token occurring in a lexicon entry. Tokens in this set are
+    /// Token text ↔ dense id for every token in a lexicon entry.
+    interner: TokenInterner,
+    /// Flat trie arena; index 0 is the root.
+    nodes: Vec<TrieNode>,
+    /// Canonical-name storage, deduplicated; trie payloads and fuzzy
+    /// entries index into this.
+    canon_names: Vec<String>,
+    canon_ids: HashMap<String, u32>,
+    /// Distinct canonical keys / synonym keys registered (set semantics:
+    /// re-adding an existing key does not count).
+    n_canonical: usize,
+    n_synonyms: usize,
+    /// Token ids occurring in *multi-word* lexicon entries. These are
     /// exempt from stopword removal so entries like "virgin olive oil"
     /// or "half half" stay matchable even when their words are generic
     /// culinary stopwords.
-    lexicon_tokens: std::collections::HashSet<String>,
+    multiword_tokens: HashSet<u32>,
+    /// Fuzzy keys in insertion order (the legacy tie-break order).
+    fuzzy_entries: Vec<FuzzyEntry>,
+    /// Deletion-neighborhood index: key text and each of its
+    /// one-character deletions → entries bucketed there.
+    fuzzy_deletions: HashMap<String, Vec<u32>>,
     /// Maximum n-gram length tried (paper: 6).
     max_ngram: usize,
     /// Maximum edit distance for the fuzzy pass.
@@ -73,15 +246,26 @@ pub struct AliasResolver {
     fuzzy_min_len: usize,
 }
 
+impl Default for AliasResolver {
+    fn default() -> Self {
+        AliasResolver::new()
+    }
+}
+
 impl AliasResolver {
     /// A resolver with the paper's parameters: n-grams up to 6, fuzzy
     /// distance 1 for tokens of at least 5 characters.
     pub fn new() -> Self {
         AliasResolver {
-            canonical: HashMap::new(),
-            synonyms: HashMap::new(),
-            fuzzy_index: HashMap::new(),
-            lexicon_tokens: std::collections::HashSet::new(),
+            interner: TokenInterner::default(),
+            nodes: vec![TrieNode::default()],
+            canon_names: Vec::new(),
+            canon_ids: HashMap::new(),
+            n_canonical: 0,
+            n_synonyms: 0,
+            multiword_tokens: HashSet::new(),
+            fuzzy_entries: Vec::new(),
+            fuzzy_deletions: HashMap::new(),
             max_ngram: 6,
             fuzzy_max_distance: 1,
             fuzzy_min_len: 5,
@@ -99,14 +283,77 @@ impl AliasResolver {
             .join(" ")
     }
 
+    /// Index of `key` in the canonical-name table, interning it.
+    fn canon_idx(&mut self, key: &str) -> u32 {
+        if let Some(&idx) = self.canon_ids.get(key) {
+            return idx;
+        }
+        let idx = self.canon_names.len() as u32;
+        self.canon_ids.insert(key.to_owned(), idx);
+        self.canon_names.push(key.to_owned());
+        idx
+    }
+
+    /// Walk-or-create the trie path spelling `key`; returns the final
+    /// node index (the root for an empty key).
+    fn insert_path(&mut self, key: &str) -> usize {
+        let mut node = 0usize;
+        if key.is_empty() {
+            return node;
+        }
+        for tok in key.split(' ') {
+            let tid = self.interner.intern(tok);
+            node = match self.nodes[node].edges.binary_search_by_key(&tid, |e| e.0) {
+                Ok(pos) => self.nodes[node].edges[pos].1 as usize,
+                Err(pos) => {
+                    let child = self.nodes.len();
+                    self.nodes.push(TrieNode::default());
+                    self.nodes[node].edges.insert(pos, (tid, child as u32));
+                    child
+                }
+            };
+        }
+        node
+    }
+
+    /// Follow one trie transition, if present.
+    #[inline]
+    fn child(&self, node: usize, tid: u32) -> Option<usize> {
+        let edges = &self.nodes[node].edges;
+        edges
+            .binary_search_by_key(&tid, |e| e.0)
+            .ok()
+            .map(|pos| edges[pos].1 as usize)
+    }
+
     /// Register a canonical ingredient name (possibly multi-word).
     /// Returns the normalized key under which it was stored.
     pub fn add_canonical(&mut self, name: &str) -> String {
         let key = Self::canon_key(name);
-        self.canonical.insert(key.clone(), ());
-        self.index_for_fuzzy(&key, &key);
+        let cidx = self.canon_idx(&key);
+        let node = self.insert_path(&key);
+        if self.nodes[node].exact.is_none() {
+            self.n_canonical += 1;
+        }
+        self.nodes[node].exact = Some(cidx);
+        self.index_for_fuzzy(&key, cidx);
         self.remember_tokens(&key);
         key
+    }
+
+    /// Register `synonym` as an alias of `canonical` (the canonical need
+    /// not be registered yet; matches resolve to its normalized form).
+    pub fn add_synonym(&mut self, synonym: &str, canonical: &str) {
+        let skey = Self::canon_key(synonym);
+        let ckey = Self::canon_key(canonical);
+        let cidx = self.canon_idx(&ckey);
+        self.index_for_fuzzy(&skey, cidx);
+        self.remember_tokens(&skey);
+        let node = self.insert_path(&skey);
+        if self.nodes[node].synonym.is_none() {
+            self.n_synonyms += 1;
+        }
+        self.nodes[node].synonym = Some(cidx);
     }
 
     fn remember_tokens(&mut self, key: &str) {
@@ -118,123 +365,290 @@ impl AliasResolver {
             return;
         }
         for tok in key.split(' ') {
-            self.lexicon_tokens.insert(tok.to_owned());
+            let tid = self.interner.intern(tok);
+            self.multiword_tokens.insert(tid);
         }
     }
 
-    /// Register `synonym` as an alias of `canonical` (the canonical need
-    /// not be registered yet; matches resolve to its normalized form).
-    pub fn add_synonym(&mut self, synonym: &str, canonical: &str) {
-        let skey = Self::canon_key(synonym);
-        let ckey = Self::canon_key(canonical);
-        self.index_for_fuzzy(&skey, &ckey);
-        self.remember_tokens(&skey);
-        self.synonyms.insert(skey, ckey);
-    }
-
-    fn index_for_fuzzy(&mut self, key: &str, canonical: &str) {
-        if !key.contains(' ') && key.chars().count() >= self.fuzzy_min_len {
-            self.fuzzy_index
-                .entry(key.chars().count())
-                .or_default()
-                .push((key.to_owned(), canonical.to_owned()));
+    /// Index a single-token key for the fuzzy pass: the entry is
+    /// bucketed under itself and each of its one-character deletions,
+    /// so a distance-≤1 query shares at least one bucket with it
+    /// (deletion / insertion / substitution / adjacent transposition
+    /// all collide in the combined neighborhoods).
+    fn index_for_fuzzy(&mut self, key: &str, canonical: u32) {
+        if key.contains(' ') {
+            return;
+        }
+        let key_len = key.chars().count();
+        if key_len < self.fuzzy_min_len {
+            return;
+        }
+        let idx = self.fuzzy_entries.len() as u32;
+        self.fuzzy_entries.push(FuzzyEntry {
+            key: key.to_owned(),
+            key_len: key_len as u32,
+            canonical,
+        });
+        self.fuzzy_deletions
+            .entry(key.to_owned())
+            .or_default()
+            .push(idx);
+        if self.fuzzy_max_distance >= 1 {
+            let mut seen: HashSet<String> = HashSet::new();
+            for skip in 0..key_len {
+                let mut variant = String::with_capacity(key.len());
+                for (i, ch) in key.chars().enumerate() {
+                    if i != skip {
+                        variant.push(ch);
+                    }
+                }
+                if seen.insert(variant.clone()) {
+                    self.fuzzy_deletions.entry(variant).or_default().push(idx);
+                }
+            }
         }
     }
 
     /// Number of canonical entries.
     pub fn n_canonical(&self) -> usize {
-        self.canonical.len()
+        self.n_canonical
     }
 
     /// Number of synonyms.
     pub fn n_synonyms(&self) -> usize {
-        self.synonyms.len()
+        self.n_synonyms
+    }
+
+    /// Number of distinct interned lexicon tokens.
+    pub fn n_tokens(&self) -> usize {
+        self.interner.len()
     }
 
     /// True if the normalized form of `name` is a canonical entry.
     pub fn is_canonical(&self, name: &str) -> bool {
-        self.canonical.contains_key(&Self::canon_key(name))
+        let key = Self::canon_key(name);
+        let mut node = 0usize;
+        if !key.is_empty() {
+            for tok in key.split(' ') {
+                let Some(tid) = self.interner.get(tok) else {
+                    return false;
+                };
+                let Some(next) = self.child(node, tid) else {
+                    return false;
+                };
+                node = next;
+            }
+        }
+        self.nodes[node].exact.is_some()
     }
 
-    /// Exact/synonym lookup of an already-normalized n-gram.
-    fn lookup(&self, gram: &str) -> Option<(String, MatchKind)> {
-        if self.canonical.contains_key(gram) {
-            return Some((gram.to_owned(), MatchKind::Exact));
-        }
-        if let Some(c) = self.synonyms.get(gram) {
-            return Some((c.clone(), MatchKind::Synonym));
-        }
-        None
-    }
-
-    /// Fuzzy lookup of a single token against length-adjacent buckets.
-    fn lookup_fuzzy(&self, token: &str) -> Option<String> {
+    /// Fuzzy lookup via the deletion index: gather candidate entries
+    /// from the query's bucket and its one-deletion buckets, then verify
+    /// only those collisions with Damerau–Levenshtein. Ties break
+    /// exactly like the legacy length-bucket scan: shortest key first,
+    /// then insertion order.
+    fn lookup_fuzzy(
+        &self,
+        token: &str,
+        candidates: &mut Vec<u32>,
+        variant: &mut String,
+    ) -> Option<u32> {
         let len = token.chars().count();
         if len < self.fuzzy_min_len {
             return None;
         }
-        let lo = len.saturating_sub(self.fuzzy_max_distance);
-        let hi = len + self.fuzzy_max_distance;
-        for bucket_len in lo..=hi {
-            if let Some(bucket) = self.fuzzy_index.get(&bucket_len) {
-                for (key, canonical) in bucket {
-                    if within_distance(token, key, self.fuzzy_max_distance) {
-                        return Some(canonical.clone());
-                    }
+        if self.fuzzy_max_distance != 1 {
+            return self.lookup_fuzzy_scan(token, len);
+        }
+        candidates.clear();
+        if let Some(bucket) = self.fuzzy_deletions.get(token) {
+            candidates.extend_from_slice(bucket);
+        }
+        for skip in 0..len {
+            variant.clear();
+            for (i, ch) in token.chars().enumerate() {
+                if i != skip {
+                    variant.push(ch);
                 }
             }
+            if let Some(bucket) = self.fuzzy_deletions.get(variant.as_str()) {
+                candidates.extend_from_slice(bucket);
+            }
         }
-        None
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut best: Option<(u32, u32)> = None;
+        for &idx in candidates.iter() {
+            let entry = &self.fuzzy_entries[idx as usize];
+            if best.is_some_and(|b| (entry.key_len, idx) >= b) {
+                continue;
+            }
+            if within_distance(token, &entry.key, self.fuzzy_max_distance) {
+                best = Some((entry.key_len, idx));
+            }
+        }
+        best.map(|(_, idx)| self.fuzzy_entries[idx as usize].canonical)
+    }
+
+    /// Fallback for non-default `fuzzy_max_distance` configurations: a
+    /// plain scan in the legacy bucket order (the deletion index is
+    /// built for distance 1 only).
+    fn lookup_fuzzy_scan(&self, token: &str, len: usize) -> Option<u32> {
+        let lo = len.saturating_sub(self.fuzzy_max_distance) as u32;
+        let hi = (len + self.fuzzy_max_distance) as u32;
+        let mut best: Option<(u32, u32)> = None;
+        for (idx, entry) in self.fuzzy_entries.iter().enumerate() {
+            if entry.key_len < lo || entry.key_len > hi {
+                continue;
+            }
+            if best.is_some_and(|b| (entry.key_len, idx as u32) >= b) {
+                continue;
+            }
+            if within_distance(token, &entry.key, self.fuzzy_max_distance) {
+                best = Some((entry.key_len, idx as u32));
+            }
+        }
+        best.map(|(_, idx)| self.fuzzy_entries[idx as usize].canonical)
+    }
+
+    /// Clean `phrase` into `scratch`: normalize, split, singularize,
+    /// drop stopwords (with the multi-word-entry exemption), and intern
+    /// each surviving token against the lexicon. Allocation-free once
+    /// the scratch buffers have grown to the phrase size.
+    fn clean_into(&self, phrase: &str, scratch: &mut ResolveScratch) {
+        normalize_phrase_into(phrase, &mut scratch.norm);
+        scratch.tok_buf.clear();
+        scratch.spans.clear();
+        scratch.ids.clear();
+        let ResolveScratch {
+            norm,
+            tok_buf,
+            spans,
+            ids,
+            ..
+        } = scratch;
+        for raw in norm.split_whitespace() {
+            // Pure numbers are quantities ("2", the "1" and "2" of
+            // "1/2"), never ingredients.
+            if raw.chars().all(|c| c.is_ascii_digit()) {
+                continue;
+            }
+            let tok: Cow<'_, str> = singularized(raw);
+            let id = self.interner.get(&tok);
+            let keep =
+                !is_stopword(&tok) || id.is_some_and(|id| self.multiword_tokens.contains(&id));
+            if !keep {
+                continue;
+            }
+            if !tok_buf.is_empty() {
+                tok_buf.push(' ');
+            }
+            let start = tok_buf.len() as u32;
+            tok_buf.push_str(&tok);
+            spans.push((start, tok_buf.len() as u32));
+            ids.push(id.unwrap_or(NO_TOKEN));
+        }
     }
 
     /// Clean a phrase into match-ready tokens: tokenize, singularize,
-    /// then drop stopwords — except tokens that occur in a lexicon
-    /// entry ("virgin olive oil", "half half"), which must survive
-    /// cleaning to stay matchable.
+    /// then drop stopwords — except tokens that occur in a multi-word
+    /// lexicon entry ("virgin olive oil", "half half"), which must
+    /// survive cleaning to stay matchable.
     pub fn clean_tokens(&self, phrase: &str) -> Vec<String> {
-        tokenize(phrase)
-            .into_iter()
-            .map(|t| singularize(&t))
-            .filter(|t| !is_stopword(t) || self.lexicon_tokens.contains(t))
+        let mut scratch = ResolveScratch::with_memo_capacity(0);
+        self.clean_into(phrase, &mut scratch);
+        (0..scratch.spans.len())
+            .map(|i| scratch.token(i).to_owned())
             .collect()
     }
 
     /// Resolve a phrase: greedy longest-n-gram matching, left to right.
+    ///
+    /// Convenience wrapper over [`AliasResolver::resolve_with`] with a
+    /// throwaway scratch; batch callers should hold a [`ResolveScratch`]
+    /// per worker instead.
     pub fn resolve(&self, phrase: &str) -> Resolution {
-        let tokens = self.clean_tokens(phrase);
+        let mut scratch = ResolveScratch::with_memo_capacity(0);
+        self.resolve_with(phrase, &mut scratch)
+    }
+
+    /// Resolve a phrase using caller-owned working state — the hot-path
+    /// entry point. Checks the scratch's memo cache first, then walks
+    /// token-id windows down the phrase trie, longest match first, with
+    /// the deletion-indexed fuzzy fallback for lone tokens.
+    pub fn resolve_with(&self, phrase: &str, scratch: &mut ResolveScratch) -> Resolution {
+        if let Some(hit) = scratch.memo.get(phrase) {
+            return hit.clone();
+        }
+        self.clean_into(phrase, scratch);
+        let n_tokens = scratch.ids.len();
         let mut matches = Vec::new();
         let mut unresolved = Vec::new();
         let mut pos = 0;
-        'outer: while pos < tokens.len() {
-            let top = self.max_ngram.min(tokens.len() - pos);
-            for n in (1..=top).rev() {
-                let gram = tokens[pos..pos + n].join(" ");
-                if let Some((canonical, kind)) = self.lookup(&gram) {
-                    matches.push(ResolvedMatch {
-                        canonical,
-                        matched_text: gram,
-                        kind,
-                    });
-                    pos += n;
-                    continue 'outer;
+        while pos < n_tokens {
+            let top = self.max_ngram.min(n_tokens - pos);
+            // Walk the trie as deep as the ids allow, remembering the
+            // deepest terminal: that is exactly the longest n-gram the
+            // legacy matcher would have found, with Exact preferred
+            // over Synonym at equal depth.
+            let mut node = 0usize;
+            let mut best: Option<(usize, u32, MatchKind)> = None;
+            for k in 0..top {
+                let tid = scratch.ids[pos + k];
+                if tid == NO_TOKEN {
+                    break;
+                }
+                let Some(next) = self.child(node, tid) else {
+                    break;
+                };
+                node = next;
+                let n = &self.nodes[node];
+                if let Some(cidx) = n.exact {
+                    best = Some((k + 1, cidx, MatchKind::Exact));
+                } else if let Some(cidx) = n.synonym {
+                    best = Some((k + 1, cidx, MatchKind::Synonym));
                 }
             }
-            // Single-token fuzzy fallback.
-            if let Some(canonical) = self.lookup_fuzzy(&tokens[pos]) {
+            if let Some((n, cidx, kind)) = best {
+                let (start, _) = scratch.spans[pos];
+                let (_, end) = scratch.spans[pos + n - 1];
                 matches.push(ResolvedMatch {
-                    canonical,
-                    matched_text: tokens[pos].clone(),
+                    canonical: self.canon_names[cidx as usize].clone(),
+                    matched_text: scratch.tok_buf[start as usize..end as usize].to_owned(),
+                    kind,
+                });
+                pos += n;
+                continue;
+            }
+            // Single-token fuzzy fallback.
+            let (tok_start, tok_end) = scratch.spans[pos];
+            let token = &scratch.tok_buf[tok_start as usize..tok_end as usize];
+            if let Some(cidx) =
+                self.lookup_fuzzy(token, &mut scratch.candidates, &mut scratch.variant)
+            {
+                matches.push(ResolvedMatch {
+                    canonical: self.canon_names[cidx as usize].clone(),
+                    matched_text: token.to_owned(),
                     kind: MatchKind::Fuzzy,
                 });
             } else {
-                unresolved.push(tokens[pos].clone());
+                unresolved.push(token.to_owned());
             }
             pos += 1;
         }
-        Resolution {
+        let resolution = Resolution {
             matches,
             unresolved,
+        };
+        if scratch.memo_capacity > 0 {
+            if scratch.memo.len() >= scratch.memo_capacity {
+                // Hard bound: restart the cache wholesale. Deterministic
+                // and O(1) amortized, which beats tracking recency.
+                scratch.memo.clear();
+            }
+            scratch.memo.insert(phrase.to_owned(), resolution.clone());
         }
+        resolution
     }
 
     /// Convenience: just the matches of [`AliasResolver::resolve`].
@@ -366,6 +780,52 @@ mod tests {
     }
 
     #[test]
+    fn fuzzy_transposition_at_min_len_boundary() {
+        let mut r = AliasResolver::new();
+        r.add_canonical("onion"); // exactly fuzzy_min_len = 5 chars
+        r.add_canonical("rice"); // one char below the boundary
+                                 // Transposed 5-char token: eligible, matches at distance 1.
+        let res = r.resolve("oinon");
+        assert_eq!(res.matches.len(), 1);
+        assert_eq!(res.matches[0].canonical, "onion");
+        assert_eq!(res.matches[0].kind, MatchKind::Fuzzy);
+        // Transposed 4-char token: below the boundary, never fuzzy.
+        let res = r.resolve("rcie");
+        assert!(res.matches.is_empty());
+        assert_eq!(res.unresolved, vec!["rcie"]);
+    }
+
+    #[test]
+    fn fuzzy_prefers_shorter_key_then_insertion_order() {
+        // Query "gratin" (6 chars) is within distance 1 of both
+        // "grain" (5) and "grating" (7): the shorter key wins, exactly
+        // like the legacy ascending length-bucket scan.
+        let mut r = AliasResolver::new();
+        r.add_canonical("grating");
+        r.add_canonical("grain");
+        let res = r.resolve("gratin");
+        assert_eq!(res.matches.len(), 1);
+        assert_eq!(res.matches[0].canonical, "grain");
+    }
+
+    #[test]
+    fn multiword_entry_of_pure_stopwords_matches() {
+        // Both tokens of "half half" are culinary stopwords; the
+        // multi-word exemption must keep them alive through cleaning.
+        let mut r = AliasResolver::new();
+        r.add_canonical("half half");
+        let m = r.resolve_phrase("1 cup half-and-half, warmed");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].canonical, "half half");
+        // "virgin olive oil" likewise: "virgin" alone is a stopword.
+        let mut r = AliasResolver::new();
+        r.add_canonical("virgin olive oil");
+        let m = r.resolve_phrase("virgin olive oil");
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].canonical, "virgin olive oil");
+    }
+
+    #[test]
     fn unresolved_flagged() {
         let res = resolver().resolve("2 cups unobtainium flakes");
         assert!(res.matches.is_empty());
@@ -394,6 +854,50 @@ mod tests {
         assert_eq!(r.n_synonyms(), 3);
         assert!(r.is_canonical("Tomatoes"));
         assert!(!r.is_canonical("pineapple"));
+        assert!(r.n_tokens() >= 9);
+    }
+
+    #[test]
+    fn re_registration_is_set_semantics() {
+        let mut r = resolver();
+        r.add_canonical("tomato");
+        r.add_canonical("Tomatoes"); // same normalized key
+        r.add_synonym("bun", "bread");
+        assert_eq!(r.n_canonical(), 9);
+        assert_eq!(r.n_synonyms(), 3);
+    }
+
+    #[test]
+    fn memo_cache_hits_and_stays_bounded() {
+        let r = resolver();
+        let mut scratch = ResolveScratch::with_memo_capacity(2);
+        let first = r.resolve_with("3 ripe tomatoes", &mut scratch);
+        assert_eq!(scratch.memo_len(), 1);
+        let again = r.resolve_with("3 ripe tomatoes", &mut scratch);
+        assert_eq!(first, again);
+        r.resolve_with("1 bun", &mut scratch);
+        assert_eq!(scratch.memo_len(), 2);
+        // Third distinct line trips the bound: cache restarts.
+        r.resolve_with("250g curd", &mut scratch);
+        assert_eq!(scratch.memo_len(), 1);
+        // And memoized results equal fresh ones.
+        assert_eq!(
+            r.resolve_with("250g curd", &mut scratch),
+            r.resolve("250g curd")
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_is_clean_across_phrases() {
+        let r = resolver();
+        let mut scratch = ResolveScratch::new();
+        let long = r.resolve_with("2 jalapeno peppers, roasted and slit", &mut scratch);
+        assert_eq!(long.matches[0].canonical, "jalapeno pepper");
+        // A shorter follow-up must not see stale buffer contents.
+        let short = r.resolve_with("1 bun", &mut scratch);
+        assert_eq!(short.matches.len(), 1);
+        assert_eq!(short.matches[0].canonical, "bread");
+        assert!(short.unresolved.is_empty());
     }
 
     #[test]
@@ -415,5 +919,18 @@ mod tests {
         let res = resolver().resolve("");
         assert!(res.matches.is_empty());
         assert!(res.unresolved.is_empty());
+    }
+
+    #[test]
+    fn interner_round_trips() {
+        let mut interner = TokenInterner::default();
+        assert!(interner.is_empty());
+        let a = interner.intern("olive");
+        let b = interner.intern("oil");
+        assert_eq!(interner.intern("olive"), a);
+        assert_eq!(interner.get("oil"), Some(b));
+        assert_eq!(interner.get("truffle"), None);
+        assert_eq!(interner.text(a), "olive");
+        assert_eq!(interner.len(), 2);
     }
 }

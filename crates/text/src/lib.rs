@@ -22,6 +22,11 @@
 //!    flagging of partial/unrecognized matches for curation
 //!    ([`alias`], [`edit_distance`]).
 //!
+//! The production matcher in [`alias`] is an interned-token phrase trie
+//! with a deletion-neighborhood fuzzy index; the original string-join
+//! matcher survives in [`legacy`] as a frozen parity reference for
+//! benchmarks and property tests.
+//!
 //! ```
 //! use culinaria_text::alias::{AliasResolver, MatchKind};
 //!
@@ -39,15 +44,16 @@
 
 pub mod alias;
 pub mod edit_distance;
+pub mod legacy;
 pub mod ngram;
 pub mod normalize;
 pub mod quantity;
 pub mod singularize;
 pub mod stopwords;
 
-pub use alias::{AliasResolver, MatchKind, ResolvedMatch};
+pub use alias::{AliasResolver, MatchKind, ResolveScratch, ResolvedMatch};
 pub use edit_distance::{damerau_levenshtein, within_distance};
 pub use ngram::ngrams_up_to;
-pub use normalize::{normalize_phrase, tokenize};
-pub use singularize::singularize;
+pub use normalize::{normalize_phrase, normalize_phrase_into, tokenize};
+pub use singularize::{singularize, singularized};
 pub use stopwords::{is_culinary_stopword, is_english_stopword, is_stopword};

@@ -3,33 +3,35 @@
 //! The paper builds n-grams up to 6 tokens from cleaned ingredient
 //! phrases to find multi-word ingredients ("extra virgin olive oil") and
 //! to mine frequently co-occurring unknown phrases for curation.
+//!
+//! Both extractors *borrow*: an n-gram is a `&[String]` window into the
+//! caller's token slice, so enumerating every n-gram of a phrase
+//! allocates nothing. [`ngram_strings`] remains as the owned compat
+//! wrapper for curation mining, which wants joined keys anyway.
 
-/// All contiguous n-grams of exactly `n` tokens, in order of occurrence.
-/// Empty when `n == 0` or `n > tokens.len()`.
-pub fn ngrams(tokens: &[String], n: usize) -> Vec<Vec<String>> {
-    if n == 0 || n > tokens.len() {
-        return Vec::new();
-    }
-    tokens.windows(n).map(|w| w.to_vec()).collect()
+/// All contiguous n-grams of exactly `n` tokens, in order of occurrence,
+/// as borrowed windows. Empty when `n == 0` or `n > tokens.len()`.
+pub fn ngrams(tokens: &[String], n: usize) -> std::slice::Windows<'_, String> {
+    // `windows(0)` panics and `windows(len + 1)` is empty, so map the
+    // degenerate `n == 0` request onto the empty iterator.
+    let n = if n == 0 { tokens.len() + 1 } else { n };
+    tokens.windows(n)
 }
 
 /// All n-grams for `n` in `1..=max_n`, longest first (the resolution
-/// order the aliasing pipeline wants: prefer the most specific match).
-pub fn ngrams_up_to(tokens: &[String], max_n: usize) -> Vec<Vec<String>> {
-    let mut out = Vec::new();
+/// order the aliasing pipeline wants: prefer the most specific match),
+/// as borrowed windows.
+pub fn ngrams_up_to(tokens: &[String], max_n: usize) -> impl Iterator<Item = &[String]> {
     let top = max_n.min(tokens.len());
-    for n in (1..=top).rev() {
-        out.extend(ngrams(tokens, n));
-    }
-    out
+    (1..=top).rev().flat_map(move |n| tokens.windows(n))
 }
 
-/// N-grams joined into space-separated strings, longest first.
+/// N-grams joined into space-separated strings, longest first. The only
+/// allocating form — kept for curation mining
+/// ([`mine_frequent_ngrams`](crate::alias::mine_frequent_ngrams)),
+/// which needs owned keys.
 pub fn ngram_strings(tokens: &[String], max_n: usize) -> Vec<String> {
-    ngrams_up_to(tokens, max_n)
-        .into_iter()
-        .map(|g| g.join(" "))
-        .collect()
+    ngrams_up_to(tokens, max_n).map(|g| g.join(" ")).collect()
 }
 
 #[cfg(test)]
@@ -43,10 +45,25 @@ mod tests {
     #[test]
     fn exact_n() {
         let t = toks(&["a", "b", "c"]);
-        assert_eq!(ngrams(&t, 2), vec![toks(&["a", "b"]), toks(&["b", "c"])]);
-        assert_eq!(ngrams(&t, 3), vec![toks(&["a", "b", "c"])]);
-        assert!(ngrams(&t, 4).is_empty());
-        assert!(ngrams(&t, 0).is_empty());
+        let two: Vec<&[String]> = ngrams(&t, 2).collect();
+        assert_eq!(two, vec![&t[0..2], &t[1..3]]);
+        let three: Vec<&[String]> = ngrams(&t, 3).collect();
+        assert_eq!(three, vec![&t[..]]);
+        assert_eq!(ngrams(&t, 4).count(), 0);
+        assert_eq!(ngrams(&t, 0).count(), 0);
+        assert_eq!(ngrams(&[], 0).count(), 0);
+    }
+
+    #[test]
+    fn windows_borrow_not_clone() {
+        let t = toks(&["a", "b", "c"]);
+        for w in ngrams(&t, 2) {
+            // Same backing storage: the window points into `t`.
+            assert!(std::ptr::eq(
+                &w[0],
+                &t[t.iter().position(|x| x == &w[0]).unwrap()]
+            ));
+        }
     }
 
     #[test]
@@ -67,13 +84,12 @@ mod tests {
     fn counts_are_correct() {
         // For m tokens and max n, count = Σ_{k=1..min(n,m)} (m − k + 1).
         let t = toks(&["a", "b", "c", "d", "e", "f", "g"]);
-        let grams = ngrams_up_to(&t, 6);
         let expected: usize = (1..=6).map(|k| 7 - k + 1).sum();
-        assert_eq!(grams.len(), expected);
+        assert_eq!(ngrams_up_to(&t, 6).count(), expected);
     }
 
     #[test]
     fn empty_tokens() {
-        assert!(ngrams_up_to(&[], 6).is_empty());
+        assert_eq!(ngrams_up_to(&[], 6).count(), 0);
     }
 }

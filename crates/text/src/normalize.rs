@@ -13,6 +13,15 @@
 /// (apostrophes are removed entirely), and collapse whitespace runs.
 pub fn normalize_phrase(phrase: &str) -> String {
     let mut out = String::with_capacity(phrase.len());
+    normalize_phrase_into(phrase, &mut out);
+    out
+}
+
+/// [`normalize_phrase`] writing into a caller-owned buffer, so hot
+/// loops (the alias resolver's ingestion path) can reuse one allocation
+/// across phrases. The buffer is cleared first.
+pub fn normalize_phrase_into(phrase: &str, out: &mut String) {
+    out.clear();
     let mut last_space = true;
     for ch in phrase.chars() {
         let lower = ch.to_lowercase();
@@ -39,7 +48,6 @@ pub fn normalize_phrase(phrase: &str) -> String {
     while out.ends_with(' ') {
         out.pop();
     }
-    out
 }
 
 /// Tokenize a phrase: normalize, split on whitespace, and drop tokens
@@ -89,6 +97,15 @@ mod tests {
             normalize_phrase("confectioner’s sugar"),
             "confectioners sugar"
         );
+    }
+
+    #[test]
+    fn into_variant_reuses_buffer() {
+        let mut buf = String::from("previous contents");
+        normalize_phrase_into("Salt & Pepper", &mut buf);
+        assert_eq!(buf, "salt pepper");
+        normalize_phrase_into("", &mut buf);
+        assert_eq!(buf, "");
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! suffix rules from most to least specific. It is tuned for the food
 //! domain — the test suite doubles as the specification.
 
+use std::borrow::Cow;
+
 /// Words that must never be transformed: uncountables, false plurals,
 /// and singular words ending in `s`.
 const INVARIANT: &[&str] = &[
@@ -73,66 +75,68 @@ const IRREGULAR: &[(&str, &str)] = &[
 /// Words of three characters or fewer are returned unchanged (avoids
 /// "gas" → "ga" style damage on short tokens).
 pub fn singularize(word: &str) -> String {
+    singularized(word).into_owned()
+}
+
+/// [`singularize`] without the forced allocation: every rule except
+/// `ies → y` rewrites the word by *truncating* an ASCII suffix, so the
+/// result borrows from the input (or from the static irregular table).
+/// This is what the alias resolver's ingestion hot path calls.
+pub fn singularized(word: &str) -> Cow<'_, str> {
     if word.len() <= 3 {
-        return word.to_owned();
+        return Cow::Borrowed(word);
     }
     if INVARIANT.contains(&word) {
-        return word.to_owned();
+        return Cow::Borrowed(word);
     }
     for &(plural, singular) in IRREGULAR {
         if word == plural {
-            return singular.to_owned();
+            return Cow::Borrowed(singular);
         }
     }
 
-    // Suffix rules, most specific first.
+    // Suffix rules, most specific first. Matched suffixes are ASCII, so
+    // byte-offset truncation below stays on char boundaries.
     if let Some(stem) = word.strip_suffix("ies") {
-        // berries → berry; but "ies" after a vowel keeps the e: "movies"
-        // → "movie" (rare in food text; pies → pie handled below since
-        // "pies" has stem "p" — guard on stem length).
+        // berries → berry; but short stems keep the e: "pies" → "pie"
+        // (stem "p" — guard on stem length), which is a pure truncation.
         if stem.len() >= 2 {
-            return format!("{stem}y");
+            return Cow::Owned(format!("{stem}y"));
         }
-        return format!("{stem}ie");
+        return Cow::Borrowed(&word[..word.len() - 1]);
     }
-    if let Some(stem) = word.strip_suffix("oes") {
+    if word.ends_with("oes") {
         // tomatoes → tomato, potatoes → potato.
-        return format!("{stem}o");
+        return Cow::Borrowed(&word[..word.len() - 2]);
     }
-    if let Some(stem) = word.strip_suffix("sses") {
+    if word.ends_with("sses") {
         // glasses → glass.
-        return format!("{stem}ss");
+        return Cow::Borrowed(&word[..word.len() - 2]);
     }
-    if let Some(stem) = word.strip_suffix("ses") {
+    if word.ends_with("ses") {
         // molasses excluded above; "cheeses" → "cheese".
-        return format!("{stem}se");
+        return Cow::Borrowed(&word[..word.len() - 1]);
     }
-    if let Some(stem) = word.strip_suffix("xes") {
-        return format!("{stem}x");
+    if word.ends_with("xes") {
+        return Cow::Borrowed(&word[..word.len() - 2]);
     }
-    if let Some(stem) = word.strip_suffix("zes") {
-        return format!("{stem}ze");
+    if word.ends_with("zes") {
+        // prizes → prize: keep the e.
+        return Cow::Borrowed(&word[..word.len() - 1]);
     }
-    if let Some(stem) = word.strip_suffix("ches") {
-        return format!("{stem}ch");
-    }
-    if let Some(stem) = word.strip_suffix("shes") {
-        return format!("{stem}sh");
+    if word.ends_with("ches") || word.ends_with("shes") {
+        return Cow::Borrowed(&word[..word.len() - 2]);
     }
     if word.ends_with("ss") || word.ends_with("us") || word.ends_with("is") {
         // glass, octopus, couscous-like; also "is" endings (basis).
-        return word.to_owned();
+        return Cow::Borrowed(word);
     }
     if let Some(stem) = word.strip_suffix('s') {
-        // peppers → pepper, eggs → egg. Avoid stripping "ous"/"as".
-        if stem.ends_with('a') || stem.ends_with('i') || stem.ends_with('u') {
-            // "peas" → "pea" is correct, but "bias"-like words were
-            // handled by the "is/us/ss" guard; allow vowel stems.
-            return stem.to_owned();
-        }
-        return stem.to_owned();
+        // peppers → pepper, eggs → egg; "peas" → "pea" (vowel stems are
+        // fine — "bias"-like words were handled by the is/us/ss guard).
+        return Cow::Borrowed(stem);
     }
-    word.to_owned()
+    Cow::Borrowed(word)
 }
 
 /// Singularize every token in a slice.
@@ -247,6 +251,22 @@ mod tests {
             let once = s(w);
             assert_eq!(s(&once), once, "not idempotent for {w}");
         }
+    }
+
+    #[test]
+    fn borrowed_except_ies_rewrite() {
+        // Every rule but `ies → y` is a truncation, so the Cow borrows.
+        for w in [
+            "tomatoes", "peppers", "glasses", "peaches", "prizes", "pies",
+        ] {
+            assert!(
+                matches!(singularized(w), Cow::Borrowed(_)),
+                "{w} should singularize without allocating"
+            );
+        }
+        assert!(matches!(singularized("berries"), Cow::Owned(_)));
+        assert_eq!(singularized("prizes"), "prize");
+        assert_eq!(singularized("boxes"), "box");
     }
 
     #[test]

@@ -2,8 +2,9 @@
 
 use proptest::prelude::*;
 
-use culinaria_text::alias::AliasResolver;
+use culinaria_text::alias::{AliasResolver, ResolveScratch};
 use culinaria_text::edit_distance::{damerau_levenshtein, similarity, within_distance};
+use culinaria_text::legacy::LegacyAliasResolver;
 use culinaria_text::ngram::{ngram_strings, ngrams, ngrams_up_to};
 use culinaria_text::normalize::{normalize_phrase, tokenize};
 use culinaria_text::singularize::singularize;
@@ -78,17 +79,16 @@ proptest! {
 
     #[test]
     fn ngram_counts_follow_formula(words in proptest::collection::vec(arb_word(), 0..12), max_n in 1usize..8) {
-        let grams = ngrams_up_to(&words, max_n);
         let m = words.len();
         let expected: usize = (1..=max_n.min(m)).map(|k| m - k + 1).sum();
-        prop_assert_eq!(grams.len(), expected);
-        // Every gram is a contiguous subsequence.
-        for g in &grams {
+        prop_assert_eq!(ngrams_up_to(&words, max_n).count(), expected);
+        // Every gram is a borrowed contiguous window.
+        for g in ngrams_up_to(&words, max_n) {
             prop_assert!(!g.is_empty() && g.len() <= max_n);
         }
         // Exact-n matches windows().
         for n in 1..=max_n.min(m) {
-            prop_assert_eq!(ngrams(&words, n).len(), m - n + 1);
+            prop_assert_eq!(ngrams(&words, n).count(), m - n + 1);
         }
         // String form has the same count.
         prop_assert_eq!(ngram_strings(&words, max_n).len(), expected);
@@ -113,6 +113,52 @@ proptest! {
             .map(|m| m.matched_text.split(' ').count())
             .sum();
         prop_assert_eq!(matched_tokens + res.unresolved.len(), cleaned.len());
+    }
+
+    #[test]
+    fn trie_resolver_matches_legacy_resolver(
+        canonicals in proptest::collection::vec(
+            proptest::collection::vec(arb_word(), 1..4),
+            1..8,
+        ),
+        synonyms in proptest::collection::vec((arb_word(), arb_word()), 0..5),
+        phrases in proptest::collection::vec(arb_phrase(), 1..8),
+    ) {
+        // Build both engines from the identical entry sequence: possibly
+        // multi-word canonicals plus single-word synonym pairs.
+        let mut trie = AliasResolver::new();
+        let mut legacy = LegacyAliasResolver::new();
+        for words in &canonicals {
+            let name = words.join(" ");
+            trie.add_canonical(&name);
+            legacy.add_canonical(&name);
+        }
+        for (syn, canon) in &synonyms {
+            trie.add_synonym(syn, canon);
+            legacy.add_synonym(syn, canon);
+        }
+        prop_assert_eq!(trie.n_canonical(), legacy.n_canonical());
+        prop_assert_eq!(trie.n_synonyms(), legacy.n_synonyms());
+        let mut scratch = ResolveScratch::new();
+        for phrase in &phrases {
+            prop_assert_eq!(
+                trie.clean_tokens(phrase),
+                legacy.clean_tokens(phrase),
+                "clean_tokens diverged on {:?}", phrase
+            );
+            let expected = legacy.resolve(phrase);
+            prop_assert_eq!(
+                &trie.resolve(phrase), &expected,
+                "resolve diverged on {:?}", phrase
+            );
+            // The scratch/memo path must agree too (phrases repeat
+            // across iterations, so this also exercises memo hits).
+            prop_assert_eq!(
+                &trie.resolve_with(phrase, &mut scratch), &expected,
+                "resolve_with diverged on {:?}", phrase
+            );
+            prop_assert_eq!(trie.is_canonical(phrase), legacy.is_canonical(phrase));
+        }
     }
 
     #[test]
