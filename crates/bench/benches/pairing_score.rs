@@ -49,13 +49,39 @@ fn bench_pairing(c: &mut Criterion) {
     });
     group.finish();
 
+    // The DESIGN.md §8 ablation: bitset prefix-mask kernel vs the frozen
+    // subset walker, end-to-end per recipe (kernel includes its pack).
     let mut group = c.benchmark_group("ktuple_score");
     let recipe: Vec<IngredientId> = pool.iter().copied().take(9).collect();
     for &k in &[2usize, 3, 4] {
-        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+        group.bench_with_input(BenchmarkId::new("kernel", k), &k, |b, &k| {
             b.iter(|| recipe_ktuple_score(black_box(&world.flavor), black_box(&recipe), k))
         });
+        group.bench_with_input(BenchmarkId::new("reference", k), &k, |b, &k| {
+            b.iter(|| {
+                culinaria_core::ntuple::reference::recipe_ktuple_score(
+                    black_box(&world.flavor),
+                    black_box(&recipe),
+                    k,
+                )
+            })
+        });
     }
+    group.finish();
+
+    // Amortized form: one shared kernel + scratch over the cuisine pool.
+    let mut group = c.benchmark_group("ktuple_scorer_local");
+    let scorer3 = culinaria_core::ntuple::KTupleScorer::for_cuisine(&world.flavor, &cuisine, 3);
+    let reference3 =
+        culinaria_core::ntuple::reference::KTupleScorer::for_cuisine(&world.flavor, &cuisine, 3);
+    let locals: Vec<u32> = (0..9).collect();
+    let mut scratch = culinaria_core::pairing::IntersectScratch::new();
+    group.bench_function("kernel_scratch_reuse", |b| {
+        b.iter(|| scorer3.score_local_with(black_box(&locals), &mut scratch))
+    });
+    group.bench_function("reference", |b| {
+        b.iter(|| reference3.score_local(black_box(&locals)))
+    });
     group.finish();
 }
 

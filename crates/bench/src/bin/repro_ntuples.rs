@@ -5,13 +5,15 @@
 //! k = 2, 3, 4.
 
 use culinaria_bench::{section, world_from_env};
+use culinaria_core::monte_carlo::MonteCarloConfig;
 use culinaria_core::ntuple::{ktuple_null_ensemble, mean_cuisine_ktuple_score, KTupleScorer};
 use culinaria_core::null_models::{CuisineSampler, NullModel};
 use culinaria_recipedb::Region;
+use culinaria_stats::rng::derive_seed_labeled;
 use culinaria_stats::zscore::z_score_of_mean;
 
-/// The k-tuple null runs single-threaded per (region, k); keep the
-/// ensemble smaller than the pairwise analysis.
+/// k-tuple walks cost more per sampled recipe than pairwise scoring;
+/// keep the ensemble smaller than the pairwise analysis.
 const N_NULL: usize = 10_000;
 
 fn main() {
@@ -35,13 +37,12 @@ fn main() {
             let observed = mean_cuisine_ktuple_score(&world.flavor, &cuisine, *k);
             means[slot] = observed;
             let scorer = KTupleScorer::for_cuisine(&world.flavor, &cuisine, *k);
-            if let Some(null) = ktuple_null_ensemble(
-                &scorer,
-                &sampler,
-                NullModel::Random,
-                N_NULL,
-                2018 + *k as u64,
-            ) {
+            let cfg = MonteCarloConfig {
+                n_recipes: N_NULL,
+                seed: derive_seed_labeled(2018, region.code()),
+                n_threads: 0,
+            };
+            if let Some(null) = ktuple_null_ensemble(&scorer, &sampler, NullModel::Random, &cfg) {
                 if let Some(z) = z_score_of_mean(observed, &null) {
                     zs[slot] = z;
                 }

@@ -21,6 +21,9 @@
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
+use culinaria_stats::pool;
+use culinaria_stats::rng::derive_seed;
+
 /// Configuration of the copy-mutate simulation.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CopyMutateConfig {
@@ -89,21 +92,33 @@ pub fn run_copy_mutate(cfg: &CopyMutateConfig) -> CopyMutateResult {
         recipes.push(idx.into_iter().map(|i| i as u32).collect());
     }
 
-    // Copy-mutate until the corpus is full.
+    // Copy-mutate until the corpus is full. Membership tests go through
+    // a pool-sized bitmask instead of scanning the child — a pure
+    // lookup, so the RNG stream (and thus the output) is unchanged.
+    let mut member = vec![0u64; cfg.pool_size.div_ceil(64)];
     while recipes.len() < cfg.n_recipes {
         let parent = &recipes[rng.random_range(0..recipes.len())];
         let mut child = parent.clone();
-        for slot in 0..child.len() {
+        for &i in &child {
+            member[i as usize / 64] |= 1 << (i % 64);
+        }
+        for slot in child.iter_mut() {
             if rng.random::<f64>() < cfg.mutation_rate {
                 // Replace with a pool ingredient not already present.
                 for _ in 0..64 {
                     let cand = rng.random_range(0..cfg.pool_size) as u32;
-                    if !child.contains(&cand) {
-                        child[slot] = cand;
+                    if member[cand as usize / 64] & (1 << (cand % 64)) == 0 {
+                        let old = *slot;
+                        member[old as usize / 64] &= !(1 << (old % 64));
+                        member[cand as usize / 64] |= 1 << (cand % 64);
+                        *slot = cand;
                         break;
                     }
                 }
             }
+        }
+        for &i in &child {
+            member[i as usize / 64] &= !(1 << (i % 64));
         }
         recipes.push(child);
     }
@@ -118,6 +133,30 @@ pub fn run_copy_mutate(cfg: &CopyMutateConfig) -> CopyMutateResult {
         recipes,
         frequencies,
     }
+}
+
+/// Run `n_runs` independent copy-mutate simulations across the shared
+/// worker pool (0 = available parallelism).
+///
+/// Run `r` uses `derive_seed(cfg.seed, r)` and results land in run
+/// order, so the ensemble is identical for every thread count.
+pub fn run_copy_mutate_ensemble(
+    cfg: &CopyMutateConfig,
+    n_runs: usize,
+    n_threads: usize,
+) -> Vec<CopyMutateResult> {
+    pool::run(
+        n_threads,
+        n_runs,
+        || (),
+        |(), r| {
+            let run_cfg = CopyMutateConfig {
+                seed: derive_seed(cfg.seed, r as u64),
+                ..*cfg
+            };
+            run_copy_mutate(&run_cfg)
+        },
+    )
 }
 
 #[cfg(test)]
@@ -197,6 +236,25 @@ mod tests {
         let seeds: Vec<Vec<u32>> = res.recipes[..3].to_vec();
         for r in &res.recipes {
             assert!(seeds.contains(r));
+        }
+    }
+
+    #[test]
+    fn ensemble_identical_for_any_thread_count() {
+        let cfg = CopyMutateConfig {
+            n_recipes: 200,
+            ..CopyMutateConfig::default()
+        };
+        let serial = run_copy_mutate_ensemble(&cfg, 4, 1);
+        assert_eq!(serial.len(), 4);
+        // Distinct seeds per run.
+        assert_ne!(serial[0].frequencies, serial[1].frequencies);
+        for threads in [0, 2, 8] {
+            assert_eq!(
+                serial,
+                run_copy_mutate_ensemble(&cfg, 4, threads),
+                "{threads} threads"
+            );
         }
     }
 

@@ -16,10 +16,11 @@ use std::collections::HashMap;
 
 use culinaria_flavordb::{FlavorDb, IngredientId};
 use culinaria_recipedb::{Cuisine, RecipeStore, Region};
+use culinaria_stats::pool;
 use culinaria_tabular::{Column, Frame};
 
 use crate::composition::category_shares;
-use crate::pairing::mean_cuisine_score;
+use crate::pairing::OverlapCache;
 
 /// A cuisine's signature composition.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,8 +37,23 @@ pub struct CuisineFingerprint {
 }
 
 impl CuisineFingerprint {
-    /// Compute the fingerprint of a cuisine.
+    /// Compute the fingerprint of a cuisine (available parallelism).
     pub fn of(db: &FlavorDb, cuisine: &Cuisine<'_>) -> CuisineFingerprint {
+        CuisineFingerprint::of_with_threads(db, cuisine, 0)
+    }
+
+    /// [`CuisineFingerprint::of`] with an explicit worker count
+    /// (0 = available parallelism).
+    ///
+    /// ⟨N_s⟩ goes through the packed-bitset [`OverlapCache`] (built in
+    /// parallel) rather than per-recipe sorted merges; the cache scores
+    /// are bit-identical to `pairing::recipe_pairing_score`, so the
+    /// fingerprint is unchanged by the route or the thread count.
+    pub fn of_with_threads(
+        db: &FlavorDb,
+        cuisine: &Cuisine<'_>,
+        n_threads: usize,
+    ) -> CuisineFingerprint {
         let freq = cuisine.frequencies();
         let total: u64 = freq.values().sum();
         let usage = if total == 0 {
@@ -47,11 +63,14 @@ impl CuisineFingerprint {
                 .map(|(id, c)| (id, c as f64 / total as f64))
                 .collect()
         };
+        let cache = OverlapCache::for_cuisine_with_threads(db, cuisine, n_threads);
         CuisineFingerprint {
             region: cuisine.region(),
             usage,
             category_shares: category_shares(db, cuisine),
-            mean_ns: mean_cuisine_score(db, cuisine),
+            mean_ns: cache
+                .mean_cuisine_score(cuisine)
+                .expect("cuisine pool covers its own recipes"),
         }
     }
 
@@ -83,13 +102,29 @@ pub fn cosine_similarity(a: &CuisineFingerprint, b: &CuisineFingerprint) -> f64 
     }
 }
 
-/// Fingerprints for every populated region of a store.
+/// Fingerprints for every populated region of a store (available
+/// parallelism).
 pub fn world_fingerprints(db: &FlavorDb, store: &RecipeStore) -> Vec<CuisineFingerprint> {
-    store
-        .regions()
-        .into_iter()
-        .map(|r| CuisineFingerprint::of(db, &store.cuisine(r)))
-        .collect()
+    world_fingerprints_with_threads(db, store, 0)
+}
+
+/// [`world_fingerprints`] with an explicit worker count.
+///
+/// Regions fan out across the worker pool (one task each, inner cache
+/// builds serial) and results land in region order, so the output is
+/// identical for every thread count.
+pub fn world_fingerprints_with_threads(
+    db: &FlavorDb,
+    store: &RecipeStore,
+    n_threads: usize,
+) -> Vec<CuisineFingerprint> {
+    let regions = store.regions();
+    pool::run(
+        n_threads,
+        regions.len(),
+        || (),
+        |(), i| CuisineFingerprint::of_with_threads(db, &store.cuisine(regions[i]), 1),
+    )
 }
 
 /// The full pairwise similarity matrix as a frame (`region` column plus
@@ -209,6 +244,27 @@ mod tests {
             (cosine_similarity(&fps[0], &fps[1]) - cosine_similarity(&fps[1], &fps[0])).abs()
                 < 1e-12
         );
+    }
+
+    #[test]
+    fn world_fingerprints_identical_for_any_thread_count() {
+        let w = world();
+        let serial = world_fingerprints_with_threads(&w.flavor, &w.recipes, 1);
+        for threads in [0, 2, 8] {
+            let parallel = world_fingerprints_with_threads(&w.flavor, &w.recipes, threads);
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
+        // The cache-backed ⟨N_s⟩ matches the direct per-recipe fold.
+        for fp in &serial {
+            let direct =
+                crate::pairing::mean_cuisine_score(&w.flavor, &w.recipes.cuisine(fp.region));
+            assert_eq!(
+                fp.mean_ns.to_bits(),
+                direct.to_bits(),
+                "{}",
+                fp.region.code()
+            );
+        }
     }
 
     #[test]

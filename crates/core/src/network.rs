@@ -6,6 +6,7 @@
 
 use culinaria_flavordb::{FlavorDb, IngredientId};
 use culinaria_recipedb::Cuisine;
+use culinaria_stats::pool;
 use culinaria_tabular::{Column, Frame};
 
 use crate::pairing::OverlapCache;
@@ -34,27 +35,56 @@ pub struct FlavorNetwork {
 }
 
 impl FlavorNetwork {
-    /// Build the network over an explicit pool.
+    /// Build the network over an explicit pool (available parallelism).
     pub fn build(db: &FlavorDb, pool: &[IngredientId]) -> FlavorNetwork {
-        let cache = OverlapCache::build(db, pool);
+        FlavorNetwork::build_with_threads(db, pool, 0)
+    }
+
+    /// [`FlavorNetwork::build`] with an explicit worker count
+    /// (0 = available parallelism).
+    ///
+    /// The upper-triangular edge sweep is fanned row-wise over the
+    /// shared worker pool on top of a parallel [`OverlapCache`] build;
+    /// per-row edge lists merge **in row order**, so edges come out in
+    /// the same row-major order as the serial double loop and the
+    /// result is identical for every thread count.
+    pub fn build_with_threads(
+        db: &FlavorDb,
+        ingredients: &[IngredientId],
+        n_threads: usize,
+    ) -> FlavorNetwork {
+        let cache = OverlapCache::build_with_threads(db, ingredients, n_threads);
         let n = cache.len();
-        let mut edges = Vec::new();
+        let rows = pool::run(
+            n_threads,
+            n,
+            || (),
+            |(), i| {
+                let i = i as u32;
+                let mut row: Vec<(u32, u32)> = Vec::new();
+                for j in (i + 1)..n as u32 {
+                    let w = cache.overlap(i, j);
+                    if w > 0 {
+                        row.push((j, w));
+                    }
+                }
+                row
+            },
+        );
+        let mut edges = Vec::with_capacity(rows.iter().map(Vec::len).sum());
         let mut strength = vec![0u64; n];
         let mut degree = vec![0u32; n];
-        for i in 0..n as u32 {
-            for j in (i + 1)..n as u32 {
-                let w = cache.overlap(i, j);
-                if w > 0 {
-                    edges.push((i, j, w));
-                    strength[i as usize] += u64::from(w);
-                    strength[j as usize] += u64::from(w);
-                    degree[i as usize] += 1;
-                    degree[j as usize] += 1;
-                }
+        for (i, row) in rows.iter().enumerate() {
+            for &(j, w) in row {
+                edges.push((i as u32, j, w));
+                strength[i] += u64::from(w);
+                strength[j as usize] += u64::from(w);
+                degree[i] += 1;
+                degree[j as usize] += 1;
             }
         }
         FlavorNetwork {
-            nodes: pool.to_vec(),
+            nodes: ingredients.to_vec(),
             edges,
             strength,
             degree,
@@ -63,7 +93,16 @@ impl FlavorNetwork {
 
     /// Build over a cuisine's ingredient set.
     pub fn for_cuisine(db: &FlavorDb, cuisine: &Cuisine<'_>) -> FlavorNetwork {
-        FlavorNetwork::build(db, &cuisine.ingredient_set())
+        FlavorNetwork::for_cuisine_with_threads(db, cuisine, 0)
+    }
+
+    /// [`FlavorNetwork::for_cuisine`] with an explicit worker count.
+    pub fn for_cuisine_with_threads(
+        db: &FlavorDb,
+        cuisine: &Cuisine<'_>,
+        n_threads: usize,
+    ) -> FlavorNetwork {
+        FlavorNetwork::build_with_threads(db, &cuisine.ingredient_set(), n_threads)
     }
 
     /// Number of nodes.
@@ -299,6 +338,30 @@ mod tests {
         assert_eq!(f.n_rows(), 2);
         assert_eq!(f.get(0, "count").unwrap(), culinaria_tabular::Value::Int(1));
         assert_eq!(f.get(1, "count").unwrap(), culinaria_tabular::Value::Int(3));
+    }
+
+    #[test]
+    fn build_identical_for_any_thread_count() {
+        let mut db = FlavorDb::new();
+        db.add_anonymous_molecules(40);
+        let mut pool = Vec::new();
+        for i in 0..60u64 {
+            let mols = (0..40u32)
+                .filter(|&m| (i * 7 + u64::from(m) * 13) % 5 == 0)
+                .map(MoleculeId)
+                .collect();
+            pool.push(
+                db.add_ingredient(&format!("ing{i}"), Category::Herb, mols)
+                    .unwrap(),
+            );
+        }
+        let serial = FlavorNetwork::build_with_threads(&db, &pool, 1);
+        for threads in [0, 2, 8] {
+            let parallel = FlavorNetwork::build_with_threads(&db, &pool, threads);
+            assert_eq!(serial.edges, parallel.edges, "{threads} threads");
+            assert_eq!(serial.strength, parallel.strength, "{threads} threads");
+            assert_eq!(serial.degree, parallel.degree, "{threads} threads");
+        }
     }
 
     #[test]

@@ -1,0 +1,547 @@
+//! Higher-order flavor sharing: the paper's proposed extension from
+//! ingredient *pairs* to triples and quadruples (§V: "What are the
+//! patterns at higher order n-tuples?").
+//!
+//! For a recipe R with n ≥ k ingredients we define
+//!
+//! ```text
+//! N_s^(k)(R) = 1 / C(n, k) · Σ_{S ⊆ R, |S| = k} |∩_{i∈S} F_i|
+//! ```
+//!
+//! the mean number of flavor compounds shared by *all* members of a
+//! k-subset. k = 2 recovers the paper's pairwise N_s exactly.
+//!
+//! The implementation routes every subset walk through the packed-u64
+//! bitset kernel: a [`KTupleKernel`] packs the pool's profiles over
+//! their own [`culinaria_flavordb::MoleculeUniverse`] once, and
+//! [`crate::pairing::IntersectScratch`] walks k-subsets with a
+//! prefix-mask stack — one word-AND + popcount per step, with empty
+//! prefixes pruning whole subtrees. Counts are exact integers, so every
+//! score is bit-identical to the frozen [`mod@reference`] walker (property-
+//! tested, and re-asserted by the `bench_ntuple` harness), and the
+//! Monte-Carlo ensembles are block-seeded on the shared worker pool, so
+//! they are bit-identical for every thread count.
+
+pub mod reference;
+
+use std::collections::HashMap;
+
+use culinaria_flavordb::{FlavorDb, IngredientId, MoleculeUniverse};
+use culinaria_recipedb::Cuisine;
+use culinaria_stats::pool;
+use culinaria_stats::rng::derive_seed;
+use culinaria_stats::{NullEnsemble, RunningStats};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::monte_carlo::{MonteCarloConfig, BLOCK};
+use crate::null_models::{CuisineSampler, NullModel, SampleScratch};
+use crate::pairing::IntersectScratch;
+
+/// C(n, k) as an exact integer (0 when k > n). Recipe sizes stay far
+/// below the u64 horizon, but the accumulator is widened anyway.
+fn binomial(n: usize, k: usize) -> u64 {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: u128 = 1;
+    for i in 1..=k {
+        acc = acc * (n - k + i) as u128 / i as u128;
+    }
+    u64::try_from(acc).expect("binomial over recipe sizes fits u64")
+}
+
+/// Packed flavor profiles of an ingredient pool, ready for k-way
+/// bitset intersections.
+///
+/// The pool is mapped to dense local indices `0..len` (same ordering
+/// contract as [`crate::pairing::OverlapCache`]: a cuisine's sorted
+/// ingredient set), and each profile is packed over the pool's own
+/// molecule universe, so a k-way intersection is a prefix-mask AND +
+/// popcount instead of k − 1 sorted merges.
+#[derive(Debug, Clone)]
+pub struct KTupleKernel {
+    pool: Vec<IngredientId>,
+    local: HashMap<IngredientId, u32>,
+    /// `u64` blocks per packed profile.
+    words: usize,
+    /// Flattened row-major bit matrix: row `r` at `r*words..(r+1)*words`.
+    bits: Vec<u64>,
+}
+
+impl KTupleKernel {
+    /// Pack the profiles of an explicit pool (rows in pool order).
+    pub fn build(db: &FlavorDb, pool: &[IngredientId]) -> KTupleKernel {
+        let profiles: Vec<_> = pool
+            .iter()
+            .map(|&id| &db.ingredient(id).expect("live ingredient").profile)
+            .collect();
+        let universe = MoleculeUniverse::build(profiles.iter().copied());
+        let words = universe.words();
+        let mut bits = Vec::with_capacity(pool.len() * words);
+        for p in &profiles {
+            bits.extend_from_slice(universe.pack(p).words());
+        }
+        let local = pool
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        KTupleKernel {
+            pool: pool.to_vec(),
+            local,
+            words,
+            bits,
+        }
+    }
+
+    /// Build over a cuisine's distinct ingredient set — the same local
+    /// indexing as [`CuisineSampler::build`] and
+    /// [`crate::pairing::OverlapCache::for_cuisine`] on that cuisine.
+    pub fn for_cuisine(db: &FlavorDb, cuisine: &Cuisine<'_>) -> KTupleKernel {
+        KTupleKernel::build(db, &cuisine.ingredient_set())
+    }
+
+    /// Pool size.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// True when the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// The pool in local-index order.
+    pub fn pool(&self) -> &[IngredientId] {
+        &self.pool
+    }
+
+    /// Local index of an ingredient, if it is in the pool.
+    pub fn local_index(&self, id: IngredientId) -> Option<u32> {
+        self.local.get(&id).copied()
+    }
+
+    /// N_s^(k) over local pool positions; 0 when `k < 2` or the recipe
+    /// has fewer than k members.
+    pub fn score_local_with(
+        &self,
+        locals: &[u32],
+        k: usize,
+        scratch: &mut IntersectScratch,
+    ) -> f64 {
+        let n = locals.len();
+        if k < 2 || n < k {
+            return 0.0;
+        }
+        let total = scratch.ktuple_sum(&self.bits, self.words, locals, k);
+        total as f64 / binomial(n, k) as f64
+    }
+
+    /// N_s^(k) over ingredient ids, resolving locals into a caller-owned
+    /// buffer; `None` when an id is outside the pool.
+    pub fn score_ids_with(
+        &self,
+        ingredients: &[IngredientId],
+        k: usize,
+        locals: &mut Vec<u32>,
+        scratch: &mut IntersectScratch,
+    ) -> Option<f64> {
+        locals.clear();
+        for &id in ingredients {
+            locals.push(self.local_index(id)?);
+        }
+        Some(self.score_local_with(locals, k, scratch))
+    }
+}
+
+/// N_s^(k) of a recipe. 0 when the recipe has fewer than k ingredients
+/// or k < 2. Bit-identical to [`reference::recipe_ktuple_score`].
+pub fn recipe_ktuple_score(db: &FlavorDb, ingredients: &[IngredientId], k: usize) -> f64 {
+    let n = ingredients.len();
+    if k < 2 || n < k {
+        return 0.0;
+    }
+    // Pack over the recipe's own profiles; rows align with input order,
+    // so the locals are just 0..n (duplicates simply repeat a row, the
+    // same thing the reference walker does with duplicate profiles).
+    let kernel = KTupleKernel::build(db, ingredients);
+    let locals: Vec<u32> = (0..n as u32).collect();
+    kernel.score_local_with(&locals, k, &mut IntersectScratch::new())
+}
+
+/// Mean N_s^(k) over a cuisine's recipes of size ≥ k, via one shared
+/// [`KTupleKernel`] (pack once, walk every recipe).
+pub fn mean_cuisine_ktuple_score(db: &FlavorDb, cuisine: &Cuisine<'_>, k: usize) -> f64 {
+    mean_cuisine_ktuple_score_with_threads(db, cuisine, k, 0)
+}
+
+/// Recipes per observed-scoring task (the parallel granularity of
+/// [`mean_cuisine_ktuple_score_with_threads`]).
+const RECIPE_BLOCK: usize = 256;
+
+/// [`mean_cuisine_ktuple_score`] with an explicit worker count
+/// (0 = available parallelism).
+///
+/// Recipes are scored in fixed blocks across the worker pool and the
+/// per-recipe scores are folded **in recipe order**, so the mean is
+/// bit-identical for every thread count (and to the serial fold).
+pub fn mean_cuisine_ktuple_score_with_threads(
+    db: &FlavorDb,
+    cuisine: &Cuisine<'_>,
+    k: usize,
+    n_threads: usize,
+) -> f64 {
+    let kernel = KTupleKernel::for_cuisine(db, cuisine);
+    let eligible: Vec<&[IngredientId]> = cuisine
+        .recipes()
+        .iter()
+        .filter(|r| r.size() >= k)
+        .map(|r| r.ingredients())
+        .collect();
+    if eligible.is_empty() {
+        return 0.0;
+    }
+    let n_blocks = eligible.len().div_ceil(RECIPE_BLOCK);
+    let blocks = pool::run(
+        n_threads,
+        n_blocks,
+        || (Vec::new(), IntersectScratch::new()),
+        |(locals, scratch), b| {
+            let lo = b * RECIPE_BLOCK;
+            let hi = ((b + 1) * RECIPE_BLOCK).min(eligible.len());
+            eligible[lo..hi]
+                .iter()
+                .map(|ings| {
+                    kernel
+                        .score_ids_with(ings, k, locals, scratch)
+                        .expect("cuisine pool covers its own recipes")
+                })
+                .collect::<Vec<f64>>()
+        },
+    );
+    let mut total = 0.0;
+    for block in &blocks {
+        for &s in block {
+            total += s;
+        }
+    }
+    total / eligible.len() as f64
+}
+
+/// Scores k-tuple sharing over *local pool indices* emitted by a
+/// [`CuisineSampler`], for null-model comparison at order k — the
+/// kernel-backed replacement for [`reference::KTupleScorer`].
+#[derive(Debug, Clone)]
+pub struct KTupleScorer {
+    kernel: KTupleKernel,
+    k: usize,
+}
+
+impl KTupleScorer {
+    /// Build over the same pool ordering as
+    /// [`CuisineSampler::build`] / `OverlapCache::for_cuisine` (the
+    /// cuisine's sorted ingredient set).
+    pub fn for_cuisine(db: &FlavorDb, cuisine: &Cuisine<'_>, k: usize) -> KTupleScorer {
+        KTupleScorer {
+            kernel: KTupleKernel::for_cuisine(db, cuisine),
+            k,
+        }
+    }
+
+    /// The subset order k.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// The underlying kernel.
+    pub fn kernel(&self) -> &KTupleKernel {
+        &self.kernel
+    }
+
+    /// N_s^(k) over local pool positions (allocates a fresh scratch;
+    /// batch callers should use [`KTupleScorer::score_local_with`]).
+    pub fn score_local(&self, locals: &[u32]) -> f64 {
+        self.kernel
+            .score_local_with(locals, self.k, &mut IntersectScratch::new())
+    }
+
+    /// Allocation-free [`KTupleScorer::score_local`].
+    pub fn score_local_with(&self, locals: &[u32], scratch: &mut IntersectScratch) -> f64 {
+        self.kernel.score_local_with(locals, self.k, scratch)
+    }
+}
+
+/// Per-worker scratch of the parallel n-tuple ensembles: the sampled
+/// recipe, the sampler's distinctness bitmask, and the intersection
+/// prefix-mask stack.
+#[derive(Debug, Default)]
+struct KTupleMcScratch {
+    recipe: Vec<u32>,
+    sample: SampleScratch,
+    inter: IntersectScratch,
+}
+
+/// The PRNG stream id of one `(k, model, block)` cell. Salting with k
+/// keeps ensembles of different orders on disjoint streams even under
+/// one run seed (the pairwise engine's `(model, block)` lattice sits at
+/// k = 0 of this layout and stays disjoint too).
+fn ktuple_stream(k: usize, model: NullModel, block: usize) -> u64 {
+    (k as u64) << 48 | (model.index() as u64) << 32 | block as u64
+}
+
+/// Monte-Carlo null ensemble of N_s^(k) for one cuisine and model,
+/// parallel over fixed 2048-recipe blocks on the shared worker pool.
+///
+/// Block `b` draws from `derive_seed(cfg.seed, k << 48 | model << 32 |
+/// b)` and per-block statistics merge in block order, so the ensemble
+/// is **bit-identical for every thread count** — the same determinism
+/// contract as the pairwise engine (DESIGN.md §6.2). Callers salt
+/// `cfg.seed` per region (`derive_seed_labeled`) as usual.
+///
+/// Returns `None` for a degenerate ensemble (fewer than two recipes).
+pub fn ktuple_null_ensemble(
+    scorer: &KTupleScorer,
+    sampler: &CuisineSampler,
+    model: NullModel,
+    cfg: &MonteCarloConfig,
+) -> Option<NullEnsemble> {
+    let n_blocks = cfg.n_recipes.div_ceil(BLOCK);
+    if n_blocks == 0 {
+        return None;
+    }
+    let blocks = pool::run(
+        cfg.n_threads,
+        n_blocks,
+        KTupleMcScratch::default,
+        |scratch, b| {
+            let lo = b * BLOCK;
+            let hi = ((b + 1) * BLOCK).min(cfg.n_recipes);
+            let mut rng =
+                StdRng::seed_from_u64(derive_seed(cfg.seed, ktuple_stream(scorer.k, model, b)));
+            let mut stats = RunningStats::new();
+            for _ in lo..hi {
+                sampler.generate_into(model, &mut rng, &mut scratch.recipe, &mut scratch.sample);
+                stats.push(scorer.score_local_with(&scratch.recipe, &mut scratch.inter));
+            }
+            stats
+        },
+    );
+    let mut total = RunningStats::new();
+    for s in &blocks {
+        total.merge(s);
+    }
+    NullEnsemble::from_running(&total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pairing::recipe_pairing_score;
+    use culinaria_flavordb::{Category, MoleculeId};
+    use culinaria_recipedb::{RecipeStore, Region, Source};
+
+    fn fixture() -> (FlavorDb, Vec<IngredientId>) {
+        let mut db = FlavorDb::new();
+        db.add_anonymous_molecules(12);
+        // a, b, c all share molecule 0; pairs share extra molecules.
+        let a = db
+            .add_ingredient(
+                "a",
+                Category::Herb,
+                vec![MoleculeId(0), MoleculeId(1), MoleculeId(2)],
+            )
+            .unwrap();
+        let b = db
+            .add_ingredient(
+                "b",
+                Category::Herb,
+                vec![MoleculeId(0), MoleculeId(1), MoleculeId(3)],
+            )
+            .unwrap();
+        let c = db
+            .add_ingredient(
+                "c",
+                Category::Herb,
+                vec![MoleculeId(0), MoleculeId(2), MoleculeId(3)],
+            )
+            .unwrap();
+        let d = db
+            .add_ingredient("d", Category::Meat, vec![MoleculeId(9)])
+            .unwrap();
+        (db, vec![a, b, c, d])
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(4, 2), 6);
+        assert_eq!(binomial(5, 3), 10);
+        assert_eq!(binomial(3, 3), 1);
+        assert_eq!(binomial(3, 0), 1);
+        assert_eq!(binomial(2, 3), 0);
+        assert_eq!(binomial(30, 15), 155_117_520);
+    }
+
+    #[test]
+    fn k2_matches_pairwise_score() {
+        let (db, ids) = fixture();
+        for subset in [&ids[0..2], &ids[0..3], &ids[0..4]] {
+            let pairwise = recipe_pairing_score(&db, subset);
+            let k2 = recipe_ktuple_score(&db, subset, 2);
+            assert!((pairwise - k2).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn triple_score_known_value() {
+        let (db, ids) = fixture();
+        // (a,b,c): only molecule 0 is in all three → N_s^(3) = 1.
+        let s = recipe_ktuple_score(&db, &ids[0..3], 3);
+        assert!((s - 1.0).abs() < 1e-12);
+        // (a,b,c,d): C(4,3)=4 triples; only (a,b,c) shares (1), others
+        // include d and share 0 → 1/4.
+        let s = recipe_ktuple_score(&db, &ids, 3);
+        assert!((s - 0.25).abs() < 1e-12);
+        // Quadruple over (a,b,c,d): ∩ is empty → 0.
+        assert_eq!(recipe_ktuple_score(&db, &ids, 4), 0.0);
+    }
+
+    #[test]
+    fn degenerate_k_and_small_recipes() {
+        let (db, ids) = fixture();
+        assert_eq!(recipe_ktuple_score(&db, &ids[0..2], 3), 0.0);
+        assert_eq!(recipe_ktuple_score(&db, &ids, 1), 0.0);
+        assert_eq!(recipe_ktuple_score(&db, &[], 2), 0.0);
+    }
+
+    #[test]
+    fn kernel_matches_reference_walker_bitwise() {
+        let (db, ids) = fixture();
+        for k in 2..=5 {
+            for subset in [&ids[0..2], &ids[0..3], &ids[1..4], &ids[0..4]] {
+                let kernel = recipe_ktuple_score(&db, subset, k);
+                let walker = reference::recipe_ktuple_score(&db, subset, k);
+                assert_eq!(kernel.to_bits(), walker.to_bits(), "k = {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn cuisine_mean_and_scorer_agree() {
+        let (db, ids) = fixture();
+        let mut store = RecipeStore::new();
+        store
+            .add_recipe("r1", Region::Italy, Source::Synthetic, ids[0..3].to_vec())
+            .unwrap();
+        store
+            .add_recipe("r2", Region::Italy, Source::Synthetic, ids.clone())
+            .unwrap();
+        let cuisine = store.cuisine(Region::Italy);
+        let mean = mean_cuisine_ktuple_score(&db, &cuisine, 3);
+        assert!((mean - (1.0 + 0.25) / 2.0).abs() < 1e-12);
+
+        let scorer = KTupleScorer::for_cuisine(&db, &cuisine, 3);
+        // Local pool is sorted ids = [a, b, c, d] at positions 0..4.
+        let s = scorer.score_local(&[0, 1, 2]);
+        assert!((s - 1.0).abs() < 1e-12);
+        assert_eq!(scorer.k(), 3);
+        assert_eq!(scorer.kernel().len(), 4);
+    }
+
+    #[test]
+    fn cuisine_mean_identical_for_any_thread_count() {
+        let (db, ids) = fixture();
+        let mut store = RecipeStore::new();
+        for i in 0..600 {
+            let members = match i % 3 {
+                0 => ids[0..3].to_vec(),
+                1 => ids[1..4].to_vec(),
+                _ => ids.clone(),
+            };
+            store
+                .add_recipe(&format!("r{i}"), Region::Italy, Source::Synthetic, members)
+                .unwrap();
+        }
+        let cuisine = store.cuisine(Region::Italy);
+        for k in [2usize, 3] {
+            let serial = mean_cuisine_ktuple_score_with_threads(&db, &cuisine, k, 1);
+            let walker = {
+                // Reference fold over the same recipes.
+                let mut total = 0.0;
+                let mut n = 0usize;
+                for r in cuisine.recipes() {
+                    if r.size() >= k {
+                        total += reference::recipe_ktuple_score(&db, r.ingredients(), k);
+                        n += 1;
+                    }
+                }
+                total / n as f64
+            };
+            assert_eq!(serial.to_bits(), walker.to_bits(), "k = {k} vs reference");
+            for threads in [0, 2, 8] {
+                let parallel = mean_cuisine_ktuple_score_with_threads(&db, &cuisine, k, threads);
+                assert_eq!(serial.to_bits(), parallel.to_bits(), "{threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn null_ensemble_deterministic_across_thread_counts() {
+        let (db, ids) = fixture();
+        let mut store = RecipeStore::new();
+        store
+            .add_recipe("r1", Region::Italy, Source::Synthetic, ids[0..3].to_vec())
+            .unwrap();
+        store
+            .add_recipe("r2", Region::Italy, Source::Synthetic, ids.clone())
+            .unwrap();
+        let cuisine = store.cuisine(Region::Italy);
+        let sampler = CuisineSampler::build(&db, &cuisine).unwrap();
+        let scorer = KTupleScorer::for_cuisine(&db, &cuisine, 3);
+        let base = MonteCarloConfig {
+            n_recipes: 8192,
+            seed: 1,
+            n_threads: 1,
+        };
+        let e = ktuple_null_ensemble(&scorer, &sampler, NullModel::Random, &base).unwrap();
+        assert_eq!(e.n, 8192);
+        assert!(e.mean >= 0.0);
+        for threads in [2, 8] {
+            let cfg = MonteCarloConfig {
+                n_threads: threads,
+                ..base
+            };
+            let p = ktuple_null_ensemble(&scorer, &sampler, NullModel::Random, &cfg).unwrap();
+            assert_eq!(e.mean.to_bits(), p.mean.to_bits(), "{threads} threads");
+            assert_eq!(
+                e.std_dev.to_bits(),
+                p.std_dev.to_bits(),
+                "{threads} threads"
+            );
+        }
+        // Degenerate request.
+        let none = ktuple_null_ensemble(
+            &scorer,
+            &sampler,
+            NullModel::Random,
+            &MonteCarloConfig {
+                n_recipes: 0,
+                ..base
+            },
+        );
+        assert!(none.is_none());
+    }
+
+    #[test]
+    fn streams_disjoint_across_k_and_model() {
+        let mut seen = std::collections::HashSet::new();
+        for k in [0usize, 2, 3, 4] {
+            for model in NullModel::ALL {
+                for block in 0..4 {
+                    assert!(seen.insert(ktuple_stream(k, model, block)));
+                }
+            }
+        }
+    }
+}

@@ -1,8 +1,17 @@
-//! Higher-order flavor sharing: the paper's proposed extension from
-//! ingredient *pairs* to triples and quadruples (§V: "What are the
-//! patterns at higher order n-tuples?").
+//! The frozen pre-kernel n-tuple walker — the parity reference for the
+//! bitset k-way intersection kernel in [`crate::ntuple`], in the same
+//! role `culinaria_text::legacy` plays for the aliasing trie.
 //!
-//! For a recipe R with n ≥ k ingredients we define
+//! This module is the subset enumeration exactly as first written:
+//! every k-subset materializes its member [`FlavorProfile`]s and
+//! intersects them k ways from scratch (allocating intermediate
+//! profiles), and the Monte-Carlo null ensemble runs serially on a
+//! single RNG stream. **Do not optimize it** — `bench_ntuple` and the
+//! property tests hold the optimized kernel bit-identical to this
+//! implementation, so it doubles as an independently-written
+//! specification.
+//!
+//! For a recipe R with n ≥ k ingredients both implementations compute
 //!
 //! ```text
 //! N_s^(k)(R) = 1 / C(n, k) · Σ_{S ⊆ R, |S| = k} |∩_{i∈S} F_i|
@@ -22,7 +31,7 @@ use crate::null_models::{CuisineSampler, NullModel};
 
 /// Visit all k-subsets of `0..n` (lexicographic), calling `f` with the
 /// current index buffer.
-fn for_each_combination(n: usize, k: usize, mut f: impl FnMut(&[usize])) {
+pub fn for_each_combination(n: usize, k: usize, mut f: impl FnMut(&[usize])) {
     if k == 0 || k > n {
         return;
     }
@@ -52,7 +61,7 @@ fn for_each_combination(n: usize, k: usize, mut f: impl FnMut(&[usize])) {
 
 /// Size of the k-wise intersection of the given profiles (early exit on
 /// empty running intersection).
-fn kwise_shared(profiles: &[&FlavorProfile]) -> usize {
+pub fn kwise_shared(profiles: &[&FlavorProfile]) -> usize {
     match profiles.len() {
         0 => 0,
         1 => profiles[0].len(),

@@ -305,6 +305,128 @@ impl OverlapCache {
     }
 }
 
+/// Reusable scratch for k-way bitset intersections along a
+/// lexicographic combination walk — the kernel under the n-tuple
+/// analyses ([`crate::ntuple`]).
+///
+/// The walk maintains a *prefix-mask stack*: mask `d` is the AND of the
+/// profiles chosen at combination positions `0..=d`, so extending the
+/// current prefix by one member costs a single word-AND + popcount over
+/// the packed blocks instead of a k-way set intersection from scratch.
+/// An empty prefix mask prunes the entire subtree of deeper
+/// combinations (every superset's intersection is also empty), which
+/// skips most of C(n, k) in practice — k-wise common molecules are
+/// combinatorially rare.
+///
+/// One scratch is reused across every recipe a worker scores; the mask
+/// stack is resized (never reallocated at steady state) per call.
+#[derive(Debug, Clone, Default)]
+pub struct IntersectScratch {
+    /// Prefix masks, depth-major: depth `d` occupies
+    /// `d*words..(d+1)*words`. Leaf depths are popcounted without being
+    /// stored, so only `k − 1` levels are ever materialized.
+    masks: Vec<u64>,
+}
+
+impl IntersectScratch {
+    /// An empty scratch; sized lazily on first use.
+    pub fn new() -> IntersectScratch {
+        IntersectScratch::default()
+    }
+
+    /// `Σ_{S ⊆ members, |S| = k} |∩_{i∈S} F_i|` over profiles packed as
+    /// `words`-block rows of `bits` (row `r` at `r*words..(r+1)*words`).
+    ///
+    /// Returns 0 when `k == 0` or `k > members.len()`; `k == 1` is the
+    /// popcount sum of the members. Counts are exact integers, so the
+    /// result is independent of scratch reuse and thread placement.
+    pub fn ktuple_sum(&mut self, bits: &[u64], words: usize, members: &[u32], k: usize) -> u64 {
+        let n = members.len();
+        if k == 0 || k > n || words == 0 {
+            return 0;
+        }
+        let row = |m: u32| -> &[u64] { &bits[m as usize * words..][..words] };
+        if k == 1 {
+            return members
+                .iter()
+                .map(|&m| {
+                    row(m)
+                        .iter()
+                        .map(|w| u64::from(w.count_ones()))
+                        .sum::<u64>()
+                })
+                .sum();
+        }
+        self.masks.clear();
+        self.masks.resize((k - 1) * words, 0);
+        let walk = PrefixWalk {
+            bits,
+            words,
+            members,
+            k,
+        };
+        let mut total = 0u64;
+        walk.descend(0, 0, &mut self.masks, &mut total);
+        total
+    }
+}
+
+/// The fixed inputs of one combination walk (`k ≥ 2`), so the recursion
+/// threads only its per-level state.
+struct PrefixWalk<'a> {
+    bits: &'a [u64],
+    words: usize,
+    members: &'a [u32],
+    k: usize,
+}
+
+impl PrefixWalk<'_> {
+    /// One level of the lexicographic combination walk: choose position
+    /// `depth` from `start..`, AND the chosen row into the prefix-mask
+    /// stack, and either popcount (leaf) or recurse — skipping the
+    /// subtree whenever the prefix mask goes empty.
+    fn descend(&self, depth: usize, start: usize, masks: &mut [u64], total: &mut u64) {
+        let (n, words) = (self.members.len(), self.words);
+        let leaf = depth + 1 == self.k;
+        // Leave room for the remaining k − depth − 1 positions.
+        for i in start..=(n - (self.k - depth)) {
+            let row = &self.bits[self.members[i] as usize * words..][..words];
+            if depth == 0 {
+                // k ≥ 2 here, so depth 0 is never a leaf: seed the stack.
+                let mut ones = 0u64;
+                for (dst, &w) in masks[..words].iter_mut().zip(row) {
+                    *dst = w;
+                    ones += u64::from(w.count_ones());
+                }
+                if ones > 0 {
+                    self.descend(1, i + 1, masks, total);
+                }
+            } else {
+                let (shallow, deep) = masks.split_at_mut(depth * words);
+                let prev = &shallow[(depth - 1) * words..];
+                if leaf {
+                    *total += prev
+                        .iter()
+                        .zip(row)
+                        .map(|(&a, &b)| u64::from((a & b).count_ones()))
+                        .sum::<u64>();
+                } else {
+                    let cur = &mut deep[..words];
+                    let mut ones = 0u64;
+                    for ((dst, &a), &b) in cur.iter_mut().zip(prev).zip(row) {
+                        let v = a & b;
+                        *dst = v;
+                        ones += u64::from(v.count_ones());
+                    }
+                    if ones > 0 {
+                        self.descend(depth + 1, i + 1, masks, total);
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -478,6 +600,50 @@ mod tests {
         // c is not in this cuisine's pool.
         assert_eq!(cache.len(), 3);
         assert!(cache.local_index(c).is_none());
+    }
+
+    #[test]
+    fn intersect_scratch_matches_brute_force() {
+        use culinaria_flavordb::{FlavorProfile, MoleculeUniverse};
+        // Profiles spread over > 1 word (ids up to 130 → 3 words).
+        let profiles: Vec<FlavorProfile> = vec![
+            [0u32, 1, 2, 64, 65, 130].into_iter().collect(),
+            [0u32, 2, 64, 66, 130].into_iter().collect(),
+            [1u32, 2, 64, 65, 130].into_iter().collect(),
+            [99u32].into_iter().collect(),
+            [0u32, 64, 130].into_iter().collect(),
+        ];
+        let universe = MoleculeUniverse::build(profiles.iter());
+        let words = universe.words();
+        let mut bits = Vec::new();
+        for p in &profiles {
+            bits.extend_from_slice(universe.pack(p).words());
+        }
+        let members: Vec<u32> = (0..profiles.len() as u32).collect();
+        let mut scratch = IntersectScratch::new();
+        for k in 0..=profiles.len() + 1 {
+            // Brute force over index subsets (k = 0 sums nothing).
+            let mut expect = 0u64;
+            let n = profiles.len();
+            for mask in 1u32..(1 << n) {
+                if k == 0 || mask.count_ones() as usize != k {
+                    continue;
+                }
+                let chosen: Vec<&FlavorProfile> = (0..n)
+                    .filter(|&i| mask >> i & 1 == 1)
+                    .map(|i| &profiles[i])
+                    .collect();
+                let mut inter = chosen[0].clone();
+                for p in &chosen[1..] {
+                    inter = inter.intersection(p);
+                }
+                expect += inter.len() as u64;
+            }
+            let got = scratch.ktuple_sum(&bits, words, &members, k);
+            assert_eq!(got, expect, "k = {k}");
+        }
+        // Empty universe short-circuits.
+        assert_eq!(scratch.ktuple_sum(&[], 0, &members, 2), 0);
     }
 
     #[test]

@@ -13,12 +13,19 @@
 //! Both report the distribution of z-scores across trials and the
 //! fraction of trials preserving the original pairing sign — the
 //! *sign stability*, which is the paper-level claim under test.
+//!
+//! Each trial draws from its own derived seed, so the trial loop fans
+//! over the shared worker pool (`mc.n_threads` wide) with the inner
+//! Monte-Carlo forced serial; the pairing engine is thread-invariant,
+//! so every trial z — and hence the whole report — is identical for
+//! any thread count.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
 use culinaria_flavordb::{FlavorDb, FlavorProfile};
 use culinaria_recipedb::{Cuisine, Region};
+use culinaria_stats::pool;
 use culinaria_stats::rng::derive_seed;
 use culinaria_stats::zscore::z_score_of_mean;
 
@@ -92,21 +99,32 @@ pub fn subsample_robustness(
     let recipes = cuisine.recipes();
     let keep = ((recipes.len() as f64 * fraction.clamp(0.0, 1.0)).round() as usize).max(2);
 
-    let mut trial_z = Vec::with_capacity(n_trials);
-    for t in 0..n_trials {
-        let mut rng = StdRng::seed_from_u64(derive_seed(seed, t as u64));
-        let idx =
-            culinaria_stats::sampling::sample_without_replacement(recipes.len(), keep, &mut rng);
-        let subset: Vec<_> = idx.iter().map(|&i| recipes[i]).collect();
-        let sub = Cuisine::new(cuisine.region(), subset);
-        if let Some(z) = z_against_random(db, &sub, mc) {
-            trial_z.push(z);
-        }
-    }
+    // One trial per task; the inner Monte-Carlo runs serial (it is
+    // thread-invariant, so the values match any inner width).
+    let inner = MonteCarloConfig {
+        n_threads: 1,
+        ..*mc
+    };
+    let trials = pool::run(
+        mc.n_threads,
+        n_trials,
+        || (),
+        |(), t| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed, t as u64));
+            let idx = culinaria_stats::sampling::sample_without_replacement(
+                recipes.len(),
+                keep,
+                &mut rng,
+            );
+            let subset: Vec<_> = idx.iter().map(|&i| recipes[i]).collect();
+            let sub = Cuisine::new(cuisine.region(), subset);
+            z_against_random(db, &sub, &inner)
+        },
+    );
     Some(RobustnessReport::from_trials(
         cuisine.region(),
         baseline_z,
-        trial_z,
+        trials.into_iter().flatten().collect(),
     ))
 }
 
@@ -125,27 +143,33 @@ pub fn profile_robustness(
     let baseline_z = z_against_random(db, cuisine, mc)?;
     let keep = keep.clamp(0.0, 1.0);
 
-    let mut trial_z = Vec::with_capacity(n_trials);
-    for t in 0..n_trials {
-        let mut rng = StdRng::seed_from_u64(derive_seed(seed ^ 0xD11, t as u64));
-        let diluted = db.map_profiles(|ing| {
-            let kept: Vec<_> = ing
-                .profile
-                .molecules()
-                .iter()
-                .copied()
-                .filter(|_| rng.random::<f64>() < keep)
-                .collect();
-            FlavorProfile::new(kept)
-        });
-        if let Some(z) = z_against_random(&diluted, cuisine, mc) {
-            trial_z.push(z);
-        }
-    }
+    let inner = MonteCarloConfig {
+        n_threads: 1,
+        ..*mc
+    };
+    let trials = pool::run(
+        mc.n_threads,
+        n_trials,
+        || (),
+        |(), t| {
+            let mut rng = StdRng::seed_from_u64(derive_seed(seed ^ 0xD11, t as u64));
+            let diluted = db.map_profiles(|ing| {
+                let kept: Vec<_> = ing
+                    .profile
+                    .molecules()
+                    .iter()
+                    .copied()
+                    .filter(|_| rng.random::<f64>() < keep)
+                    .collect();
+                FlavorProfile::new(kept)
+            });
+            z_against_random(&diluted, cuisine, &inner)
+        },
+    );
     Some(RobustnessReport::from_trials(
         cuisine.region(),
         baseline_z,
-        trial_z,
+        trials.into_iter().flatten().collect(),
     ))
 }
 
@@ -201,6 +225,28 @@ mod tests {
             profile_robustness(&world.flavor, &cuisine, 0.0, 2, &mc(), 3).expect("baseline exists");
         assert!(report.trial_z.is_empty());
         assert_eq!(report.sign_stability, 0.0);
+    }
+
+    #[test]
+    fn reports_identical_for_any_thread_count() {
+        let world = generate_world(&WorldConfig::tiny());
+        let cuisine = world.recipes.cuisine(Region::Italy);
+        let at = |threads: usize| MonteCarloConfig {
+            n_threads: threads,
+            ..mc()
+        };
+        let serial = subsample_robustness(&world.flavor, &cuisine, 0.6, 4, &at(1), 7).unwrap();
+        for threads in [0, 2, 8] {
+            let parallel =
+                subsample_robustness(&world.flavor, &cuisine, 0.6, 4, &at(threads), 7).unwrap();
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
+        let serial = profile_robustness(&world.flavor, &cuisine, 0.8, 3, &at(1), 7).unwrap();
+        for threads in [0, 2, 8] {
+            let parallel =
+                profile_robustness(&world.flavor, &cuisine, 0.8, 3, &at(threads), 7).unwrap();
+            assert_eq!(serial, parallel, "{threads} threads");
+        }
     }
 
     #[test]

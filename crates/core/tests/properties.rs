@@ -105,6 +105,32 @@ proptest! {
     }
 
     #[test]
+    fn kernel_walk_matches_frozen_reference_bitwise(recipe in arb_recipe()) {
+        // Prefix-mask pruning must never change the subset sum: the
+        // bitset kernel and the frozen pre-kernel walker agree to the
+        // bit for every order.
+        let db = db();
+        for k in 2..=5usize {
+            let kernel = recipe_ktuple_score(&db, &recipe, k);
+            let walker =
+                culinaria_core::ntuple::reference::recipe_ktuple_score(&db, &recipe, k);
+            prop_assert_eq!(kernel.to_bits(), walker.to_bits(), "k = {}", k);
+        }
+    }
+
+    #[test]
+    fn kernel_cuisine_k2_equals_pairing_exactly(recipes in arb_cuisine_recipes()) {
+        // Golden cross-check: N_s^(2) from the n-tuple kernel is the
+        // pairing engine's N_s, exactly, on a generated cuisine.
+        let db = db();
+        let store = build_store(&recipes);
+        let cuisine = store.cuisine(Region::Italy);
+        let pairing = mean_cuisine_score(&db, &cuisine);
+        let ktuple = culinaria_core::ntuple::mean_cuisine_ktuple_score(&db, &cuisine, 2);
+        prop_assert_eq!(pairing.to_bits(), ktuple.to_bits());
+    }
+
+    #[test]
     fn ktuple_scores_decay_with_k(recipe in arb_recipe()) {
         let db = db();
         prop_assume!(recipe.len() >= 4);

@@ -1,11 +1,51 @@
 //! Hash-based group-by with the aggregations the analyses need.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 
 use crate::column::{Column, ColumnType};
 use crate::error::{Result, TabularError};
 use crate::frame::Frame;
-use crate::value::{GroupKey, Value};
+use crate::value::Value;
+
+/// Feed one value into a row-key hash with [`crate::value::GroupKey`]
+/// semantics (floats by bit pattern, types always distinct), without
+/// materializing the key.
+fn hash_group_value(v: &Value, h: &mut impl Hasher) {
+    match v {
+        Value::Null => 0u8.hash(h),
+        Value::Bool(b) => {
+            1u8.hash(h);
+            b.hash(h);
+        }
+        Value::Int(x) => {
+            2u8.hash(h);
+            x.hash(h);
+        }
+        Value::Float(x) => {
+            3u8.hash(h);
+            x.to_bits().hash(h);
+        }
+        Value::Str(s) => {
+            4u8.hash(h);
+            s.hash(h);
+        }
+    }
+}
+
+/// Equality under the same grouping semantics (floats by bit pattern,
+/// no cross-type coercion) — string comparison borrows, no clones.
+fn group_value_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Null, Value::Null) => true,
+        (Value::Bool(x), Value::Bool(y)) => x == y,
+        (Value::Int(x), Value::Int(y)) => x == y,
+        (Value::Float(x), Value::Float(y)) => x.to_bits() == y.to_bits(),
+        (Value::Str(x), Value::Str(y)) => x == y,
+        _ => false,
+    }
+}
 
 /// The result of [`Frame::group_by`]: groups of row indices keyed by the
 /// values of the grouping columns, in first-appearance order.
@@ -31,17 +71,35 @@ impl Frame {
             .map(|&c| self.column(c).expect("validated").iter_values().collect())
             .collect();
 
+        // Rows hash straight into a u64 key — no per-row `Vec<GroupKey>`
+        // (and no string clones) just to probe the map. Hash collisions
+        // are resolved by comparing against the stored group keys.
+        let n_rows = self.n_rows();
         let mut order: Vec<Vec<Value>> = Vec::new();
         let mut groups: Vec<Vec<usize>> = Vec::new();
-        let mut seen: HashMap<Vec<GroupKey>, usize> = HashMap::new();
+        let mut seen: HashMap<u64, Vec<usize>> = HashMap::with_capacity(n_rows.min(1024));
 
-        for row in 0..self.n_rows() {
-            let key: Vec<GroupKey> = key_vals.iter().map(|col| col[row].group_key()).collect();
-            let slot = *seen.entry(key).or_insert_with(|| {
-                order.push(key_vals.iter().map(|col| col[row].clone()).collect());
-                groups.push(Vec::new());
-                groups.len() - 1
-            });
+        for row in 0..n_rows {
+            let mut hasher = DefaultHasher::new();
+            for col in &key_vals {
+                hash_group_value(&col[row], &mut hasher);
+            }
+            let candidates = seen.entry(hasher.finish()).or_default();
+            let slot = candidates
+                .iter()
+                .copied()
+                .find(|&s| {
+                    key_vals
+                        .iter()
+                        .enumerate()
+                        .all(|(ki, col)| group_value_eq(&order[s][ki], &col[row]))
+                })
+                .unwrap_or_else(|| {
+                    order.push(key_vals.iter().map(|col| col[row].clone()).collect());
+                    groups.push(Vec::new());
+                    candidates.push(groups.len() - 1);
+                    groups.len() - 1
+                });
             groups[slot].push(row);
         }
 
@@ -304,6 +362,28 @@ mod tests {
         .unwrap();
         let m = f.group_by(&["k"]).unwrap().mean("v").unwrap();
         assert!(m.get(0, "v_mean").unwrap().is_null());
+    }
+
+    #[test]
+    fn many_groups_keep_first_appearance_order() {
+        // 0, 1, …, 49, then the same keys again in reverse: group order
+        // must follow the first pass, counts must merge both passes.
+        let keys: Vec<i64> = (0..50).chain((0..50).rev()).collect();
+        let f = Frame::from_columns(vec![("k", Column::from_i64s(&keys))]).unwrap();
+        let g = f.group_by(&["k"]).unwrap();
+        assert_eq!(g.n_groups(), 50);
+        let c = g.count();
+        for i in 0..50 {
+            assert_eq!(c.get(i, "k").unwrap(), Value::Int(i as i64));
+            assert_eq!(c.get(i, "count").unwrap(), Value::Int(2));
+        }
+    }
+
+    #[test]
+    fn float_keys_group_by_bit_pattern() {
+        let f = Frame::from_columns(vec![("k", Column::from_f64s(&[0.0, -0.0, 0.0]))]).unwrap();
+        // 0.0 == -0.0 numerically but they are distinct grouping keys.
+        assert_eq!(f.group_by(&["k"]).unwrap().n_groups(), 2);
     }
 
     #[test]

@@ -32,9 +32,20 @@ fn parse_args(raw: &[String]) -> Args {
     let mut i = 0;
     while i < raw.len() {
         if let Some(name) = raw[i].strip_prefix("--") {
-            let value = raw.get(i + 1).cloned().unwrap_or_default();
+            // A `--`-prefixed successor is the next flag, not a value —
+            // boolean flags (`--uniform`, `--contrast`) must not swallow
+            // it, whatever order the flags come in.
+            let value = match raw.get(i + 1) {
+                Some(next) if !next.starts_with("--") => {
+                    i += 2;
+                    next.clone()
+                }
+                _ => {
+                    i += 1;
+                    String::new()
+                }
+            };
             flags.insert(name.to_owned(), value);
-            i += 2;
         } else {
             positional.push(raw[i].clone());
             i += 1;
@@ -273,5 +284,47 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         _ => usage(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(raw: &[&str]) -> Args {
+        parse_args(&raw.iter().map(|s| (*s).to_owned()).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn boolean_flag_does_not_swallow_next_flag() {
+        let args = parse(&["ita", "--uniform", "--size", "3"]);
+        assert_eq!(args.positional, vec!["ita"]);
+        assert_eq!(args.flags.get("uniform").map(String::as_str), Some(""));
+        assert_eq!(args.flag("size", 7usize), 3);
+    }
+
+    #[test]
+    fn flag_orders_are_equivalent() {
+        let a = parse(&["ita", "--size", "3", "--uniform"]);
+        let b = parse(&["ita", "--uniform", "--size", "3"]);
+        assert_eq!(a.flags, b.flags);
+        assert_eq!(a.positional, b.positional);
+    }
+
+    #[test]
+    fn trailing_boolean_flag_is_empty() {
+        let args = parse(&["--contrast"]);
+        assert_eq!(args.flags.get("contrast").map(String::as_str), Some(""));
+        assert!(args.positional.is_empty());
+    }
+
+    #[test]
+    fn valued_flags_and_positionals() {
+        let args = parse(&["ita", "--scale", "0.5", "--seed", "7", "extra"]);
+        assert_eq!(args.positional, vec!["ita", "extra"]);
+        assert!((args.flag("scale", 0.1f64) - 0.5).abs() < 1e-12);
+        assert_eq!(args.flag("seed", 2018u64), 7);
+        // Missing flag falls back to the default.
+        assert_eq!(args.flag("mc", 20_000usize), 20_000);
     }
 }
