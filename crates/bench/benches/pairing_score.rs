@@ -83,6 +83,29 @@ fn bench_pairing(c: &mut Criterion) {
         b.iter(|| reference3.score_local(black_box(&locals)))
     });
     group.finish();
+
+    // Observability A/B: the `*_observed` entry points must cost nothing
+    // when the handle is disabled (one branch per instrument, no clock
+    // reads) — `plain` and `disabled` should be indistinguishable, with
+    // `enabled` showing the true price of recording.
+    let mut group = c.benchmark_group("obs_overhead");
+    let sub: Vec<IngredientId> = pool.iter().copied().take(150).collect();
+    let disabled = culinaria_obs::Metrics::disabled();
+    let enabled = culinaria_obs::Metrics::enabled();
+    group.bench_function("cache_build_plain", |b| {
+        b.iter(|| OverlapCache::build_with_threads(black_box(&world.flavor), black_box(&sub), 1))
+    });
+    group.bench_function("cache_build_disabled", |b| {
+        b.iter(|| {
+            OverlapCache::build_observed(black_box(&world.flavor), black_box(&sub), 1, &disabled)
+        })
+    });
+    group.bench_function("cache_build_enabled", |b| {
+        b.iter(|| {
+            OverlapCache::build_observed(black_box(&world.flavor), black_box(&sub), 1, &enabled)
+        })
+    });
+    group.finish();
 }
 
 criterion_group!(benches, bench_pairing);

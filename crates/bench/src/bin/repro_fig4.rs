@@ -11,20 +11,27 @@
 //! * the Frequency model collapses |Z| (frequency largely accounts for
 //!   pairing); the Category model does not.
 
-use culinaria_bench::{mc_config_from_env, section, world_from_env};
-use culinaria_core::z_analysis::{analyses_to_frame, analyze_world};
+use culinaria_bench::{mc_config_from_env, metrics_from_env, section, world_from_env};
+use culinaria_core::z_analysis::{analyses_to_frame, analyze_world_observed};
 use culinaria_core::NullModel;
 
 fn main() {
     let world = world_from_env();
     let cfg = mc_config_from_env();
+    let sink = metrics_from_env();
     eprintln!(
         "monte carlo: {} recipes per model, 4 models, 22 regions",
         cfg.n_recipes
     );
 
     let t = std::time::Instant::now();
-    let analyses = analyze_world(&world.flavor, &world.recipes, &NullModel::ALL, &cfg);
+    let analyses = analyze_world_observed(
+        &world.flavor,
+        &world.recipes,
+        &NullModel::ALL,
+        &cfg,
+        &sink.metrics,
+    );
     eprintln!("analysis finished in {:.1?}", t.elapsed());
 
     section("Fig 4 — Food pairing z-scores per cuisine and null model");
@@ -91,4 +98,5 @@ fn main() {
         "\nexpected shape: Frequency (and Frequency+Category) collapse the deviation in\n\
          nearly all regions; Category alone does not."
     );
+    sink.dump();
 }

@@ -2,12 +2,13 @@
 //! pairing analysis — per-cuisine network statistics, hubs, and
 //! backbone structure.
 
-use culinaria_bench::{section, world_from_env};
+use culinaria_bench::{metrics_from_env, section, world_from_env};
 use culinaria_core::network::FlavorNetwork;
 use culinaria_recipedb::Region;
 
 fn main() {
     let world = world_from_env();
+    let sink = metrics_from_env();
 
     section("Flavor-network statistics per cuisine");
     println!(
@@ -16,7 +17,12 @@ fn main() {
     );
     for region in Region::ALL {
         let cuisine = world.recipes.cuisine(region);
-        let net = FlavorNetwork::for_cuisine(&world.flavor, &cuisine);
+        let net = FlavorNetwork::build_observed(
+            &world.flavor,
+            &cuisine.ingredient_set(),
+            0,
+            &sink.metrics,
+        );
         let bb = net.backbone(5);
         println!(
             "{:4}  {:>6} {:>8} {:>9.3} {:>11.3} {:>10}",
@@ -31,7 +37,7 @@ fn main() {
 
     section("Global network (full ingredient universe)");
     let pool: Vec<_> = world.flavor.ingredient_ids().collect();
-    let net = FlavorNetwork::build(&world.flavor, &pool);
+    let net = FlavorNetwork::build_observed(&world.flavor, &pool, 0, &sink.metrics);
     println!(
         "nodes {}, edges {}, density {:.3}, clustering {:.3}",
         net.n_nodes(),
@@ -50,4 +56,5 @@ fn main() {
         let b = &world.flavor.ingredient(e.b).expect("live id").name;
         println!("  {a} — {b}  ({} shared compounds)", e.weight);
     }
+    sink.dump();
 }

@@ -4,9 +4,11 @@
 //! generated world: observed mean N_s^(k) vs the Random null model for
 //! k = 2, 3, 4.
 
-use culinaria_bench::{section, world_from_env};
+use culinaria_bench::{metrics_from_env, section, world_from_env};
 use culinaria_core::monte_carlo::MonteCarloConfig;
-use culinaria_core::ntuple::{ktuple_null_ensemble, mean_cuisine_ktuple_score, KTupleScorer};
+use culinaria_core::ntuple::{
+    ktuple_null_ensemble_observed, mean_cuisine_ktuple_score, KTupleScorer,
+};
 use culinaria_core::null_models::{CuisineSampler, NullModel};
 use culinaria_recipedb::Region;
 use culinaria_stats::rng::derive_seed_labeled;
@@ -18,6 +20,7 @@ const N_NULL: usize = 10_000;
 
 fn main() {
     let world = world_from_env();
+    let sink = metrics_from_env();
 
     section("N-tuple flavor sharing: observed mean and z vs Random, k = 2, 3, 4");
     println!(
@@ -42,7 +45,13 @@ fn main() {
                 seed: derive_seed_labeled(2018, region.code()),
                 n_threads: 0,
             };
-            if let Some(null) = ktuple_null_ensemble(&scorer, &sampler, NullModel::Random, &cfg) {
+            if let Some(null) = ktuple_null_ensemble_observed(
+                &scorer,
+                &sampler,
+                NullModel::Random,
+                &cfg,
+                &sink.metrics,
+            ) {
                 if let Some(z) = z_score_of_mean(observed, &null) {
                     zs[slot] = z;
                 }
@@ -69,4 +78,5 @@ fn main() {
          pairing regime measured on pairs persists at higher orders, while the absolute\n\
          sharing decays with k (a k-wise intersection is rarer than a pairwise one)."
     );
+    sink.dump();
 }

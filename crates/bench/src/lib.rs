@@ -30,10 +30,15 @@
 //!   (default 1.0 = full paper scale);
 //! * `CULINARIA_MC` — Monte-Carlo recipes per null model
 //!   (default 100000, the paper's number);
-//! * `CULINARIA_SEED` — master seed (default 2018).
+//! * `CULINARIA_SEED` — master seed (default 2018);
+//! * `CULINARIA_METRICS` — `text` or `json`: dump the observability
+//!   registry (see `culinaria-obs`) on stderr when the harness exits.
+//!   The instrumented harnesses also accept `--metrics[=json]` on the
+//!   command line, which takes precedence over the variable.
 
 use culinaria_core::MonteCarloConfig;
 use culinaria_datagen::{generate_world, World, WorldConfig};
+use culinaria_obs::Metrics;
 
 /// Read an environment variable, falling back to a default.
 fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
@@ -83,6 +88,56 @@ pub fn mc_config_from_env() -> MonteCarloConfig {
 /// Print a harness section header.
 pub fn section(title: &str) {
     println!("\n=== {title} ===");
+}
+
+/// A [`Metrics`] handle plus the rendering format the harness was asked
+/// for. Build one with [`metrics_from_env`]; pass `.metrics` to the
+/// `*_observed` entry points and call [`MetricsSink::dump`] at exit.
+pub struct MetricsSink {
+    /// The handle the instrumented pipeline records into. Disabled
+    /// (every operation a no-op) unless metrics were requested.
+    pub metrics: Metrics,
+    /// Render as one JSON object instead of aligned text.
+    pub json: bool,
+}
+
+impl MetricsSink {
+    /// Render the registry to stderr (stdout stays the harness's
+    /// tables). No-op when metrics were not requested.
+    pub fn dump(&self) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        if self.json {
+            eprintln!("{}", self.metrics.render_json());
+        } else {
+            eprint!("{}", self.metrics.render_text());
+        }
+    }
+}
+
+/// The metrics sink selected by `--metrics[=json]` on the command line
+/// or, failing that, the `CULINARIA_METRICS` environment variable
+/// (`text` or `json`). Returns a disabled (zero-cost) sink when
+/// neither asks for metrics.
+pub fn metrics_from_env() -> MetricsSink {
+    let mode = std::env::args()
+        .skip(1)
+        .find_map(|arg| match arg.as_str() {
+            "--metrics" => Some("text".to_owned()),
+            _ => arg.strip_prefix("--metrics=").map(str::to_owned),
+        })
+        .or_else(|| std::env::var("CULINARIA_METRICS").ok());
+    match mode {
+        None => MetricsSink {
+            metrics: Metrics::disabled(),
+            json: false,
+        },
+        Some(mode) => MetricsSink {
+            metrics: Metrics::enabled(),
+            json: mode == "json",
+        },
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use culinaria_obs::Metrics;
 use culinaria_stats::pool;
 use culinaria_stats::rng::derive_seed;
 use culinaria_stats::{NullEnsemble, RunningStats};
@@ -109,13 +110,49 @@ pub fn run_null_model(
     model: NullModel,
     cfg: &MonteCarloConfig,
 ) -> Option<NullEnsemble> {
+    run_null_model_observed(cache, sampler, model, cfg, &Metrics::disabled())
+}
+
+/// [`run_null_model`] instrumented through `metrics`:
+///
+/// * span `mc.run` — one call per (cuisine, model) run;
+/// * counters `mc.recipes` and `mc.blocks` — sampled recipes and
+///   scheduling blocks;
+/// * histogram `mc.block_us` — per-block wall time (its spread shows
+///   sampler imbalance between full and partial blocks);
+/// * the shared `pool.*` instruments.
+///
+/// The ensemble is bit-identical to the unobserved run: block seeds,
+/// sampling, and the block-order merge are untouched, and the only
+/// per-block cost when enabled is one clock read pair.
+pub fn run_null_model_observed(
+    cache: &OverlapCache,
+    sampler: &CuisineSampler,
+    model: NullModel,
+    cfg: &MonteCarloConfig,
+    metrics: &Metrics,
+) -> Option<NullEnsemble> {
     let n_blocks = cfg.n_recipes.div_ceil(BLOCK);
     if n_blocks == 0 {
         return None;
     }
-    let blocks = pool::run(cfg.n_threads, n_blocks, McScratch::new, |scratch, b| {
-        block_stats(cache, sampler, model, cfg.seed, b, cfg.n_recipes, scratch)
-    });
+    let run_span = metrics.span("mc.run");
+    let run_guard = run_span.enter();
+    metrics.counter("mc.recipes").add(cfg.n_recipes as u64);
+    metrics.counter("mc.blocks").add(n_blocks as u64);
+    let block_hist = metrics.histogram("mc.block_us");
+    let blocks = pool::run_observed(
+        cfg.n_threads,
+        n_blocks,
+        &pool::PoolObs::new(metrics),
+        McScratch::new,
+        |scratch, b| {
+            let timer = block_hist.start();
+            let stats = block_stats(cache, sampler, model, cfg.seed, b, cfg.n_recipes, scratch);
+            timer.stop();
+            stats
+        },
+    );
 
     // Deterministic merge in block order (the pool already returned the
     // blocks in that order).
@@ -123,7 +160,9 @@ pub fn run_null_model(
     for s in &blocks {
         total.merge(s);
     }
-    NullEnsemble::from_running(&total)
+    let out = NullEnsemble::from_running(&total);
+    run_guard.stop();
+    out
 }
 
 #[cfg(test)]
@@ -241,6 +280,32 @@ mod tests {
         )
         .unwrap();
         assert_ne!(a.mean.to_bits(), b.mean.to_bits());
+    }
+
+    #[test]
+    fn observed_run_matches_and_records() {
+        let (db, store) = fixture();
+        let cuisine = store.cuisine(Region::Italy);
+        let cache = OverlapCache::for_cuisine(&db, &cuisine);
+        let sampler = CuisineSampler::build(&db, &cuisine).unwrap();
+        let cfg = MonteCarloConfig {
+            n_recipes: 5000, // 3 blocks, last partial
+            seed: 7,
+            n_threads: 2,
+        };
+        let plain = run_null_model(&cache, &sampler, NullModel::Frequency, &cfg).unwrap();
+        let metrics = Metrics::enabled();
+        let observed =
+            run_null_model_observed(&cache, &sampler, NullModel::Frequency, &cfg, &metrics)
+                .unwrap();
+        assert_eq!(plain.mean.to_bits(), observed.mean.to_bits());
+        assert_eq!(plain.std_dev.to_bits(), observed.std_dev.to_bits());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("mc.recipes"), Some(5000));
+        assert_eq!(snap.counter("mc.blocks"), Some(3));
+        assert_eq!(snap.span("mc.run").unwrap().calls, 1);
+        assert_eq!(snap.histogram("mc.block_us").unwrap().count, 3);
+        assert_eq!(snap.counter("pool.runs"), Some(1));
     }
 
     #[test]

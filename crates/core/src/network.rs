@@ -5,6 +5,7 @@
 //! downstream network analyses (backbones, hubs, fingerprints).
 
 use culinaria_flavordb::{FlavorDb, IngredientId};
+use culinaria_obs::Metrics;
 use culinaria_recipedb::Cuisine;
 use culinaria_stats::pool;
 use culinaria_tabular::{Column, Frame};
@@ -53,11 +54,33 @@ impl FlavorNetwork {
         ingredients: &[IngredientId],
         n_threads: usize,
     ) -> FlavorNetwork {
-        let cache = OverlapCache::build_with_threads(db, ingredients, n_threads);
+        FlavorNetwork::build_observed(db, ingredients, n_threads, &Metrics::disabled())
+    }
+
+    /// [`FlavorNetwork::build_with_threads`] instrumented through
+    /// `metrics`: span `network.build` with children
+    /// `network.build.overlap` (the [`OverlapCache`] build, which also
+    /// records the `overlap.*` instruments) and `network.build.edges`
+    /// (the edge sweep + serial fold), counters `network.nodes` and
+    /// `network.edges`, plus the shared `pool.*` instruments. The
+    /// network is bit-identical to the unobserved build.
+    pub fn build_observed(
+        db: &FlavorDb,
+        ingredients: &[IngredientId],
+        n_threads: usize,
+        metrics: &Metrics,
+    ) -> FlavorNetwork {
+        let build_span = metrics.span("network.build");
+        let build_guard = build_span.enter();
+        let overlap_guard = build_span.child("overlap").enter();
+        let cache = OverlapCache::build_observed(db, ingredients, n_threads, metrics);
+        overlap_guard.stop();
         let n = cache.len();
-        let rows = pool::run(
+        let edges_guard = build_span.child("edges").enter();
+        let rows = pool::run_observed(
             n_threads,
             n,
+            &pool::PoolObs::new(metrics),
             || (),
             |(), i| {
                 let i = i as u32;
@@ -83,6 +106,10 @@ impl FlavorNetwork {
                 degree[j as usize] += 1;
             }
         }
+        edges_guard.stop();
+        metrics.counter("network.nodes").add(n as u64);
+        metrics.counter("network.edges").add(edges.len() as u64);
+        build_guard.stop();
         FlavorNetwork {
             nodes: ingredients.to_vec(),
             edges,
@@ -362,6 +389,27 @@ mod tests {
             assert_eq!(serial.strength, parallel.strength, "{threads} threads");
             assert_eq!(serial.degree, parallel.degree, "{threads} threads");
         }
+    }
+
+    #[test]
+    fn observed_build_matches_and_records() {
+        let (db, pool) = fixture();
+        let plain = FlavorNetwork::build_with_threads(&db, &pool, 2);
+        let metrics = Metrics::enabled();
+        let observed = FlavorNetwork::build_observed(&db, &pool, 2, &metrics);
+        assert_eq!(observed.edges, plain.edges);
+        assert_eq!(observed.strength, plain.strength);
+        assert_eq!(observed.degree, plain.degree);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("network.nodes"), Some(4));
+        assert_eq!(snap.counter("network.edges"), Some(3));
+        assert_eq!(snap.span("network.build").unwrap().calls, 1);
+        assert_eq!(snap.span("network.build.overlap").unwrap().calls, 1);
+        assert_eq!(snap.span("network.build.edges").unwrap().calls, 1);
+        // The nested overlap build recorded its own instruments, and
+        // both fan-outs went through the shared pool.
+        assert_eq!(snap.span("overlap.build").unwrap().calls, 1);
+        assert_eq!(snap.counter("pool.runs"), Some(2));
     }
 
     #[test]

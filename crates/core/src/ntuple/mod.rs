@@ -27,6 +27,7 @@ pub mod reference;
 use std::collections::HashMap;
 
 use culinaria_flavordb::{FlavorDb, IngredientId, MoleculeUniverse};
+use culinaria_obs::Metrics;
 use culinaria_recipedb::Cuisine;
 use culinaria_stats::pool;
 use culinaria_stats::rng::derive_seed;
@@ -233,6 +234,31 @@ pub fn mean_cuisine_ktuple_score_with_threads(
 /// Scores k-tuple sharing over *local pool indices* emitted by a
 /// [`CuisineSampler`], for null-model comparison at order k — the
 /// kernel-backed replacement for [`reference::KTupleScorer`].
+///
+/// ```
+/// use culinaria_core::ntuple::KTupleScorer;
+/// use culinaria_flavordb::{Category, FlavorDb};
+/// use culinaria_recipedb::{RecipeStore, Region, Source};
+///
+/// let mut db = FlavorDb::new();
+/// db.add_anonymous_molecules(4);
+/// use culinaria_flavordb::MoleculeId as M;
+/// // All three ingredients share molecule 0; nothing else is common
+/// // to any triple.
+/// let a = db.add_ingredient("a", Category::Herb, vec![M(0), M(1)]).unwrap();
+/// let b = db.add_ingredient("b", Category::Herb, vec![M(0), M(2)]).unwrap();
+/// let c = db.add_ingredient("c", Category::Herb, vec![M(0), M(3)]).unwrap();
+///
+/// let mut store = RecipeStore::new();
+/// store.add_recipe("r", Region::Italy, Source::Synthetic, vec![a, b, c]).unwrap();
+/// let cuisine = store.cuisine(Region::Italy);
+///
+/// let scorer = KTupleScorer::for_cuisine(&db, &cuisine, 3);
+/// assert_eq!(scorer.k(), 3);
+/// // The cuisine pool is its sorted ingredient set, locals 0..3:
+/// // exactly one molecule survives the 3-way intersection.
+/// assert_eq!(scorer.score_local(&[0, 1, 2]), 1.0);
+/// ```
 #[derive(Debug, Clone)]
 pub struct KTupleScorer {
     kernel: KTupleKernel,
@@ -307,15 +333,40 @@ pub fn ktuple_null_ensemble(
     model: NullModel,
     cfg: &MonteCarloConfig,
 ) -> Option<NullEnsemble> {
+    ktuple_null_ensemble_observed(scorer, sampler, model, cfg, &Metrics::disabled())
+}
+
+/// [`ktuple_null_ensemble`] instrumented through `metrics`: span
+/// `mc.ktuple.run`, counters `mc.ktuple.recipes` / `mc.ktuple.blocks`,
+/// per-block wall-time histogram `mc.ktuple.block_us`, and the shared
+/// `pool.*` instruments — the k-tuple mirror of
+/// [`crate::monte_carlo::run_null_model_observed`], with the same
+/// guarantee: the ensemble is bit-identical to the unobserved run.
+pub fn ktuple_null_ensemble_observed(
+    scorer: &KTupleScorer,
+    sampler: &CuisineSampler,
+    model: NullModel,
+    cfg: &MonteCarloConfig,
+    metrics: &Metrics,
+) -> Option<NullEnsemble> {
     let n_blocks = cfg.n_recipes.div_ceil(BLOCK);
     if n_blocks == 0 {
         return None;
     }
-    let blocks = pool::run(
+    let run_span = metrics.span("mc.ktuple.run");
+    let run_guard = run_span.enter();
+    metrics
+        .counter("mc.ktuple.recipes")
+        .add(cfg.n_recipes as u64);
+    metrics.counter("mc.ktuple.blocks").add(n_blocks as u64);
+    let block_hist = metrics.histogram("mc.ktuple.block_us");
+    let blocks = pool::run_observed(
         cfg.n_threads,
         n_blocks,
+        &pool::PoolObs::new(metrics),
         KTupleMcScratch::default,
         |scratch, b| {
+            let timer = block_hist.start();
             let lo = b * BLOCK;
             let hi = ((b + 1) * BLOCK).min(cfg.n_recipes);
             let mut rng =
@@ -325,6 +376,7 @@ pub fn ktuple_null_ensemble(
                 sampler.generate_into(model, &mut rng, &mut scratch.recipe, &mut scratch.sample);
                 stats.push(scorer.score_local_with(&scratch.recipe, &mut scratch.inter));
             }
+            timer.stop();
             stats
         },
     );
@@ -332,7 +384,9 @@ pub fn ktuple_null_ensemble(
     for s in &blocks {
         total.merge(s);
     }
-    NullEnsemble::from_running(&total)
+    let out = NullEnsemble::from_running(&total);
+    run_guard.stop();
+    out
 }
 
 #[cfg(test)]
@@ -531,6 +585,38 @@ mod tests {
             },
         );
         assert!(none.is_none());
+    }
+
+    #[test]
+    fn observed_ensemble_matches_and_records() {
+        let (db, ids) = fixture();
+        let mut store = RecipeStore::new();
+        store
+            .add_recipe("r1", Region::Italy, Source::Synthetic, ids[0..3].to_vec())
+            .unwrap();
+        store
+            .add_recipe("r2", Region::Italy, Source::Synthetic, ids.clone())
+            .unwrap();
+        let cuisine = store.cuisine(Region::Italy);
+        let sampler = CuisineSampler::build(&db, &cuisine).unwrap();
+        let scorer = KTupleScorer::for_cuisine(&db, &cuisine, 3);
+        let cfg = MonteCarloConfig {
+            n_recipes: 4096,
+            seed: 3,
+            n_threads: 2,
+        };
+        let plain = ktuple_null_ensemble(&scorer, &sampler, NullModel::Random, &cfg).unwrap();
+        let metrics = Metrics::enabled();
+        let observed =
+            ktuple_null_ensemble_observed(&scorer, &sampler, NullModel::Random, &cfg, &metrics)
+                .unwrap();
+        assert_eq!(plain.mean.to_bits(), observed.mean.to_bits());
+        assert_eq!(plain.std_dev.to_bits(), observed.std_dev.to_bits());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("mc.ktuple.recipes"), Some(4096));
+        assert_eq!(snap.counter("mc.ktuple.blocks"), Some(2));
+        assert_eq!(snap.span("mc.ktuple.run").unwrap().calls, 1);
+        assert_eq!(snap.histogram("mc.ktuple.block_us").unwrap().count, 2);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 use std::collections::HashMap;
 
 use culinaria_flavordb::{BitProfile, FlavorDb, IngredientId, MoleculeUniverse};
+use culinaria_obs::Metrics;
 use culinaria_recipedb::Cuisine;
 use culinaria_stats::pool;
 
@@ -162,20 +163,48 @@ impl OverlapCache {
         pool: &[IngredientId],
         n_threads: usize,
     ) -> OverlapCache {
+        OverlapCache::build_observed(db, pool, n_threads, &Metrics::disabled())
+    }
+
+    /// [`OverlapCache::build_with_threads`] instrumented through
+    /// `metrics`: spans `overlap.build` (whole build), `overlap.build.pack`
+    /// (bitset packing) and `overlap.build.sweep` (the parallel O(n²)
+    /// intersection sweep), gauge `overlap.pool_size`, counter
+    /// `overlap.cells` (triangle entries computed), plus the shared
+    /// `pool.*` instruments. The cache is bit-identical to the
+    /// unobserved build.
+    pub fn build_observed(
+        db: &FlavorDb,
+        pool: &[IngredientId],
+        n_threads: usize,
+        metrics: &Metrics,
+    ) -> OverlapCache {
+        let build_span = metrics.span("overlap.build");
+        // Held (not read) so the whole build records on scope exit.
+        let _build_guard = build_span.enter();
         let n = pool.len();
+        metrics.gauge("overlap.pool_size").set(n as i64);
+        metrics
+            .counter("overlap.cells")
+            .add((n * n.saturating_sub(1) / 2) as u64);
+
+        let pack_guard = build_span.child("pack").enter();
         let profiles: Vec<_> = pool
             .iter()
             .map(|&id| &db.ingredient(id).expect("live ingredient").profile)
             .collect();
         let universe = MoleculeUniverse::build(profiles.iter().copied());
         let bits: Vec<BitProfile> = profiles.iter().map(|p| universe.pack(p)).collect();
+        pack_guard.stop();
 
         // Row i of the strict upper triangle holds overlaps (i, j) for
         // j in i+1..n — exactly the packed layout, so the rows
         // concatenate back in task order.
-        let rows = pool::run(
+        let sweep_guard = build_span.child("sweep").enter();
+        let rows = pool::run_observed(
             n_threads,
             n.saturating_sub(1),
+            &pool::PoolObs::new(metrics),
             || (),
             |_, i| {
                 let row_bits = &bits[i];
@@ -184,6 +213,7 @@ impl OverlapCache {
                     .collect::<Vec<u32>>()
             },
         );
+        sweep_guard.stop();
         let mut tri = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for row in rows {
             tri.extend_from_slice(&row);
@@ -277,6 +307,27 @@ impl OverlapCache {
     /// caller-owned scratch buffer, so batch scoring (a cuisine's whole
     /// recipe list, a Monte-Carlo ensemble) allocates nothing per
     /// recipe.
+    ///
+    /// ```
+    /// use culinaria_core::pairing::{recipe_pairing_score, OverlapCache};
+    /// use culinaria_flavordb::{Category, FlavorDb};
+    ///
+    /// let mut db = FlavorDb::new();
+    /// let m: Vec<_> = (0..3)
+    ///     .map(|k| db.add_molecule(&format!("m{k}"), &[]).unwrap())
+    ///     .collect();
+    /// let a = db.add_ingredient("a", Category::Herb, vec![m[0], m[1]]).unwrap();
+    /// let b = db.add_ingredient("b", Category::Herb, vec![m[1], m[2]]).unwrap();
+    ///
+    /// let cache = OverlapCache::build(&db, &[a, b]);
+    /// let mut scratch = Vec::new();
+    /// let cached = cache.score_ids_with(&[a, b], &mut scratch).unwrap();
+    /// assert_eq!(cached, recipe_pairing_score(&db, &[a, b]));
+    ///
+    /// // Ids outside the cache's pool are the caller's bug: None.
+    /// let c = db.add_ingredient("c", Category::Spice, vec![m[0]]).unwrap();
+    /// assert!(cache.score_ids_with(&[a, c], &mut scratch).is_none());
+    /// ```
     pub fn score_ids_with(
         &self,
         ingredients: &[IngredientId],
@@ -551,6 +602,23 @@ mod tests {
             assert_eq!(serial.tri, parallel.tri, "{threads} threads");
             assert_eq!(serial.pool, parallel.pool);
         }
+    }
+
+    #[test]
+    fn observed_build_matches_and_records() {
+        let (db, ids) = fixture();
+        let plain = OverlapCache::build_with_threads(&db, &ids, 2);
+        let metrics = Metrics::enabled();
+        let observed = OverlapCache::build_observed(&db, &ids, 2, &metrics);
+        assert_eq!(observed.tri, plain.tri);
+        assert_eq!(observed.pool, plain.pool);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.gauge("overlap.pool_size"), Some(4));
+        assert_eq!(snap.counter("overlap.cells"), Some(6));
+        assert_eq!(snap.span("overlap.build").unwrap().calls, 1);
+        assert_eq!(snap.span("overlap.build.pack").unwrap().calls, 1);
+        assert_eq!(snap.span("overlap.build.sweep").unwrap().calls, 1);
+        assert_eq!(snap.counter("pool.runs"), Some(1));
     }
 
     #[test]

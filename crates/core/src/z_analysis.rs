@@ -14,6 +14,7 @@
 //! bit-identical to its row of the world run.
 
 use culinaria_flavordb::FlavorDb;
+use culinaria_obs::Metrics;
 use culinaria_recipedb::{Cuisine, RecipeStore, Region};
 use culinaria_stats::pool;
 use culinaria_stats::rng::derive_seed_labeled;
@@ -21,7 +22,9 @@ use culinaria_stats::zscore::z_score_of_mean;
 use culinaria_stats::{NullEnsemble, RunningStats};
 use culinaria_tabular::{Column, Frame};
 
-use crate::monte_carlo::{block_stats, run_null_model, McScratch, MonteCarloConfig, BLOCK};
+use crate::monte_carlo::{
+    block_stats, run_null_model_observed, McScratch, MonteCarloConfig, BLOCK,
+};
 use crate::null_models::{CuisineSampler, NullModel};
 use crate::pairing::OverlapCache;
 
@@ -108,8 +111,23 @@ pub fn analyze_cuisine(
     models: &[NullModel],
     cfg: &MonteCarloConfig,
 ) -> Option<CuisineAnalysis> {
+    analyze_cuisine_observed(db, cuisine, models, cfg, &Metrics::disabled())
+}
+
+/// [`analyze_cuisine`] instrumented through `metrics`: the nested
+/// overlap-cache build records the `overlap.*` instruments and each
+/// null-model run records the `mc.*` and `pool.*` instruments (see
+/// [`crate::monte_carlo::run_null_model_observed`]). Bit-identical to
+/// the unobserved analysis.
+pub fn analyze_cuisine_observed(
+    db: &FlavorDb,
+    cuisine: &Cuisine<'_>,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+    metrics: &Metrics,
+) -> Option<CuisineAnalysis> {
     let sampler = CuisineSampler::build(db, cuisine)?;
-    let cache = OverlapCache::for_cuisine_with_threads(db, cuisine, cfg.n_threads);
+    let cache = OverlapCache::build_observed(db, &cuisine.ingredient_set(), cfg.n_threads, metrics);
     let observed_mean = cache
         .mean_cuisine_score(cuisine)
         .expect("cache pool covers the cuisine's own recipes");
@@ -121,7 +139,7 @@ pub fn analyze_cuisine(
     let comparisons: Vec<ModelComparison> = models
         .iter()
         .map(|&model| {
-            let null = run_null_model(&cache, &sampler, model, &region_cfg)
+            let null = run_null_model_observed(&cache, &sampler, model, &region_cfg, metrics)
                 .expect("n_recipes >= 2 yields an ensemble");
             let z = z_score_of_mean(observed_mean, &null);
             ModelComparison { model, null, z }
@@ -165,15 +183,40 @@ pub fn analyze_world(
     models: &[NullModel],
     cfg: &MonteCarloConfig,
 ) -> Vec<CuisineAnalysis> {
+    analyze_world_observed(db, store, models, cfg, &Metrics::disabled())
+}
+
+/// [`analyze_world`] instrumented through `metrics`:
+///
+/// * spans `world.prepare` (samplers + overlap caches + observed
+///   means; the nested cache builds record the `overlap.*`
+///   instruments), `world.mc` (the flattened Monte-Carlo queue) and
+///   `world.merge` (the canonical per-`(region, model)` fold);
+/// * counters `world.regions`, `world.tasks` (flattened `(region,
+///   model, block)` triples) and `mc.recipes` / `mc.blocks` totals;
+/// * histogram `mc.block_us` — per-block wall time across the whole
+///   world run;
+/// * the shared `pool.*` instruments.
+///
+/// Every analysis row is bit-identical to the unobserved driver.
+pub fn analyze_world_observed(
+    db: &FlavorDb,
+    store: &RecipeStore,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+    metrics: &Metrics,
+) -> Vec<CuisineAnalysis> {
     // Setup pass: samplers, overlap caches (internally parallel), and
     // observed means per populated region.
+    let prepare_guard = metrics.span("world.prepare").enter();
     let prepared: Vec<PreparedRegion> = store
         .regions()
         .into_iter()
         .filter_map(|region| {
             let cuisine = store.cuisine(region);
             let sampler = CuisineSampler::build(db, &cuisine)?;
-            let cache = OverlapCache::for_cuisine_with_threads(db, &cuisine, cfg.n_threads);
+            let cache =
+                OverlapCache::build_observed(db, &cuisine.ingredient_set(), cfg.n_threads, metrics);
             let observed_mean = cache
                 .mean_cuisine_score(&cuisine)
                 .expect("cache pool covers the cuisine's own recipes");
@@ -188,22 +231,34 @@ pub fn analyze_world(
             })
         })
         .collect();
+    prepare_guard.stop();
 
     // Flattened Monte-Carlo queue: task index ↔ (region, model, block)
     // by uniform stride, so no task list needs materializing.
     let n_models = models.len();
     let n_blocks = cfg.n_recipes.div_ceil(BLOCK);
     let per_region = n_models * n_blocks;
-    let block_results = pool::run(
+    let n_tasks = prepared.len() * per_region;
+    metrics.counter("world.regions").add(prepared.len() as u64);
+    metrics.counter("world.tasks").add(n_tasks as u64);
+    metrics
+        .counter("mc.recipes")
+        .add((prepared.len() * n_models * cfg.n_recipes) as u64);
+    metrics.counter("mc.blocks").add(n_tasks as u64);
+    let block_hist = metrics.histogram("mc.block_us");
+    let mc_guard = metrics.span("world.mc").enter();
+    let block_results = pool::run_observed(
         cfg.n_threads,
-        prepared.len() * per_region,
+        n_tasks,
+        &pool::PoolObs::new(metrics),
         McScratch::new,
         |scratch, t| {
+            let timer = block_hist.start();
             let p = &prepared[t / per_region];
             let rem = t % per_region;
             let model = models[rem / n_blocks];
             let block = rem % n_blocks;
-            block_stats(
+            let stats = block_stats(
                 &p.cache,
                 &p.sampler,
                 model,
@@ -211,11 +266,16 @@ pub fn analyze_world(
                 block,
                 cfg.n_recipes,
                 scratch,
-            )
+            );
+            timer.stop();
+            stats
         },
     );
+    mc_guard.stop();
 
     // Canonical merge: per (region, model), fold blocks in block order.
+    let merge_span = metrics.span("world.merge");
+    let _merge_guard = merge_span.enter();
     prepared
         .iter()
         .enumerate()
@@ -408,6 +468,43 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn observed_world_matches_and_records() {
+        let world = generate_world(&WorldConfig::tiny());
+        let models = [NullModel::Random, NullModel::Frequency];
+        let cfg = MonteCarloConfig {
+            n_recipes: 3000, // 2 blocks per (region, model), last partial
+            seed: 13,
+            n_threads: 2,
+        };
+        let plain = analyze_world(&world.flavor, &world.recipes, &models, &cfg);
+        let metrics = Metrics::enabled();
+        let observed =
+            analyze_world_observed(&world.flavor, &world.recipes, &models, &cfg, &metrics);
+        assert_eq!(plain.len(), observed.len());
+        for (a, b) in plain.iter().zip(&observed) {
+            assert_eq!(a.region, b.region);
+            assert_eq!(a.observed_mean.to_bits(), b.observed_mean.to_bits());
+            for (ca, cb) in a.comparisons.iter().zip(&b.comparisons) {
+                assert_eq!(ca.null.mean.to_bits(), cb.null.mean.to_bits());
+                assert_eq!(ca.z.map(f64::to_bits), cb.z.map(f64::to_bits));
+            }
+        }
+        let snap = metrics.snapshot();
+        let n_regions = plain.len() as u64;
+        let n_tasks = n_regions * 2 * 2; // 2 models × 2 blocks
+        assert_eq!(snap.counter("world.regions"), Some(n_regions));
+        assert_eq!(snap.counter("world.tasks"), Some(n_tasks));
+        assert_eq!(snap.counter("mc.blocks"), Some(n_tasks));
+        assert_eq!(snap.histogram("mc.block_us").unwrap().count, n_tasks);
+        assert_eq!(snap.span("world.prepare").unwrap().calls, 1);
+        assert_eq!(snap.span("world.mc").unwrap().calls, 1);
+        assert_eq!(snap.span("world.merge").unwrap().calls, 1);
+        // One overlap-cache build per region, plus the MC fan-out.
+        assert_eq!(snap.span("overlap.build").unwrap().calls, n_regions);
+        assert_eq!(snap.counter("pool.runs"), Some(n_regions + 1));
     }
 
     #[test]

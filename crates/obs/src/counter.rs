@@ -1,0 +1,115 @@
+//! Counter and gauge handles — the cheap, hot-path-safe instruments.
+//!
+//! Both are thin wrappers around an `Option<Arc<Atomic*>>`: the `None`
+//! (disabled) arm is one branch with no side effects, the `Some` arm a
+//! single relaxed atomic operation. Handles are `Clone + Send + Sync`
+//! and never touch the registry after creation.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing event counter.
+///
+/// Relaxed ordering is enough: counters are only read after the work
+/// they instrument has been joined (a pool scope, a snapshot at exit).
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    pub(crate) fn new(core: Option<Arc<AtomicU64>>) -> Counter {
+        Counter(core)
+    }
+
+    /// An inert counter — what disabled registries vend.
+    pub fn noop() -> Counter {
+        Counter(None)
+    }
+
+    /// Add `n` events.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Add one event.
+    #[inline]
+    pub fn incr(&self) {
+        self.add(1);
+    }
+
+    /// Current value (0 for a disabled handle).
+    pub fn get(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// A last-value gauge (signed, so it can carry depths and deltas).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicI64>>);
+
+impl Gauge {
+    pub(crate) fn new(core: Option<Arc<AtomicI64>>) -> Gauge {
+        Gauge(core)
+    }
+
+    /// An inert gauge — what disabled registries vend.
+    pub fn noop() -> Gauge {
+        Gauge(None)
+    }
+
+    /// Set the current value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        if let Some(g) = &self.0 {
+            g.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Adjust the current value by `d`.
+    #[inline]
+    pub fn add(&self, d: i64) {
+        if let Some(g) = &self.0 {
+            g.fetch_add(d, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a disabled handle).
+    pub fn get(&self) -> i64 {
+        self.0.as_ref().map_or(0, |g| g.load(Ordering::Relaxed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_handles_do_nothing() {
+        let c = Counter::noop();
+        c.add(3);
+        c.incr();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::noop();
+        g.set(9);
+        g.add(-4);
+        assert_eq!(g.get(), 0);
+    }
+
+    #[test]
+    fn live_counter_accumulates() {
+        let c = Counter::new(Some(Arc::new(AtomicU64::new(0))));
+        c.add(2);
+        c.incr();
+        assert_eq!(c.get(), 3);
+    }
+
+    #[test]
+    fn live_gauge_sets_and_adjusts() {
+        let g = Gauge::new(Some(Arc::new(AtomicI64::new(0))));
+        g.set(10);
+        g.add(-3);
+        assert_eq!(g.get(), 7);
+    }
+}

@@ -1,0 +1,324 @@
+#![warn(missing_docs)]
+
+//! # culinaria-obs
+//!
+//! A hand-rolled, dependency-free observability layer for the
+//! `culinaria` pipeline: monotonic-clock span timers, typed atomic
+//! counters and gauges, fixed-bucket latency histograms, and a registry
+//! that renders to aligned text or JSON. The container this workspace
+//! builds in is offline, so nothing here leans on `tracing`,
+//! `metrics`, or any other external crate — the whole layer is ~700
+//! lines of `std`.
+//!
+//! ## Design
+//!
+//! The root handle is [`Metrics`]. It is either **enabled** (backed by
+//! a shared registry) or **disabled** (a no-op sink):
+//!
+//! * [`Metrics::enabled`] — instruments record into a registry that can
+//!   be snapshotted and rendered at exit;
+//! * [`Metrics::disabled`] — every handle is `None` inside, every
+//!   operation is a single discriminant check that the optimizer folds
+//!   away. No clock reads, no atomics, no allocation. The
+//!   `obs_overhead` group of the `pairing_score` Criterion bench A/Bs
+//!   this against uninstrumented code.
+//!
+//! Instrument handles ([`Counter`], [`Gauge`], [`Histogram`], [`Span`])
+//! are fetched **once** per region of interest (a registry lock +
+//! lookup), then used lock-free from any thread — counters and
+//! histogram buckets are plain atomics. Hot loops therefore never touch
+//! the registry.
+//!
+//! ## Naming scheme
+//!
+//! Metric names are dotted lowercase paths,
+//! `<subsystem>.<stage>[.<detail>]` — e.g. `import.resolve`,
+//! `mc.block_us`, `pool.worker.busy_us`. Nested spans join names with
+//! `.` via [`Span::child`], so the rendered registry reads as a tree
+//! flattened in lexicographic order. Histogram names carry their unit
+//! as a suffix (`_us`); counters and gauges are unit-free counts unless
+//! suffixed. DESIGN.md §9 documents the scheme and the full name
+//! inventory.
+//!
+//! ## Determinism
+//!
+//! Instrumentation never feeds back into analysis: enabling metrics
+//! changes *what is recorded*, not *what is computed*, so every
+//! bit-identity contract of the pipeline (DESIGN.md §6.2) holds with
+//! metrics on or off. Wall-clock values and per-worker load split vary
+//! run to run, as timings do; semantic counters (recipes scored, cache
+//! entries, lines resolved) are exact and reproducible.
+//!
+//! ## Example
+//!
+//! ```
+//! use culinaria_obs::Metrics;
+//!
+//! let metrics = Metrics::enabled();
+//! let resolved = metrics.counter("import.lines.resolved");
+//! let span = metrics.span("import.resolve");
+//! {
+//!     let _guard = span.enter();
+//!     resolved.add(42);
+//! } // guard drop records the span's wall time
+//!
+//! let snap = metrics.snapshot();
+//! assert_eq!(snap.counter("import.lines.resolved"), Some(42));
+//! assert!(metrics.render_text().contains("import.resolve"));
+//! assert!(metrics.render_json().starts_with('{'));
+//! ```
+
+pub mod counter;
+pub mod histogram;
+pub mod snapshot;
+pub mod span;
+
+pub use counter::{Counter, Gauge};
+pub use histogram::{HistTimer, Histogram};
+pub use snapshot::{HistogramSnapshot, Snapshot, SpanSnapshot};
+pub use span::{Span, SpanGuard};
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64};
+use std::sync::{Arc, Mutex};
+
+use histogram::HistogramCore;
+use span::SpanStat;
+
+/// The shared registry behind an enabled [`Metrics`]. Maps are keyed by
+/// name and hold `Arc`s to the atomic cores, so handles outlive any
+/// lock; `BTreeMap` keeps snapshots sorted without a render-time sort.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    counters: Mutex<BTreeMap<String, Arc<AtomicU64>>>,
+    gauges: Mutex<BTreeMap<String, Arc<AtomicI64>>>,
+    histograms: Mutex<BTreeMap<String, Arc<HistogramCore>>>,
+    spans: Mutex<BTreeMap<String, Arc<SpanStat>>>,
+}
+
+/// The root observability handle: a clonable reference to a metrics
+/// registry, or a no-op sink (see the crate docs for the enabled /
+/// disabled split).
+///
+/// Cloning is cheap (an `Option<Arc>`); clones share one registry.
+#[derive(Debug, Clone, Default)]
+pub struct Metrics {
+    inner: Option<Arc<Registry>>,
+}
+
+impl Metrics {
+    /// A collecting registry: instruments record, [`Metrics::snapshot`]
+    /// reads everything back.
+    pub fn enabled() -> Metrics {
+        Metrics {
+            inner: Some(Arc::new(Registry::default())),
+        }
+    }
+
+    /// The no-op sink: every handle it vends is inert, every operation
+    /// reduces to one branch. This is the default.
+    pub fn disabled() -> Metrics {
+        Metrics { inner: None }
+    }
+
+    /// Build enabled or disabled in one call — the shape CLI flags want.
+    pub fn new(enabled: bool) -> Metrics {
+        if enabled {
+            Metrics::enabled()
+        } else {
+            Metrics::disabled()
+        }
+    }
+
+    /// True when backed by a registry.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// A monotonically increasing counter. Fetch once, then
+    /// [`Counter::add`] is a single relaxed atomic.
+    pub fn counter(&self, name: &str) -> Counter {
+        Counter::new(self.inner.as_ref().map(|r| {
+            Arc::clone(
+                r.counters
+                    .lock()
+                    .expect("obs registry poisoned")
+                    .entry(name.to_owned())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// A last-value gauge (signed, so depths/deltas fit).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        Gauge::new(self.inner.as_ref().map(|r| {
+            Arc::clone(
+                r.gauges
+                    .lock()
+                    .expect("obs registry poisoned")
+                    .entry(name.to_owned())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// A fixed-bucket latency histogram (power-of-two microsecond
+    /// buckets; see [`histogram`]). Name it with a `_us` suffix.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        Histogram::new(self.inner.as_ref().map(|r| {
+            Arc::clone(
+                r.histograms
+                    .lock()
+                    .expect("obs registry poisoned")
+                    .entry(name.to_owned())
+                    .or_default(),
+            )
+        }))
+    }
+
+    /// A named span timer. [`Span::enter`] returns a scoped guard whose
+    /// drop records one call + its wall time; [`Span::child`] derives
+    /// nested spans (`parent.child`).
+    pub fn span(&self, name: &str) -> Span {
+        match &self.inner {
+            None => Span::noop(),
+            Some(r) => Span::new(
+                self.clone(),
+                name.to_owned(),
+                Some(Arc::clone(
+                    r.spans
+                        .lock()
+                        .expect("obs registry poisoned")
+                        .entry(name.to_owned())
+                        .or_default(),
+                )),
+            ),
+        }
+    }
+
+    /// Time a closure under a span: sugar for `span(name).enter()`
+    /// around `f`.
+    pub fn time<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        let span = self.span(name);
+        let _guard = span.enter();
+        f()
+    }
+
+    /// A point-in-time copy of every registered instrument, sorted by
+    /// name. Disabled metrics snapshot empty.
+    pub fn snapshot(&self) -> Snapshot {
+        let Some(r) = &self.inner else {
+            return Snapshot::default();
+        };
+        Snapshot::collect(r)
+    }
+
+    /// Render the current snapshot as an aligned text table.
+    pub fn render_text(&self) -> String {
+        self.snapshot().to_text()
+    }
+
+    /// Render the current snapshot as a JSON object.
+    pub fn render_json(&self) -> String {
+        self.snapshot().to_json()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_inert() {
+        let m = Metrics::disabled();
+        assert!(!m.is_enabled());
+        let c = m.counter("x");
+        c.add(5);
+        m.gauge("g").set(3);
+        m.histogram("h_us").record_us(10);
+        let span = m.span("s");
+        drop(span.enter());
+        let snap = m.snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        assert!(snap.spans.is_empty());
+    }
+
+    #[test]
+    fn enabled_records_and_snapshots_sorted() {
+        let m = Metrics::new(true);
+        assert!(m.is_enabled());
+        m.counter("b.two").add(2);
+        m.counter("a.one").incr();
+        m.counter("a.one").add(9);
+        m.gauge("depth").set(7);
+        m.gauge("depth").add(-2);
+        let snap = m.snapshot();
+        let names: Vec<&str> = snap.counters.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["a.one", "b.two"]);
+        assert_eq!(snap.counter("a.one"), Some(10));
+        assert_eq!(snap.counter("b.two"), Some(2));
+        assert_eq!(snap.counter("missing"), None);
+        assert_eq!(snap.gauge("depth"), Some(5));
+    }
+
+    #[test]
+    fn clones_share_a_registry() {
+        let m = Metrics::enabled();
+        let c1 = m.counter("shared");
+        let m2 = m.clone();
+        let c2 = m2.counter("shared");
+        c1.add(1);
+        c2.add(2);
+        assert_eq!(m.snapshot().counter("shared"), Some(3));
+    }
+
+    #[test]
+    fn spans_time_and_count() {
+        let m = Metrics::enabled();
+        let span = m.span("outer");
+        for _ in 0..3 {
+            let _g = span.enter();
+        }
+        let inner = span.child("inner");
+        drop(inner.enter());
+        let snap = m.snapshot();
+        let outer = snap.span("outer").expect("outer recorded");
+        assert_eq!(outer.calls, 3);
+        assert!(outer.max_ns >= outer.min_ns);
+        assert!(snap.span("outer.inner").is_some());
+    }
+
+    #[test]
+    fn time_closure_returns_value() {
+        let m = Metrics::enabled();
+        let got = m.time("work", || 41 + 1);
+        assert_eq!(got, 42);
+        assert_eq!(m.snapshot().span("work").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let m = Metrics::enabled();
+        let c = m.counter("racing");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.incr();
+                    }
+                });
+            }
+        });
+        assert_eq!(m.snapshot().counter("racing"), Some(4000));
+    }
+
+    #[test]
+    fn default_is_disabled() {
+        let m = Metrics::default();
+        assert!(!m.is_enabled());
+    }
+}

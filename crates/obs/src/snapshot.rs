@@ -1,0 +1,437 @@
+//! Point-in-time registry snapshots and their text / JSON renderers.
+//!
+//! A [`Snapshot`] is plain owned data (sorted `Vec`s), so it can be
+//! taken once at exit and rendered, diffed, or asserted on in tests
+//! without holding any lock. Rendering is deterministic: instruments
+//! appear in lexicographic name order, sections in a fixed sequence
+//! (counters, gauges, spans, histograms).
+
+use crate::histogram::{bucket_upper_us, N_BUCKETS};
+use crate::Registry;
+
+/// Snapshot of one span accumulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanSnapshot {
+    /// Full dotted span name.
+    pub name: String,
+    /// Calls recorded.
+    pub calls: u64,
+    /// Total wall time across calls, nanoseconds.
+    pub total_ns: u64,
+    /// Fastest single call, nanoseconds (0 when never called).
+    pub min_ns: u64,
+    /// Slowest single call, nanoseconds.
+    pub max_ns: u64,
+}
+
+impl SpanSnapshot {
+    /// Mean nanoseconds per call (0 when never called).
+    pub fn mean_ns(&self) -> u64 {
+        self.total_ns.checked_div(self.calls).unwrap_or(0)
+    }
+}
+
+/// Snapshot of one latency histogram.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Histogram name (unit-suffixed, e.g. `mc.block_us`).
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples, microseconds.
+    pub sum_us: u64,
+    /// Largest sample, microseconds.
+    pub max_us: u64,
+    /// Per-bucket counts (see [`crate::histogram`] for bounds).
+    pub buckets: [u64; N_BUCKETS],
+}
+
+impl HistogramSnapshot {
+    /// Mean microseconds per sample (0 when empty).
+    pub fn mean_us(&self) -> u64 {
+        self.sum_us.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Quantile estimate in microseconds: the upper bound of the bucket
+    /// where the cumulative count reaches `q` (0 < q ≤ 1). The exact
+    /// max replaces the unbounded overflow bucket's bound. 0 when
+    /// empty.
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_upper_us(i).min(self.max_us);
+            }
+        }
+        self.max_us
+    }
+}
+
+/// A sorted, owned copy of every instrument in a registry.
+#[derive(Debug, Clone, Default)]
+pub struct Snapshot {
+    /// `(name, value)` pairs, name-sorted.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)` pairs, name-sorted.
+    pub gauges: Vec<(String, i64)>,
+    /// Span accumulators, name-sorted.
+    pub spans: Vec<SpanSnapshot>,
+    /// Histograms, name-sorted.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Snapshot {
+    pub(crate) fn collect(r: &Registry) -> Snapshot {
+        let counters = r
+            .counters
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(n, c)| (n.clone(), c.load(std::sync::atomic::Ordering::Relaxed)))
+            .collect();
+        let gauges = r
+            .gauges
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(n, g)| (n.clone(), g.load(std::sync::atomic::Ordering::Relaxed)))
+            .collect();
+        let spans = r
+            .spans
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(n, s)| {
+                let (calls, total_ns, min_ns, max_ns) = s.read();
+                SpanSnapshot {
+                    name: n.clone(),
+                    calls,
+                    total_ns,
+                    min_ns,
+                    max_ns,
+                }
+            })
+            .collect();
+        let histograms = r
+            .histograms
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(n, h)| {
+                let (buckets, count, sum_us, max_us) = h.read();
+                HistogramSnapshot {
+                    name: n.clone(),
+                    count,
+                    sum_us,
+                    max_us,
+                    buckets,
+                }
+            })
+            .collect();
+        Snapshot {
+            counters,
+            gauges,
+            spans,
+            histograms,
+        }
+    }
+
+    /// Value of a counter by name.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// Value of a gauge by name.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// A span snapshot by name.
+    pub fn span(&self, name: &str) -> Option<&SpanSnapshot> {
+        self.spans.iter().find(|s| s.name == name)
+    }
+
+    /// A histogram snapshot by name.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
+    /// True when nothing was ever registered.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+            && self.gauges.is_empty()
+            && self.spans.is_empty()
+            && self.histograms.is_empty()
+    }
+
+    /// Render as an aligned, human-readable table (one section per
+    /// instrument kind; empty sections are skipped).
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .iter()
+            .map(|(n, _)| n.len())
+            .chain(self.gauges.iter().map(|(n, _)| n.len()))
+            .chain(self.spans.iter().map(|s| s.name.len()))
+            .chain(self.histograms.iter().map(|h| h.name.len()))
+            .max()
+            .unwrap_or(0)
+            .max(8);
+        if !self.counters.is_empty() {
+            out.push_str("counters\n");
+            for (n, v) in &self.counters {
+                out.push_str(&format!("  {n:width$}  {v:>12}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges\n");
+            for (n, v) in &self.gauges {
+                out.push_str(&format!("  {n:width$}  {v:>12}\n"));
+            }
+        }
+        if !self.spans.is_empty() {
+            out.push_str("spans\n");
+            for s in &self.spans {
+                out.push_str(&format!(
+                    "  {:width$}  calls {:>8}  total {:>10}  mean {:>10}  min {:>10}  max {:>10}\n",
+                    s.name,
+                    s.calls,
+                    fmt_ns(s.total_ns),
+                    fmt_ns(s.mean_ns()),
+                    fmt_ns(s.min_ns),
+                    fmt_ns(s.max_ns),
+                ));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms\n");
+            for h in &self.histograms {
+                // The `_us` naming convention marks duration histograms;
+                // everything else holds unitless values (task counts, …).
+                let fmt: fn(u64) -> String = if h.name.ends_with("_us") {
+                    fmt_us
+                } else {
+                    |v| v.to_string()
+                };
+                out.push_str(&format!(
+                    "  {:width$}  count {:>8}  mean {:>10}  p50 {:>10}  p99 {:>10}  max {:>10}\n",
+                    h.name,
+                    h.count,
+                    fmt(h.mean_us()),
+                    fmt(h.quantile_us(0.50)),
+                    fmt(h.quantile_us(0.99)),
+                    fmt(h.max_us),
+                ));
+            }
+        }
+        if out.is_empty() {
+            out.push_str("(no metrics recorded)\n");
+        }
+        out
+    }
+
+    /// Render as a JSON object with `counters`, `gauges`, `spans`, and
+    /// `histograms` keys (always present). Span fields are nanoseconds,
+    /// histogram fields microseconds — the same units the snapshot
+    /// structs carry.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        out.push_str("\"counters\":{");
+        push_pairs(
+            &mut out,
+            self.counters.iter().map(|(n, v)| (n, v.to_string())),
+        );
+        out.push_str("},\"gauges\":{");
+        push_pairs(
+            &mut out,
+            self.gauges.iter().map(|(n, v)| (n, v.to_string())),
+        );
+        out.push_str("},\"spans\":{");
+        push_pairs(
+            &mut out,
+            self.spans.iter().map(|s| {
+                (
+                    &s.name,
+                    format!(
+                        "{{\"calls\":{},\"total_ns\":{},\"mean_ns\":{},\"min_ns\":{},\"max_ns\":{}}}",
+                        s.calls,
+                        s.total_ns,
+                        s.mean_ns(),
+                        s.min_ns,
+                        s.max_ns
+                    ),
+                )
+            }),
+        );
+        out.push_str("},\"histograms\":{");
+        push_pairs(
+            &mut out,
+            self.histograms.iter().map(|h| {
+                (
+                    &h.name,
+                    format!(
+                        "{{\"count\":{},\"sum_us\":{},\"mean_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                        h.count,
+                        h.sum_us,
+                        h.mean_us(),
+                        h.quantile_us(0.50),
+                        h.quantile_us(0.90),
+                        h.quantile_us(0.99),
+                        h.max_us
+                    ),
+                )
+            }),
+        );
+        out.push_str("}}");
+        out
+    }
+}
+
+/// Append `"name":value` pairs, comma-separated. `value` is raw JSON.
+fn push_pairs<'a>(out: &mut String, pairs: impl Iterator<Item = (&'a String, String)>) {
+    let mut first = true;
+    for (name, value) in pairs {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('"');
+        out.push_str(&escape_json(name));
+        out.push_str("\":");
+        out.push_str(&value);
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslash, control chars) —
+/// metric names are plain dotted identifiers, but render defensively.
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Human duration from nanoseconds (`870ns`, `13.4µs`, `2.1ms`, `4.7s`).
+pub(crate) fn fmt_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns}ns")
+    } else if ns < 1_000_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2}s", ns as f64 / 1e9)
+    }
+}
+
+/// Human duration from microseconds.
+pub(crate) fn fmt_us(us: u64) -> String {
+    fmt_ns(us.saturating_mul(1_000))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Metrics;
+
+    fn sample() -> Metrics {
+        let m = Metrics::enabled();
+        m.counter("import.lines.resolved").add(12);
+        m.gauge("pool.workers").set(4);
+        m.span("import.resolve").enter().stop();
+        m.histogram("mc.block_us").record_us(1500);
+        m.histogram("mc.block_us").record_us(800);
+        m
+    }
+
+    #[test]
+    fn text_render_has_all_sections() {
+        let text = sample().render_text();
+        for needle in [
+            "counters",
+            "gauges",
+            "spans",
+            "histograms",
+            "import.lines.resolved",
+            "pool.workers",
+            "import.resolve",
+            "mc.block_us",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn empty_snapshot_renders_placeholder_text_and_valid_json() {
+        let snap = Snapshot::default();
+        assert!(snap.is_empty());
+        assert_eq!(snap.to_text(), "(no metrics recorded)\n");
+        assert_eq!(
+            snap.to_json(),
+            "{\"counters\":{},\"gauges\":{},\"spans\":{},\"histograms\":{}}"
+        );
+    }
+
+    #[test]
+    fn json_render_is_well_formed() {
+        let json = sample().render_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"import.lines.resolved\":12"));
+        assert!(json.contains("\"pool.workers\":4"));
+        assert!(json.contains("\"calls\":1"));
+        assert!(json.contains("\"count\":2"));
+        // Balanced braces (no nesting surprises from hand-rolled emit).
+        let opens = json.matches('{').count();
+        let closes = json.matches('}').count();
+        assert_eq!(opens, closes);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let m = Metrics::enabled();
+        let h = m.histogram("lat_us");
+        for us in [10u64, 20, 30, 40, 1000] {
+            h.record_us(us);
+        }
+        let snap = m.snapshot();
+        let hs = snap.histogram("lat_us").unwrap();
+        assert_eq!(hs.count, 5);
+        assert_eq!(hs.max_us, 1000);
+        let p50 = hs.quantile_us(0.5);
+        assert!((16..=64).contains(&p50), "p50 {p50}");
+        assert_eq!(hs.quantile_us(1.0), 1000);
+        assert!(hs.quantile_us(0.99) <= 1000);
+        assert_eq!(hs.mean_us(), 220);
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(escape_json("plain.name"), "plain.name");
+        assert_eq!(escape_json("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(escape_json("x\ny"), "x\\u000ay");
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(fmt_ns(870), "870ns");
+        assert_eq!(fmt_ns(13_400), "13.4µs");
+        assert_eq!(fmt_ns(2_100_000), "2.1ms");
+        assert_eq!(fmt_ns(4_700_000_000), "4.70s");
+        assert_eq!(fmt_us(1500), "1.5ms");
+    }
+}

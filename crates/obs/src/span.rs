@@ -1,0 +1,182 @@
+//! Span timers: scoped wall-time accounting with call counts.
+//!
+//! A [`Span`] names one stage of the pipeline (`import.resolve`,
+//! `analyze.mc`). [`Span::enter`] returns a [`SpanGuard`]; when the
+//! guard drops (or [`SpanGuard::stop`] is called), one call and its
+//! monotonic wall time are recorded. Nested stages derive child spans
+//! with [`Span::child`], which joins names with a dot — the registry
+//! then reads as a flattened tree.
+//!
+//! Spans from disabled registries are fully inert: entering one reads
+//! no clock and the guard's drop is a no-op.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use crate::Metrics;
+
+/// Atomic accumulator behind one span name: call count, total wall
+/// nanoseconds, and the min/max single-call times.
+#[derive(Debug)]
+pub(crate) struct SpanStat {
+    calls: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Default for SpanStat {
+    fn default() -> SpanStat {
+        SpanStat {
+            calls: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SpanStat {
+    fn record_ns(&self, ns: u64) {
+        self.calls.fetch_add(1, Ordering::Relaxed);
+        self.total_ns.fetch_add(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// `(calls, total_ns, min_ns, max_ns)`; min is 0 when never called.
+    pub(crate) fn read(&self) -> (u64, u64, u64, u64) {
+        let calls = self.calls.load(Ordering::Relaxed);
+        let min = self.min_ns.load(Ordering::Relaxed);
+        (
+            calls,
+            self.total_ns.load(Ordering::Relaxed),
+            if calls == 0 { 0 } else { min },
+            self.max_ns.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// A named span timer (see the module docs). Clone freely; clones
+/// record into the same accumulator.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Registry handle, kept so [`Span::child`] can register new names.
+    metrics: Metrics,
+    name: String,
+    stat: Option<Arc<SpanStat>>,
+}
+
+impl Span {
+    pub(crate) fn new(metrics: Metrics, name: String, stat: Option<Arc<SpanStat>>) -> Span {
+        Span {
+            metrics,
+            name,
+            stat,
+        }
+    }
+
+    /// An inert span — what disabled registries vend. Allocation-free.
+    pub fn noop() -> Span {
+        Span {
+            metrics: Metrics::disabled(),
+            name: String::new(),
+            stat: None,
+        }
+    }
+
+    /// The span's full dotted name (empty for a no-op span).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Start one timed call; the returned guard records on drop.
+    #[inline]
+    pub fn enter(&self) -> SpanGuard {
+        SpanGuard {
+            stat: self.stat.clone(),
+            start: self.stat.as_ref().map(|_| Instant::now()),
+        }
+    }
+
+    /// A nested span named `parent.suffix`. On a no-op span this stays
+    /// no-op without touching any registry.
+    pub fn child(&self, suffix: &str) -> Span {
+        if self.stat.is_none() {
+            return Span::noop();
+        }
+        self.metrics.span(&format!("{}.{}", self.name, suffix))
+    }
+}
+
+/// Scoped guard of one span call, vended by [`Span::enter`]. Records
+/// exactly once — on [`SpanGuard::stop`] or on drop.
+#[derive(Debug)]
+pub struct SpanGuard {
+    stat: Option<Arc<SpanStat>>,
+    start: Option<Instant>,
+}
+
+impl SpanGuard {
+    /// Record now and consume the guard (useful to end a span before
+    /// scope end).
+    pub fn stop(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if let (Some(stat), Some(start)) = (self.stat.take(), self.start.take()) {
+            stat.record_ns(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stat_accumulates_and_tracks_extremes() {
+        let s = SpanStat::default();
+        s.record_ns(10);
+        s.record_ns(30);
+        let (calls, total, min, max) = s.read();
+        assert_eq!(calls, 2);
+        assert_eq!(total, 40);
+        assert_eq!(min, 10);
+        assert_eq!(max, 30);
+    }
+
+    #[test]
+    fn unused_stat_reads_zero_min() {
+        let (calls, total, min, max) = SpanStat::default().read();
+        assert_eq!((calls, total, min, max), (0, 0, 0, 0));
+    }
+
+    #[test]
+    fn noop_span_is_inert() {
+        let span = Span::noop();
+        assert_eq!(span.name(), "");
+        let guard = span.enter();
+        assert!(guard.start.is_none(), "no clock read when disabled");
+        guard.stop();
+        let child = span.child("sub");
+        assert_eq!(child.name(), "");
+    }
+
+    #[test]
+    fn guard_records_once_via_stop_or_drop() {
+        let m = Metrics::enabled();
+        let span = m.span("s");
+        span.enter().stop();
+        drop(span.enter());
+        assert_eq!(m.snapshot().span("s").unwrap().calls, 2);
+    }
+}

@@ -20,6 +20,7 @@
 //! [`Importer::import`] is the single-threaded special case.
 
 use culinaria_flavordb::{FlavorDb, IngredientId};
+use culinaria_obs::Metrics;
 use culinaria_stats::pool;
 use culinaria_text::alias::{AliasResolver, ResolveScratch};
 
@@ -63,13 +64,17 @@ pub struct ImportStats {
 }
 
 /// Per-recipe resolution result, produced by workers and merged
-/// serially in task order.
+/// serially in task order. The memo deltas travel alongside so the
+/// observed import can total cache efficacy without the workers ever
+/// touching a metrics registry.
 #[derive(Debug, Clone)]
 struct ResolvedRecipe {
     ingredients: Vec<IngredientId>,
     lines_resolved: usize,
     lines_unresolved: usize,
     unresolved: Vec<String>,
+    memo_hits: u64,
+    memo_misses: u64,
 }
 
 /// The importer: owns an [`AliasResolver`] primed from a [`FlavorDb`]'s
@@ -167,11 +172,14 @@ impl Importer {
         raw: &RawRecipe,
         scratch: &mut ResolveScratch,
     ) -> ResolvedRecipe {
+        let (hits_before, misses_before) = scratch.memo_stats();
         let mut out = ResolvedRecipe {
             ingredients: Vec::new(),
             lines_resolved: 0,
             lines_unresolved: 0,
             unresolved: Vec::new(),
+            memo_hits: 0,
+            memo_misses: 0,
         };
         for line in &raw.ingredient_lines {
             let (ids, unresolved) = self.resolve_line_with(db, line, scratch);
@@ -183,6 +191,9 @@ impl Importer {
             out.ingredients.extend(ids);
             out.unresolved.extend(unresolved);
         }
+        let (hits_after, misses_after) = scratch.memo_stats();
+        out.memo_hits = hits_after - hits_before;
+        out.memo_misses = misses_after - misses_before;
         out
     }
 
@@ -214,10 +225,48 @@ impl Importer {
         raw: &[RawRecipe],
         n_threads: usize,
     ) -> Result<ImportStats> {
-        let resolved = pool::run(n_threads, raw.len(), ResolveScratch::new, |scratch, i| {
-            self.resolve_recipe(db, &raw[i], scratch)
-        });
+        self.import_batch_observed(db, store, raw, n_threads, &Metrics::disabled())
+    }
 
+    /// [`Importer::import_batch`] instrumented through `metrics`:
+    ///
+    /// * spans `import.resolve` (the parallel resolve fan-out) and
+    ///   `import.merge` (the serial task-order merge);
+    /// * counters `import.recipes.{offered,stored,dropped}` and
+    ///   `import.lines.{resolved,unresolved}` mirroring [`ImportStats`];
+    /// * counters `import.memo.{hits,misses}` totalling the per-worker
+    ///   memo caches (cache efficacy — these vary with scheduling at
+    ///   more than one thread, which is why they live here and not in
+    ///   [`ImportStats`]);
+    /// * the shared `pool.*` instruments via
+    ///   [`pool::run_observed`].
+    ///
+    /// Stored recipes and the returned stats are bit-identical to the
+    /// unobserved path — instrumentation records, it never steers.
+    pub fn import_batch_observed(
+        &self,
+        db: &FlavorDb,
+        store: &mut RecipeStore,
+        raw: &[RawRecipe],
+        n_threads: usize,
+        metrics: &Metrics,
+    ) -> Result<ImportStats> {
+        let pool_obs = pool::PoolObs::new(metrics);
+        let resolve_span = metrics.span("import.resolve");
+        let guard = resolve_span.enter();
+        let resolved = pool::run_observed(
+            n_threads,
+            raw.len(),
+            &pool_obs,
+            ResolveScratch::new,
+            |scratch, i| self.resolve_recipe(db, &raw[i], scratch),
+        );
+        guard.stop();
+
+        let merge_span = metrics.span("import.merge");
+        let merge_guard = merge_span.enter();
+        let mut memo_hits = 0u64;
+        let mut memo_misses = 0u64;
         let mut stats = ImportStats {
             offered: raw.len(),
             ..ImportStats::default()
@@ -233,6 +282,8 @@ impl Importer {
         for (r, raw_recipe) in resolved.into_iter().zip(raw) {
             stats.lines_resolved += r.lines_resolved;
             stats.lines_unresolved += r.lines_unresolved;
+            memo_hits += r.memo_hits;
+            memo_misses += r.memo_misses;
             for tok in r.unresolved {
                 *token_counts.entry(tok).or_insert(0) += 1;
             }
@@ -252,6 +303,27 @@ impl Importer {
         stats
             .unresolved_tokens
             .sort_unstable_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        merge_guard.stop();
+
+        if metrics.is_enabled() {
+            metrics
+                .counter("import.recipes.offered")
+                .add(stats.offered as u64);
+            metrics
+                .counter("import.recipes.stored")
+                .add(stats.stored as u64);
+            metrics
+                .counter("import.recipes.dropped")
+                .add(stats.dropped as u64);
+            metrics
+                .counter("import.lines.resolved")
+                .add(stats.lines_resolved as u64);
+            metrics
+                .counter("import.lines.unresolved")
+                .add(stats.lines_unresolved as u64);
+            metrics.counter("import.memo.hits").add(memo_hits);
+            metrics.counter("import.memo.misses").add(memo_misses);
+        }
         Ok(stats)
     }
 }
@@ -413,6 +485,86 @@ mod tests {
             for (a, b) in store.recipes().zip(serial_store.recipes()) {
                 assert_eq!(a, b, "recipe diverged at {threads} threads");
             }
+        }
+    }
+
+    #[test]
+    fn observed_import_matches_and_records() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let raws = vec![
+            raw("a", &["3 ripe tomatoes", "1 tbsp olive oil"]),
+            raw("b", &["3 ripe tomatoes", "zanthum gum"]),
+            raw("c", &["nothing known here"]),
+        ];
+        let mut plain_store = RecipeStore::new();
+        let plain = importer
+            .import_batch(&db, &mut plain_store, &raws, 1)
+            .unwrap();
+
+        let metrics = Metrics::enabled();
+        let mut store = RecipeStore::new();
+        let stats = importer
+            .import_batch_observed(&db, &mut store, &raws, 1, &metrics)
+            .unwrap();
+        assert_eq!(stats, plain);
+        assert_eq!(store.n_recipes(), plain_store.n_recipes());
+
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("import.recipes.offered"), Some(3));
+        assert_eq!(
+            snap.counter("import.recipes.stored"),
+            Some(stats.stored as u64)
+        );
+        assert_eq!(
+            snap.counter("import.recipes.dropped"),
+            Some(stats.dropped as u64)
+        );
+        assert_eq!(
+            snap.counter("import.lines.resolved"),
+            Some(stats.lines_resolved as u64)
+        );
+        assert_eq!(
+            snap.counter("import.lines.unresolved"),
+            Some(stats.lines_unresolved as u64)
+        );
+        // One worker, so every line is a memo hit or a miss; the
+        // repeated tomato line is the single hit.
+        let hits = snap.counter("import.memo.hits").unwrap();
+        let misses = snap.counter("import.memo.misses").unwrap();
+        assert_eq!(hits + misses, 5);
+        assert_eq!(hits, 1);
+        // The pool and both import spans recorded.
+        assert_eq!(snap.counter("pool.runs"), Some(1));
+        assert_eq!(snap.span("import.resolve").unwrap().calls, 1);
+        assert_eq!(snap.span("import.merge").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn observed_import_is_bit_identical_across_threads() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let raws: Vec<RawRecipe> = (0..16)
+            .map(|i| raw(&format!("r{i}"), &["3 ripe tomatoes", "2 cloves garlic"]))
+            .collect();
+        let mut plain_store = RecipeStore::new();
+        let plain = importer.import(&db, &mut plain_store, &raws).unwrap();
+        for threads in [2, 8] {
+            let metrics = Metrics::enabled();
+            let mut store = RecipeStore::new();
+            let stats = importer
+                .import_batch_observed(&db, &mut store, &raws, threads, &metrics)
+                .unwrap();
+            assert_eq!(stats, plain, "stats diverged at {threads} threads");
+            for (a, b) in store.recipes().zip(plain_store.recipes()) {
+                assert_eq!(a, b, "recipe diverged at {threads} threads");
+            }
+            // Memo totals vary with the schedule, but hits + misses is
+            // always the total line count.
+            let snap = metrics.snapshot();
+            let hits = snap.counter("import.memo.hits").unwrap();
+            let misses = snap.counter("import.memo.misses").unwrap();
+            assert_eq!(hits + misses, 32);
         }
     }
 

@@ -18,10 +18,21 @@
 //! Workers can carry mutable per-worker scratch state (`init` builds
 //! one per worker), which is how the samplers reuse allocation-free
 //! buffers across tasks.
+//!
+//! # Observability
+//!
+//! [`run_observed`] is [`run`] plus pool telemetry through a
+//! [`PoolObs`] handle (queue depth, per-worker claimed-task counts and
+//! busy time). Instrumentation never influences scheduling or results,
+//! and a disabled handle reduces every probe to one branch — [`run`]
+//! itself delegates to [`run_observed`] with a disabled handle.
 
 use std::cell::UnsafeCell;
 use std::mem::MaybeUninit;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+use culinaria_obs::{Counter, Gauge, Histogram, Metrics};
 
 /// Resolve a requested thread count: `0` means "use the machine",
 /// anything else is taken literally (callers cap by task count).
@@ -71,6 +82,54 @@ impl<T> Slots<T> {
     }
 }
 
+/// Pool telemetry handles, prefetched once so workers never touch the
+/// metrics registry. All pool call sites share one `pool.*` namespace:
+///
+/// * `pool.runs` — pool invocations (counter);
+/// * `pool.tasks` — total tasks executed (counter);
+/// * `pool.queue.depth` — task count of the most recent run (gauge);
+/// * `pool.workers` — worker count of the most recent run (gauge);
+/// * `pool.worker.tasks` — tasks claimed per worker per run (histogram,
+///   unitless — its spread shows load balance);
+/// * `pool.worker.busy_us` — per-worker wall time inside the claim loop
+///   per run (histogram).
+#[derive(Debug, Clone, Default)]
+pub struct PoolObs {
+    runs: Counter,
+    tasks: Counter,
+    queue_depth: Gauge,
+    workers: Gauge,
+    worker_tasks: Histogram,
+    worker_busy: Histogram,
+    enabled: bool,
+}
+
+impl PoolObs {
+    /// Register the `pool.*` instruments on `metrics` (no-op handles
+    /// for a disabled registry).
+    pub fn new(metrics: &Metrics) -> PoolObs {
+        PoolObs {
+            runs: metrics.counter("pool.runs"),
+            tasks: metrics.counter("pool.tasks"),
+            queue_depth: metrics.gauge("pool.queue.depth"),
+            workers: metrics.gauge("pool.workers"),
+            worker_tasks: metrics.histogram("pool.worker.tasks"),
+            worker_busy: metrics.histogram("pool.worker.busy_us"),
+            enabled: metrics.is_enabled(),
+        }
+    }
+
+    /// A fully inert handle — what [`run`] uses.
+    pub fn disabled() -> PoolObs {
+        PoolObs::default()
+    }
+
+    /// True when the probes record anywhere.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+}
+
 /// Run `n_tasks` independent tasks across `n_threads` workers and
 /// return their results **in task order**.
 ///
@@ -89,13 +148,44 @@ where
     Init: Fn() -> S + Sync,
     Task: Fn(&mut S, usize) -> T + Sync,
 {
+    run_observed(n_threads, n_tasks, &PoolObs::disabled(), init, task)
+}
+
+/// [`run`] with pool telemetry: queue depth and worker count are set at
+/// entry, and each worker records its claimed-task count and busy time
+/// when its claim loop drains. The task results are identical to
+/// [`run`]'s — telemetry observes the schedule, it never alters it.
+///
+/// Note the per-worker numbers describe *this run's actual schedule*,
+/// which legitimately varies with thread count and OS timing; only the
+/// task results carry the bit-identity contract.
+pub fn run_observed<S, T, Init, Task>(
+    n_threads: usize,
+    n_tasks: usize,
+    obs: &PoolObs,
+    init: Init,
+    task: Task,
+) -> Vec<T>
+where
+    T: Send,
+    Init: Fn() -> S + Sync,
+    Task: Fn(&mut S, usize) -> T + Sync,
+{
     if n_tasks == 0 {
         return Vec::new();
     }
     let n_threads = effective_threads(n_threads).min(n_tasks).max(1);
+    obs.runs.incr();
+    obs.tasks.add(n_tasks as u64);
+    obs.queue_depth.set(n_tasks as i64);
+    obs.workers.set(n_threads as i64);
     if n_threads == 1 {
+        let timer = obs.worker_busy.start();
         let mut state = init();
-        return (0..n_tasks).map(|i| task(&mut state, i)).collect();
+        let out = (0..n_tasks).map(|i| task(&mut state, i)).collect();
+        timer.stop();
+        obs.worker_tasks.record(n_tasks as u64);
+        return out;
     }
 
     let slots = Slots::new(n_tasks);
@@ -107,6 +197,9 @@ where
         let task = &task;
         for _ in 0..n_threads {
             scope.spawn(move || {
+                // One clock read per worker per run — nothing per task.
+                let started = obs.is_enabled().then(Instant::now);
+                let mut claimed = 0u64;
                 let mut state = init();
                 loop {
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
@@ -114,9 +207,14 @@ where
                         break;
                     }
                     let result = task(&mut state, i);
+                    claimed += 1;
                     // SAFETY: `i` came from the shared cursor, so this
                     // worker is its unique writer.
                     unsafe { slots.write(i, result) };
+                }
+                if let Some(started) = started {
+                    obs.worker_busy.record_duration(started.elapsed());
+                    obs.worker_tasks.record(claimed);
                 }
             });
         }
@@ -182,5 +280,46 @@ mod tests {
     fn effective_threads_resolution() {
         assert_eq!(effective_threads(3), 3);
         assert!(effective_threads(0) >= 1);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run() {
+        let metrics = Metrics::enabled();
+        let obs = PoolObs::new(&metrics);
+        for threads in [1, 2, 8] {
+            let observed = run_observed(threads, 50, &obs, || (), |_, i| i * 3);
+            let plain = run(threads, 50, || (), |_, i| i * 3);
+            assert_eq!(observed, plain, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn observed_run_records_pool_metrics() {
+        let metrics = Metrics::enabled();
+        let obs = PoolObs::new(&metrics);
+        assert!(obs.is_enabled());
+        run_observed(4, 32, &obs, || (), |_, i| i);
+        run_observed(1, 5, &obs, || (), |_, i| i);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("pool.runs"), Some(2));
+        assert_eq!(snap.counter("pool.tasks"), Some(37));
+        // Gauges hold the most recent run's shape.
+        assert_eq!(snap.gauge("pool.queue.depth"), Some(5));
+        assert_eq!(snap.gauge("pool.workers"), Some(1));
+        // Every participating worker recorded exactly one busy-time and
+        // one claimed-count sample.
+        let tasks = snap.histogram("pool.worker.tasks").expect("recorded");
+        let busy = snap.histogram("pool.worker.busy_us").expect("recorded");
+        assert_eq!(tasks.count, busy.count);
+        // Claimed counts sum to total tasks across both runs.
+        assert_eq!(tasks.sum_us, 37);
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let obs = PoolObs::disabled();
+        assert!(!obs.is_enabled());
+        let out = run_observed(3, 20, &obs, || (), |_, i| i + 1);
+        assert_eq!(out.len(), 20);
     }
 }

@@ -171,6 +171,11 @@ pub struct ResolveScratch {
     /// so the bound is hard and the policy deterministic).
     memo: HashMap<String, Resolution>,
     memo_capacity: usize,
+    /// Lifetime memo-cache hits (monotonic; survives cache clears).
+    memo_hits: u64,
+    /// Lifetime memo-cache misses, i.e. full trie walks. A scratch with
+    /// memoization disabled counts every resolve here.
+    memo_misses: u64,
 }
 
 impl Default for ResolveScratch {
@@ -197,12 +202,21 @@ impl ResolveScratch {
             candidates: Vec::new(),
             memo: HashMap::new(),
             memo_capacity: capacity,
+            memo_hits: 0,
+            memo_misses: 0,
         }
     }
 
     /// Number of lines currently memoized.
     pub fn memo_len(&self) -> usize {
         self.memo.len()
+    }
+
+    /// Lifetime `(hits, misses)` of the memo cache — the cache-efficacy
+    /// numbers the observed import pipeline reports (`import.memo.*`).
+    /// Monotonic across cache clears; a miss is one full trie walk.
+    pub fn memo_stats(&self) -> (u64, u64) {
+        (self.memo_hits, self.memo_misses)
     }
 
     /// The text of cleaned token `i` (valid after a resolve).
@@ -576,10 +590,29 @@ impl AliasResolver {
     /// entry point. Checks the scratch's memo cache first, then walks
     /// token-id windows down the phrase trie, longest match first, with
     /// the deletion-indexed fuzzy fallback for lone tokens.
+    ///
+    /// ```
+    /// use culinaria_text::alias::{AliasResolver, ResolveScratch};
+    ///
+    /// let mut resolver = AliasResolver::new();
+    /// resolver.add_canonical("olive oil");
+    /// let mut scratch = ResolveScratch::new();
+    ///
+    /// let first = resolver.resolve_with("2 tbsp Olive Oil", &mut scratch);
+    /// assert_eq!(first.matches[0].canonical, "olive oil");
+    ///
+    /// // A repeated line comes from the scratch's memo cache — same
+    /// // result, no trie walk.
+    /// let again = resolver.resolve_with("2 tbsp Olive Oil", &mut scratch);
+    /// assert_eq!(again, first);
+    /// assert_eq!(scratch.memo_stats(), (1, 1)); // (hits, misses)
+    /// ```
     pub fn resolve_with(&self, phrase: &str, scratch: &mut ResolveScratch) -> Resolution {
         if let Some(hit) = scratch.memo.get(phrase) {
+            scratch.memo_hits += 1;
             return hit.clone();
         }
+        scratch.memo_misses += 1;
         self.clean_into(phrase, scratch);
         let n_tokens = scratch.ids.len();
         let mut matches = Vec::new();
@@ -885,6 +918,20 @@ mod tests {
             r.resolve_with("250g curd", &mut scratch),
             r.resolve("250g curd")
         );
+        // Hit/miss accounting is monotonic across the wholesale clear:
+        // hits for "3 ripe tomatoes" and the "250g curd" re-resolve
+        // (inserted right after the clear), misses for the three
+        // distinct first-time lines.
+        assert_eq!(scratch.memo_stats(), (2, 3));
+    }
+
+    #[test]
+    fn memo_disabled_counts_every_resolve_as_miss() {
+        let r = resolver();
+        let mut scratch = ResolveScratch::with_memo_capacity(0);
+        r.resolve_with("3 ripe tomatoes", &mut scratch);
+        r.resolve_with("3 ripe tomatoes", &mut scratch);
+        assert_eq!(scratch.memo_stats(), (0, 2));
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * [`datagen`] — calibrated synthetic world generator (CulinaryDB stand-in)
 //! * [`analysis`] — the paper's contribution: food-pairing analysis,
 //!   null models, Monte-Carlo engine, ingredient contribution
+//! * [`obs`] — the hand-rolled observability layer (span timers,
+//!   counters, histograms) the pipeline and the CLI `--metrics` flag
+//!   record into
 //!
 //! ## Quickstart
 //!
@@ -35,6 +38,7 @@
 pub use culinaria_core as analysis;
 pub use culinaria_datagen as datagen;
 pub use culinaria_flavordb as flavordb;
+pub use culinaria_obs as obs;
 pub use culinaria_recipedb as recipedb;
 pub use culinaria_stats as stats;
 pub use culinaria_tabular as tabular;

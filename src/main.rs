@@ -3,11 +3,16 @@
 //!
 //! ```text
 //! culinaria generate [--scale S] [--seed N] [--out DIR]
-//! culinaria analyze  [--scale S] [--seed N] [--mc N]
-//! culinaria report   <REGION> [--scale S] [--seed N]
+//! culinaria analyze  [--scale S] [--seed N] [--mc N] [--metrics[=json]]
+//! culinaria report   <REGION> [--scale S] [--seed N] [--metrics[=json]]
+//! culinaria import   <FILE> [--threads N] [--metrics[=json]]
 //! culinaria pairings <REGION> [--scale S] [--top K]
 //! culinaria regions
 //! ```
+//!
+//! `--metrics` renders the observability registry (spans, counters,
+//! histograms — see `culinaria-obs`) to stderr when the command
+//! finishes; `--metrics=json` renders it as one JSON object instead.
 
 use std::collections::HashMap;
 use std::io::Write;
@@ -16,10 +21,14 @@ use std::process::ExitCode;
 use culinaria::analysis::contribution::top_contributors;
 use culinaria::analysis::generation::{Objective, RecipeGenerator};
 use culinaria::analysis::pairing::OverlapCache;
-use culinaria::analysis::z_analysis::{analyses_to_frame, analyze_cuisine, analyze_world};
+use culinaria::analysis::z_analysis::{
+    analyses_to_frame, analyze_cuisine_observed, analyze_world_observed,
+};
 use culinaria::analysis::{MonteCarloConfig, NullModel};
 use culinaria::datagen::{generate_world, World, WorldConfig};
-use culinaria::recipedb::Region;
+use culinaria::obs::Metrics;
+use culinaria::recipedb::import::{Importer, RawRecipe};
+use culinaria::recipedb::{RecipeStore, Region, Source};
 
 struct Args {
     flags: HashMap<String, String>,
@@ -32,9 +41,16 @@ fn parse_args(raw: &[String]) -> Args {
     let mut i = 0;
     while i < raw.len() {
         if let Some(name) = raw[i].strip_prefix("--") {
-            // A `--`-prefixed successor is the next flag, not a value —
-            // boolean flags (`--uniform`, `--contrast`) must not swallow
-            // it, whatever order the flags come in.
+            // `--name=value` binds inline; otherwise a non-`--`
+            // successor is the value. A `--`-prefixed successor is the
+            // next flag, not a value — boolean flags (`--uniform`,
+            // `--contrast`) must not swallow it, whatever order the
+            // flags come in.
+            if let Some((name, value)) = name.split_once('=') {
+                flags.insert(name.to_owned(), value.to_owned());
+                i += 1;
+                continue;
+            }
             let value = match raw.get(i + 1) {
                 Some(next) if !next.starts_with("--") => {
                     i += 2;
@@ -61,6 +77,42 @@ impl Args {
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
     }
+
+    /// The metrics sink selected by `--metrics` (text) or
+    /// `--metrics=json`; disabled (zero-cost no-op) when absent.
+    fn metrics(&self) -> MetricsSink {
+        match self.flags.get("metrics").map(String::as_str) {
+            None => MetricsSink {
+                metrics: Metrics::disabled(),
+                json: false,
+            },
+            Some(mode) => MetricsSink {
+                metrics: Metrics::enabled(),
+                json: mode == "json",
+            },
+        }
+    }
+}
+
+/// A [`Metrics`] handle plus the output format `--metrics` selected.
+struct MetricsSink {
+    metrics: Metrics,
+    json: bool,
+}
+
+impl MetricsSink {
+    /// Render the registry to stderr (stdout stays the command's data).
+    /// No-op when metrics were not requested.
+    fn dump(&self) {
+        if !self.metrics.is_enabled() {
+            return;
+        }
+        if self.json {
+            eprintln!("{}", self.metrics.render_json());
+        } else {
+            eprint!("{}", self.metrics.render_text());
+        }
+    }
 }
 
 fn build_world(args: &Args) -> World {
@@ -74,15 +126,59 @@ fn build_world(args: &Args) -> World {
     generate_world(&cfg)
 }
 
+/// Parse the `import` command's plain-text recipe format: recipes are
+/// blank-line-separated blocks, the first line of each block is
+/// `name | REGION_CODE`, every following line is one free-text
+/// ingredient line. `#` starts a comment line anywhere.
+fn parse_raw_recipes(text: &str) -> Result<Vec<RawRecipe>, String> {
+    let mut raws = Vec::new();
+    let mut block: Vec<(usize, &str)> = Vec::new();
+    // A sentinel blank line flushes the final block without a special case.
+    for (idx, line) in text.lines().chain(std::iter::once("")).enumerate() {
+        let line = line.trim();
+        if line.starts_with('#') {
+            continue;
+        }
+        if !line.is_empty() {
+            block.push((idx + 1, line));
+            continue;
+        }
+        let Some(((header_line, header), ingredients)) = block.split_first() else {
+            continue;
+        };
+        let Some((name, code)) = header.split_once('|') else {
+            return Err(format!(
+                "line {header_line}: recipe header must be `name | REGION_CODE`, got {header:?}"
+            ));
+        };
+        let code = code.trim();
+        let region = code
+            .parse::<Region>()
+            .map_err(|_| format!("line {header_line}: unknown region code {code:?}"))?;
+        raws.push(RawRecipe {
+            name: name.trim().to_owned(),
+            region,
+            source: Source::Synthetic,
+            ingredient_lines: ingredients.iter().map(|(_, l)| (*l).to_owned()).collect(),
+        });
+        block.clear();
+    }
+    Ok(raws)
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          culinaria generate [--scale S] [--seed N] [--out DIR]   write dataset snapshots + CSV\n  \
          culinaria analyze  [--scale S] [--seed N] [--mc N]      Fig-4 z-score table\n  \
          culinaria report   <REGION> [--scale S] [--seed N]      one cuisine in depth\n  \
+         culinaria import   <FILE> [--threads N]                 import raw recipes from a file\n  \
          culinaria pairings <REGION> [--scale S] [--top K]       novel pairing suggestions\n  \
          culinaria suggest  <REGION> [--size N] [--uniform|--contrast]  generate a recipe\n  \
-         culinaria regions                                       list Table 1 regions"
+         culinaria regions                                       list Table 1 regions\n\
+         \n\
+         analyze, report and import accept --metrics[=json]: a pipeline-\n\
+         telemetry dump (spans, counters, histograms) on stderr at exit."
     );
     ExitCode::from(2)
 }
@@ -153,7 +249,14 @@ fn main() -> ExitCode {
                 seed: args.flag("seed", 2018u64),
                 n_threads: 0,
             };
-            let analyses = analyze_world(&world.flavor, &world.recipes, &NullModel::ALL, &mc);
+            let sink = args.metrics();
+            let analyses = analyze_world_observed(
+                &world.flavor,
+                &world.recipes,
+                &NullModel::ALL,
+                &mc,
+                &sink.metrics,
+            );
             println!("{}", analyses_to_frame(&analyses).to_table_string(22));
             let matches = analyses
                 .iter()
@@ -162,6 +265,60 @@ fn main() -> ExitCode {
                 })
                 .count();
             println!("pairing-sign agreement with the paper: {matches}/22");
+            sink.dump();
+            ExitCode::SUCCESS
+        }
+        "import" => {
+            let Some(path) = args.positional.first() else {
+                eprintln!("import needs a file path (see --help for the format)");
+                return ExitCode::from(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let raws = match parse_raw_recipes(&text) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("{path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let db = culinaria::flavordb::curated::curated_db();
+            let importer = Importer::from_flavor_db(&db);
+            let mut store = RecipeStore::new();
+            let sink = args.metrics();
+            let stats = match importer.import_batch_observed(
+                &db,
+                &mut store,
+                &raws,
+                args.flag("threads", 0usize),
+                &sink.metrics,
+            ) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("import failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "imported {}/{} recipes ({} dropped), {} lines resolved, {} unresolved",
+                stats.stored,
+                stats.offered,
+                stats.dropped,
+                stats.lines_resolved,
+                stats.lines_unresolved
+            );
+            if !stats.unresolved_tokens.is_empty() {
+                println!("top unresolved tokens (curation worklist):");
+                for (tok, count) in stats.unresolved_tokens.iter().take(10) {
+                    println!("  {count:>4}× {tok}");
+                }
+            }
+            sink.dump();
             ExitCode::SUCCESS
         }
         "report" => {
@@ -180,8 +337,14 @@ fn main() -> ExitCode {
                 seed: args.flag("seed", 2018u64),
                 n_threads: 0,
             };
-            let Some(analysis) = analyze_cuisine(&world.flavor, &cuisine, &NullModel::ALL, &mc)
-            else {
+            let sink = args.metrics();
+            let Some(analysis) = analyze_cuisine_observed(
+                &world.flavor,
+                &cuisine,
+                &NullModel::ALL,
+                &mc,
+                &sink.metrics,
+            ) else {
                 eprintln!("{region}: no pairing-bearing recipes");
                 return ExitCode::FAILURE;
             };
@@ -208,6 +371,7 @@ fn main() -> ExitCode {
                     c.name, c.percent_change, c.n_recipes
                 );
             }
+            sink.dump();
             ExitCode::SUCCESS
         }
         "suggest" => {
@@ -326,5 +490,41 @@ mod tests {
         assert_eq!(args.flag("seed", 2018u64), 7);
         // Missing flag falls back to the default.
         assert_eq!(args.flag("mc", 20_000usize), 20_000);
+    }
+
+    #[test]
+    fn equals_syntax_binds_inline() {
+        let args = parse(&["analyze", "--scale=0.5", "--metrics=json", "--seed", "7"]);
+        assert_eq!(args.positional, vec!["analyze"]);
+        assert!((args.flag("scale", 0.1f64) - 0.5).abs() < 1e-12);
+        assert_eq!(args.flags.get("metrics").map(String::as_str), Some("json"));
+        assert_eq!(args.flag("seed", 2018u64), 7);
+    }
+
+    #[test]
+    fn metrics_flag_selects_sink() {
+        assert!(!parse(&["analyze"]).metrics().metrics.is_enabled());
+        let text = parse(&["analyze", "--metrics"]).metrics();
+        assert!(text.metrics.is_enabled() && !text.json);
+        let json = parse(&["analyze", "--metrics=json"]).metrics();
+        assert!(json.metrics.is_enabled() && json.json);
+    }
+
+    #[test]
+    fn raw_recipe_format_parses() {
+        let text = "# comment\nPesto Pasta | ITA\n2 cups basil\n1/2 cup olive oil\n\n\
+                    Miso Soup | JPN\n1 tbsp miso paste\n";
+        let raws = parse_raw_recipes(text).expect("parses");
+        assert_eq!(raws.len(), 2);
+        assert_eq!(raws[0].name, "Pesto Pasta");
+        assert_eq!(raws[0].ingredient_lines.len(), 2);
+        assert_eq!(raws[1].region.to_string(), "JPN");
+        assert_eq!(raws[1].source, Source::Synthetic);
+    }
+
+    #[test]
+    fn raw_recipe_format_rejects_bad_headers() {
+        assert!(parse_raw_recipes("No Region Here\nbasil\n").is_err());
+        assert!(parse_raw_recipes("Dish | NOPE\nbasil\n").is_err());
     }
 }
