@@ -38,6 +38,7 @@ pub mod classify;
 pub mod composition;
 pub mod contribution;
 pub mod cooking;
+pub mod error;
 pub mod evolution;
 pub mod fingerprint;
 pub mod generation;
@@ -52,6 +53,7 @@ pub mod size_dist;
 pub mod taste;
 pub mod z_analysis;
 
+pub use error::{FailureCause, StageFailure};
 pub use monte_carlo::MonteCarloConfig;
 pub use null_models::NullModel;
 pub use pairing::{mean_cuisine_score, recipe_pairing_score, OverlapCache};

@@ -19,10 +19,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use culinaria_obs::Metrics;
-use culinaria_stats::pool;
 use culinaria_stats::rng::derive_seed;
+use culinaria_stats::{fault, pool};
 use culinaria_stats::{NullEnsemble, RunningStats};
 
+use crate::error::StageFailure;
 use crate::null_models::{CuisineSampler, NullModel, SampleScratch};
 use crate::pairing::OverlapCache;
 
@@ -132,27 +133,56 @@ pub fn run_null_model_observed(
     cfg: &MonteCarloConfig,
     metrics: &Metrics,
 ) -> Option<NullEnsemble> {
+    try_run_null_model_observed(cache, sampler, model, cfg, metrics)
+        .unwrap_or_else(|failure| panic!("Monte-Carlo run failed: {failure}"))
+}
+
+/// Fallible [`run_null_model`]: a panicking sampling block becomes a
+/// structured [`StageFailure`] at stage `mc.block` (lowest block index
+/// wins) instead of a crash.
+pub fn try_run_null_model(
+    cache: &OverlapCache,
+    sampler: &CuisineSampler,
+    model: NullModel,
+    cfg: &MonteCarloConfig,
+) -> Result<Option<NullEnsemble>, StageFailure> {
+    try_run_null_model_observed(cache, sampler, model, cfg, &Metrics::disabled())
+}
+
+/// Fallible [`run_null_model_observed`]. On success the ensemble and
+/// recorded metrics are bit-identical to the infallible run; on failure
+/// the `error.mc.block` counter is bumped and the lowest failing block
+/// index is reported, identically for any thread count.
+pub fn try_run_null_model_observed(
+    cache: &OverlapCache,
+    sampler: &CuisineSampler,
+    model: NullModel,
+    cfg: &MonteCarloConfig,
+    metrics: &Metrics,
+) -> Result<Option<NullEnsemble>, StageFailure> {
     let n_blocks = cfg.n_recipes.div_ceil(BLOCK);
     if n_blocks == 0 {
-        return None;
+        return Ok(None);
     }
     let run_span = metrics.span("mc.run");
     let run_guard = run_span.enter();
     metrics.counter("mc.recipes").add(cfg.n_recipes as u64);
     metrics.counter("mc.blocks").add(n_blocks as u64);
     let block_hist = metrics.histogram("mc.block_us");
-    let blocks = pool::run_observed(
+    let blocks = pool::try_run_observed(
         cfg.n_threads,
         n_blocks,
         &pool::PoolObs::new(metrics),
         McScratch::new,
-        |scratch, b| {
+        |scratch, b| -> Result<RunningStats, fault::InjectedFault> {
+            fault::probe("mc.block", b)?;
             let timer = block_hist.start();
             let stats = block_stats(cache, sampler, model, cfg.seed, b, cfg.n_recipes, scratch);
             timer.stop();
-            stats
+            Ok(stats)
         },
-    );
+    )
+    .map_err(|f| StageFailure::from_task("mc.block", f).record(metrics))?;
 
     // Deterministic merge in block order (the pool already returned the
     // blocks in that order).
@@ -162,7 +192,7 @@ pub fn run_null_model_observed(
     }
     let out = NullEnsemble::from_running(&total);
     run_guard.stop();
-    out
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -306,6 +336,37 @@ mod tests {
         assert_eq!(snap.span("mc.run").unwrap().calls, 1);
         assert_eq!(snap.histogram("mc.block_us").unwrap().count, 3);
         assert_eq!(snap.counter("pool.runs"), Some(1));
+    }
+
+    #[test]
+    fn try_run_matches_run_bit_for_bit() {
+        let (db, store) = fixture();
+        let cuisine = store.cuisine(Region::Italy);
+        let cache = OverlapCache::for_cuisine(&db, &cuisine);
+        let sampler = CuisineSampler::build(&db, &cuisine).unwrap();
+        for threads in [1, 2, 8] {
+            let cfg = MonteCarloConfig {
+                n_recipes: 5000,
+                seed: 11,
+                n_threads: threads,
+            };
+            let plain = run_null_model(&cache, &sampler, NullModel::Frequency, &cfg).unwrap();
+            let fallible = try_run_null_model(&cache, &sampler, NullModel::Frequency, &cfg)
+                .expect("no faults")
+                .expect("non-degenerate");
+            assert_eq!(plain.mean.to_bits(), fallible.mean.to_bits(), "{threads}");
+            assert_eq!(plain.std_dev.to_bits(), fallible.std_dev.to_bits());
+            assert_eq!(plain.n, fallible.n);
+        }
+        assert_eq!(
+            try_run_null_model(
+                &cache,
+                &sampler,
+                NullModel::Random,
+                &MonteCarloConfig::quick(0)
+            ),
+            Ok(None)
+        );
     }
 
     #[test]

@@ -7,9 +7,10 @@
 use culinaria_flavordb::{FlavorDb, IngredientId};
 use culinaria_obs::Metrics;
 use culinaria_recipedb::Cuisine;
-use culinaria_stats::pool;
+use culinaria_stats::{fault, pool};
 use culinaria_tabular::{Column, Frame};
 
+use crate::error::StageFailure;
 use crate::pairing::OverlapCache;
 
 /// An undirected weighted edge of the flavor network.
@@ -70,19 +71,52 @@ impl FlavorNetwork {
         n_threads: usize,
         metrics: &Metrics,
     ) -> FlavorNetwork {
+        FlavorNetwork::try_build_observed(db, ingredients, n_threads, metrics)
+            .unwrap_or_else(|failure| panic!("flavor network build failed: {failure}"))
+    }
+
+    /// Fallible [`FlavorNetwork::build`]: dead ingredient ids (via the
+    /// nested [`OverlapCache::try_build_observed`]) and failing edge
+    /// rows become a structured [`StageFailure`] instead of a panic.
+    pub fn try_build(db: &FlavorDb, pool: &[IngredientId]) -> Result<FlavorNetwork, StageFailure> {
+        FlavorNetwork::try_build_with_threads(db, pool, 0)
+    }
+
+    /// [`FlavorNetwork::try_build`] with an explicit worker count
+    /// (0 = available parallelism).
+    pub fn try_build_with_threads(
+        db: &FlavorDb,
+        ingredients: &[IngredientId],
+        n_threads: usize,
+    ) -> Result<FlavorNetwork, StageFailure> {
+        FlavorNetwork::try_build_observed(db, ingredients, n_threads, &Metrics::disabled())
+    }
+
+    /// Fallible [`FlavorNetwork::build_observed`]. On success the
+    /// network and recorded metrics are bit-identical to the infallible
+    /// build; on failure the `error.<stage>` counter is bumped (stages:
+    /// the nested overlap build's, or `network.row` for the edge sweep)
+    /// and the lowest failing task index is reported.
+    pub fn try_build_observed(
+        db: &FlavorDb,
+        ingredients: &[IngredientId],
+        n_threads: usize,
+        metrics: &Metrics,
+    ) -> Result<FlavorNetwork, StageFailure> {
         let build_span = metrics.span("network.build");
         let build_guard = build_span.enter();
         let overlap_guard = build_span.child("overlap").enter();
-        let cache = OverlapCache::build_observed(db, ingredients, n_threads, metrics);
+        let cache = OverlapCache::try_build_observed(db, ingredients, n_threads, metrics)?;
         overlap_guard.stop();
         let n = cache.len();
         let edges_guard = build_span.child("edges").enter();
-        let rows = pool::run_observed(
+        let rows = pool::try_run_observed(
             n_threads,
             n,
             &pool::PoolObs::new(metrics),
             || (),
-            |(), i| {
+            |(), i| -> Result<Vec<(u32, u32)>, fault::InjectedFault> {
+                fault::probe("network.row", i)?;
                 let i = i as u32;
                 let mut row: Vec<(u32, u32)> = Vec::new();
                 for j in (i + 1)..n as u32 {
@@ -91,9 +125,10 @@ impl FlavorNetwork {
                         row.push((j, w));
                     }
                 }
-                row
+                Ok(row)
             },
-        );
+        )
+        .map_err(|f| StageFailure::from_task("network.row", f).record(metrics))?;
         let mut edges = Vec::with_capacity(rows.iter().map(Vec::len).sum());
         let mut strength = vec![0u64; n];
         let mut degree = vec![0u32; n];
@@ -110,12 +145,12 @@ impl FlavorNetwork {
         metrics.counter("network.nodes").add(n as u64);
         metrics.counter("network.edges").add(edges.len() as u64);
         build_guard.stop();
-        FlavorNetwork {
+        Ok(FlavorNetwork {
             nodes: ingredients.to_vec(),
             edges,
             strength,
             degree,
-        }
+        })
     }
 
     /// Build over a cuisine's ingredient set.
@@ -410,6 +445,23 @@ mod tests {
         // both fan-outs went through the shared pool.
         assert_eq!(snap.span("overlap.build").unwrap().calls, 1);
         assert_eq!(snap.counter("pool.runs"), Some(2));
+    }
+
+    #[test]
+    fn try_build_matches_build_and_reports_dead_ids() {
+        let (mut db, pool) = fixture();
+        let plain = FlavorNetwork::build(&db, &pool);
+        for threads in [1, 2, 8] {
+            let fallible =
+                FlavorNetwork::try_build_with_threads(&db, &pool, threads).expect("pool is live");
+            assert_eq!(fallible.edges, plain.edges, "{threads} threads");
+            assert_eq!(fallible.strength, plain.strength);
+            assert_eq!(fallible.degree, plain.degree);
+        }
+        db.remove_ingredient("b").expect("b exists");
+        let failure = FlavorNetwork::try_build(&db, &pool).expect_err("dead id");
+        assert_eq!(failure.stage, "overlap.pack");
+        assert_eq!(failure.index, 1);
     }
 
     #[test]

@@ -29,12 +29,13 @@ use std::collections::HashMap;
 use culinaria_flavordb::{FlavorDb, IngredientId, MoleculeUniverse};
 use culinaria_obs::Metrics;
 use culinaria_recipedb::Cuisine;
-use culinaria_stats::pool;
 use culinaria_stats::rng::derive_seed;
+use culinaria_stats::{fault, pool};
 use culinaria_stats::{NullEnsemble, RunningStats};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::error::StageFailure;
 use crate::monte_carlo::{MonteCarloConfig, BLOCK};
 use crate::null_models::{CuisineSampler, NullModel, SampleScratch};
 use crate::pairing::IntersectScratch;
@@ -349,9 +350,36 @@ pub fn ktuple_null_ensemble_observed(
     cfg: &MonteCarloConfig,
     metrics: &Metrics,
 ) -> Option<NullEnsemble> {
+    try_ktuple_null_ensemble_observed(scorer, sampler, model, cfg, metrics)
+        .unwrap_or_else(|failure| panic!("k-tuple Monte-Carlo run failed: {failure}"))
+}
+
+/// Fallible [`ktuple_null_ensemble`]: a panicking sampling block
+/// becomes a structured [`StageFailure`] at stage `mc.ktuple.block`
+/// (lowest block index wins) instead of a crash.
+pub fn try_ktuple_null_ensemble(
+    scorer: &KTupleScorer,
+    sampler: &CuisineSampler,
+    model: NullModel,
+    cfg: &MonteCarloConfig,
+) -> Result<Option<NullEnsemble>, StageFailure> {
+    try_ktuple_null_ensemble_observed(scorer, sampler, model, cfg, &Metrics::disabled())
+}
+
+/// Fallible [`ktuple_null_ensemble_observed`]. On success the ensemble
+/// and recorded metrics are bit-identical to the infallible run; on
+/// failure the `error.mc.ktuple.block` counter is bumped and the lowest
+/// failing block index is reported, identically for any thread count.
+pub fn try_ktuple_null_ensemble_observed(
+    scorer: &KTupleScorer,
+    sampler: &CuisineSampler,
+    model: NullModel,
+    cfg: &MonteCarloConfig,
+    metrics: &Metrics,
+) -> Result<Option<NullEnsemble>, StageFailure> {
     let n_blocks = cfg.n_recipes.div_ceil(BLOCK);
     if n_blocks == 0 {
-        return None;
+        return Ok(None);
     }
     let run_span = metrics.span("mc.ktuple.run");
     let run_guard = run_span.enter();
@@ -360,12 +388,13 @@ pub fn ktuple_null_ensemble_observed(
         .add(cfg.n_recipes as u64);
     metrics.counter("mc.ktuple.blocks").add(n_blocks as u64);
     let block_hist = metrics.histogram("mc.ktuple.block_us");
-    let blocks = pool::run_observed(
+    let blocks = pool::try_run_observed(
         cfg.n_threads,
         n_blocks,
         &pool::PoolObs::new(metrics),
         KTupleMcScratch::default,
-        |scratch, b| {
+        |scratch, b| -> Result<RunningStats, fault::InjectedFault> {
+            fault::probe("mc.ktuple.block", b)?;
             let timer = block_hist.start();
             let lo = b * BLOCK;
             let hi = ((b + 1) * BLOCK).min(cfg.n_recipes);
@@ -377,16 +406,17 @@ pub fn ktuple_null_ensemble_observed(
                 stats.push(scorer.score_local_with(&scratch.recipe, &mut scratch.inter));
             }
             timer.stop();
-            stats
+            Ok(stats)
         },
-    );
+    )
+    .map_err(|f| StageFailure::from_task("mc.ktuple.block", f).record(metrics))?;
     let mut total = RunningStats::new();
     for s in &blocks {
         total.merge(s);
     }
     let out = NullEnsemble::from_running(&total);
     run_guard.stop();
-    out
+    Ok(out)
 }
 
 #[cfg(test)]

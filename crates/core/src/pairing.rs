@@ -23,7 +23,9 @@ use std::collections::HashMap;
 use culinaria_flavordb::{BitProfile, FlavorDb, IngredientId, MoleculeUniverse};
 use culinaria_obs::Metrics;
 use culinaria_recipedb::Cuisine;
-use culinaria_stats::pool;
+use culinaria_stats::{fault, pool};
+
+use crate::error::StageFailure;
 
 /// N_s(R) computed directly from flavor profiles (no cache).
 ///
@@ -173,12 +175,49 @@ impl OverlapCache {
     /// `overlap.cells` (triangle entries computed), plus the shared
     /// `pool.*` instruments. The cache is bit-identical to the
     /// unobserved build.
+    ///
+    /// # Panics
+    /// Panics on a dead ingredient id — delegate to
+    /// [`OverlapCache::try_build_observed`] to get a structured error
+    /// instead.
     pub fn build_observed(
         db: &FlavorDb,
         pool: &[IngredientId],
         n_threads: usize,
         metrics: &Metrics,
     ) -> OverlapCache {
+        OverlapCache::try_build_observed(db, pool, n_threads, metrics)
+            .unwrap_or_else(|failure| panic!("overlap cache build failed: {failure}"))
+    }
+
+    /// Fallible [`OverlapCache::build`]: a pool entry whose ingredient
+    /// id is dead (removed or out of range) becomes a structured
+    /// [`StageFailure`] at stage `overlap.pack` instead of a panic.
+    pub fn try_build(db: &FlavorDb, pool: &[IngredientId]) -> Result<OverlapCache, StageFailure> {
+        OverlapCache::try_build_with_threads(db, pool, 0)
+    }
+
+    /// [`OverlapCache::try_build`] with an explicit worker count
+    /// (0 = available parallelism).
+    pub fn try_build_with_threads(
+        db: &FlavorDb,
+        pool: &[IngredientId],
+        n_threads: usize,
+    ) -> Result<OverlapCache, StageFailure> {
+        OverlapCache::try_build_observed(db, pool, n_threads, &Metrics::disabled())
+    }
+
+    /// Fallible [`OverlapCache::build_observed`]. On success the cache
+    /// and the recorded metrics are bit-identical to the infallible
+    /// build; on failure the `error.<stage>` counter is bumped and the
+    /// lowest failing task index is reported (stages: `overlap.pack`
+    /// serial, `overlap.row` across the worker pool).
+    pub fn try_build_observed(
+        db: &FlavorDb,
+        pool: &[IngredientId],
+        n_threads: usize,
+        metrics: &Metrics,
+    ) -> Result<OverlapCache, StageFailure> {
         let build_span = metrics.span("overlap.build");
         // Held (not read) so the whole build records on scope exit.
         let _build_guard = build_span.enter();
@@ -189,10 +228,23 @@ impl OverlapCache {
             .add((n * n.saturating_sub(1) / 2) as u64);
 
         let pack_guard = build_span.child("pack").enter();
-        let profiles: Vec<_> = pool
-            .iter()
-            .map(|&id| &db.ingredient(id).expect("live ingredient").profile)
-            .collect();
+        let mut profiles = Vec::with_capacity(n);
+        for (i, &id) in pool.iter().enumerate() {
+            fault::probe("overlap.pack", i).map_err(|e| {
+                StageFailure::error("overlap.pack", i, e.to_string()).record(metrics)
+            })?;
+            match db.ingredient(id) {
+                Ok(ing) => profiles.push(&ing.profile),
+                Err(e) => {
+                    return Err(StageFailure::error(
+                        "overlap.pack",
+                        i,
+                        format!("ingredient id {} is not usable: {e}", id.index()),
+                    )
+                    .record(metrics))
+                }
+            }
+        }
         let universe = MoleculeUniverse::build(profiles.iter().copied());
         let bits: Vec<BitProfile> = profiles.iter().map(|p| universe.pack(p)).collect();
         pack_guard.stop();
@@ -201,18 +253,20 @@ impl OverlapCache {
         // j in i+1..n — exactly the packed layout, so the rows
         // concatenate back in task order.
         let sweep_guard = build_span.child("sweep").enter();
-        let rows = pool::run_observed(
+        let rows = pool::try_run_observed(
             n_threads,
             n.saturating_sub(1),
             &pool::PoolObs::new(metrics),
             || (),
-            |_, i| {
+            |_, i| -> Result<Vec<u32>, fault::InjectedFault> {
+                fault::probe("overlap.row", i)?;
                 let row_bits = &bits[i];
-                (i + 1..n)
+                Ok((i + 1..n)
                     .map(|j| row_bits.shared_count(&bits[j]) as u32)
-                    .collect::<Vec<u32>>()
+                    .collect())
             },
-        );
+        )
+        .map_err(|f| StageFailure::from_task("overlap.row", f).record(metrics))?;
         sweep_guard.stop();
         let mut tri = Vec::with_capacity(n * n.saturating_sub(1) / 2);
         for row in rows {
@@ -223,11 +277,11 @@ impl OverlapCache {
             .enumerate()
             .map(|(i, &id)| (id, i as u32))
             .collect();
-        OverlapCache {
+        Ok(OverlapCache {
             pool: pool.to_vec(),
             local,
             tri,
-        }
+        })
     }
 
     /// Build over a cuisine's distinct ingredient set.
@@ -619,6 +673,37 @@ mod tests {
         assert_eq!(snap.span("overlap.build.pack").unwrap().calls, 1);
         assert_eq!(snap.span("overlap.build.sweep").unwrap().calls, 1);
         assert_eq!(snap.counter("pool.runs"), Some(1));
+    }
+
+    #[test]
+    fn try_build_matches_build_and_reports_dead_ids() {
+        let (mut db, ids) = fixture();
+        let plain = OverlapCache::build(&db, &ids);
+        for threads in [1, 2, 8] {
+            let fallible =
+                OverlapCache::try_build_with_threads(&db, &ids, threads).expect("pool is live");
+            assert_eq!(fallible.tri, plain.tri, "{threads} threads");
+            assert_eq!(fallible.pool, plain.pool);
+        }
+        // Kill ingredient "c" (local index 2): the pack stage reports a
+        // structured failure at that index for every thread count.
+        db.remove_ingredient("c").expect("c exists");
+        for threads in [1, 2, 8] {
+            let failure = OverlapCache::try_build_with_threads(&db, &ids, threads)
+                .expect_err("dead id fails the pack stage");
+            assert_eq!(failure.stage, "overlap.pack");
+            assert_eq!(failure.index, 2, "{threads} threads");
+            assert!(matches!(
+                failure.cause,
+                crate::error::FailureCause::Error(_)
+            ));
+        }
+        // The observed variant records the error counter.
+        let metrics = Metrics::enabled();
+        let failure = OverlapCache::try_build_observed(&db, &ids, 2, &metrics)
+            .expect_err("dead id fails the pack stage");
+        assert_eq!(failure.index, 2);
+        assert_eq!(metrics.snapshot().counter("error.overlap.pack"), Some(1));
     }
 
     #[test]

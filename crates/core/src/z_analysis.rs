@@ -16,14 +16,15 @@
 use culinaria_flavordb::FlavorDb;
 use culinaria_obs::Metrics;
 use culinaria_recipedb::{Cuisine, RecipeStore, Region};
-use culinaria_stats::pool;
 use culinaria_stats::rng::derive_seed_labeled;
 use culinaria_stats::zscore::z_score_of_mean;
+use culinaria_stats::{fault, pool};
 use culinaria_stats::{NullEnsemble, RunningStats};
 use culinaria_tabular::{Column, Frame};
 
+use crate::error::StageFailure;
 use crate::monte_carlo::{
-    block_stats, run_null_model_observed, McScratch, MonteCarloConfig, BLOCK,
+    block_stats, try_run_null_model_observed, McScratch, MonteCarloConfig, BLOCK,
 };
 use crate::null_models::{CuisineSampler, NullModel};
 use crate::pairing::OverlapCache;
@@ -126,33 +127,78 @@ pub fn analyze_cuisine_observed(
     cfg: &MonteCarloConfig,
     metrics: &Metrics,
 ) -> Option<CuisineAnalysis> {
-    let sampler = CuisineSampler::build(db, cuisine)?;
-    let cache = OverlapCache::build_observed(db, &cuisine.ingredient_set(), cfg.n_threads, metrics);
-    let observed_mean = cache
-        .mean_cuisine_score(cuisine)
-        .expect("cache pool covers the cuisine's own recipes");
+    try_analyze_cuisine_observed(db, cuisine, models, cfg, metrics)
+        .unwrap_or_else(|failure| panic!("cuisine analysis failed: {failure}"))
+}
+
+/// Fallible [`analyze_cuisine`]: stage failures (dead ingredient ids,
+/// degenerate ensembles, panicking Monte-Carlo blocks) become a
+/// structured [`StageFailure`] instead of a panic. `Ok(None)` still
+/// means "no pairing-bearing recipes" — that is an expected outcome,
+/// not a failure.
+pub fn try_analyze_cuisine(
+    db: &FlavorDb,
+    cuisine: &Cuisine<'_>,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+) -> Result<Option<CuisineAnalysis>, StageFailure> {
+    try_analyze_cuisine_observed(db, cuisine, models, cfg, &Metrics::disabled())
+}
+
+/// Fallible [`analyze_cuisine_observed`]. On success the analysis and
+/// recorded metrics are bit-identical to the infallible path; on
+/// failure the `error.<stage>` counter is bumped and the failure is
+/// deterministic for any thread count.
+pub fn try_analyze_cuisine_observed(
+    db: &FlavorDb,
+    cuisine: &Cuisine<'_>,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+    metrics: &Metrics,
+) -> Result<Option<CuisineAnalysis>, StageFailure> {
+    let Some(sampler) = CuisineSampler::build(db, cuisine) else {
+        return Ok(None);
+    };
+    let cache =
+        OverlapCache::try_build_observed(db, &cuisine.ingredient_set(), cfg.n_threads, metrics)?;
+    let observed_mean = cache.mean_cuisine_score(cuisine).ok_or_else(|| {
+        StageFailure::error(
+            "cuisine.score",
+            0,
+            format!(
+                "cuisine {} references ingredients outside its own pool",
+                cuisine.region().code()
+            ),
+        )
+        .record(metrics)
+    })?;
 
     let region_cfg = MonteCarloConfig {
         seed: derive_seed_labeled(cfg.seed, cuisine.region().code()),
         ..*cfg
     };
-    let comparisons: Vec<ModelComparison> = models
-        .iter()
-        .map(|&model| {
-            let null = run_null_model_observed(&cache, &sampler, model, &region_cfg, metrics)
-                .expect("n_recipes >= 2 yields an ensemble");
-            let z = z_score_of_mean(observed_mean, &null);
-            ModelComparison { model, null, z }
-        })
-        .collect();
+    let mut comparisons = Vec::with_capacity(models.len());
+    for (mi, &model) in models.iter().enumerate() {
+        let null = try_run_null_model_observed(&cache, &sampler, model, &region_cfg, metrics)?
+            .ok_or_else(|| {
+                StageFailure::error(
+                    "mc.run",
+                    mi,
+                    format!("degenerate {model} ensemble: fewer than two sampled recipes"),
+                )
+                .record(metrics)
+            })?;
+        let z = z_score_of_mean(observed_mean, &null);
+        comparisons.push(ModelComparison { model, null, z });
+    }
 
-    Some(CuisineAnalysis {
+    Ok(Some(CuisineAnalysis {
         region: cuisine.region(),
         n_recipes: sampler.n_templates(),
         n_ingredients: cuisine.ingredient_set().len(),
         observed_mean,
         comparisons,
-    })
+    }))
 }
 
 /// A region's immutable per-run state, shared read-only by every
@@ -206,31 +252,70 @@ pub fn analyze_world_observed(
     cfg: &MonteCarloConfig,
     metrics: &Metrics,
 ) -> Vec<CuisineAnalysis> {
+    try_analyze_world_observed(db, store, models, cfg, metrics)
+        .unwrap_or_else(|failure| panic!("world analysis failed: {failure}"))
+}
+
+/// Fallible [`analyze_world`]: failures in region preparation, the
+/// flattened Monte-Carlo queue (stage `world.block`, lowest task index
+/// wins), or the canonical merge become a structured [`StageFailure`]
+/// instead of aborting the whole run with a panic.
+pub fn try_analyze_world(
+    db: &FlavorDb,
+    store: &RecipeStore,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+) -> Result<Vec<CuisineAnalysis>, StageFailure> {
+    try_analyze_world_observed(db, store, models, cfg, &Metrics::disabled())
+}
+
+/// Fallible [`analyze_world_observed`]. On success the rows and
+/// recorded metrics are bit-identical to the infallible driver; on
+/// failure the `error.<stage>` counter is bumped and the reported
+/// failure is identical for any thread count.
+pub fn try_analyze_world_observed(
+    db: &FlavorDb,
+    store: &RecipeStore,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+    metrics: &Metrics,
+) -> Result<Vec<CuisineAnalysis>, StageFailure> {
     // Setup pass: samplers, overlap caches (internally parallel), and
     // observed means per populated region.
     let prepare_guard = metrics.span("world.prepare").enter();
-    let prepared: Vec<PreparedRegion> = store
-        .regions()
-        .into_iter()
-        .filter_map(|region| {
-            let cuisine = store.cuisine(region);
-            let sampler = CuisineSampler::build(db, &cuisine)?;
-            let cache =
-                OverlapCache::build_observed(db, &cuisine.ingredient_set(), cfg.n_threads, metrics);
-            let observed_mean = cache
-                .mean_cuisine_score(&cuisine)
-                .expect("cache pool covers the cuisine's own recipes");
-            Some(PreparedRegion {
-                region,
-                n_recipes: sampler.n_templates(),
-                n_ingredients: cuisine.ingredient_set().len(),
-                sampler,
-                cache,
-                observed_mean,
-                seed: derive_seed_labeled(cfg.seed, region.code()),
-            })
-        })
-        .collect();
+    let mut prepared: Vec<PreparedRegion> = Vec::new();
+    for region in store.regions() {
+        let cuisine = store.cuisine(region);
+        let Some(sampler) = CuisineSampler::build(db, &cuisine) else {
+            continue;
+        };
+        let cache = OverlapCache::try_build_observed(
+            db,
+            &cuisine.ingredient_set(),
+            cfg.n_threads,
+            metrics,
+        )?;
+        let observed_mean = cache.mean_cuisine_score(&cuisine).ok_or_else(|| {
+            StageFailure::error(
+                "world.prepare",
+                prepared.len(),
+                format!(
+                    "cuisine {} references ingredients outside its own pool",
+                    region.code()
+                ),
+            )
+            .record(metrics)
+        })?;
+        prepared.push(PreparedRegion {
+            region,
+            n_recipes: sampler.n_templates(),
+            n_ingredients: cuisine.ingredient_set().len(),
+            sampler,
+            cache,
+            observed_mean,
+            seed: derive_seed_labeled(cfg.seed, region.code()),
+        });
+    }
     prepare_guard.stop();
 
     // Flattened Monte-Carlo queue: task index ↔ (region, model, block)
@@ -247,12 +332,13 @@ pub fn analyze_world_observed(
     metrics.counter("mc.blocks").add(n_tasks as u64);
     let block_hist = metrics.histogram("mc.block_us");
     let mc_guard = metrics.span("world.mc").enter();
-    let block_results = pool::run_observed(
+    let block_results = pool::try_run_observed(
         cfg.n_threads,
         n_tasks,
         &pool::PoolObs::new(metrics),
         McScratch::new,
-        |scratch, t| {
+        |scratch, t| -> Result<RunningStats, fault::InjectedFault> {
+            fault::probe("world.block", t)?;
             let timer = block_hist.start();
             let p = &prepared[t / per_region];
             let rem = t % per_region;
@@ -268,42 +354,47 @@ pub fn analyze_world_observed(
                 scratch,
             );
             timer.stop();
-            stats
+            Ok(stats)
         },
-    );
+    )
+    .map_err(|f| StageFailure::from_task("world.block", f).record(metrics))?;
     mc_guard.stop();
 
     // Canonical merge: per (region, model), fold blocks in block order.
     let merge_span = metrics.span("world.merge");
     let _merge_guard = merge_span.enter();
-    prepared
-        .iter()
-        .enumerate()
-        .map(|(pi, p)| {
-            let comparisons: Vec<ModelComparison> = models
-                .iter()
-                .enumerate()
-                .map(|(mi, &model)| {
-                    let mut total = RunningStats::new();
-                    let base = pi * per_region + mi * n_blocks;
-                    for stats in &block_results[base..base + n_blocks] {
-                        total.merge(stats);
-                    }
-                    let null = NullEnsemble::from_running(&total)
-                        .expect("n_recipes >= 2 yields an ensemble");
-                    let z = z_score_of_mean(p.observed_mean, &null);
-                    ModelComparison { model, null, z }
-                })
-                .collect();
-            CuisineAnalysis {
-                region: p.region,
-                n_recipes: p.n_recipes,
-                n_ingredients: p.n_ingredients,
-                observed_mean: p.observed_mean,
-                comparisons,
+    let mut analyses = Vec::with_capacity(prepared.len());
+    for (pi, p) in prepared.iter().enumerate() {
+        let mut comparisons = Vec::with_capacity(n_models);
+        for (mi, &model) in models.iter().enumerate() {
+            let mut total = RunningStats::new();
+            let base = pi * per_region + mi * n_blocks;
+            for stats in &block_results[base..base + n_blocks] {
+                total.merge(stats);
             }
-        })
-        .collect()
+            let null = NullEnsemble::from_running(&total).ok_or_else(|| {
+                StageFailure::error(
+                    "world.merge",
+                    pi * n_models + mi,
+                    format!(
+                        "degenerate {model} ensemble for {}: fewer than two sampled recipes",
+                        p.region.code()
+                    ),
+                )
+                .record(metrics)
+            })?;
+            let z = z_score_of_mean(p.observed_mean, &null);
+            comparisons.push(ModelComparison { model, null, z });
+        }
+        analyses.push(CuisineAnalysis {
+            region: p.region,
+            n_recipes: p.n_recipes,
+            n_ingredients: p.n_ingredients,
+            observed_mean: p.observed_mean,
+            comparisons,
+        });
+    }
+    Ok(analyses)
 }
 
 /// Render analyses as a frame: one row per region, `z_<model>` column
@@ -537,6 +628,42 @@ mod tests {
             );
             assert_eq!(a.null.n, b.null.n);
             assert_eq!(a.z.map(f64::to_bits), b.z.map(f64::to_bits));
+        }
+    }
+
+    #[test]
+    fn try_analyze_matches_infallible_paths_bit_for_bit() {
+        let world = generate_world(&WorldConfig::tiny());
+        let models = [NullModel::Random, NullModel::Frequency];
+        let cfg = MonteCarloConfig {
+            n_recipes: 3000,
+            seed: 13,
+            n_threads: 2,
+        };
+        let plain = analyze_world(&world.flavor, &world.recipes, &models, &cfg);
+        let fallible =
+            try_analyze_world(&world.flavor, &world.recipes, &models, &cfg).expect("no faults");
+        assert_eq!(plain.len(), fallible.len());
+        for (a, b) in plain.iter().zip(&fallible) {
+            assert_eq!(a.region, b.region);
+            assert_eq!(a.observed_mean.to_bits(), b.observed_mean.to_bits());
+            for (ca, cb) in a.comparisons.iter().zip(&b.comparisons) {
+                assert_eq!(ca.null.mean.to_bits(), cb.null.mean.to_bits());
+                assert_eq!(ca.z.map(f64::to_bits), cb.z.map(f64::to_bits));
+            }
+        }
+        let cuisine = world.recipes.cuisine(Region::Italy);
+        let solo = analyze_cuisine(&world.flavor, &cuisine, &models, &cfg).unwrap();
+        let solo_try = try_analyze_cuisine(&world.flavor, &cuisine, &models, &cfg)
+            .expect("no faults")
+            .expect("pairing-bearing cuisine");
+        assert_eq!(
+            solo.observed_mean.to_bits(),
+            solo_try.observed_mean.to_bits()
+        );
+        for (ca, cb) in solo.comparisons.iter().zip(&solo_try.comparisons) {
+            assert_eq!(ca.null.mean.to_bits(), cb.null.mean.to_bits());
+            assert_eq!(ca.z.map(f64::to_bits), cb.z.map(f64::to_bits));
         }
     }
 

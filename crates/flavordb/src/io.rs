@@ -18,6 +18,10 @@
 //!
 //! `str` = u32 byte length + UTF-8 bytes.
 
+// User-reachable serialization/ingestion surface: panicking on bad
+// data is forbidden here — return errors instead.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use crate::category::Category;
@@ -28,9 +32,23 @@ use crate::profile::FlavorProfile;
 
 const MAGIC: &[u8; 5] = b"CFDB1";
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
+fn put_str(buf: &mut BytesMut, s: &str) -> Result<()> {
+    let len = u32::try_from(s.len()).map_err(|_| {
+        FlavorDbError::Snapshot(format!(
+            "string of {} bytes exceeds the u32 format limit",
+            s.len()
+        ))
+    })?;
+    buf.put_u32_le(len);
     buf.put_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_count(buf: &mut BytesMut, n: usize, what: &str) -> Result<()> {
+    let n = u32::try_from(n)
+        .map_err(|_| FlavorDbError::Snapshot(format!("{what} {n} exceeds the u32 format limit")))?;
+    buf.put_u32_le(n);
+    Ok(())
 }
 
 fn get_str(buf: &mut Bytes) -> Result<String> {
@@ -46,28 +64,43 @@ fn get_str(buf: &mut Bytes) -> Result<String> {
 }
 
 /// Encode a database to its binary snapshot.
-pub fn to_snapshot(db: &FlavorDb) -> Bytes {
+///
+/// # Errors
+///
+/// Returns [`FlavorDbError::Snapshot`] when a value does not fit the
+/// format's fixed-width fields (a string or count beyond `u32::MAX`, a
+/// molecule with more than `u16::MAX` descriptors) — the writer checks
+/// every conversion instead of silently truncating and emitting a
+/// snapshot that decodes to different data.
+pub fn to_snapshot(db: &FlavorDb) -> Result<Bytes> {
     let mut buf = BytesMut::with_capacity(1 << 16);
     buf.put_slice(MAGIC);
 
-    buf.put_u32_le(db.n_molecules() as u32);
+    put_count(&mut buf, db.n_molecules(), "molecule count")?;
     for m in db.molecules() {
-        put_str(&mut buf, &m.name);
-        buf.put_u16_le(m.descriptors.len() as u16);
+        put_str(&mut buf, &m.name)?;
+        let nd = u16::try_from(m.descriptors.len()).map_err(|_| {
+            FlavorDbError::Snapshot(format!(
+                "molecule '{}' has {} descriptors, exceeding the u16 format limit",
+                m.name,
+                m.descriptors.len()
+            ))
+        })?;
+        buf.put_u16_le(nd);
         for d in &m.descriptors {
-            put_str(&mut buf, d);
+            put_str(&mut buf, d)?;
         }
     }
 
-    buf.put_u32_le(db.n_ingredient_slots() as u32);
+    put_count(&mut buf, db.n_ingredient_slots(), "ingredient slot count")?;
     for slot in 0..db.n_ingredient_slots() {
         match db.ingredient(IngredientId(slot as u32)) {
             Ok(ing) => {
                 buf.put_u8(1);
-                put_str(&mut buf, &ing.name);
+                put_str(&mut buf, &ing.name)?;
                 buf.put_u8(ing.category.index() as u8);
                 buf.put_u8(u8::from(ing.is_compound));
-                buf.put_u32_le(ing.profile.len() as u32);
+                put_count(&mut buf, ing.profile.len(), "profile length")?;
                 for m in ing.profile.molecules() {
                     buf.put_u32_le(m.0);
                 }
@@ -77,12 +110,12 @@ pub fn to_snapshot(db: &FlavorDb) -> Bytes {
     }
 
     let synonyms: Vec<(&str, IngredientId)> = db.synonyms().collect();
-    buf.put_u32_le(synonyms.len() as u32);
+    put_count(&mut buf, synonyms.len(), "synonym count")?;
     for (syn, id) in synonyms {
-        put_str(&mut buf, syn);
+        put_str(&mut buf, syn)?;
         buf.put_u32_le(id.0);
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Decode a binary snapshot back into a database.
@@ -170,6 +203,12 @@ pub fn from_snapshot(mut buf: Bytes) -> Result<FlavorDb> {
         db.add_synonym_raw(syn, id);
     }
 
+    if buf.has_remaining() {
+        return Err(FlavorDbError::Snapshot(format!(
+            "{} trailing bytes after snapshot",
+            buf.remaining()
+        )));
+    }
     Ok(db)
 }
 
@@ -204,7 +243,7 @@ mod tests {
     #[test]
     fn curated_roundtrip() {
         let db = curated_db();
-        let snap = to_snapshot(&db);
+        let snap = to_snapshot(&db).unwrap();
         let back = from_snapshot(snap).unwrap();
         assert_dbs_equal(&db, &back);
         // Synonym resolution survives.
@@ -214,7 +253,7 @@ mod tests {
     #[test]
     fn generated_roundtrip() {
         let db = generate_flavor_db(&GeneratorConfig::tiny(5));
-        let back = from_snapshot(to_snapshot(&db)).unwrap();
+        let back = from_snapshot(to_snapshot(&db).unwrap()).unwrap();
         assert_dbs_equal(&db, &back);
     }
 
@@ -229,7 +268,7 @@ mod tests {
     #[test]
     fn truncated_snapshot_rejected() {
         let db = curated_db();
-        let snap = to_snapshot(&db);
+        let snap = to_snapshot(&db).unwrap();
         // Chop the snapshot at several points; decoding must error, not
         // panic.
         for cut in [5, 9, 20, snap.len() / 2, snap.len() - 3] {
@@ -244,7 +283,7 @@ mod tests {
     #[test]
     fn corrupt_category_rejected() {
         let db = curated_db();
-        let snap = to_snapshot(&db).to_vec();
+        let snap = to_snapshot(&db).unwrap().to_vec();
         // Find the first live-slot category byte and corrupt it. Layout:
         // we can't easily index it, so corrupt every byte in a window and
         // require no panics (errors allowed, success allowed when the

@@ -102,7 +102,7 @@ proptest! {
         for name in &names {
             db.remove_ingredient(name).expect("exists");
         }
-        let back = io::from_snapshot(io::to_snapshot(&db)).expect("roundtrip decodes");
+        let back = io::from_snapshot(io::to_snapshot(&db).expect("encodes")).expect("roundtrip decodes");
         prop_assert_eq!(back.n_ingredients(), db.n_ingredients());
         prop_assert_eq!(back.n_ingredient_slots(), db.n_ingredient_slots());
         for (x, y) in db.ingredients().zip(back.ingredients()) {
@@ -172,17 +172,78 @@ fn regenerating_same_config_is_identical_via_snapshot_bytes() {
     let cfg = GeneratorConfig::tiny(77);
     let a = generate_flavor_db(&cfg);
     let b = generate_flavor_db(&cfg);
-    assert_eq!(io::to_snapshot(&a), io::to_snapshot(&b));
+    assert_eq!(io::to_snapshot(&a).unwrap(), io::to_snapshot(&b).unwrap());
 }
 
 #[test]
 fn snapshot_decoding_rejects_mutations_without_panicking() {
     let db: FlavorDb = generate_flavor_db(&GeneratorConfig::tiny(3));
-    let snap = io::to_snapshot(&db).to_vec();
+    let snap = io::to_snapshot(&db).unwrap().to_vec();
     // Flip each byte of the first kilobyte: decode must never panic.
     for i in 0..snap.len().min(1024) {
         let mut c = snap.clone();
         c[i] ^= 0x5A;
         let _ = io::from_snapshot(bytes::Bytes::from(c));
+    }
+}
+
+#[test]
+fn every_truncation_prefix_is_rejected() {
+    let db = generate_flavor_db(&GeneratorConfig::tiny(11));
+    let snap = io::to_snapshot(&db).unwrap();
+    // Decoding consumes the snapshot exactly, so every strict prefix
+    // must end mid-field and fail cleanly — no cut length may panic or
+    // decode to a database.
+    for cut in 0..snap.len() {
+        assert!(
+            io::from_snapshot(snap.slice(0..cut)).is_err(),
+            "cut at {cut} of {} decoded",
+            snap.len()
+        );
+    }
+}
+
+#[test]
+fn trailing_bytes_are_rejected() {
+    let db = generate_flavor_db(&GeneratorConfig::tiny(11));
+    let mut snap = io::to_snapshot(&db).unwrap().to_vec();
+    snap.push(0);
+    let err = io::from_snapshot(bytes::Bytes::from(snap)).unwrap_err();
+    assert!(err.to_string().contains("trailing"), "{err}");
+}
+
+#[test]
+fn absurd_counts_error_instead_of_allocating() {
+    // A five-byte header claiming u32::MAX molecules must fail on the
+    // missing body, not attempt a giant allocation.
+    let mut snap = b"CFDB1".to_vec();
+    snap.extend_from_slice(&u32::MAX.to_le_bytes());
+    assert!(io::from_snapshot(bytes::Bytes::from(snap)).is_err());
+    // Same for a profile length far beyond the remaining bytes.
+    let db = generate_flavor_db(&GeneratorConfig::tiny(4));
+    let good = io::to_snapshot(&db).unwrap().to_vec();
+    for i in 0..good.len().saturating_sub(4) {
+        let mut c = good.clone();
+        c[i..i + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        let _ = io::from_snapshot(bytes::Bytes::from(c)); // must not panic or OOM
+    }
+}
+
+proptest! {
+    #[test]
+    fn snapshot_byte_flips_never_panic(
+        seed in 0u64..50,
+        flips in proptest::collection::vec((0usize..4096, 1u8..=255), 1..4),
+    ) {
+        let db = generate_flavor_db(&GeneratorConfig::tiny(seed));
+        let mut snap = io::to_snapshot(&db).unwrap().to_vec();
+        for (pos, mask) in flips {
+            let pos = pos % snap.len();
+            snap[pos] ^= mask;
+        }
+        // A flip inside a string body can still decode to a (different)
+        // valid snapshot; the contract is only that decoding never
+        // panics or over-allocates.
+        let _ = io::from_snapshot(bytes::Bytes::from(snap));
     }
 }

@@ -18,6 +18,18 @@ pub enum RecipeDbError {
     UnknownIngredient(u32),
     /// Snapshot decoding failed.
     Snapshot(String),
+    /// A batch-import worker died (panicked) while resolving the recipe
+    /// at `index`. Error-shaped resolution problems are collected into
+    /// [`ImportStats::failures`](crate::import::ImportStats::failures)
+    /// instead; this variant is reserved for the pool's panic isolation.
+    Worker {
+        /// Task index (position in the raw batch) of the recipe whose
+        /// worker failed — deterministic: the lowest failing index wins
+        /// regardless of thread count.
+        index: usize,
+        /// Rendered panic payload.
+        message: String,
+    },
 }
 
 impl fmt::Display for RecipeDbError {
@@ -29,6 +41,9 @@ impl fmt::Display for RecipeDbError {
             RecipeDbError::UnknownRecipe(id) => write!(f, "unknown recipe id {id}"),
             RecipeDbError::UnknownIngredient(id) => write!(f, "unknown ingredient id {id}"),
             RecipeDbError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            RecipeDbError::Worker { index, message } => {
+                write!(f, "import worker failed on recipe {index}: {message}")
+            }
         }
     }
 }

@@ -18,13 +18,29 @@
 //! recipes, and [`ImportStats`] (including the frequency-ranked
 //! unresolved-token list) are bit-identical for every thread count.
 //! [`Importer::import`] is the single-threaded special case.
+//!
+//! # Failure collection
+//!
+//! A bad recipe never aborts the batch: per-recipe problems (no
+//! ingredient lines, nothing resolved, unresolved fraction above the
+//! importer's threshold, a store rejection, or an injected worker
+//! fault) are collected into [`ImportStats::failures`] with the recipe
+//! index and name, and the recipe is counted as dropped. Only a worker
+//! *panic* — isolated by the pool — fails the whole batch, as
+//! [`RecipeDbError::Worker`] with the lowest failing index.
+
+// User-reachable serialization/ingestion surface: panicking on bad
+// data is forbidden here — return errors instead.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
+use std::fmt;
 
 use culinaria_flavordb::{FlavorDb, IngredientId};
 use culinaria_obs::Metrics;
-use culinaria_stats::pool;
+use culinaria_stats::{fault, pool};
 use culinaria_text::alias::{AliasResolver, ResolveScratch};
 
-use crate::error::Result;
+use crate::error::{RecipeDbError, Result};
 use crate::recipe::{RecipeId, Source};
 use crate::region::Region;
 use crate::store::RecipeStore;
@@ -61,6 +77,66 @@ pub struct ImportStats {
     /// first (ties alphabetical) — the curation worklist, pre-ranked so
     /// the highest-impact gaps come first.
     pub unresolved_tokens: Vec<(String, usize)>,
+    /// Per-recipe failures, in batch order. Every dropped recipe has
+    /// exactly one entry here explaining why; the batch itself still
+    /// succeeds. Deterministic: produced in the serial merge, so
+    /// identical for every thread count.
+    pub failures: Vec<RecipeFailure>,
+}
+
+/// Why one recipe of a batch was not stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ImportFailureReason {
+    /// The raw recipe had no ingredient lines at all.
+    NoIngredientLines,
+    /// Lines were present but none resolved to a known ingredient.
+    NothingResolved,
+    /// The unresolved fraction exceeded
+    /// [`Importer::unresolved_threshold`].
+    UnresolvedAboveThreshold {
+        /// Lines that resolved to nothing.
+        unresolved: usize,
+        /// Total ingredient lines.
+        total: usize,
+    },
+    /// The store rejected the resolved recipe.
+    Store(String),
+    /// A worker-side fault (error-shaped, e.g. injected by the
+    /// fault-injection harness) while resolving this recipe.
+    Fault(String),
+}
+
+impl fmt::Display for ImportFailureReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportFailureReason::NoIngredientLines => write!(f, "no ingredient lines"),
+            ImportFailureReason::NothingResolved => write!(f, "no ingredient line resolved"),
+            ImportFailureReason::UnresolvedAboveThreshold { unresolved, total } => write!(
+                f,
+                "{unresolved} of {total} ingredient lines unresolved, above threshold"
+            ),
+            ImportFailureReason::Store(msg) => write!(f, "store rejected recipe: {msg}"),
+            ImportFailureReason::Fault(msg) => write!(f, "worker fault: {msg}"),
+        }
+    }
+}
+
+/// One recipe that could not be stored, with enough context to report
+/// it to a curator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecipeFailure {
+    /// Position in the raw batch.
+    pub index: usize,
+    /// Recipe title as scraped.
+    pub name: String,
+    /// What went wrong.
+    pub reason: ImportFailureReason,
+}
+
+impl fmt::Display for RecipeFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "recipe {} '{}': {}", self.index, self.name, self.reason)
+    }
 }
 
 /// Per-recipe resolution result, produced by workers and merged
@@ -82,6 +158,7 @@ struct ResolvedRecipe {
 #[derive(Debug, Clone)]
 pub struct Importer {
     resolver: AliasResolver,
+    unresolved_threshold: f64,
 }
 
 impl Importer {
@@ -97,7 +174,26 @@ impl Importer {
                 resolver.add_synonym(syn, &target.name);
             }
         }
-        Importer { resolver }
+        Importer {
+            resolver,
+            unresolved_threshold: 1.0,
+        }
+    }
+
+    /// Set the maximum tolerated unresolved-line fraction. A recipe
+    /// whose `unresolved / total` fraction is **strictly above** this is
+    /// dropped with [`ImportFailureReason::UnresolvedAboveThreshold`].
+    /// The default `1.0` never triggers, so only fully-unresolvable
+    /// recipes are dropped (the paper's baseline behavior).
+    pub fn with_unresolved_threshold(mut self, threshold: f64) -> Importer {
+        self.unresolved_threshold = threshold.clamp(0.0, 1.0);
+        self
+    }
+
+    /// The current unresolved-line tolerance
+    /// (see [`Importer::with_unresolved_threshold`]).
+    pub fn unresolved_threshold(&self) -> f64 {
+        self.unresolved_threshold
     }
 
     /// Access the underlying resolver (e.g. to register ad-hoc aliases).
@@ -243,6 +339,13 @@ impl Importer {
     ///
     /// Stored recipes and the returned stats are bit-identical to the
     /// unobserved path — instrumentation records, it never steers.
+    ///
+    /// # Errors
+    ///
+    /// Per-recipe problems are collected into
+    /// [`ImportStats::failures`], not returned; the only hard error is
+    /// [`RecipeDbError::Worker`] when a resolution worker panics (the
+    /// pool isolates the panic and reports the lowest failing index).
     pub fn import_batch_observed(
         &self,
         db: &FlavorDb,
@@ -254,13 +357,31 @@ impl Importer {
         let pool_obs = pool::PoolObs::new(metrics);
         let resolve_span = metrics.span("import.resolve");
         let guard = resolve_span.enter();
-        let resolved = pool::run_observed(
+        // Error-shaped worker faults become per-recipe outcomes (the
+        // batch carries on); only a panic fails the pool run.
+        type Outcome = std::result::Result<ResolvedRecipe, String>;
+        let resolved = pool::try_run_observed(
             n_threads,
             raw.len(),
             &pool_obs,
             ResolveScratch::new,
-            |scratch, i| self.resolve_recipe(db, &raw[i], scratch),
-        );
+            |scratch, i| -> std::result::Result<Outcome, std::convert::Infallible> {
+                Ok(match fault::probe("import.recipe", i) {
+                    Ok(()) => Ok(self.resolve_recipe(db, &raw[i], scratch)),
+                    Err(e) => Err(e.to_string()),
+                })
+            },
+        )
+        .map_err(|f| {
+            metrics.counter("error.import.recipe").incr();
+            RecipeDbError::Worker {
+                index: f.index,
+                message: match f.kind {
+                    pool::FailureKind::Failed(e) => match e {},
+                    pool::FailureKind::Panicked(msg) => msg,
+                },
+            }
+        })?;
         guard.stop();
 
         let merge_span = metrics.span("import.merge");
@@ -276,10 +397,25 @@ impl Importer {
         store.reserve(
             resolved
                 .iter()
-                .filter(|r| !r.ingredients.is_empty())
+                .filter(|r| r.as_ref().is_ok_and(|r| !r.ingredients.is_empty()))
                 .count(),
         );
-        for (r, raw_recipe) in resolved.into_iter().zip(raw) {
+        let fail = |stats: &mut ImportStats, index: usize, reason: ImportFailureReason| {
+            stats.dropped += 1;
+            stats.failures.push(RecipeFailure {
+                index,
+                name: raw[index].name.clone(),
+                reason,
+            });
+        };
+        for (index, (outcome, raw_recipe)) in resolved.into_iter().zip(raw).enumerate() {
+            let r = match outcome {
+                Ok(r) => r,
+                Err(msg) => {
+                    fail(&mut stats, index, ImportFailureReason::Fault(msg));
+                    continue;
+                }
+            };
             stats.lines_resolved += r.lines_resolved;
             stats.lines_unresolved += r.lines_unresolved;
             memo_hits += r.memo_hits;
@@ -287,17 +423,35 @@ impl Importer {
             for tok in r.unresolved {
                 *token_counts.entry(tok).or_insert(0) += 1;
             }
-            if r.ingredients.is_empty() {
-                stats.dropped += 1;
+            if raw_recipe.ingredient_lines.is_empty() {
+                fail(&mut stats, index, ImportFailureReason::NoIngredientLines);
                 continue;
             }
-            store.add_recipe(
+            if r.ingredients.is_empty() {
+                fail(&mut stats, index, ImportFailureReason::NothingResolved);
+                continue;
+            }
+            let total = raw_recipe.ingredient_lines.len();
+            if r.lines_unresolved as f64 / total as f64 > self.unresolved_threshold {
+                fail(
+                    &mut stats,
+                    index,
+                    ImportFailureReason::UnresolvedAboveThreshold {
+                        unresolved: r.lines_unresolved,
+                        total,
+                    },
+                );
+                continue;
+            }
+            match store.add_recipe(
                 &raw_recipe.name,
                 raw_recipe.region,
                 raw_recipe.source,
                 r.ingredients,
-            )?;
-            stats.stored += 1;
+            ) {
+                Ok(_) => stats.stored += 1,
+                Err(e) => fail(&mut stats, index, ImportFailureReason::Store(e.to_string())),
+            }
         }
         stats.unresolved_tokens = token_counts.into_iter().collect();
         stats
@@ -323,6 +477,9 @@ impl Importer {
                 .add(stats.lines_unresolved as u64);
             metrics.counter("import.memo.hits").add(memo_hits);
             metrics.counter("import.memo.misses").add(memo_misses);
+            metrics
+                .counter("import.recipes.failures")
+                .add(stats.failures.len() as u64);
         }
         Ok(stats)
     }
@@ -565,6 +722,102 @@ mod tests {
             let hits = snap.counter("import.memo.hits").unwrap();
             let misses = snap.counter("import.memo.misses").unwrap();
             assert_eq!(hits + misses, 32);
+        }
+    }
+
+    #[test]
+    fn failures_record_reasons_per_recipe() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let mut store = RecipeStore::new();
+        let stats = importer
+            .import(
+                &db,
+                &mut store,
+                &[
+                    raw("empty", &[]),
+                    raw("fine", &["2 ripe tomatoes"]),
+                    raw("mystery", &["quixotic zanthum"]),
+                ],
+            )
+            .unwrap();
+        assert_eq!(stats.stored, 1);
+        assert_eq!(stats.dropped, 2);
+        assert_eq!(stats.failures.len(), 2);
+        assert_eq!(
+            stats.failures[0],
+            RecipeFailure {
+                index: 0,
+                name: "empty".into(),
+                reason: ImportFailureReason::NoIngredientLines,
+            }
+        );
+        assert_eq!(
+            stats.failures[1],
+            RecipeFailure {
+                index: 2,
+                name: "mystery".into(),
+                reason: ImportFailureReason::NothingResolved,
+            }
+        );
+        // Failures render with index, name and reason for reporting.
+        let rendered = stats.failures[1].to_string();
+        assert!(rendered.contains("recipe 2"), "{rendered}");
+        assert!(rendered.contains("mystery"), "{rendered}");
+    }
+
+    #[test]
+    fn unresolved_threshold_drops_mostly_unknown_recipes() {
+        let db = curated_db();
+        let lines = &["2 ripe tomatoes", "quixotic paste", "zanthum gum"];
+        // Default tolerance (1.0): partially-resolved recipes are kept.
+        let lax = Importer::from_flavor_db(&db);
+        let mut store = RecipeStore::new();
+        let stats = lax.import(&db, &mut store, &[raw("murky", lines)]).unwrap();
+        assert_eq!(stats.stored, 1);
+        assert!(stats.failures.is_empty());
+        // Strict tolerance: 2/3 unresolved > 0.5 drops it with context.
+        let strict = Importer::from_flavor_db(&db).with_unresolved_threshold(0.5);
+        let mut store = RecipeStore::new();
+        let stats = strict
+            .import(&db, &mut store, &[raw("murky", lines)])
+            .unwrap();
+        assert_eq!(stats.stored, 0);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(
+            stats.failures[0].reason,
+            ImportFailureReason::UnresolvedAboveThreshold {
+                unresolved: 2,
+                total: 3,
+            }
+        );
+        assert_eq!(store.n_recipes(), 0);
+    }
+
+    #[test]
+    fn failures_are_deterministic_across_thread_counts() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db).with_unresolved_threshold(0.6);
+        let raws: Vec<RawRecipe> = (0..24)
+            .map(|i| match i % 4 {
+                0 => raw(
+                    &format!("good {i}"),
+                    &["3 ripe tomatoes", "2 cloves garlic"],
+                ),
+                1 => raw(&format!("empty {i}"), &[]),
+                2 => raw(&format!("murky {i}"), &["tomato", "quixotic", "zanthum"]),
+                _ => raw(&format!("mystery {i}"), &["quixotic zanthum"]),
+            })
+            .collect();
+        let mut serial_store = RecipeStore::new();
+        let serial = importer.import(&db, &mut serial_store, &raws).unwrap();
+        assert_eq!(serial.failures.len(), 18);
+        for threads in [2, 8] {
+            let mut store = RecipeStore::new();
+            let stats = importer
+                .import_batch(&db, &mut store, &raws, threads)
+                .unwrap();
+            assert_eq!(stats, serial, "stats diverged at {threads} threads");
         }
     }
 

@@ -11,6 +11,10 @@
 //!
 //! `str` = u32 byte length + UTF-8 bytes. Indexes are rebuilt on load.
 
+// User-reachable serialization/ingestion surface: panicking on bad
+// data is forbidden here — return errors instead.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
 use culinaria_flavordb::IngredientId;
@@ -22,9 +26,23 @@ use crate::store::RecipeStore;
 
 const MAGIC: &[u8; 5] = b"CRDB1";
 
-fn put_str(buf: &mut BytesMut, s: &str) {
-    buf.put_u32_le(s.len() as u32);
+fn put_str(buf: &mut BytesMut, s: &str) -> Result<()> {
+    let len = u32::try_from(s.len()).map_err(|_| {
+        RecipeDbError::Snapshot(format!(
+            "string of {} bytes exceeds the u32 format limit",
+            s.len()
+        ))
+    })?;
+    buf.put_u32_le(len);
     buf.put_slice(s.as_bytes());
+    Ok(())
+}
+
+fn put_count(buf: &mut BytesMut, n: usize, what: &str) -> Result<()> {
+    let n = u32::try_from(n)
+        .map_err(|_| RecipeDbError::Snapshot(format!("{what} {n} exceeds the u32 format limit")))?;
+    buf.put_u32_le(n);
+    Ok(())
 }
 
 fn get_str(buf: &mut Bytes) -> Result<String> {
@@ -40,20 +58,27 @@ fn get_str(buf: &mut Bytes) -> Result<String> {
 }
 
 /// Encode a store to its binary snapshot.
-pub fn to_snapshot(store: &RecipeStore) -> Bytes {
+///
+/// # Errors
+///
+/// Returns [`RecipeDbError::Snapshot`] when a value does not fit the
+/// format's fixed-width fields (a recipe name or count beyond
+/// `u32::MAX`) — the writer checks every conversion instead of silently
+/// truncating and emitting a snapshot that decodes to different data.
+pub fn to_snapshot(store: &RecipeStore) -> Result<Bytes> {
     let mut buf = BytesMut::with_capacity(1 << 16);
     buf.put_slice(MAGIC);
-    buf.put_u32_le(store.n_recipes() as u32);
+    put_count(&mut buf, store.n_recipes(), "recipe count")?;
     for r in store.recipes() {
-        put_str(&mut buf, &r.name);
+        put_str(&mut buf, &r.name)?;
         buf.put_u8(r.region.index() as u8);
         buf.put_u8(r.source.index() as u8);
-        buf.put_u32_le(r.size() as u32);
+        put_count(&mut buf, r.size(), "ingredient count")?;
         for ing in r.ingredients() {
             buf.put_u32_le(ing.0);
         }
     }
-    buf.freeze()
+    Ok(buf.freeze())
 }
 
 /// Decode a snapshot back into a store (indexes rebuilt).
@@ -89,6 +114,12 @@ pub fn from_snapshot(mut buf: Bytes) -> Result<RecipeStore> {
         store
             .add_recipe(&name, region, source, ings)
             .map_err(|e| RecipeDbError::Snapshot(format!("recipe replay: {e}")))?;
+    }
+    if buf.has_remaining() {
+        return Err(RecipeDbError::Snapshot(format!(
+            "{} trailing bytes after snapshot",
+            buf.remaining()
+        )));
     }
     Ok(store)
 }
@@ -146,7 +177,7 @@ mod tests {
     #[test]
     fn snapshot_roundtrip() {
         let s = store();
-        let back = from_snapshot(to_snapshot(&s)).unwrap();
+        let back = from_snapshot(to_snapshot(&s).unwrap()).unwrap();
         assert_eq!(back.n_recipes(), 2);
         for (a, b) in s.recipes().zip(back.recipes()) {
             assert_eq!(a, b);
@@ -159,7 +190,7 @@ mod tests {
     #[test]
     fn bad_magic_and_truncation() {
         assert!(from_snapshot(Bytes::from_static(b"XXXXX")).is_err());
-        let snap = to_snapshot(&store());
+        let snap = to_snapshot(&store()).unwrap();
         for cut in [4, 7, 12, snap.len() - 2] {
             assert!(from_snapshot(snap.slice(0..cut)).is_err(), "cut {cut}");
         }
@@ -167,7 +198,7 @@ mod tests {
 
     #[test]
     fn corrupt_bytes_never_panic() {
-        let snap = to_snapshot(&store()).to_vec();
+        let snap = to_snapshot(&store()).unwrap().to_vec();
         for i in 0..snap.len() {
             let mut c = snap.clone();
             c[i] = c[i].wrapping_add(1);

@@ -31,6 +31,7 @@ pub mod store;
 
 pub use cuisine::Cuisine;
 pub use error::{RecipeDbError, Result};
+pub use import::{ImportFailureReason, ImportStats, Importer, RawRecipe, RecipeFailure};
 pub use recipe::{Recipe, RecipeId, Source};
 pub use region::Region;
 pub use store::RecipeStore;

@@ -28,12 +28,16 @@
 //! * [`ks`] — two-sample Kolmogorov–Smirnov test
 //! * [`rng`] — deterministic seed derivation for parallel PRNG streams
 //! * [`pool`] — shared worker pool with a deterministic, statically
-//!   indexed task queue (results always in task order)
+//!   indexed task queue (results always in task order) and a fallible
+//!   [`pool::try_run`] entry point with panic isolation
+//! * [`fault`] — deterministic fault-injection plans (probes are live
+//!   only under the `fault-injection` cargo feature)
 
 pub mod bootstrap;
 pub mod chi2;
 pub mod correlation;
 pub mod descriptive;
+pub mod fault;
 pub mod histogram;
 pub mod ks;
 pub mod pool;

@@ -19,6 +19,19 @@
 //! one per worker), which is how the samplers reuse allocation-free
 //! buffers across tasks.
 //!
+//! # Failure model
+//!
+//! [`try_run`] is the fallible entry point: tasks return
+//! `Result<T, E>`, task bodies are wrapped in `catch_unwind`, and the
+//! first failure — error *or* panic — poisons the claim cursor so no
+//! new work starts. Tasks already in flight run to completion, every
+//! failure among claimed tasks is recorded, and the **lowest task
+//! index** wins, so the reported [`TaskFailure`] is identical for any
+//! thread count (the same determinism contract the success path has).
+//! Result slots written before the failure are dropped correctly; no
+//! task result leaks. [`run`] delegates to [`try_run`] with infallible
+//! tasks, signatures untouched.
+//!
 //! # Observability
 //!
 //! [`run_observed`] is [`run`] plus pool telemetry through a
@@ -27,9 +40,14 @@
 //! and a disabled handle reduces every probe to one branch — [`run`]
 //! itself delegates to [`run_observed`] with a disabled handle.
 
+use std::any::Any;
 use std::cell::UnsafeCell;
+use std::convert::Infallible;
+use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 use culinaria_obs::{Counter, Gauge, Histogram, Metrics};
@@ -45,12 +63,68 @@ pub fn effective_threads(requested: usize) -> usize {
         .unwrap_or(1)
 }
 
+/// Why a single task failed: it returned an error, or it panicked.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailureKind<E> {
+    /// The task returned `Err(E)`.
+    Failed(E),
+    /// The task panicked; the payload rendered as a message.
+    Panicked(String),
+}
+
+/// The structured outcome of a failed [`try_run`]: which task index
+/// failed first (lowest index among all failures), and how.
+///
+/// Determinism: the claim cursor is monotonic, so when the task at
+/// index `F` fails, every index below `F` was already claimed and runs
+/// to completion; each of their failures is recorded too, and the
+/// minimum index is kept. The minimum over "tasks that fail when
+/// executed" does not depend on the schedule, so this value is
+/// bit-identical across 1, 2, or 8 threads.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskFailure<E> {
+    /// Index of the lowest failing task.
+    pub index: usize,
+    /// How that task failed.
+    pub kind: FailureKind<E>,
+}
+
+impl<E: fmt::Display> fmt::Display for TaskFailure<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            FailureKind::Failed(e) => write!(f, "task {} failed: {e}", self.index),
+            FailureKind::Panicked(msg) => write!(f, "task {} panicked: {msg}", self.index),
+        }
+    }
+}
+
+impl<E: fmt::Display + fmt::Debug> std::error::Error for TaskFailure<E> {}
+
+/// Render a panic payload as text (the common `&str` / `String` cases;
+/// anything else gets a placeholder).
+fn panic_message(payload: Box<dyn Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        match payload.downcast::<String>() {
+            Ok(s) => *s,
+            Err(_) => "non-string panic payload".to_string(),
+        }
+    }
+}
+
 /// One result slot per task. Safety rests on the claim protocol: an
 /// index is handed to exactly one worker (atomic `fetch_add`), so each
 /// cell has exactly one writer, and the scope join orders all writes
 /// before the read-back.
+///
+/// A per-cell `written` flag arms the `Drop` impl: when a run exits
+/// early (task failure or panic), only the initialized cells are
+/// dropped, so partially filled result sets never leak and never touch
+/// uninitialized memory.
 struct Slots<T> {
     cells: Vec<UnsafeCell<MaybeUninit<T>>>,
+    written: Vec<AtomicBool>,
 }
 
 // SAFETY: cells are only accessed through disjoint indices (one writer
@@ -63,6 +137,7 @@ impl<T> Slots<T> {
             cells: (0..n)
                 .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
                 .collect(),
+            written: (0..n).map(|_| AtomicBool::new(false)).collect(),
         }
     }
 
@@ -70,15 +145,33 @@ impl<T> Slots<T> {
     /// `idx` must be claimed by exactly one worker, exactly once.
     unsafe fn write(&self, idx: usize, value: T) {
         (*self.cells[idx].get()).write(value);
+        self.written[idx].store(true, Ordering::Release);
     }
 
     /// # Safety
     /// Every index must have been written exactly once.
-    unsafe fn into_vec(self) -> Vec<T> {
-        self.cells
+    unsafe fn into_vec(mut self) -> Vec<T> {
+        // Disarm Drop: take the cells out, clear the flags, and let the
+        // emptied shell drop harmlessly.
+        let cells = std::mem::take(&mut self.cells);
+        self.written.clear();
+        cells
             .into_iter()
             .map(|c| c.into_inner().assume_init())
             .collect()
+    }
+}
+
+impl<T> Drop for Slots<T> {
+    fn drop(&mut self) {
+        for (cell, flag) in self.cells.iter_mut().zip(&self.written) {
+            if flag.load(Ordering::Acquire) {
+                // SAFETY: the flag is set only after the cell was
+                // initialized, and `&mut self` proves no worker still
+                // holds a reference.
+                unsafe { cell.get_mut().assume_init_drop() };
+            }
+        }
     }
 }
 
@@ -87,6 +180,7 @@ impl<T> Slots<T> {
 ///
 /// * `pool.runs` — pool invocations (counter);
 /// * `pool.tasks` — total tasks executed (counter);
+/// * `pool.failures` — pool runs that returned a failure (counter);
 /// * `pool.queue.depth` — task count of the most recent run (gauge);
 /// * `pool.workers` — worker count of the most recent run (gauge);
 /// * `pool.worker.tasks` — tasks claimed per worker per run (histogram,
@@ -97,6 +191,7 @@ impl<T> Slots<T> {
 pub struct PoolObs {
     runs: Counter,
     tasks: Counter,
+    failures: Counter,
     queue_depth: Gauge,
     workers: Gauge,
     worker_tasks: Histogram,
@@ -111,6 +206,7 @@ impl PoolObs {
         PoolObs {
             runs: metrics.counter("pool.runs"),
             tasks: metrics.counter("pool.tasks"),
+            failures: metrics.counter("pool.failures"),
             queue_depth: metrics.gauge("pool.queue.depth"),
             workers: metrics.gauge("pool.workers"),
             worker_tasks: metrics.histogram("pool.worker.tasks"),
@@ -142,6 +238,10 @@ impl PoolObs {
 /// `n_threads == 0` means "use the available parallelism"; the count is
 /// always capped by `n_tasks`. With one effective thread the queue runs
 /// inline with no thread machinery at all.
+///
+/// Delegates to [`try_run`] with infallible tasks: a panicking task
+/// still panics the caller (with the original message), after cleanly
+/// dropping every already-computed result.
 pub fn run<S, T, Init, Task>(n_threads: usize, n_tasks: usize, init: Init, task: Task) -> Vec<T>
 where
     T: Send,
@@ -171,8 +271,59 @@ where
     Init: Fn() -> S + Sync,
     Task: Fn(&mut S, usize) -> T + Sync,
 {
+    let result = try_run_observed(n_threads, n_tasks, obs, init, |state, i| {
+        Ok::<T, Infallible>(task(state, i))
+    });
+    match result {
+        Ok(out) => out,
+        Err(failure) => match failure.kind {
+            FailureKind::Failed(e) => match e {},
+            FailureKind::Panicked(msg) => {
+                panic!("pool task {} panicked: {msg}", failure.index)
+            }
+        },
+    }
+}
+
+/// Fallible [`run`]: tasks return `Result<T, E>`, and the pool returns
+/// either every result in task order or the **lowest-index**
+/// [`TaskFailure`] (error or panic), identical for any thread count.
+///
+/// On failure no new tasks are claimed (the cursor is poisoned),
+/// in-flight tasks finish, and every already-written result slot is
+/// dropped — nothing leaks, nothing aborts.
+pub fn try_run<S, T, E, Init, Task>(
+    n_threads: usize,
+    n_tasks: usize,
+    init: Init,
+    task: Task,
+) -> Result<Vec<T>, TaskFailure<E>>
+where
+    T: Send,
+    E: Send,
+    Init: Fn() -> S + Sync,
+    Task: Fn(&mut S, usize) -> Result<T, E> + Sync,
+{
+    try_run_observed(n_threads, n_tasks, &PoolObs::disabled(), init, task)
+}
+
+/// [`try_run`] with pool telemetry (see [`run_observed`]); a run that
+/// returns a failure additionally bumps the `pool.failures` counter.
+pub fn try_run_observed<S, T, E, Init, Task>(
+    n_threads: usize,
+    n_tasks: usize,
+    obs: &PoolObs,
+    init: Init,
+    task: Task,
+) -> Result<Vec<T>, TaskFailure<E>>
+where
+    T: Send,
+    E: Send,
+    Init: Fn() -> S + Sync,
+    Task: Fn(&mut S, usize) -> Result<T, E> + Sync,
+{
     if n_tasks == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let n_threads = effective_threads(n_threads).min(n_tasks).max(1);
     obs.runs.incr();
@@ -182,17 +333,44 @@ where
     if n_threads == 1 {
         let timer = obs.worker_busy.start();
         let mut state = init();
-        let out = (0..n_tasks).map(|i| task(&mut state, i)).collect();
+        let mut out = Vec::with_capacity(n_tasks);
+        for i in 0..n_tasks {
+            match catch_unwind(AssertUnwindSafe(|| task(&mut state, i))) {
+                Ok(Ok(value)) => out.push(value),
+                Ok(Err(e)) => {
+                    timer.stop();
+                    obs.worker_tasks.record((i + 1) as u64);
+                    obs.failures.incr();
+                    return Err(TaskFailure {
+                        index: i,
+                        kind: FailureKind::Failed(e),
+                    });
+                }
+                Err(payload) => {
+                    timer.stop();
+                    obs.worker_tasks.record((i + 1) as u64);
+                    obs.failures.incr();
+                    return Err(TaskFailure {
+                        index: i,
+                        kind: FailureKind::Panicked(panic_message(payload)),
+                    });
+                }
+            }
+        }
         timer.stop();
         obs.worker_tasks.record(n_tasks as u64);
-        return out;
+        return Ok(out);
     }
 
     let slots = Slots::new(n_tasks);
     let cursor = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let failure: Mutex<Option<TaskFailure<E>>> = Mutex::new(None);
     std::thread::scope(|scope| {
         let slots = &slots;
         let cursor = &cursor;
+        let poisoned = &poisoned;
+        let failure = &failure;
         let init = &init;
         let task = &task;
         for _ in 0..n_threads {
@@ -202,15 +380,42 @@ where
                 let mut claimed = 0u64;
                 let mut state = init();
                 loop {
+                    // The poison check gates *new* claims only; the
+                    // task that set it (and any already in flight on
+                    // other workers) has run to completion.
+                    if poisoned.load(Ordering::Relaxed) {
+                        break;
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n_tasks {
                         break;
                     }
-                    let result = task(&mut state, i);
+                    let outcome = catch_unwind(AssertUnwindSafe(|| task(&mut state, i)));
                     claimed += 1;
-                    // SAFETY: `i` came from the shared cursor, so this
-                    // worker is its unique writer.
-                    unsafe { slots.write(i, result) };
+                    let kind = match outcome {
+                        Ok(Ok(value)) => {
+                            // SAFETY: `i` came from the shared cursor,
+                            // so this worker is its unique writer.
+                            unsafe { slots.write(i, value) };
+                            continue;
+                        }
+                        Ok(Err(e)) => FailureKind::Failed(e),
+                        Err(payload) => FailureKind::Panicked(panic_message(payload)),
+                    };
+                    poisoned.store(true, Ordering::Relaxed);
+                    let mut slot = failure.lock().unwrap_or_else(|p| p.into_inner());
+                    // Lowest index wins: the cursor is monotonic, so
+                    // every index below any failing one was claimed and
+                    // ran; keeping the minimum makes the reported
+                    // failure schedule-independent.
+                    let keep = match &*slot {
+                        Some(prev) => i < prev.index,
+                        None => true,
+                    };
+                    if keep {
+                        *slot = Some(TaskFailure { index: i, kind });
+                    }
+                    break;
                 }
                 if let Some(started) = started {
                     obs.worker_busy.record_duration(started.elapsed());
@@ -219,14 +424,47 @@ where
             });
         }
     });
-    // SAFETY: the scope joined every worker and the cursor covered
-    // 0..n_tasks, so each slot was written exactly once.
-    unsafe { slots.into_vec() }
+    match failure.into_inner().unwrap_or_else(|p| p.into_inner()) {
+        Some(f) => {
+            // `slots` drops here: its Drop impl frees exactly the
+            // initialized cells.
+            obs.failures.incr();
+            Err(f)
+        }
+        // SAFETY: no failure was recorded, so the cursor covered
+        // 0..n_tasks, the scope joined every worker, and each slot was
+        // written exactly once.
+        None => Ok(unsafe { slots.into_vec() }),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::{Arc, Once};
+
+    /// Intentional test panics (messages containing "boom" or
+    /// "injected") would otherwise spray backtrace noise from spawned
+    /// workers into the test output; filter them at the hook while
+    /// delegating everything else.
+    fn quiet_panics() {
+        static HOOK: Once = Once::new();
+        HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                if !(msg.contains("boom") || msg.contains("injected")) {
+                    prev(info);
+                }
+            }));
+        });
+    }
 
     #[test]
     fn results_in_task_order_for_any_thread_count() {
@@ -321,5 +559,227 @@ mod tests {
         assert!(!obs.is_enabled());
         let out = run_observed(3, 20, &obs, || (), |_, i| i + 1);
         assert_eq!(out.len(), 20);
+    }
+
+    #[test]
+    fn try_run_success_matches_run_across_thread_counts() {
+        for threads in [1, 2, 8] {
+            let fallible = try_run(threads, 80, || (), |_, i| Ok::<usize, String>(i * 7))
+                .expect("no task fails");
+            let plain = run(threads, 80, || (), |_, i| i * 7);
+            assert_eq!(fallible, plain, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn error_at_fixed_index_is_identical_across_thread_counts() {
+        for threads in [1, 2, 8] {
+            let err = try_run(
+                threads,
+                60,
+                || (),
+                |_, i| {
+                    if i == 23 {
+                        Err(format!("bad block {i}"))
+                    } else {
+                        Ok(i)
+                    }
+                },
+            )
+            .expect_err("task 23 fails");
+            assert_eq!(
+                err,
+                TaskFailure {
+                    index: 23,
+                    kind: FailureKind::Failed("bad block 23".to_string()),
+                },
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn panic_at_fixed_index_is_identical_across_thread_counts() {
+        quiet_panics();
+        for threads in [1, 2, 8] {
+            let err = try_run(
+                threads,
+                60,
+                || (),
+                |_, i| {
+                    if i == 17 {
+                        panic!("boom at {i}");
+                    }
+                    Ok::<usize, String>(i)
+                },
+            )
+            .expect_err("task 17 panics");
+            assert_eq!(
+                err,
+                TaskFailure {
+                    index: 17,
+                    kind: FailureKind::Panicked("boom at 17".to_string()),
+                },
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn lowest_index_failure_wins_with_many_failures() {
+        quiet_panics();
+        // Tasks 11, 29, and 43 all fail (29 by panic); the reported
+        // failure must always be index 11 regardless of schedule.
+        for threads in [1, 2, 8] {
+            let err = try_run(
+                threads,
+                50,
+                || (),
+                |_, i| match i {
+                    11 | 43 => Err(format!("err {i}")),
+                    29 => panic!("boom {i}"),
+                    _ => Ok(i),
+                },
+            )
+            .expect_err("multiple tasks fail");
+            assert_eq!(
+                err,
+                TaskFailure {
+                    index: 11,
+                    kind: FailureKind::Failed("err 11".to_string()),
+                },
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn failure_drops_all_written_results_without_leaks() {
+        quiet_panics();
+        // Count live clones of a drop-tracking token: every result
+        // written before the failure must be dropped on the error path.
+        struct Tracked(Arc<AtomicUsize>);
+        impl Drop for Tracked {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let alive = Arc::new(AtomicUsize::new(0));
+        for threads in [1, 2, 8] {
+            for fail_at in [0, 1, 37, 63] {
+                let alive = Arc::clone(&alive);
+                let result = try_run(
+                    threads,
+                    64,
+                    || (),
+                    |_, i| {
+                        if i == fail_at {
+                            if i % 2 == 0 {
+                                return Err("injected error");
+                            }
+                            panic!("injected panic");
+                        }
+                        alive.fetch_add(1, Ordering::SeqCst);
+                        Ok(Tracked(Arc::clone(&alive)))
+                    },
+                );
+                assert_eq!(
+                    result.err().map(|f| f.index),
+                    Some(fail_at),
+                    "threads = {threads}, fail_at = {fail_at}"
+                );
+                assert_eq!(
+                    alive.load(Ordering::SeqCst),
+                    0,
+                    "leak: threads = {threads}, fail_at = {fail_at}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poison_stops_further_claims() {
+        quiet_panics();
+        // Serial path: a failure at index 5 means no task after 5 runs.
+        let touched = AtomicUsize::new(0);
+        let err = try_run(
+            1,
+            100,
+            || (),
+            |_, i| {
+                touched.fetch_add(1, Ordering::SeqCst);
+                if i == 5 {
+                    Err("injected stop")
+                } else {
+                    Ok(i)
+                }
+            },
+        )
+        .expect_err("task 5 fails");
+        assert_eq!(err.index, 5);
+        assert_eq!(touched.load(Ordering::SeqCst), 6);
+        // Parallel path: with the poison flag, far fewer than all 10_000
+        // tasks run after an index-0 failure (in-flight tasks may
+        // finish, bounded by the worker count).
+        let touched = AtomicUsize::new(0);
+        let err = try_run(
+            4,
+            10_000,
+            || (),
+            |_, i| {
+                touched.fetch_add(1, Ordering::SeqCst);
+                if i == 0 {
+                    Err("injected stop")
+                } else {
+                    std::thread::yield_now();
+                    Ok(i)
+                }
+            },
+        )
+        .expect_err("task 0 fails");
+        assert_eq!(err.index, 0);
+        assert!(
+            touched.load(Ordering::SeqCst) < 10_000,
+            "poison flag did not stop the queue"
+        );
+    }
+
+    #[test]
+    fn try_run_observed_counts_failures() {
+        let metrics = Metrics::enabled();
+        let obs = PoolObs::new(&metrics);
+        let ok = try_run_observed(2, 10, &obs, || (), |_, i| Ok::<usize, String>(i));
+        assert!(ok.is_ok());
+        let err = try_run_observed(
+            2,
+            10,
+            &obs,
+            || (),
+            |_, i| {
+                if i == 3 {
+                    Err("nope".to_string())
+                } else {
+                    Ok(i)
+                }
+            },
+        );
+        assert!(err.is_err());
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("pool.runs"), Some(2));
+        assert_eq!(snap.counter("pool.failures"), Some(1));
+    }
+
+    #[test]
+    fn task_failure_renders_both_kinds() {
+        let failed = TaskFailure {
+            index: 4,
+            kind: FailureKind::Failed("out of range".to_string()),
+        };
+        assert_eq!(failed.to_string(), "task 4 failed: out of range");
+        let panicked: TaskFailure<String> = TaskFailure {
+            index: 9,
+            kind: FailureKind::Panicked("boom".to_string()),
+        };
+        assert_eq!(panicked.to_string(), "task 9 panicked: boom");
     }
 }

@@ -156,3 +156,104 @@ proptest! {
         }
     }
 }
+
+mod pool_failures {
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Once};
+
+    use proptest::prelude::*;
+
+    use culinaria_stats::pool::{try_run, FailureKind, TaskFailure};
+
+    /// Silence the intentional "injected" panics raised inside worker
+    /// threads; everything else still reaches the default hook.
+    fn quiet_panics() {
+        static HOOK: Once = Once::new();
+        HOOK.call_once(|| {
+            let prev = std::panic::take_hook();
+            std::panic::set_hook(Box::new(move |info| {
+                let msg = info
+                    .payload()
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| info.payload().downcast_ref::<String>().cloned())
+                    .unwrap_or_default();
+                if !msg.contains("injected") {
+                    prev(info);
+                }
+            }));
+        });
+    }
+
+    proptest! {
+        /// For any set of failing indices (some panicking, some
+        /// erroring), every thread count reports the same
+        /// lowest-index failure and leaks nothing.
+        #[test]
+        fn arbitrary_failure_sets_are_deterministic_and_leak_free(
+            n_tasks in 1usize..120,
+            fail in proptest::collection::btree_set(0usize..120, 0..6),
+            panic_mask in any::<u64>(),
+        ) {
+            quiet_panics();
+            let fail: BTreeSet<usize> = fail.into_iter().filter(|&i| i < n_tasks).collect();
+            let alive = Arc::new(AtomicUsize::new(0));
+            let mut outcomes: Vec<Result<usize, TaskFailure<String>>> = Vec::new();
+            for threads in [1usize, 2, 8] {
+                let alive = Arc::clone(&alive);
+                struct Tracked(Arc<AtomicUsize>);
+                impl Drop for Tracked {
+                    fn drop(&mut self) {
+                        self.0.fetch_sub(1, Ordering::SeqCst);
+                    }
+                }
+                let result = try_run(
+                    threads,
+                    n_tasks,
+                    || (),
+                    |_, i| {
+                        if fail.contains(&i) {
+                            if panic_mask >> (i % 64) & 1 == 1 {
+                                panic!("injected panic {i}");
+                            }
+                            return Err(format!("injected error {i}"));
+                        }
+                        alive.fetch_add(1, Ordering::SeqCst);
+                        Ok(Tracked(Arc::clone(&alive)))
+                    },
+                );
+                // Reduce to the length first: this drops every Tracked
+                // result, so a zero count below means nothing leaked on
+                // either the success or the failure path.
+                let outcome = result.map(|v| v.len());
+                prop_assert_eq!(
+                    alive.load(Ordering::SeqCst), 0,
+                    "leaked results at {} threads", threads
+                );
+                outcomes.push(outcome);
+            }
+            // All thread counts agree bit-for-bit.
+            prop_assert_eq!(outcomes[0].clone(), outcomes[1].clone());
+            prop_assert_eq!(outcomes[1].clone(), outcomes[2].clone());
+            match fail.iter().next() {
+                None => prop_assert_eq!(outcomes[0].clone(), Ok(n_tasks)),
+                Some(&lowest) => {
+                    let failure = outcomes[0].clone().expect_err("a task fails");
+                    prop_assert_eq!(failure.index, lowest);
+                    let expect_panic = panic_mask >> (lowest % 64) & 1 == 1;
+                    match failure.kind {
+                        FailureKind::Panicked(msg) => {
+                            prop_assert!(expect_panic);
+                            prop_assert_eq!(msg, format!("injected panic {}", lowest));
+                        }
+                        FailureKind::Failed(msg) => {
+                            prop_assert!(!expect_panic);
+                            prop_assert_eq!(msg, format!("injected error {}", lowest));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

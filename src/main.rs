@@ -22,7 +22,7 @@ use culinaria::analysis::contribution::top_contributors;
 use culinaria::analysis::generation::{Objective, RecipeGenerator};
 use culinaria::analysis::pairing::OverlapCache;
 use culinaria::analysis::z_analysis::{
-    analyses_to_frame, analyze_cuisine_observed, analyze_world_observed,
+    analyses_to_frame, try_analyze_cuisine_observed, try_analyze_world_observed,
 };
 use culinaria::analysis::{MonteCarloConfig, NullModel};
 use culinaria::datagen::{generate_world, World, WorldConfig};
@@ -126,12 +126,26 @@ fn build_world(args: &Args) -> World {
     generate_world(&cfg)
 }
 
+/// One malformed block found while parsing the `import` text format.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct ParseIssue {
+    /// 1-based line number of the offending block header.
+    line: usize,
+    message: String,
+}
+
 /// Parse the `import` command's plain-text recipe format: recipes are
 /// blank-line-separated blocks, the first line of each block is
 /// `name | REGION_CODE`, every following line is one free-text
 /// ingredient line. `#` starts a comment line anywhere.
-fn parse_raw_recipes(text: &str) -> Result<Vec<RawRecipe>, String> {
+///
+/// Malformed blocks (bad header, unknown region tag) do not abort the
+/// parse: every well-formed recipe is returned, and every bad block is
+/// reported as a [`ParseIssue`] with its line number so curators can
+/// fix the whole file in one pass.
+fn parse_raw_recipes(text: &str) -> (Vec<RawRecipe>, Vec<ParseIssue>) {
     let mut raws = Vec::new();
+    let mut issues = Vec::new();
     let mut block: Vec<(usize, &str)> = Vec::new();
     // A sentinel blank line flushes the final block without a special case.
     for (idx, line) in text.lines().chain(std::iter::once("")).enumerate() {
@@ -147,14 +161,22 @@ fn parse_raw_recipes(text: &str) -> Result<Vec<RawRecipe>, String> {
             continue;
         };
         let Some((name, code)) = header.split_once('|') else {
-            return Err(format!(
-                "line {header_line}: recipe header must be `name | REGION_CODE`, got {header:?}"
-            ));
+            issues.push(ParseIssue {
+                line: *header_line,
+                message: format!("recipe header must be `name | REGION_CODE`, got {header:?}"),
+            });
+            block.clear();
+            continue;
         };
         let code = code.trim();
-        let region = code
-            .parse::<Region>()
-            .map_err(|_| format!("line {header_line}: unknown region code {code:?}"))?;
+        let Ok(region) = code.parse::<Region>() else {
+            issues.push(ParseIssue {
+                line: *header_line,
+                message: format!("unknown region code {code:?}"),
+            });
+            block.clear();
+            continue;
+        };
         raws.push(RawRecipe {
             name: name.trim().to_owned(),
             region,
@@ -163,7 +185,7 @@ fn parse_raw_recipes(text: &str) -> Result<Vec<RawRecipe>, String> {
         });
         block.clear();
     }
-    Ok(raws)
+    (raws, issues)
 }
 
 fn usage() -> ExitCode {
@@ -230,8 +252,20 @@ fn main() -> ExitCode {
                 println!("wrote {path} ({} bytes)", bytes.len());
                 Ok(())
             };
-            let flavor = culinaria::flavordb::io::to_snapshot(&world.flavor);
-            let recipes = culinaria::recipedb::io::to_snapshot(&world.recipes);
+            let (flavor, recipes) = match (
+                culinaria::flavordb::io::to_snapshot(&world.flavor),
+                culinaria::recipedb::io::to_snapshot(&world.recipes),
+            ) {
+                (Ok(f), Ok(r)) => (f, r),
+                (Err(e), _) => {
+                    eprintln!("cannot encode flavor snapshot: {e}");
+                    return ExitCode::FAILURE;
+                }
+                (_, Err(e)) => {
+                    eprintln!("cannot encode recipe snapshot: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let csv = culinaria::recipedb::io::to_csv(&world.recipes);
             if let Err(e) = write("flavor.cfdb", &flavor)
                 .and_then(|_| write("recipes.crdb", &recipes))
@@ -250,13 +284,20 @@ fn main() -> ExitCode {
                 n_threads: 0,
             };
             let sink = args.metrics();
-            let analyses = analyze_world_observed(
+            let analyses = match try_analyze_world_observed(
                 &world.flavor,
                 &world.recipes,
                 &NullModel::ALL,
                 &mc,
                 &sink.metrics,
-            );
+            ) {
+                Ok(a) => a,
+                Err(failure) => {
+                    eprintln!("analysis failed: {failure}");
+                    sink.dump();
+                    return ExitCode::FAILURE;
+                }
+            };
             println!("{}", analyses_to_frame(&analyses).to_table_string(22));
             let matches = analyses
                 .iter()
@@ -280,13 +321,10 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            let raws = match parse_raw_recipes(&text) {
-                Ok(r) => r,
-                Err(e) => {
-                    eprintln!("{path}: {e}");
-                    return ExitCode::FAILURE;
-                }
-            };
+            let (raws, issues) = parse_raw_recipes(&text);
+            for issue in &issues {
+                eprintln!("{path}:{}: {}", issue.line, issue.message);
+            }
             let db = culinaria::flavordb::curated::curated_db();
             let importer = Importer::from_flavor_db(&db);
             let mut store = RecipeStore::new();
@@ -318,8 +356,19 @@ fn main() -> ExitCode {
                     println!("  {count:>4}× {tok}");
                 }
             }
+            for failure in &stats.failures {
+                eprintln!("dropped {failure}");
+            }
             sink.dump();
-            ExitCode::SUCCESS
+            if issues.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "{path}: {} malformed block(s) skipped — fix them and re-import",
+                    issues.len()
+                );
+                ExitCode::FAILURE
+            }
         }
         "report" => {
             let Some(region) = args
@@ -338,15 +387,23 @@ fn main() -> ExitCode {
                 n_threads: 0,
             };
             let sink = args.metrics();
-            let Some(analysis) = analyze_cuisine_observed(
+            let analysis = match try_analyze_cuisine_observed(
                 &world.flavor,
                 &cuisine,
                 &NullModel::ALL,
                 &mc,
                 &sink.metrics,
-            ) else {
-                eprintln!("{region}: no pairing-bearing recipes");
-                return ExitCode::FAILURE;
+            ) {
+                Ok(Some(analysis)) => analysis,
+                Ok(None) => {
+                    eprintln!("{region}: no pairing-bearing recipes");
+                    return ExitCode::FAILURE;
+                }
+                Err(failure) => {
+                    eprintln!("report failed: {failure}");
+                    sink.dump();
+                    return ExitCode::FAILURE;
+                }
             };
             println!(
                 "{} — {} recipes, {} ingredients",
@@ -441,8 +498,19 @@ fn main() -> ExitCode {
                 region.name()
             );
             for &(novelty, overlap, cooc, i, j) in candidates.iter().take(top_k) {
-                let a = &world.flavor.ingredient(pool[i]).expect("live id").name;
-                let b = &world.flavor.ingredient(pool[j]).expect("live id").name;
+                // The pool comes straight from the overlap cache, so
+                // both ids should be live; a mismatch means the cache
+                // and database went out of sync — report, don't panic.
+                let (a, b) = match (
+                    world.flavor.ingredient(pool[i]),
+                    world.flavor.ingredient(pool[j]),
+                ) {
+                    (Ok(a), Ok(b)) => (&a.name, &b.name),
+                    (Err(e), _) | (_, Err(e)) => {
+                        eprintln!("pairing table references a dead ingredient: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
                 println!("  {novelty:7.1}  {a} + {b}  (overlap {overlap}, co-used {cooc}×)");
             }
             ExitCode::SUCCESS
@@ -514,7 +582,8 @@ mod tests {
     fn raw_recipe_format_parses() {
         let text = "# comment\nPesto Pasta | ITA\n2 cups basil\n1/2 cup olive oil\n\n\
                     Miso Soup | JPN\n1 tbsp miso paste\n";
-        let raws = parse_raw_recipes(text).expect("parses");
+        let (raws, issues) = parse_raw_recipes(text);
+        assert!(issues.is_empty(), "{issues:?}");
         assert_eq!(raws.len(), 2);
         assert_eq!(raws[0].name, "Pesto Pasta");
         assert_eq!(raws[0].ingredient_lines.len(), 2);
@@ -523,8 +592,33 @@ mod tests {
     }
 
     #[test]
-    fn raw_recipe_format_rejects_bad_headers() {
-        assert!(parse_raw_recipes("No Region Here\nbasil\n").is_err());
-        assert!(parse_raw_recipes("Dish | NOPE\nbasil\n").is_err());
+    fn raw_recipe_format_reports_bad_headers_with_line_numbers() {
+        let (raws, issues) = parse_raw_recipes("No Region Here\nbasil\n");
+        assert!(raws.is_empty());
+        assert_eq!(issues.len(), 1);
+        assert_eq!(issues[0].line, 1);
+        assert!(issues[0].message.contains("REGION_CODE"), "{issues:?}");
+
+        let (raws, issues) = parse_raw_recipes("Dish | NOPE\nbasil\n");
+        assert!(raws.is_empty());
+        assert_eq!(issues[0].line, 1);
+        assert!(issues[0].message.contains("NOPE"), "{issues:?}");
+    }
+
+    #[test]
+    fn malformed_blocks_do_not_abort_the_parse() {
+        // Good, bad-region, headerless, good — every issue is reported
+        // with its line number and both good recipes survive.
+        let text = "Pesto | ITA\nbasil\n\n\
+                    Dish | NOPE\nbasil\n\n\
+                    # comment\nJust Ingredients Here\n\n\
+                    Miso Soup | JPN\nmiso paste\n";
+        let (raws, issues) = parse_raw_recipes(text);
+        assert_eq!(raws.len(), 2);
+        assert_eq!(raws[0].name, "Pesto");
+        assert_eq!(raws[1].name, "Miso Soup");
+        assert_eq!(issues.len(), 2);
+        assert_eq!(issues[0].line, 4);
+        assert_eq!(issues[1].line, 8);
     }
 }

@@ -1,0 +1,367 @@
+//! Cross-crate fault-injection suite (`--features fault-injection`).
+//!
+//! Uses the deterministic [`culinaria::stats::fault`] harness to inject
+//! error- and panic-shaped faults at every pipeline stage — overlap
+//! packing and sweeping, Monte-Carlo blocks (pairwise and k-tuple),
+//! network edge rows, the flattened world queue, and batch import — and
+//! asserts the two contracts of the failure model:
+//!
+//! 1. **Determinism**: an injected fault yields the same structured
+//!    error (lowest failing index wins) for 1, 2 and 8 worker threads.
+//! 2. **Transparency**: with an empty fault plan every `try_*` path is
+//!    bit-identical to its infallible sibling.
+//!
+//! `fault::with_plan` serializes plan installation behind a global
+//! lock, so these tests are safe under the default parallel test
+//! runner.
+
+#![cfg(feature = "fault-injection")]
+
+use culinaria::analysis::monte_carlo::{
+    run_null_model, try_run_null_model, try_run_null_model_observed,
+};
+use culinaria::analysis::network::FlavorNetwork;
+use culinaria::analysis::ntuple::{ktuple_null_ensemble, try_ktuple_null_ensemble, KTupleScorer};
+use culinaria::analysis::null_models::CuisineSampler;
+use culinaria::analysis::z_analysis::{analyze_world, try_analyze_cuisine, try_analyze_world};
+use culinaria::analysis::{FailureCause, MonteCarloConfig, NullModel, OverlapCache, StageFailure};
+use culinaria::datagen::{generate_world, World, WorldConfig};
+use culinaria::obs::Metrics;
+use culinaria::recipedb::import::{ImportFailureReason, Importer, RawRecipe};
+use culinaria::recipedb::{RecipeDbError, RecipeStore, Region, Source};
+use culinaria::stats::fault::{self, FaultKind, FaultPlan};
+
+const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
+
+fn tiny_world() -> World {
+    generate_world(&WorldConfig::tiny())
+}
+
+fn mc_cfg(n_threads: usize) -> MonteCarloConfig {
+    MonteCarloConfig {
+        // 8192 recipes / 2048-recipe blocks = 4 Monte-Carlo blocks, so
+        // block indices up to 3 are injectable.
+        n_recipes: 8192,
+        seed: 7,
+        n_threads,
+    }
+}
+
+fn plan(stage: &str, index: usize, kind: FaultKind) -> FaultPlan {
+    FaultPlan::new().fail(stage, index, kind)
+}
+
+/// The cause a probe-injected fault should surface as.
+fn expected_cause(stage: &str, index: usize, kind: FaultKind) -> FailureCause {
+    match kind {
+        FaultKind::Error => FailureCause::Error(format!("injected fault at {stage}[{index}]")),
+        FaultKind::Panic => FailureCause::Panic(format!("injected panic at {stage}[{index}]")),
+    }
+}
+
+#[test]
+fn empty_plan_leaves_every_stage_bit_identical() {
+    let world = tiny_world();
+    let pool: Vec<_> = world.flavor.ingredient_ids().collect();
+    let models = [NullModel::Random, NullModel::Frequency];
+
+    fault::with_plan(FaultPlan::new(), || {
+        // An empty plan keeps the probe fast path inactive.
+        assert!(!fault::active());
+        let plain_cache = OverlapCache::build(&world.flavor, &pool);
+        let try_cache = OverlapCache::try_build(&world.flavor, &pool).unwrap();
+        assert_eq!(plain_cache.len(), try_cache.len());
+        for i in 0..plain_cache.len() as u32 {
+            for j in 0..plain_cache.len() as u32 {
+                assert_eq!(plain_cache.overlap(i, j), try_cache.overlap(i, j));
+            }
+        }
+
+        let plain_net = FlavorNetwork::build(&world.flavor, &pool);
+        let try_net = FlavorNetwork::try_build(&world.flavor, &pool).unwrap();
+        assert_eq!(plain_net.n_edges(), try_net.n_edges());
+
+        let plain = analyze_world(&world.flavor, &world.recipes, &models, &mc_cfg(2));
+        let tried = try_analyze_world(&world.flavor, &world.recipes, &models, &mc_cfg(2)).unwrap();
+        assert_eq!(plain.len(), tried.len());
+        for (a, b) in plain.iter().zip(&tried) {
+            assert_eq!(a.region, b.region);
+            assert_eq!(a.observed_mean.to_bits(), b.observed_mean.to_bits());
+            for (x, y) in a.comparisons.iter().zip(&b.comparisons) {
+                assert_eq!(x.null, y.null, "{} ensembles diverged", a.region.code());
+            }
+        }
+    });
+    assert!(!fault::active());
+}
+
+#[test]
+fn overlap_pack_error_is_deterministic() {
+    let world = tiny_world();
+    let pool: Vec<_> = world.flavor.ingredient_ids().collect();
+    assert!(pool.len() > 2);
+    for threads in THREAD_COUNTS {
+        let failure = fault::with_plan(plan("overlap.pack", 1, FaultKind::Error), || {
+            OverlapCache::try_build_with_threads(&world.flavor, &pool, threads).unwrap_err()
+        });
+        assert_eq!(
+            failure,
+            StageFailure::error("overlap.pack", 1, "injected fault at overlap.pack[1]"),
+            "diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn overlap_row_faults_are_deterministic_across_threads() {
+    fault::silence_injected_panics();
+    let world = tiny_world();
+    let pool: Vec<_> = world.flavor.ingredient_ids().collect();
+    assert!(pool.len() > 4);
+    for kind in [FaultKind::Error, FaultKind::Panic] {
+        for threads in THREAD_COUNTS {
+            let failure = fault::with_plan(plan("overlap.row", 3, kind), || {
+                OverlapCache::try_build_with_threads(&world.flavor, &pool, threads).unwrap_err()
+            });
+            assert_eq!(failure.stage, "overlap.row");
+            assert_eq!(failure.index, 3);
+            assert_eq!(
+                failure.cause,
+                expected_cause("overlap.row", 3, kind),
+                "diverged at {threads} threads"
+            );
+        }
+    }
+}
+
+#[test]
+fn lowest_failing_index_wins_in_the_pool_stage() {
+    fault::silence_injected_panics();
+    let world = tiny_world();
+    let pool: Vec<_> = world.flavor.ingredient_ids().collect();
+    let mixed = FaultPlan::new()
+        .fail("overlap.row", 5, FaultKind::Panic)
+        .fail("overlap.row", 2, FaultKind::Error)
+        .fail("overlap.row", 9, FaultKind::Error);
+    for threads in THREAD_COUNTS {
+        let failure = fault::with_plan(mixed.clone(), || {
+            OverlapCache::try_build_with_threads(&world.flavor, &pool, threads).unwrap_err()
+        });
+        assert_eq!(
+            failure,
+            StageFailure::error("overlap.row", 2, "injected fault at overlap.row[2]"),
+            "lowest index did not win at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn mc_block_faults_are_deterministic_across_threads() {
+    fault::silence_injected_panics();
+    let world = tiny_world();
+    let cuisine = world.recipes.cuisine(Region::Italy);
+    let sampler = CuisineSampler::build(&world.flavor, &cuisine).unwrap();
+    let cache = OverlapCache::build(&world.flavor, &cuisine.ingredient_set());
+    for kind in [FaultKind::Error, FaultKind::Panic] {
+        for threads in THREAD_COUNTS {
+            let failure = fault::with_plan(plan("mc.block", 2, kind), || {
+                try_run_null_model(&cache, &sampler, NullModel::Random, &mc_cfg(threads))
+                    .unwrap_err()
+            });
+            assert_eq!(failure.stage, "mc.block");
+            assert_eq!(failure.index, 2);
+            assert_eq!(
+                failure.cause,
+                expected_cause("mc.block", 2, kind),
+                "diverged at {threads} threads"
+            );
+        }
+    }
+    // Sanity: the same configuration without a plan still runs.
+    assert!(run_null_model(&cache, &sampler, NullModel::Random, &mc_cfg(2)).is_some());
+}
+
+#[test]
+fn ktuple_block_faults_are_deterministic_across_threads() {
+    fault::silence_injected_panics();
+    let world = tiny_world();
+    let cuisine = world.recipes.cuisine(Region::Italy);
+    let sampler = CuisineSampler::build(&world.flavor, &cuisine).unwrap();
+    let scorer = KTupleScorer::for_cuisine(&world.flavor, &cuisine, 3);
+    for kind in [FaultKind::Error, FaultKind::Panic] {
+        for threads in THREAD_COUNTS {
+            let failure = fault::with_plan(plan("mc.ktuple.block", 1, kind), || {
+                try_ktuple_null_ensemble(&scorer, &sampler, NullModel::Random, &mc_cfg(threads))
+                    .unwrap_err()
+            });
+            assert_eq!(failure.stage, "mc.ktuple.block");
+            assert_eq!(failure.index, 1);
+            assert_eq!(failure.cause, expected_cause("mc.ktuple.block", 1, kind));
+        }
+    }
+    // Transparent when no fault matches the stage.
+    let clean = fault::with_plan(plan("unrelated.stage", 0, FaultKind::Error), || {
+        try_ktuple_null_ensemble(&scorer, &sampler, NullModel::Random, &mc_cfg(2)).unwrap()
+    });
+    assert_eq!(
+        clean,
+        ktuple_null_ensemble(&scorer, &sampler, NullModel::Random, &mc_cfg(2))
+    );
+}
+
+#[test]
+fn network_row_faults_are_deterministic_across_threads() {
+    fault::silence_injected_panics();
+    let world = tiny_world();
+    let pool: Vec<_> = world.flavor.ingredient_ids().collect();
+    for kind in [FaultKind::Error, FaultKind::Panic] {
+        for threads in THREAD_COUNTS {
+            let failure = fault::with_plan(plan("network.row", 2, kind), || {
+                FlavorNetwork::try_build_with_threads(&world.flavor, &pool, threads).unwrap_err()
+            });
+            assert_eq!(failure.stage, "network.row");
+            assert_eq!(failure.index, 2);
+            assert_eq!(failure.cause, expected_cause("network.row", 2, kind));
+        }
+    }
+}
+
+#[test]
+fn world_block_faults_are_deterministic_across_threads() {
+    fault::silence_injected_panics();
+    let world = tiny_world();
+    let models = [NullModel::Random];
+    for kind in [FaultKind::Error, FaultKind::Panic] {
+        for threads in THREAD_COUNTS {
+            let failure = fault::with_plan(plan("world.block", 0, kind), || {
+                try_analyze_world(&world.flavor, &world.recipes, &models, &mc_cfg(threads))
+                    .unwrap_err()
+            });
+            assert_eq!(failure.stage, "world.block");
+            assert_eq!(failure.index, 0);
+            assert_eq!(failure.cause, expected_cause("world.block", 0, kind));
+        }
+    }
+}
+
+#[test]
+fn cuisine_analysis_propagates_nested_stage_failures() {
+    let world = tiny_world();
+    let cuisine = world.recipes.cuisine(Region::Italy);
+    let failure = fault::with_plan(plan("overlap.row", 1, FaultKind::Error), || {
+        try_analyze_cuisine(&world.flavor, &cuisine, &[NullModel::Random], &mc_cfg(2)).unwrap_err()
+    });
+    assert_eq!(failure.stage, "overlap.row");
+    assert_eq!(failure.index, 1);
+}
+
+#[test]
+fn engine_failures_bump_error_counters() {
+    let world = tiny_world();
+    let cuisine = world.recipes.cuisine(Region::Italy);
+    let sampler = CuisineSampler::build(&world.flavor, &cuisine).unwrap();
+    let cache = OverlapCache::build(&world.flavor, &cuisine.ingredient_set());
+    let metrics = Metrics::enabled();
+    fault::with_plan(plan("mc.block", 0, FaultKind::Error), || {
+        let failure =
+            try_run_null_model_observed(&cache, &sampler, NullModel::Random, &mc_cfg(2), &metrics)
+                .unwrap_err();
+        assert_eq!(failure.stage, "mc.block");
+    });
+    let snap = metrics.snapshot();
+    assert_eq!(snap.counter("error.mc.block"), Some(1));
+    assert_eq!(snap.counter("pool.failures"), Some(1));
+}
+
+fn import_fixture() -> (Importer, Vec<RawRecipe>) {
+    let db = culinaria::flavordb::curated::curated_db();
+    let importer = Importer::from_flavor_db(&db);
+    let raws: Vec<RawRecipe> = (0..12)
+        .map(|i| RawRecipe {
+            name: format!("recipe {i}"),
+            region: Region::Italy,
+            source: Source::Synthetic,
+            ingredient_lines: vec!["3 ripe tomatoes".into(), "2 cloves garlic".into()],
+        })
+        .collect();
+    (importer, raws)
+}
+
+#[test]
+fn import_error_faults_become_per_recipe_failures() {
+    let db = culinaria::flavordb::curated::curated_db();
+    let (importer, raws) = import_fixture();
+    for threads in THREAD_COUNTS {
+        let mut store = RecipeStore::new();
+        let stats = fault::with_plan(plan("import.recipe", 1, FaultKind::Error), || {
+            importer
+                .import_batch(&db, &mut store, &raws, threads)
+                .unwrap()
+        });
+        assert_eq!(stats.offered, 12, "at {threads} threads");
+        assert_eq!(stats.stored, 11);
+        assert_eq!(stats.dropped, 1);
+        assert_eq!(stats.failures.len(), 1);
+        assert_eq!(stats.failures[0].index, 1);
+        assert_eq!(stats.failures[0].name, "recipe 1");
+        assert_eq!(
+            stats.failures[0].reason,
+            ImportFailureReason::Fault("injected fault at import.recipe[1]".into())
+        );
+        // The other eleven recipes made it into the store.
+        assert_eq!(store.n_recipes(), 11);
+    }
+}
+
+#[test]
+fn import_panic_fails_the_batch_with_the_lowest_index() {
+    fault::silence_injected_panics();
+    let db = culinaria::flavordb::curated::curated_db();
+    let (importer, raws) = import_fixture();
+    let two_panics = FaultPlan::new()
+        .fail("import.recipe", 7, FaultKind::Panic)
+        .fail("import.recipe", 2, FaultKind::Panic);
+    for threads in THREAD_COUNTS {
+        let mut store = RecipeStore::new();
+        let err = fault::with_plan(two_panics.clone(), || {
+            importer
+                .import_batch(&db, &mut store, &raws, threads)
+                .unwrap_err()
+        });
+        assert_eq!(
+            err,
+            RecipeDbError::Worker {
+                index: 2,
+                message: "injected panic at import.recipe[2]".into(),
+            },
+            "diverged at {threads} threads"
+        );
+        // A failed batch must not have mutated the store.
+        assert_eq!(store.n_recipes(), 0);
+    }
+}
+
+#[test]
+fn seeded_plans_are_reproducible() {
+    let stages = ["overlap.row", "mc.block", "world.block"];
+    let a = FaultPlan::seeded(42, &stages, 16, 5);
+    let b = FaultPlan::seeded(42, &stages, 16, 5);
+    assert_eq!(a.specs(), b.specs());
+    assert_eq!(a.len(), 5);
+    // Different seeds may differ (not guaranteed, but with 3 stages ×
+    // 16 indices × 2 kinds a collision of all five specs is unlikely
+    // enough to pin down here).
+    let c = FaultPlan::seeded(43, &stages, 16, 5);
+    assert_ne!(a.specs(), c.specs());
+
+    // Replaying the same seeded plan twice produces the same outcome.
+    fault::silence_injected_panics();
+    let world = tiny_world();
+    let pool: Vec<_> = world.flavor.ingredient_ids().collect();
+    let run = || {
+        fault::with_plan(FaultPlan::seeded(42, &["overlap.row"], 4, 2), || {
+            OverlapCache::try_build_with_threads(&world.flavor, &pool, 4).map(|cache| cache.len())
+        })
+    };
+    assert_eq!(run(), run());
+}

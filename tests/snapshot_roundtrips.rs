@@ -12,8 +12,8 @@ use culinaria::recipedb::Region;
 fn world_snapshot_preserves_analysis_results() {
     let world = generate_world(&WorldConfig::tiny());
 
-    let flavor_snap = flavor_io::to_snapshot(&world.flavor);
-    let recipe_snap = recipe_io::to_snapshot(&world.recipes);
+    let flavor_snap = flavor_io::to_snapshot(&world.flavor).expect("encodes");
+    let recipe_snap = recipe_io::to_snapshot(&world.recipes).expect("encodes");
 
     let flavor2 = flavor_io::from_snapshot(flavor_snap).expect("flavor snapshot decodes");
     let recipes2 = recipe_io::from_snapshot(recipe_snap).expect("recipe snapshot decodes");
@@ -54,13 +54,13 @@ fn snapshots_are_stable_across_identical_worlds() {
     let a = generate_world(&WorldConfig::tiny());
     let b = generate_world(&WorldConfig::tiny());
     assert_eq!(
-        flavor_io::to_snapshot(&a.flavor),
-        flavor_io::to_snapshot(&b.flavor),
+        flavor_io::to_snapshot(&a.flavor).unwrap(),
+        flavor_io::to_snapshot(&b.flavor).unwrap(),
         "flavor snapshots differ for identical configs"
     );
     assert_eq!(
-        recipe_io::to_snapshot(&a.recipes),
-        recipe_io::to_snapshot(&b.recipes),
+        recipe_io::to_snapshot(&a.recipes).unwrap(),
+        recipe_io::to_snapshot(&b.recipes).unwrap(),
         "recipe snapshots differ for identical configs"
     );
 }
