@@ -9,7 +9,9 @@
 //!
 //! Both paths consume identical PRNG streams, so the harness also
 //! asserts the two produce **bit-identical** null ensembles — the
-//! speedup is free of numerical drift by construction.
+//! speedup is free of numerical drift by construction. A final sweep
+//! re-times the optimized pipeline at 1/2/4/8 workers (`scaling` in
+//! the JSON), asserting bit-parity at every point.
 //!
 //! Knobs: `CULINARIA_SCALE` (default 0.1), `CULINARIA_MC` (default
 //! 20000), `CULINARIA_SEED` (default 2018), `CULINARIA_THREADS`
@@ -210,6 +212,53 @@ fn main() {
          vs optimized {optimized_wall_ms:.0} ms -> {speedup:.2}x"
     );
 
+    // Thread-scaling sweep: the full optimized pipeline at 1/2/4/8
+    // workers, every point checked bit-identical against the reference
+    // run above (the determinism contract, now *measured*).
+    let mut scaling = Vec::new();
+    let mut wall_at_1 = f64::NAN;
+    for threads in [1usize, 2, 4, 8] {
+        let sweep_cfg = MonteCarloConfig {
+            n_threads: threads,
+            ..cfg
+        };
+        let t = Instant::now();
+        let sweep = analyze_world(&world.flavor, &world.recipes, &models, &sweep_cfg);
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(sweep.len(), analyses.len());
+        for (a, b) in sweep.iter().zip(&analyses) {
+            assert_eq!(a.region, b.region);
+            assert_eq!(
+                a.observed_mean.to_bits(),
+                b.observed_mean.to_bits(),
+                "{}: observed mean diverges on {threads} threads",
+                a.region.code()
+            );
+            for (x, y) in a.comparisons.iter().zip(&b.comparisons) {
+                assert_eq!(
+                    x.null.mean.to_bits(),
+                    y.null.mean.to_bits(),
+                    "{} {}: ensemble diverges on {threads} threads",
+                    a.region.code(),
+                    x.model
+                );
+                assert_eq!(x.null.std_dev.to_bits(), y.null.std_dev.to_bits());
+            }
+        }
+        if threads == 1 {
+            wall_at_1 = wall_ms;
+        }
+        eprintln!(
+            "scaling: {threads} threads -> {wall_ms:.0} ms ({:.2}x vs 1 thread)",
+            wall_at_1 / wall_ms
+        );
+        scaling.push(format!(
+            "    {{ \"threads\": {threads}, \"wall_ms\": {wall_ms:.3}, \
+             \"speedup_vs_1\": {sp:.3}, \"parity\": \"bit-identical\" }}",
+            sp = wall_at_1 / wall_ms,
+        ));
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"fig4_world_analysis\",\n  \"n_regions\": {n_regions},\n  \
          \"n_models\": {n_models},\n  \"n_recipes_per_model\": {n_recipes},\n  \
@@ -221,11 +270,13 @@ fn main() {
          \"baseline_mc_ms\": {baseline_mc_ms:.3},\n  \
          \"baseline_wall_ms\": {baseline_wall_ms:.3},\n  \
          \"optimized_wall_ms\": {optimized_wall_ms:.3},\n  \
-         \"speedup\": {speedup:.3},\n  \"parity\": \"bit-identical\"\n}}\n",
+         \"speedup\": {speedup:.3},\n  \"scaling\": [\n{scaling}\n  ],\n  \
+         \"parity\": \"bit-identical\"\n}}\n",
         n_models = models.len(),
         n_recipes = cfg.n_recipes,
         eff = pool::effective_threads(n_threads),
         cores = std::thread::available_parallelism().map_or(1, |n| n.get()),
+        scaling = scaling.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write bench summary");
     println!("{json}");

@@ -10,9 +10,10 @@
 //! * **Monte-Carlo ensembles** — the Random-model null per cuisine,
 //!   both paths consuming identical block-seeded PRNG streams.
 //!
-//! Parity is asserted to the bit on every score and every ensemble, and
-//! the pooled ensembles are re-run on 1, 2, and 8 threads to check the
-//! determinism contract. The summary lands in `BENCH_ntuple.json`.
+//! Parity is asserted to the bit on every score and every ensemble,
+//! and the pooled ensembles are re-run — and now *timed* — on 1, 2, 4
+//! and 8 threads, producing a `scaling` curve with a parity flag at
+//! every point. The summary lands in `BENCH_ntuple.json`.
 //!
 //! Knobs: `CULINARIA_SCALE` (default 0.1), `CULINARIA_NTUPLE_MC`
 //! (default 10000), `CULINARIA_SEED` (default 2018),
@@ -120,6 +121,7 @@ fn main() {
     let n_regions = regions.len();
 
     let mut reports = Vec::new();
+    let mut references: Vec<(usize, Vec<Option<NullEnsemble>>)> = Vec::new();
     for k in [3usize, 4] {
         // Observed sweep: frozen walker.
         let t = Instant::now();
@@ -212,32 +214,6 @@ fn main() {
             }
         }
 
-        // Thread-count determinism of the pooled ensembles.
-        for threads in [1usize, 2, 8] {
-            for ((region, sampler, rseed), reference) in regions.iter().zip(&optimized_mc) {
-                let scorer =
-                    KTupleScorer::for_cuisine(&world.flavor, &world.recipes.cuisine(*region), k);
-                let cfg = MonteCarloConfig {
-                    n_recipes: n_mc,
-                    seed: *rseed,
-                    n_threads: threads,
-                };
-                let e = ktuple_null_ensemble(&scorer, sampler, NullModel::Random, &cfg);
-                match (reference, &e) {
-                    (Some(a), Some(b)) => {
-                        assert_eq!(
-                            a.mean.to_bits(),
-                            b.mean.to_bits(),
-                            "{} k={k}: ensemble differs on {threads} threads",
-                            region.code()
-                        );
-                        assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits());
-                    }
-                    (a, b) => assert_eq!(a.is_some(), b.is_some()),
-                }
-            }
-        }
-
         let report = KReport {
             k,
             baseline_observed_ms,
@@ -254,6 +230,54 @@ fn main() {
             report.speedup()
         );
         reports.push(report);
+        references.push((k, optimized_mc));
+    }
+
+    // Thread-scaling sweep: the pooled kernel ensembles for both
+    // orders at 1/2/4/8 workers. The old harness merely *re-ran* the
+    // determinism check; this times every point and still asserts
+    // bit-parity against the reference ensembles.
+    let mut scaling = Vec::new();
+    let mut wall_at_1 = f64::NAN;
+    for threads in [1usize, 2, 4, 8] {
+        let t = Instant::now();
+        for (k, reference) in &references {
+            for ((region, sampler, rseed), refe) in regions.iter().zip(reference) {
+                let scorer =
+                    KTupleScorer::for_cuisine(&world.flavor, &world.recipes.cuisine(*region), *k);
+                let cfg = MonteCarloConfig {
+                    n_recipes: n_mc,
+                    seed: *rseed,
+                    n_threads: threads,
+                };
+                let e = ktuple_null_ensemble(&scorer, sampler, NullModel::Random, &cfg);
+                match (refe, &e) {
+                    (Some(a), Some(b)) => {
+                        assert_eq!(
+                            a.mean.to_bits(),
+                            b.mean.to_bits(),
+                            "{} k={k}: ensemble differs on {threads} threads",
+                            region.code()
+                        );
+                        assert_eq!(a.std_dev.to_bits(), b.std_dev.to_bits());
+                    }
+                    (a, b) => assert_eq!(a.is_some(), b.is_some()),
+                }
+            }
+        }
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        if threads == 1 {
+            wall_at_1 = wall_ms;
+        }
+        eprintln!(
+            "scaling: {threads} threads -> {wall_ms:.0} ms ({:.2}x vs 1 thread)",
+            wall_at_1 / wall_ms
+        );
+        scaling.push(format!(
+            "    {{ \"threads\": {threads}, \"wall_ms\": {wall_ms:.3}, \
+             \"speedup_vs_1\": {sp:.3}, \"parity\": \"bit-identical\" }}",
+            sp = wall_at_1 / wall_ms,
+        ));
     }
 
     let per_k: Vec<String> = reports
@@ -280,11 +304,13 @@ fn main() {
          \"n_recipes_per_ensemble\": {n_mc},\n  \"recipe_scale\": {scale},\n  \
          \"seed\": {seed},\n  \"n_threads_requested\": {n_threads},\n  \
          \"n_threads_effective\": {eff},\n  \"available_cores\": {cores},\n\
-         {per_k},\n  \"thread_counts_checked\": [1, 2, 8],\n  \
+         {per_k},\n  \"scaling\": [\n{scaling}\n  ],\n  \
+         \"thread_counts_checked\": [1, 2, 4, 8],\n  \
          \"parity\": \"bit-identical\"\n}}\n",
         eff = pool::effective_threads(n_threads),
         cores = std::thread::available_parallelism().map_or(1, |n| n.get()),
         per_k = per_k.join(",\n"),
+        scaling = scaling.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write bench summary");
     println!("{json}");

@@ -28,7 +28,7 @@ pub enum FailureCause {
 /// A failure at one stage of an analysis pipeline.
 ///
 /// `stage` is the same label the fault-injection harness and the span
-/// metrics use (`"overlap.row"`, `"mc.block"`, `"world.block"`, …);
+/// metrics use (`"overlap.tile"`, `"mc.block"`, `"world.block"`, …);
 /// `index` is the failing task's index within that stage (lowest wins).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StageFailure {
@@ -95,10 +95,10 @@ mod tests {
 
     #[test]
     fn renders_both_causes() {
-        let err = StageFailure::error("overlap.row", 3, "unknown ingredient");
+        let err = StageFailure::error("overlap.tile", 3, "unknown ingredient");
         assert_eq!(
             err.to_string(),
-            "stage overlap.row[3] failed: unknown ingredient"
+            "stage overlap.tile[3] failed: unknown ingredient"
         );
         let panic = StageFailure {
             stage: "mc.block",
@@ -115,8 +115,8 @@ mod tests {
             kind: FailureKind::Failed("bad row".to_string()),
         };
         assert_eq!(
-            StageFailure::from_task("overlap.row", failed),
-            StageFailure::error("overlap.row", 2, "bad row")
+            StageFailure::from_task("overlap.tile", failed),
+            StageFailure::error("overlap.tile", 2, "bad row")
         );
         let panicked: TaskFailure<String> = TaskFailure {
             index: 5,

@@ -20,10 +20,10 @@
 
 use std::collections::HashMap;
 
-use culinaria_flavordb::{BitProfile, FlavorDb, IngredientId, MoleculeUniverse};
+use culinaria_flavordb::{kernel, FlavorDb, IngredientId, MoleculeUniverse};
 use culinaria_obs::Metrics;
 use culinaria_recipedb::Cuisine;
-use culinaria_stats::{fault, pool};
+use culinaria_stats::{fault, pool, tile};
 
 use crate::error::StageFailure;
 
@@ -150,10 +150,15 @@ impl OverlapCache {
     ///
     /// Profiles are first packed as bitsets over the pool's own
     /// molecule universe ([`culinaria_flavordb::MoleculeUniverse`]), so
-    /// each intersection is a word-AND + popcount instead of a sorted
-    /// merge; rows of the triangle are then computed across the worker
-    /// pool. Overlap counts are exact integers, so the result is
-    /// identical for every thread count.
+    /// each intersection is a lane-widened word-AND + popcount
+    /// ([`culinaria_flavordb::kernel`]) instead of a sorted merge. The
+    /// strict upper triangle is cut into L2-sized row×column tiles
+    /// ([`culinaria_stats::tile`]) and the tiles fan out across the
+    /// worker pool, so each packed strip is streamed from memory once
+    /// per tile instead of once per cell. Tile geometry never depends
+    /// on the requested thread count, and overlap counts are exact
+    /// integers, so the result is bit-identical for every thread
+    /// count.
     pub fn build(db: &FlavorDb, pool: &[IngredientId]) -> OverlapCache {
         OverlapCache::build_with_threads(db, pool, 0)
     }
@@ -211,12 +216,27 @@ impl OverlapCache {
     /// and the recorded metrics are bit-identical to the infallible
     /// build; on failure the `error.<stage>` counter is bumped and the
     /// lowest failing task index is reported (stages: `overlap.pack`
-    /// serial, `overlap.row` across the worker pool).
+    /// serial, `overlap.tile` across the worker pool — the index is a
+    /// band-major tile index, see [`culinaria_stats::tile`]).
     pub fn try_build_observed(
         db: &FlavorDb,
         pool: &[IngredientId],
         n_threads: usize,
         metrics: &Metrics,
+    ) -> Result<OverlapCache, StageFailure> {
+        OverlapCache::try_build_tiled(db, pool, n_threads, metrics, None)
+    }
+
+    /// The tiled build behind every public entry point. `tile_edge`
+    /// overrides the L2-derived tile size (tests sweep it to prove the
+    /// merge is geometry-independent); `None` uses
+    /// [`tile::tile_rows`].
+    fn try_build_tiled(
+        db: &FlavorDb,
+        pool: &[IngredientId],
+        n_threads: usize,
+        metrics: &Metrics,
+        tile_edge: Option<usize>,
     ) -> Result<OverlapCache, StageFailure> {
         let build_span = metrics.span("overlap.build");
         // Held (not read) so the whole build records on scope exit.
@@ -246,31 +266,64 @@ impl OverlapCache {
             }
         }
         let universe = MoleculeUniverse::build(profiles.iter().copied());
-        let bits: Vec<BitProfile> = profiles.iter().map(|p| universe.pack(p)).collect();
+        let words = universe.words();
+        // One flat row-major matrix: row i at `i*words..(i+1)*words`.
+        // Tiles slice strips out of it without chasing Vec pointers.
+        let mut bits: Vec<u64> = Vec::with_capacity(n * words);
+        for p in &profiles {
+            bits.extend_from_slice(universe.pack(p).words());
+        }
         pack_guard.stop();
 
-        // Row i of the strict upper triangle holds overlaps (i, j) for
-        // j in i+1..n — exactly the packed layout, so the rows
-        // concatenate back in task order.
+        // Cut the strict upper triangle into L2-sized tiles and fan
+        // the tiles out across the pool. Geometry is a function of
+        // (n, words) and the machine only — never `n_threads` — so the
+        // task list, every fault-probe index, and the merged output
+        // are identical across thread counts.
         let sweep_guard = build_span.child("sweep").enter();
-        let rows = pool::try_run_observed(
+        let edge = tile_edge.unwrap_or_else(|| tile::tile_rows(n, words * 8));
+        let tiles = tile::TriangleTiles::new(n, edge.max(1));
+        metrics.gauge("overlap.tile_rows").set(tiles.tile() as i64);
+        let results = pool::try_run_observed(
             n_threads,
-            n.saturating_sub(1),
+            tiles.len(),
             &pool::PoolObs::new(metrics),
             || (),
-            |_, i| -> Result<Vec<u32>, fault::InjectedFault> {
-                fault::probe("overlap.row", i)?;
-                let row_bits = &bits[i];
-                Ok((i + 1..n)
-                    .map(|j| row_bits.shared_count(&bits[j]) as u32)
-                    .collect())
+            |_, t| -> Result<Vec<u32>, fault::InjectedFault> {
+                fault::probe("overlap.tile", t)?;
+                let (rows, cols) = tiles.tile_bounds(t);
+                let mut cells = Vec::with_capacity(tiles.cell_count(t));
+                for i in rows {
+                    let row_bits = &bits[i * words..][..words];
+                    for j in cols.start.max(i + 1)..cols.end {
+                        let col_bits = &bits[j * words..][..words];
+                        cells.push(kernel::and_popcount(row_bits, col_bits) as u32);
+                    }
+                }
+                Ok(cells)
             },
         )
-        .map_err(|f| StageFailure::from_task("overlap.row", f).record(metrics))?;
+        .map_err(|f| StageFailure::from_task("overlap.tile", f).record(metrics))?;
         sweep_guard.stop();
-        let mut tri = Vec::with_capacity(n * n.saturating_sub(1) / 2);
-        for row in rows {
-            tri.extend_from_slice(&row);
+
+        // Scatter each tile's row-major cells back into the packed
+        // triangle. Destinations are disjoint and position-derived, so
+        // the merged bytes do not depend on tile geometry or order.
+        let mut tri = vec![0u32; n * n.saturating_sub(1) / 2];
+        let row_base = |i: usize| i * (2 * n - i - 1) / 2;
+        for (t, cells) in results.into_iter().enumerate() {
+            let (rows, cols) = tiles.tile_bounds(t);
+            let mut cur = 0usize;
+            for i in rows {
+                let j0 = cols.start.max(i + 1);
+                if j0 >= cols.end {
+                    continue;
+                }
+                let len = cols.end - j0;
+                let at = row_base(i) + (j0 - i - 1);
+                tri[at..at + len].copy_from_slice(&cells[cur..cur + len]);
+                cur += len;
+            }
         }
         let local = pool
             .iter()
@@ -452,15 +505,7 @@ impl IntersectScratch {
         }
         let row = |m: u32| -> &[u64] { &bits[m as usize * words..][..words] };
         if k == 1 {
-            return members
-                .iter()
-                .map(|&m| {
-                    row(m)
-                        .iter()
-                        .map(|w| u64::from(w.count_ones()))
-                        .sum::<u64>()
-                })
-                .sum();
+            return members.iter().map(|&m| kernel::popcount(row(m))).sum();
         }
         self.masks.clear();
         self.masks.resize((k - 1) * words, 0);
@@ -498,11 +543,7 @@ impl PrefixWalk<'_> {
             let row = &self.bits[self.members[i] as usize * words..][..words];
             if depth == 0 {
                 // k ≥ 2 here, so depth 0 is never a leaf: seed the stack.
-                let mut ones = 0u64;
-                for (dst, &w) in masks[..words].iter_mut().zip(row) {
-                    *dst = w;
-                    ones += u64::from(w.count_ones());
-                }
+                let ones = kernel::copy_popcount(&mut masks[..words], row);
                 if ones > 0 {
                     self.descend(1, i + 1, masks, total);
                 }
@@ -510,19 +551,10 @@ impl PrefixWalk<'_> {
                 let (shallow, deep) = masks.split_at_mut(depth * words);
                 let prev = &shallow[(depth - 1) * words..];
                 if leaf {
-                    *total += prev
-                        .iter()
-                        .zip(row)
-                        .map(|(&a, &b)| u64::from((a & b).count_ones()))
-                        .sum::<u64>();
+                    *total += kernel::and_popcount(prev, row);
                 } else {
                     let cur = &mut deep[..words];
-                    let mut ones = 0u64;
-                    for ((dst, &a), &b) in cur.iter_mut().zip(prev).zip(row) {
-                        let v = a & b;
-                        *dst = v;
-                        ones += u64::from(v.count_ones());
-                    }
+                    let ones = kernel::and_store_popcount(cur, prev, row);
                     if ones > 0 {
                         self.descend(depth + 1, i + 1, masks, total);
                     }
@@ -655,6 +687,44 @@ mod tests {
             let parallel = OverlapCache::build_with_threads(&db, &ids, threads);
             assert_eq!(serial.tri, parallel.tri, "{threads} threads");
             assert_eq!(serial.pool, parallel.pool);
+        }
+    }
+
+    #[test]
+    fn tiled_build_matches_for_any_tile_and_thread_count() {
+        use culinaria_flavordb::generator::{generate_flavor_db, GeneratorConfig};
+        // A pool large enough for real tile geometry (60 ingredients,
+        // multi-word profiles).
+        let db = generate_flavor_db(&GeneratorConfig::tiny(42));
+        let ids: Vec<IngredientId> = db.ingredient_ids().collect();
+        assert!(ids.len() >= 32, "generator fixture too small");
+        let reference = OverlapCache::build_with_threads(&db, &ids, 1);
+        // The cache agrees with the sorted-merge walk cell by cell.
+        for (i, &a) in ids.iter().enumerate() {
+            for (j, &b) in ids.iter().enumerate().skip(i + 1) {
+                assert_eq!(
+                    reference.overlap(i as u32, j as u32) as usize,
+                    db.shared_molecules(a, b).unwrap(),
+                    "cell ({i}, {j})"
+                );
+            }
+        }
+        // Every tile geometry × thread count merges to the same bytes.
+        for tile_edge in [1usize, 3, 7, 16, 61] {
+            for threads in [1usize, 2, 4, 8] {
+                let cache = OverlapCache::try_build_tiled(
+                    &db,
+                    &ids,
+                    threads,
+                    &Metrics::disabled(),
+                    Some(tile_edge),
+                )
+                .expect("live pool");
+                assert_eq!(
+                    cache.tri, reference.tri,
+                    "tile={tile_edge} threads={threads}"
+                );
+            }
         }
     }
 

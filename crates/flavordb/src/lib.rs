@@ -39,6 +39,7 @@ pub mod generator;
 pub mod ids;
 pub mod ingredient;
 pub mod io;
+pub mod kernel;
 pub mod molecule;
 pub mod profile;
 

@@ -218,7 +218,7 @@ pub struct BitProfile {
 impl BitProfile {
     /// Number of molecules set.
     pub fn count_ones(&self) -> usize {
-        self.words.iter().map(|w| w.count_ones() as usize).sum()
+        crate::kernel::popcount(&self.words) as usize
     }
 
     /// The packed words.
@@ -226,7 +226,8 @@ impl BitProfile {
         &self.words
     }
 
-    /// Size of the intersection: word-AND + popcount.
+    /// Size of the intersection: lane-widened word-AND + popcount
+    /// (see [`crate::kernel`]).
     ///
     /// # Panics
     /// Debug-asserts both profiles come from the same universe (equal
@@ -238,11 +239,7 @@ impl BitProfile {
             other.words.len(),
             "bit profiles from different universes"
         );
-        self.words
-            .iter()
-            .zip(&other.words)
-            .map(|(a, b)| (a & b).count_ones() as usize)
-            .sum()
+        crate::kernel::and_popcount(&self.words, &other.words) as usize
     }
 }
 

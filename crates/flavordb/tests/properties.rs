@@ -11,6 +11,13 @@ fn arb_profile() -> impl Strategy<Value = FlavorProfile> {
         .prop_map(|ids| ids.into_iter().collect::<FlavorProfile>())
 }
 
+/// Profiles over a wider id range, so packed universes span many words
+/// (up to 10) and exercise the widened kernel's lanes and tails.
+fn arb_wide_profile() -> impl Strategy<Value = FlavorProfile> {
+    proptest::collection::vec(0u32..600, 0..80)
+        .prop_map(|ids| ids.into_iter().collect::<FlavorProfile>())
+}
+
 proptest! {
     #[test]
     fn profile_set_algebra(a in arb_profile(), b in arb_profile()) {
@@ -32,14 +39,16 @@ proptest! {
 
     #[test]
     fn bitset_shared_count_matches_sorted_merge(
-        a in arb_profile(),
-        b in arb_profile(),
-        extra in proptest::collection::vec(arb_profile(), 0..4),
+        a in arb_wide_profile(),
+        b in arb_wide_profile(),
+        extra in proptest::collection::vec(arb_wide_profile(), 0..4),
     ) {
         use culinaria_flavordb::MoleculeUniverse;
         // The universe may be built from any superset of the two
         // profiles (in production: a whole cuisine's ingredient pool);
-        // packed AND+popcount must agree with the sorted-merge walk.
+        // the lane-widened packed AND+popcount must agree with the
+        // frozen sorted-merge walk at any universe width (ids up to
+        // 600 → up to 10 words, crossing the 4-word lane boundary).
         let universe = MoleculeUniverse::build([&a, &b].into_iter().chain(extra.iter()));
         let pa = universe.pack(&a);
         let pb = universe.pack(&b);
@@ -47,6 +56,33 @@ proptest! {
         prop_assert_eq!(pb.shared_count(&pa), a.shared_count(&b));
         prop_assert_eq!(pa.count_ones(), a.len());
         prop_assert_eq!(pb.count_ones(), b.len());
+    }
+
+    #[test]
+    fn widened_kernel_matches_scalar_reference(
+        a in proptest::collection::vec(proptest::arbitrary::any::<u64>(), 0..24),
+        b in proptest::collection::vec(proptest::arbitrary::any::<u64>(), 0..24),
+    ) {
+        use culinaria_flavordb::kernel;
+        // The dispatched lane-widened primitives against the scalar
+        // reference walk, on arbitrary words and ragged lengths.
+        prop_assert_eq!(kernel::and_popcount(&a, &b), kernel::scalar::and_popcount(&a, &b));
+        prop_assert_eq!(kernel::popcount(&a), kernel::scalar::popcount(&a));
+        let n = a.len().min(b.len());
+        let mut d1 = vec![0u64; n];
+        let mut d2 = vec![0u64; n];
+        prop_assert_eq!(
+            kernel::and_store_popcount(&mut d1, &a, &b),
+            kernel::scalar::and_store_popcount(&mut d2, &a, &b)
+        );
+        prop_assert_eq!(d1, d2);
+        let mut c1 = vec![0u64; a.len()];
+        let mut c2 = vec![0u64; a.len()];
+        prop_assert_eq!(
+            kernel::copy_popcount(&mut c1, &a),
+            kernel::scalar::copy_popcount(&mut c2, &a)
+        );
+        prop_assert_eq!(c1, c2);
     }
 
     #[test]

@@ -19,6 +19,15 @@
 //! unresolved-token list) are bit-identical for every thread count.
 //! [`Importer::import`] is the single-threaded special case.
 //!
+//! The fan-out is **adaptive**: when the requested thread count
+//! resolves ([`pool::effective_threads`]) to a single worker, or the
+//! batch is too small to amortize pool spin-up, resolution runs
+//! inline on the calling thread — same outcomes (including panic
+//! isolation and lowest-index-wins), none of the pool overhead. The
+//! chosen path is recorded in [`ImportStats::mode`]; because it is
+//! schedule metadata (the *products* are identical either way), `mode`
+//! is excluded from `ImportStats` equality.
+//!
 //! # Failure collection
 //!
 //! A bad recipe never aborts the batch: per-recipe problems (no
@@ -34,6 +43,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use culinaria_flavordb::{FlavorDb, IngredientId};
 use culinaria_obs::Metrics;
@@ -59,8 +69,57 @@ pub struct RawRecipe {
     pub ingredient_lines: Vec<String>,
 }
 
+/// How a batch import's resolve stage actually ran
+/// (see [`ImportStats::mode`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum ImportMode {
+    /// Resolution ran inline on the calling thread (single effective
+    /// worker, or a batch below the pool-granularity threshold).
+    #[default]
+    Serial,
+    /// Resolution fanned out across the shared worker pool.
+    Pooled,
+}
+
+impl ImportMode {
+    /// The counter bumped by the observed import for this mode.
+    fn metric_label(self) -> &'static str {
+        match self {
+            ImportMode::Serial => "import.mode.serial",
+            ImportMode::Pooled => "import.mode.pooled",
+        }
+    }
+}
+
+impl fmt::Display for ImportMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ImportMode::Serial => write!(f, "serial"),
+            ImportMode::Pooled => write!(f, "pooled"),
+        }
+    }
+}
+
+/// Smallest batch worth fanning out: below this the pool's thread
+/// spin-up and claim-cursor traffic cost more than the resolution work
+/// (the `bench_alias` import microbench is the evidence).
+const SERIAL_BATCH_MIN: usize = 64;
+
+/// Render a panic payload as text, mirroring the worker pool's
+/// rendering so the serial path reports panics identically.
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        match payload.downcast::<String>() {
+            Ok(s) => *s,
+            Err(_) => "non-string panic payload".to_string(),
+        }
+    }
+}
+
 /// Statistics of one import run.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, Eq)]
 pub struct ImportStats {
     /// Raw recipes offered to the importer.
     pub offered: usize,
@@ -82,6 +141,36 @@ pub struct ImportStats {
     /// succeeds. Deterministic: produced in the serial merge, so
     /// identical for every thread count.
     pub failures: Vec<RecipeFailure>,
+    /// How the resolve stage ran ([`ImportMode::Serial`] inline or
+    /// [`ImportMode::Pooled`] across workers). Schedule metadata, not a
+    /// product of the import — excluded from equality, like the
+    /// per-worker memo counters before it.
+    pub mode: ImportMode,
+}
+
+// `mode` records *how* the batch ran, not *what* it produced; two runs
+// of the same batch at different thread counts are equal. Every other
+// field participates.
+impl PartialEq for ImportStats {
+    fn eq(&self, other: &ImportStats) -> bool {
+        let ImportStats {
+            offered,
+            stored,
+            dropped,
+            lines_resolved,
+            lines_unresolved,
+            unresolved_tokens,
+            failures,
+            mode: _,
+        } = self;
+        *offered == other.offered
+            && *stored == other.stored
+            && *dropped == other.dropped
+            && *lines_resolved == other.lines_resolved
+            && *lines_unresolved == other.lines_unresolved
+            && *unresolved_tokens == other.unresolved_tokens
+            && *failures == other.failures
+    }
 }
 
 /// Why one recipe of a batch was not stored.
@@ -309,11 +398,17 @@ impl Importer {
     /// Import a batch of raw recipes, resolving lines on `n_threads`
     /// workers (`0` = use the machine).
     ///
+    /// The fan-out is adaptive: when [`pool::effective_threads`]
+    /// resolves to one worker, or the batch is below the granularity
+    /// threshold, resolution runs inline instead of through the pool
+    /// ([`ImportStats::mode`] records which path ran).
+    ///
     /// Determinism contract: per-recipe resolution is a pure function
     /// of the recipe, the pool returns results in task order, and all
     /// store/statistics mutation happens in a serial in-order merge —
     /// so the stored recipes, their ids, and the returned
-    /// [`ImportStats`] are bit-identical for every thread count.
+    /// [`ImportStats`] are bit-identical for every thread count (and
+    /// for both modes).
     pub fn import_batch(
         &self,
         db: &FlavorDb,
@@ -334,8 +429,10 @@ impl Importer {
     ///   memo caches (cache efficacy — these vary with scheduling at
     ///   more than one thread, which is why they live here and not in
     ///   [`ImportStats`]);
-    /// * the shared `pool.*` instruments via
-    ///   [`pool::run_observed`].
+    /// * counter `import.mode.{serial,pooled}` for the adaptive
+    ///   fan-out decision;
+    /// * the shared `pool.*` instruments when the pooled path runs
+    ///   (the inline serial path never touches the pool).
     ///
     /// Stored recipes and the returned stats are bit-identical to the
     /// unobserved path — instrumentation records, it never steers.
@@ -354,35 +451,74 @@ impl Importer {
         n_threads: usize,
         metrics: &Metrics,
     ) -> Result<ImportStats> {
-        let pool_obs = pool::PoolObs::new(metrics);
+        // Error-shaped worker faults become per-recipe outcomes (the
+        // batch carries on); only a panic fails the run.
+        type Outcome = std::result::Result<ResolvedRecipe, String>;
+        // Fan out only when more than one worker would actually run
+        // *and* the batch is big enough to amortize pool spin-up;
+        // otherwise resolve inline (the BENCH_alias regression was
+        // exactly this: a pool of one worker timing slower than the
+        // plain loop).
+        let workers = pool::effective_threads(n_threads).min(raw.len().max(1));
+        let mode = if workers > 1 && raw.len() >= SERIAL_BATCH_MIN {
+            ImportMode::Pooled
+        } else {
+            ImportMode::Serial
+        };
         let resolve_span = metrics.span("import.resolve");
         let guard = resolve_span.enter();
-        // Error-shaped worker faults become per-recipe outcomes (the
-        // batch carries on); only a panic fails the pool run.
-        type Outcome = std::result::Result<ResolvedRecipe, String>;
-        let resolved = pool::try_run_observed(
-            n_threads,
-            raw.len(),
-            &pool_obs,
-            ResolveScratch::new,
-            |scratch, i| -> std::result::Result<Outcome, std::convert::Infallible> {
-                Ok(match fault::probe("import.recipe", i) {
-                    Ok(()) => Ok(self.resolve_recipe(db, &raw[i], scratch)),
-                    Err(e) => Err(e.to_string()),
-                })
-            },
-        )
-        .map_err(|f| {
-            metrics.counter("error.import.recipe").incr();
-            RecipeDbError::Worker {
-                index: f.index,
-                message: match f.kind {
-                    pool::FailureKind::Failed(e) => match e {},
-                    pool::FailureKind::Panicked(msg) => msg,
+        let resolved: Vec<Outcome> = match mode {
+            ImportMode::Pooled => pool::try_run_observed(
+                n_threads,
+                raw.len(),
+                &pool::PoolObs::new(metrics),
+                ResolveScratch::new,
+                |scratch, i| -> std::result::Result<Outcome, std::convert::Infallible> {
+                    Ok(match fault::probe("import.recipe", i) {
+                        Ok(()) => Ok(self.resolve_recipe(db, &raw[i], scratch)),
+                        Err(e) => Err(e.to_string()),
+                    })
                 },
+            )
+            .map_err(|f| {
+                metrics.counter("error.import.recipe").incr();
+                RecipeDbError::Worker {
+                    index: f.index,
+                    message: match f.kind {
+                        pool::FailureKind::Failed(e) => match e {},
+                        pool::FailureKind::Panicked(msg) => msg,
+                    },
+                }
+            })?,
+            ImportMode::Serial => {
+                // Same contract as the pool, no pool: in-order, panics
+                // isolated per recipe, and the first panic is by
+                // construction the lowest failing index.
+                let mut scratch = ResolveScratch::new();
+                let mut out = Vec::with_capacity(raw.len());
+                for (i, raw_recipe) in raw.iter().enumerate() {
+                    let outcome = catch_unwind(AssertUnwindSafe(|| {
+                        match fault::probe("import.recipe", i) {
+                            Ok(()) => Ok(self.resolve_recipe(db, raw_recipe, &mut scratch)),
+                            Err(e) => Err(e.to_string()),
+                        }
+                    }));
+                    match outcome {
+                        Ok(o) => out.push(o),
+                        Err(payload) => {
+                            metrics.counter("error.import.recipe").incr();
+                            return Err(RecipeDbError::Worker {
+                                index: i,
+                                message: panic_text(payload),
+                            });
+                        }
+                    }
+                }
+                out
             }
-        })?;
+        };
         guard.stop();
+        metrics.counter(mode.metric_label()).incr();
 
         let merge_span = metrics.span("import.merge");
         let merge_guard = merge_span.enter();
@@ -390,6 +526,7 @@ impl Importer {
         let mut memo_misses = 0u64;
         let mut stats = ImportStats {
             offered: raw.len(),
+            mode,
             ..ImportStats::default()
         };
         let mut token_counts: std::collections::HashMap<String, usize> =
@@ -691,10 +828,78 @@ mod tests {
         let misses = snap.counter("import.memo.misses").unwrap();
         assert_eq!(hits + misses, 5);
         assert_eq!(hits, 1);
-        // The pool and both import spans recorded.
-        assert_eq!(snap.counter("pool.runs"), Some(1));
+        // A 3-recipe batch resolves inline: the mode is recorded and
+        // the pool is never spun up.
+        assert_eq!(stats.mode, ImportMode::Serial);
+        assert_eq!(snap.counter("import.mode.serial"), Some(1));
+        assert_eq!(snap.counter("pool.runs"), None);
         assert_eq!(snap.span("import.resolve").unwrap().calls, 1);
         assert_eq!(snap.span("import.merge").unwrap().calls, 1);
+    }
+
+    #[test]
+    fn adaptive_fanout_picks_mode_and_products_match() {
+        let db = curated_db();
+        let importer = Importer::from_flavor_db(&db);
+        let big: Vec<RawRecipe> = (0..SERIAL_BATCH_MIN + 8)
+            .map(|i| {
+                raw(
+                    &format!("recipe {i}"),
+                    &["3 ripe tomatoes, diced", "2 cloves garlic", "zanthum gum"][..(i % 3) + 1],
+                )
+            })
+            .collect();
+
+        // Big batch, one worker → still serial.
+        let metrics = Metrics::enabled();
+        let mut store = RecipeStore::new();
+        let serial = importer
+            .import_batch_observed(&db, &mut store, &big, 1, &metrics)
+            .unwrap();
+        assert_eq!(serial.mode, ImportMode::Serial);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("import.mode.serial"), Some(1));
+        assert_eq!(snap.counter("pool.runs"), None);
+
+        // Big batch, two requested workers → pooled (effective_threads
+        // takes a nonzero request literally, even on a 1-core box), and
+        // the products are identical to the serial run.
+        let metrics = Metrics::enabled();
+        let mut pooled_store = RecipeStore::new();
+        let pooled = importer
+            .import_batch_observed(&db, &mut pooled_store, &big, 2, &metrics)
+            .unwrap();
+        assert_eq!(pooled.mode, ImportMode::Pooled);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("import.mode.pooled"), Some(1));
+        assert_eq!(snap.counter("pool.runs"), Some(1));
+        assert_eq!(pooled, serial);
+        assert_eq!(pooled_store.n_recipes(), store.n_recipes());
+        for (a, b) in pooled_store.recipes().zip(store.recipes()) {
+            assert_eq!(a, b);
+        }
+
+        // Small batch, many workers → serial (below the granularity
+        // threshold).
+        let mut small_store = RecipeStore::new();
+        let small = importer
+            .import_batch(&db, &mut small_store, &big[..8], 8)
+            .unwrap();
+        assert_eq!(small.mode, ImportMode::Serial);
+    }
+
+    #[test]
+    fn mode_is_excluded_from_stats_equality() {
+        let a = ImportStats {
+            offered: 3,
+            mode: ImportMode::Serial,
+            ..ImportStats::default()
+        };
+        let mut b = a.clone();
+        b.mode = ImportMode::Pooled;
+        assert_eq!(a, b);
+        b.offered = 4;
+        assert_ne!(a, b);
     }
 
     #[test]

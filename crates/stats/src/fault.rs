@@ -39,7 +39,7 @@ pub enum FaultKind {
 /// One injection rule: fail task `index` of stage `stage` with `kind`.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultSpec {
-    /// Stage label, e.g. `"mc.block"` or `"overlap.row"`.
+    /// Stage label, e.g. `"mc.block"` or `"overlap.tile"`.
     pub stage: String,
     /// Task index within the stage at which to fire.
     pub index: usize,
@@ -239,7 +239,7 @@ mod tests {
     #[test]
     fn plans_build_and_look_up() {
         let plan = FaultPlan::new().fail("mc.block", 3, FaultKind::Error).fail(
-            "overlap.row",
+            "overlap.tile",
             0,
             FaultKind::Panic,
         );
@@ -247,13 +247,13 @@ mod tests {
         assert_eq!(plan.len(), 2);
         assert_eq!(plan.lookup("mc.block", 3), Some(FaultKind::Error));
         assert_eq!(plan.lookup("mc.block", 4), None);
-        assert_eq!(plan.lookup("overlap.row", 0), Some(FaultKind::Panic));
+        assert_eq!(plan.lookup("overlap.tile", 0), Some(FaultKind::Panic));
         assert_eq!(plan.lookup("world.block", 0), None);
     }
 
     #[test]
     fn seeded_plans_are_replayable() {
-        let stages = ["mc.block", "overlap.row", "world.block"];
+        let stages = ["mc.block", "overlap.tile", "world.block"];
         let a = FaultPlan::seeded(42, &stages, 100, 5);
         let b = FaultPlan::seeded(42, &stages, 100, 5);
         let c = FaultPlan::seeded(43, &stages, 100, 5);
@@ -313,16 +313,16 @@ mod tests {
         #[test]
         fn panic_rules_panic_with_a_stable_message() {
             silence_injected_panics();
-            let plan = FaultPlan::new().fail("overlap.row", 4, FaultKind::Panic);
+            let plan = FaultPlan::new().fail("overlap.tile", 4, FaultKind::Panic);
             let caught = with_plan(plan, || {
-                std::panic::catch_unwind(|| probe("overlap.row", 4))
+                std::panic::catch_unwind(|| probe("overlap.tile", 4))
             });
             let payload = caught.expect_err("probe panics");
             let msg = payload
                 .downcast_ref::<String>()
                 .cloned()
                 .expect("string payload");
-            assert_eq!(msg, "injected panic at overlap.row[4]");
+            assert_eq!(msg, "injected panic at overlap.tile[4]");
         }
     }
 }

@@ -32,6 +32,8 @@
 //!   [`pool::try_run`] entry point with panic isolation
 //! * [`fault`] — deterministic fault-injection plans (probes are live
 //!   only under the `fault-injection` cargo feature)
+//! * [`tile`] — cache-blocking geometry for triangular pair sweeps
+//!   (thread-count-independent, so tiled merges stay deterministic)
 
 pub mod bootstrap;
 pub mod chi2;
@@ -46,10 +48,12 @@ pub mod regression;
 pub mod rng;
 pub mod running;
 pub mod sampling;
+pub mod tile;
 pub mod zscore;
 
 pub use descriptive::{mean, median, quantile, std_dev, variance, Summary};
 pub use histogram::{CumulativeDistribution, IntHistogram};
+pub use pool::effective_threads;
 pub use running::RunningStats;
 pub use sampling::{LinearCdfSampler, WeightedAliasSampler};
 pub use zscore::{z_score, z_score_of_mean, NullEnsemble};

@@ -1,0 +1,215 @@
+//! Cache-blocking helpers for triangular pair sweeps.
+//!
+//! The overlap-matrix build walks the strict upper triangle of an
+//! `n × n` pair grid. A row-at-a-time sweep streams the whole packed
+//! profile matrix once per *row*; for worlds whose matrix exceeds L2
+//! that means every row pays main-memory bandwidth. Blocking the
+//! triangle into square row×column tiles keeps two tile-sized strips
+//! of packed rows resident while every cell of the tile is computed,
+//! so each profile word is loaded from memory once per *tile strip*
+//! instead of once per cell.
+//!
+//! Determinism contract: tile geometry is a pure function of the
+//! problem shape (`n`, bytes per packed row) and the *machine* — never
+//! of the requested thread count — so the task list handed to the
+//! worker pool is identical for 1, 2, 4 or 8 threads and the pool's
+//! task-order result contract makes the merged output (and any
+//! injected-fault index) bit-identical across thread counts.
+
+use crate::pool;
+use std::ops::Range;
+
+/// Per-core L2 budget the tile sizing aims at. Two tile strips of
+/// packed rows (the row band and the column band) should fit with
+/// room to spare for the output cells; 256 KiB is a conservative
+/// common denominator for the x86-64 parts this targets.
+const L2_BUDGET_BYTES: usize = 256 * 1024;
+
+/// Smallest tile edge worth scheduling: below this the per-task
+/// bookkeeping dominates the AND+popcount work.
+const MIN_TILE_ROWS: usize = 8;
+
+/// Choose a tile edge (in rows) for an `n × n` triangular sweep whose
+/// packed rows are `bytes_per_row` wide.
+///
+/// The edge is the largest value such that two tile strips fit in an
+/// L2 budget of 256 KiB, clamped so the triangle still fans out into
+/// at least `4 ×` the machine's available parallelism
+/// ([`pool::effective_threads`]`(0)`) tiles — enough tasks for the
+/// pool to balance — and never below 8 rows (tiny worlds degrade to a
+/// handful of tiles, or one).
+///
+/// Deliberately *not* a function of the requested thread count: see
+/// the module docs for the determinism argument.
+pub fn tile_rows(n: usize, bytes_per_row: usize) -> usize {
+    if n == 0 {
+        return MIN_TILE_ROWS;
+    }
+    let fit_l2 = (L2_BUDGET_BYTES / 2) / bytes_per_row.max(1);
+    let machine = pool::effective_threads(0);
+    // B bands give B(B+1)/2 tiles; B = ceil(sqrt(8·target)) bands is a
+    // cheap overestimate that guarantees ≥ target tiles when n allows.
+    let target_tiles = 4 * machine;
+    let mut bands = 1usize;
+    while bands * (bands + 1) / 2 < target_tiles {
+        bands += 1;
+    }
+    let fan_out = n.div_ceil(bands);
+    fit_l2
+        .min(fan_out)
+        .clamp(MIN_TILE_ROWS, n.max(MIN_TILE_ROWS))
+}
+
+/// The strict-upper-triangle tiling of an `n × n` pair grid.
+///
+/// Rows are cut into bands of `tile` rows; a tile is a pair of bands
+/// `(bi, bj)` with `bi ≤ bj`, enumerated band-major (`(0,0), (0,1), …,
+/// (0,B-1), (1,1), …`). Diagonal tiles (`bi == bj`) contain only their
+/// strictly-upper cells. Together the tiles cover every pair `i < j`
+/// exactly once, in an order that depends only on `n` and `tile`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TriangleTiles {
+    n: usize,
+    tile: usize,
+    bands: usize,
+}
+
+impl TriangleTiles {
+    /// Tile an `n × n` strict upper triangle with `tile`-row bands.
+    ///
+    /// # Panics
+    /// Panics if `tile == 0`.
+    pub fn new(n: usize, tile: usize) -> TriangleTiles {
+        assert!(tile > 0, "tile edge must be positive");
+        TriangleTiles {
+            n,
+            tile,
+            bands: n.div_ceil(tile),
+        }
+    }
+
+    /// Number of tiles (`B(B+1)/2` for `B` bands).
+    pub fn len(&self) -> usize {
+        self.bands * (self.bands + 1) / 2
+    }
+
+    /// True when the triangle is empty (`n < 2` still yields its
+    /// degenerate tiles; this is only `true` for `n == 0`).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Tile edge in rows.
+    pub fn tile(&self) -> usize {
+        self.tile
+    }
+
+    /// Number of row bands.
+    pub fn bands(&self) -> usize {
+        self.bands
+    }
+
+    /// The row and column ranges of tile `t` (band-major order).
+    ///
+    /// Cells of the tile are the pairs `(i, j)` with `i ∈ rows`,
+    /// `j ∈ cols`, and `i < j`.
+    ///
+    /// # Panics
+    /// Panics if `t >= self.len()`.
+    pub fn tile_bounds(&self, t: usize) -> (Range<usize>, Range<usize>) {
+        assert!(t < self.len(), "tile index {t} out of {}", self.len());
+        // Walk bands: band bi owns (bands - bi) tiles.
+        let (mut bi, mut rem) = (0usize, t);
+        while rem >= self.bands - bi {
+            rem -= self.bands - bi;
+            bi += 1;
+        }
+        let bj = bi + rem;
+        let rows = bi * self.tile..((bi + 1) * self.tile).min(self.n);
+        let cols = bj * self.tile..((bj + 1) * self.tile).min(self.n);
+        (rows, cols)
+    }
+
+    /// Number of strict-upper cells in tile `t`.
+    pub fn cell_count(&self, t: usize) -> usize {
+        let (rows, cols) = self.tile_bounds(t);
+        rows.map(|i| cols.len() - cols.clone().filter(|&j| j <= i).count())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covered_pairs(n: usize, tile: usize) -> Vec<(usize, usize)> {
+        let tiles = TriangleTiles::new(n, tile);
+        let mut pairs = Vec::new();
+        for t in 0..tiles.len() {
+            let (rows, cols) = tiles.tile_bounds(t);
+            for i in rows {
+                for j in cols.clone().filter(|&j| j > i) {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn tiles_cover_triangle_exactly_once() {
+        for n in [0, 1, 2, 3, 5, 8, 13, 60, 61] {
+            for tile in [1, 2, 3, 7, 16, 64] {
+                let mut pairs = covered_pairs(n, tile);
+                pairs.sort_unstable();
+                let expected: Vec<_> = (0..n)
+                    .flat_map(|i| (i + 1..n).map(move |j| (i, j)))
+                    .collect();
+                assert_eq!(pairs, expected, "n={n} tile={tile}");
+            }
+        }
+    }
+
+    #[test]
+    fn band_major_order_is_stable() {
+        let tiles = TriangleTiles::new(10, 4);
+        assert_eq!(tiles.bands(), 3);
+        assert_eq!(tiles.len(), 6);
+        let bounds: Vec<_> = (0..tiles.len())
+            .map(|t| {
+                let (r, c) = tiles.tile_bounds(t);
+                (r.start, c.start)
+            })
+            .collect();
+        assert_eq!(bounds, [(0, 0), (0, 4), (0, 8), (4, 4), (4, 8), (8, 8)]);
+    }
+
+    #[test]
+    fn cell_counts_sum_to_triangle() {
+        for (n, tile) in [(60, 8), (60, 60), (7, 3), (1, 4), (0, 4)] {
+            let tiles = TriangleTiles::new(n, tile);
+            let total: usize = (0..tiles.len()).map(|t| tiles.cell_count(t)).sum();
+            assert_eq!(total, n * (n.max(1) - 1) / 2, "n={n} tile={tile}");
+        }
+    }
+
+    #[test]
+    fn tile_rows_respects_floor_and_l2() {
+        // Tiny world: floor wins.
+        assert_eq!(tile_rows(0, 8), MIN_TILE_ROWS);
+        assert!(tile_rows(60, 8) >= MIN_TILE_ROWS);
+        assert!(tile_rows(60, 8) <= 60);
+        // Huge rows: two strips must still fit the L2 budget.
+        let fat = tile_rows(10_000, 4096);
+        assert!(fat * 4096 * 2 <= L2_BUDGET_BYTES || fat == MIN_TILE_ROWS);
+        // Geometry is independent of any requested thread count by
+        // construction (no parameter to vary), and deterministic.
+        assert_eq!(tile_rows(500, 64), tile_rows(500, 64));
+    }
+
+    #[test]
+    #[should_panic(expected = "tile edge must be positive")]
+    fn zero_tile_panics() {
+        let _ = TriangleTiles::new(4, 0);
+    }
+}

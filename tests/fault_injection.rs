@@ -113,21 +113,21 @@ fn overlap_pack_error_is_deterministic() {
 }
 
 #[test]
-fn overlap_row_faults_are_deterministic_across_threads() {
+fn overlap_tile_faults_are_deterministic_across_threads() {
     fault::silence_injected_panics();
     let world = tiny_world();
     let pool: Vec<_> = world.flavor.ingredient_ids().collect();
     assert!(pool.len() > 4);
     for kind in [FaultKind::Error, FaultKind::Panic] {
         for threads in THREAD_COUNTS {
-            let failure = fault::with_plan(plan("overlap.row", 3, kind), || {
+            let failure = fault::with_plan(plan("overlap.tile", 3, kind), || {
                 OverlapCache::try_build_with_threads(&world.flavor, &pool, threads).unwrap_err()
             });
-            assert_eq!(failure.stage, "overlap.row");
+            assert_eq!(failure.stage, "overlap.tile");
             assert_eq!(failure.index, 3);
             assert_eq!(
                 failure.cause,
-                expected_cause("overlap.row", 3, kind),
+                expected_cause("overlap.tile", 3, kind),
                 "diverged at {threads} threads"
             );
         }
@@ -140,16 +140,16 @@ fn lowest_failing_index_wins_in_the_pool_stage() {
     let world = tiny_world();
     let pool: Vec<_> = world.flavor.ingredient_ids().collect();
     let mixed = FaultPlan::new()
-        .fail("overlap.row", 5, FaultKind::Panic)
-        .fail("overlap.row", 2, FaultKind::Error)
-        .fail("overlap.row", 9, FaultKind::Error);
+        .fail("overlap.tile", 5, FaultKind::Panic)
+        .fail("overlap.tile", 2, FaultKind::Error)
+        .fail("overlap.tile", 9, FaultKind::Error);
     for threads in THREAD_COUNTS {
         let failure = fault::with_plan(mixed.clone(), || {
             OverlapCache::try_build_with_threads(&world.flavor, &pool, threads).unwrap_err()
         });
         assert_eq!(
             failure,
-            StageFailure::error("overlap.row", 2, "injected fault at overlap.row[2]"),
+            StageFailure::error("overlap.tile", 2, "injected fault at overlap.tile[2]"),
             "lowest index did not win at {threads} threads"
         );
     }
@@ -248,10 +248,10 @@ fn world_block_faults_are_deterministic_across_threads() {
 fn cuisine_analysis_propagates_nested_stage_failures() {
     let world = tiny_world();
     let cuisine = world.recipes.cuisine(Region::Italy);
-    let failure = fault::with_plan(plan("overlap.row", 1, FaultKind::Error), || {
+    let failure = fault::with_plan(plan("overlap.tile", 1, FaultKind::Error), || {
         try_analyze_cuisine(&world.flavor, &cuisine, &[NullModel::Random], &mc_cfg(2)).unwrap_err()
     });
-    assert_eq!(failure.stage, "overlap.row");
+    assert_eq!(failure.stage, "overlap.tile");
     assert_eq!(failure.index, 1);
 }
 
@@ -343,7 +343,7 @@ fn import_panic_fails_the_batch_with_the_lowest_index() {
 
 #[test]
 fn seeded_plans_are_reproducible() {
-    let stages = ["overlap.row", "mc.block", "world.block"];
+    let stages = ["overlap.tile", "mc.block", "world.block"];
     let a = FaultPlan::seeded(42, &stages, 16, 5);
     let b = FaultPlan::seeded(42, &stages, 16, 5);
     assert_eq!(a.specs(), b.specs());
@@ -359,7 +359,7 @@ fn seeded_plans_are_reproducible() {
     let world = tiny_world();
     let pool: Vec<_> = world.flavor.ingredient_ids().collect();
     let run = || {
-        fault::with_plan(FaultPlan::seeded(42, &["overlap.row"], 4, 2), || {
+        fault::with_plan(FaultPlan::seeded(42, &["overlap.tile"], 4, 2), || {
             OverlapCache::try_build_with_threads(&world.flavor, &pool, 4).map(|cache| cache.len())
         })
     };
