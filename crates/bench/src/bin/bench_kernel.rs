@@ -4,11 +4,19 @@
 //! (`culinaria_flavordb::kernel::and_popcount`, runtime-dispatched to a
 //! POPCNT build when the CPU has it) against the scalar reference walk
 //! (`kernel::scalar::and_popcount`), with no pooling, tiling, or cache
-//! effects in the way. Universe sizes mirror the pipeline's packed
-//! profiles: 64 bits (1 word — pure tail), 512 bits (8 words — two full
-//! lane groups), and 4096 bits (64 words — lane-dominated).
+//! effects in the way. Universe sizes sweep the crossover region word
+//! by word (64–320 bits) and then the pipeline's packed-profile sizes
+//! (512 bits — two full lane groups; 4096 bits — lane-dominated).
 //!
-//! Both paths fold every result into a checksum that is asserted equal,
+//! Three paths are timed per size: the scalar walk, the raw widened
+//! loop (`kernel::widened`, no dispatch threshold), and the public
+//! dispatcher, which routes operands below
+//! [`kernel::SCALAR_BELOW_WORDS`] words to the scalar walk. The
+//! summary records the measured crossover — the smallest word count
+//! where the widened loop actually beats the scalar one — so the
+//! compiled-in threshold can be audited against the machine.
+//!
+//! All paths fold every result into a checksum that is asserted equal,
 //! so the measured loops provably do the same work. Each timing is the
 //! min over interleaved repeats. Writes `BENCH_kernel.json`.
 //!
@@ -31,9 +39,10 @@ fn env_or<T: std::str::FromStr>(name: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
-/// Universe sizes in bits: one word (all tail), eight words (two full
-/// lane groups, no tail), sixty-four words (lane-dominated).
-const UNIVERSES: &[usize] = &[64, 512, 4096];
+/// Universe sizes in bits: every word count through the crossover
+/// region, then eight words (two full lane groups, no tail) and
+/// sixty-four words (lane-dominated).
+const UNIVERSES: &[usize] = &[64, 128, 192, 256, 320, 512, 4096];
 
 /// Timed repeats per path; the min is reported (steady-state cost,
 /// robust to scheduler noise on a shared box).
@@ -79,6 +88,7 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(seed);
 
     let mut rows = Vec::new();
+    let mut crossover_words = usize::MAX;
     for &bits in UNIVERSES {
         let words = bits / 64;
         let pairs: Vec<(Vec<u64>, Vec<u64>)> = (0..n_pairs)
@@ -89,35 +99,53 @@ fn main() {
             .collect();
         let passes = (WORK_BUDGET / (n_pairs * words).max(1)).max(1);
 
-        // Interleaved min-of-N: scalar and widened alternate inside each
-        // repeat, so neither path monopolizes a quiet (or noisy) window.
+        // Interleaved min-of-N: the three paths alternate inside each
+        // repeat, so none of them monopolizes a quiet (or noisy)
+        // window.
         let mut scalar_ms = f64::INFINITY;
         let mut widened_ms = f64::INFINITY;
+        let mut dispatched_ms = f64::INFINITY;
         let mut scalar_sum = 0u64;
         let mut widened_sum = 0u64;
+        let mut dispatched_sum = 0u64;
         for _ in 0..TIME_REPS {
             let (ms, sum) = sample(&pairs, passes, kernel::scalar::and_popcount);
             scalar_ms = scalar_ms.min(ms);
             scalar_sum = sum;
-            let (ms, sum) = sample(&pairs, passes, kernel::and_popcount);
+            let (ms, sum) = sample(&pairs, passes, kernel::widened::and_popcount);
             widened_ms = widened_ms.min(ms);
             widened_sum = sum;
+            let (ms, sum) = sample(&pairs, passes, kernel::and_popcount);
+            dispatched_ms = dispatched_ms.min(ms);
+            dispatched_sum = sum;
         }
         assert_eq!(
             scalar_sum, widened_sum,
             "kernel checksum diverged at {bits} bits"
         );
+        assert_eq!(
+            scalar_sum, dispatched_sum,
+            "dispatched checksum diverged at {bits} bits"
+        );
 
-        let speedup = scalar_ms / widened_ms;
+        let widened_speedup = scalar_ms / widened_ms;
+        let dispatched_speedup = scalar_ms / dispatched_ms;
         eprintln!(
             "{bits:>5} bits ({words:>2} words): scalar {scalar_ms:.2} ms, \
-             widened {widened_ms:.2} ms -> {speedup:.2}x \
+             widened {widened_ms:.2} ms ({widened_speedup:.2}x), \
+             dispatched {dispatched_ms:.2} ms ({dispatched_speedup:.2}x) \
              ({passes} passes x {n_pairs} pairs)"
         );
+        if widened_speedup > 1.0 {
+            crossover_words = crossover_words.min(words);
+        }
         rows.push(format!(
             "    {{ \"bits\": {bits}, \"words\": {words}, \"passes\": {passes}, \
              \"scalar_ms\": {scalar_ms:.3}, \"widened_ms\": {widened_ms:.3}, \
-             \"speedup\": {speedup:.3}, \"parity\": \"checksum-identical\" }}"
+             \"dispatched_ms\": {dispatched_ms:.3}, \
+             \"widened_speedup\": {widened_speedup:.3}, \
+             \"dispatched_speedup\": {dispatched_speedup:.3}, \
+             \"parity\": \"checksum-identical\" }}"
         ));
     }
 
@@ -125,8 +153,16 @@ fn main() {
         "{{\n  \"bench\": \"kernel_and_popcount\",\n  \"n_pairs\": {n_pairs},\n  \
          \"seed\": {seed},\n  \"time_reps\": {TIME_REPS},\n  \
          \"popcnt_dispatch\": {popcnt},\n  \
+         \"scalar_below_words\": {threshold},\n  \
+         \"measured_crossover_words\": {crossover},\n  \
          \"universes\": [\n{rows}\n  ]\n}}\n",
         popcnt = popcnt_dispatch(),
+        threshold = kernel::SCALAR_BELOW_WORDS,
+        crossover = if crossover_words == usize::MAX {
+            "null".to_string()
+        } else {
+            crossover_words.to_string()
+        },
         rows = rows.join(",\n"),
     );
     std::fs::write(&out_path, &json).expect("write bench summary");

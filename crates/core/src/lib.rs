@@ -51,10 +51,14 @@ pub mod popularity;
 pub mod robustness;
 pub mod size_dist;
 pub mod taste;
+pub mod view;
 pub mod z_analysis;
 
 pub use error::{FailureCause, StageFailure};
 pub use monte_carlo::MonteCarloConfig;
 pub use null_models::NullModel;
 pub use pairing::{mean_cuisine_score, recipe_pairing_score, OverlapCache};
-pub use z_analysis::{analyze_cuisine, analyze_world, CuisineAnalysis};
+pub use view::{CuisineView, FlavorViewRef, RecipesViewRef};
+pub use z_analysis::{
+    analyze_cuisine, analyze_cuisine_view, analyze_world, analyze_world_view, CuisineAnalysis,
+};

@@ -39,6 +39,7 @@ use crate::error::StageFailure;
 use crate::monte_carlo::{MonteCarloConfig, BLOCK};
 use crate::null_models::{CuisineSampler, NullModel, SampleScratch};
 use crate::pairing::IntersectScratch;
+use crate::view::{CuisineView, FlavorViewRef};
 
 /// C(n, k) as an exact integer (0 when k > n). Recipe sizes stay far
 /// below the u64 horizon, but the accumulator is widened anyway.
@@ -75,15 +76,26 @@ pub struct KTupleKernel {
 impl KTupleKernel {
     /// Pack the profiles of an explicit pool (rows in pool order).
     pub fn build(db: &FlavorDb, pool: &[IngredientId]) -> KTupleKernel {
+        KTupleKernel::build_view(FlavorViewRef::Owned(db), pool)
+    }
+
+    /// [`KTupleKernel::build`] over a [`FlavorViewRef`] — the single
+    /// packing implementation both representations share. Profile
+    /// slices are identical across representations, so the packed bit
+    /// matrix (and every score derived from it) is bit-identical.
+    ///
+    /// # Panics
+    /// Panics on a dead ingredient id, like the owned build.
+    pub fn build_view(view: FlavorViewRef<'_>, pool: &[IngredientId]) -> KTupleKernel {
         let profiles: Vec<_> = pool
             .iter()
-            .map(|&id| &db.ingredient(id).expect("live ingredient").profile)
+            .map(|&id| view.profile_molecules(id).expect("live ingredient"))
             .collect();
-        let universe = MoleculeUniverse::build(profiles.iter().copied());
+        let universe = MoleculeUniverse::build_from_slices(profiles.iter().copied());
         let words = universe.words();
         let mut bits = Vec::with_capacity(pool.len() * words);
         for p in &profiles {
-            bits.extend_from_slice(universe.pack(p).words());
+            bits.extend_from_slice(universe.pack_ids(p).words());
         }
         let local = pool
             .iter()
@@ -103,6 +115,11 @@ impl KTupleKernel {
     /// [`crate::pairing::OverlapCache::for_cuisine`] on that cuisine.
     pub fn for_cuisine(db: &FlavorDb, cuisine: &Cuisine<'_>) -> KTupleKernel {
         KTupleKernel::build(db, &cuisine.ingredient_set())
+    }
+
+    /// [`KTupleKernel::for_cuisine`] over views.
+    pub fn for_cuisine_view(view: FlavorViewRef<'_>, cuisine: &CuisineView<'_>) -> KTupleKernel {
+        KTupleKernel::build_view(view, &cuisine.ingredient_set())
     }
 
     /// Pool size.

@@ -23,6 +23,8 @@ use culinaria_flavordb::{Category, FlavorDb};
 use culinaria_recipedb::Cuisine;
 use culinaria_stats::WeightedAliasSampler;
 
+use crate::view::{CuisineView, FlavorViewRef};
+
 /// Which randomized model to sample from.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum NullModel {
@@ -149,6 +151,21 @@ impl CuisineSampler {
     /// Returns `None` for cuisines with no recipe of size ≥ 2 (no
     /// pairing signal exists to compare against).
     pub fn build(db: &FlavorDb, cuisine: &Cuisine<'_>) -> Option<CuisineSampler> {
+        CuisineSampler::build_view(
+            FlavorViewRef::Owned(db),
+            &CuisineView::Owned(cuisine.clone()),
+        )
+    }
+
+    /// [`CuisineSampler::build`] over a [`FlavorViewRef`] /
+    /// [`CuisineView`] pair — the single implementation both
+    /// representations share. Pool ordering, frequency weights and
+    /// category templates are identical across representations, so the
+    /// sampler consumes any RNG stream identically.
+    pub fn build_view(
+        view: FlavorViewRef<'_>,
+        cuisine: &CuisineView<'_>,
+    ) -> Option<CuisineSampler> {
         let pool = cuisine.ingredient_set();
         if pool.is_empty() {
             return None;
@@ -163,7 +180,7 @@ impl CuisineSampler {
         let n_cat = Category::ALL.len();
         let mut by_category: Vec<Vec<u32>> = vec![Vec::new(); n_cat];
         for (pos, id) in pool.iter().enumerate() {
-            let cat = db.ingredient(*id).ok()?.category;
+            let cat = view.category(*id)?;
             by_category[cat.index()].push(pos as u32);
         }
         let freq_by_category: Vec<Option<WeightedAliasSampler>> = by_category
@@ -182,15 +199,14 @@ impl CuisineSampler {
 
         let mut sizes = Vec::new();
         let mut templates = Vec::new();
-        for r in cuisine.recipes() {
-            if r.size() < 2 {
+        for ings in cuisine.recipe_ingredient_lists() {
+            if ings.len() < 2 {
                 continue;
             }
-            sizes.push(r.size() as u32);
-            let cats: Vec<Category> = r
-                .ingredients()
+            sizes.push(ings.len() as u32);
+            let cats: Vec<Category> = ings
                 .iter()
-                .map(|&id| db.ingredient(id).expect("live ingredient").category)
+                .map(|&id| view.category(id).expect("live ingredient"))
                 .collect();
             templates.push(cats);
         }

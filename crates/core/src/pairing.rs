@@ -26,6 +26,7 @@ use culinaria_recipedb::Cuisine;
 use culinaria_stats::{fault, pool, tile};
 
 use crate::error::StageFailure;
+use crate::view::{CuisineView, FlavorViewRef};
 
 /// N_s(R) computed directly from flavor profiles (no cache).
 ///
@@ -224,7 +225,21 @@ impl OverlapCache {
         n_threads: usize,
         metrics: &Metrics,
     ) -> Result<OverlapCache, StageFailure> {
-        OverlapCache::try_build_tiled(db, pool, n_threads, metrics, None)
+        OverlapCache::try_build_tiled(FlavorViewRef::Owned(db), pool, n_threads, metrics, None)
+    }
+
+    /// [`OverlapCache::try_build_observed`] over a [`FlavorViewRef`] —
+    /// the single implementation both representations share. Profiles
+    /// resolved from an owned database and from a CFDB2 artifact view
+    /// are the same sorted `&[MoleculeId]` slices, so the cache (and
+    /// every recorded metric) is bit-identical across representations.
+    pub fn try_build_view_observed(
+        view: FlavorViewRef<'_>,
+        pool: &[IngredientId],
+        n_threads: usize,
+        metrics: &Metrics,
+    ) -> Result<OverlapCache, StageFailure> {
+        OverlapCache::try_build_tiled(view, pool, n_threads, metrics, None)
     }
 
     /// The tiled build behind every public entry point. `tile_edge`
@@ -232,7 +247,7 @@ impl OverlapCache {
     /// merge is geometry-independent); `None` uses
     /// [`tile::tile_rows`].
     fn try_build_tiled(
-        db: &FlavorDb,
+        view: FlavorViewRef<'_>,
         pool: &[IngredientId],
         n_threads: usize,
         metrics: &Metrics,
@@ -248,13 +263,13 @@ impl OverlapCache {
             .add((n * n.saturating_sub(1) / 2) as u64);
 
         let pack_guard = build_span.child("pack").enter();
-        let mut profiles = Vec::with_capacity(n);
+        let mut profiles: Vec<&[culinaria_flavordb::MoleculeId]> = Vec::with_capacity(n);
         for (i, &id) in pool.iter().enumerate() {
             fault::probe("overlap.pack", i).map_err(|e| {
                 StageFailure::error("overlap.pack", i, e.to_string()).record(metrics)
             })?;
-            match db.ingredient(id) {
-                Ok(ing) => profiles.push(&ing.profile),
+            match view.profile_molecules(id) {
+                Ok(p) => profiles.push(p),
                 Err(e) => {
                     return Err(StageFailure::error(
                         "overlap.pack",
@@ -265,13 +280,13 @@ impl OverlapCache {
                 }
             }
         }
-        let universe = MoleculeUniverse::build(profiles.iter().copied());
+        let universe = MoleculeUniverse::build_from_slices(profiles.iter().copied());
         let words = universe.words();
         // One flat row-major matrix: row i at `i*words..(i+1)*words`.
         // Tiles slice strips out of it without chasing Vec pointers.
         let mut bits: Vec<u64> = Vec::with_capacity(n * words);
         for p in &profiles {
-            bits.extend_from_slice(universe.pack(p).words());
+            bits.extend_from_slice(universe.pack_ids(p).words());
         }
         pack_guard.stop();
 
@@ -335,6 +350,36 @@ impl OverlapCache {
             local,
             tri,
         })
+    }
+
+    /// Reassemble a cache from a pool and its packed upper triangle —
+    /// e.g. a precomputed overlap section of a CFDB2 artifact. `None`
+    /// when `tri` is not exactly `n(n−1)/2` entries for the pool.
+    ///
+    /// Sections are produced by [`OverlapCache::tri`] on a cache built
+    /// by this same code, so a reassembled cache is byte-for-byte the
+    /// cache that was serialized.
+    pub fn from_parts(pool: &[IngredientId], tri: Vec<u32>) -> Option<OverlapCache> {
+        let n = pool.len();
+        if tri.len() != n * n.saturating_sub(1) / 2 {
+            return None;
+        }
+        let local = pool
+            .iter()
+            .enumerate()
+            .map(|(i, &id)| (id, i as u32))
+            .collect();
+        Some(OverlapCache {
+            pool: pool.to_vec(),
+            local,
+            tri,
+        })
+    }
+
+    /// The packed strict upper triangle, row-major (the serialized form
+    /// of the cache; see [`OverlapCache::from_parts`]).
+    pub fn tri(&self) -> &[u32] {
+        &self.tri
     }
 
     /// Build over a cuisine's distinct ingredient set.
@@ -450,12 +495,27 @@ impl OverlapCache {
     /// Mean cuisine score via the cache; skips sub-pair recipes.
     /// `None` if any recipe references an ingredient outside the pool.
     pub fn mean_cuisine_score(&self, cuisine: &Cuisine<'_>) -> Option<f64> {
+        self.mean_score_over(cuisine.recipes().iter().map(|r| r.ingredients()))
+    }
+
+    /// [`OverlapCache::mean_cuisine_score`] over a [`CuisineView`].
+    /// Recipe iteration order is recipe-id order in both
+    /// representations, so the fold (and its rounding) is identical.
+    pub fn mean_cuisine_score_view(&self, cuisine: &CuisineView<'_>) -> Option<f64> {
+        self.mean_score_over(cuisine.recipe_ingredient_lists())
+    }
+
+    /// The shared fold behind both mean-score entry points.
+    fn mean_score_over<'s>(
+        &self,
+        recipes: impl Iterator<Item = &'s [IngredientId]>,
+    ) -> Option<f64> {
         let mut total = 0.0;
         let mut n = 0usize;
         let mut scratch = Vec::new();
-        for r in cuisine.recipes() {
-            if r.size() >= 2 {
-                total += self.score_ids_with(r.ingredients(), &mut scratch)?;
+        for ings in recipes {
+            if ings.len() >= 2 {
+                total += self.score_ids_with(ings, &mut scratch)?;
                 n += 1;
             }
         }
@@ -713,7 +773,7 @@ mod tests {
         for tile_edge in [1usize, 3, 7, 16, 61] {
             for threads in [1usize, 2, 4, 8] {
                 let cache = OverlapCache::try_build_tiled(
-                    &db,
+                    FlavorViewRef::Owned(&db),
                     &ids,
                     threads,
                     &Metrics::disabled(),

@@ -13,7 +13,7 @@
 //! share a random stream, and (b) analyzing a cuisine alone is
 //! bit-identical to its row of the world run.
 
-use culinaria_flavordb::FlavorDb;
+use culinaria_flavordb::{FlavorDb, IngredientId};
 use culinaria_obs::Metrics;
 use culinaria_recipedb::{Cuisine, RecipeStore, Region};
 use culinaria_stats::rng::derive_seed_labeled;
@@ -28,6 +28,7 @@ use crate::monte_carlo::{
 };
 use crate::null_models::{CuisineSampler, NullModel};
 use crate::pairing::OverlapCache;
+use crate::view::{CuisineView, FlavorViewRef, RecipesViewRef};
 
 /// Result of one null-model comparison for one cuisine.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -156,12 +157,74 @@ pub fn try_analyze_cuisine_observed(
     cfg: &MonteCarloConfig,
     metrics: &Metrics,
 ) -> Result<Option<CuisineAnalysis>, StageFailure> {
-    let Some(sampler) = CuisineSampler::build(db, cuisine) else {
+    try_analyze_cuisine_view_observed(
+        FlavorViewRef::Owned(db),
+        &CuisineView::Owned(cuisine.clone()),
+        models,
+        cfg,
+        metrics,
+    )
+}
+
+/// [`analyze_cuisine`] over representation-agnostic views: pass
+/// `FlavorViewRef::Artifact` / `CuisineView::Artifact` to analyze a
+/// zero-copy CFDB2/CRDB2 artifact pair without materializing owned
+/// databases. Bit-identical to the owned analysis. Panics on stage
+/// failures; see [`try_analyze_cuisine_view_observed`].
+pub fn analyze_cuisine_view(
+    flavor: FlavorViewRef<'_>,
+    cuisine: &CuisineView<'_>,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+) -> Option<CuisineAnalysis> {
+    try_analyze_cuisine_view_observed(flavor, cuisine, models, cfg, &Metrics::disabled())
+        .unwrap_or_else(|failure| panic!("cuisine analysis failed: {failure}"))
+}
+
+/// Obtain a region's overlap cache: when the flavor view carries a
+/// precomputed overlap section labeled with the region code *and* the
+/// section's pool is exactly the cuisine's ingredient set, reassemble
+/// the cache from the stored triangle (one memcpy; counter
+/// `overlap.section_reuse`) instead of re-running the O(n²·w)
+/// intersection sweep. Sections are serialized from caches built by
+/// this same code, so the reassembled cache is byte-identical to a
+/// fresh build.
+fn region_overlap_cache(
+    flavor: FlavorViewRef<'_>,
+    region: Region,
+    pool: &[IngredientId],
+    n_threads: usize,
+    metrics: &Metrics,
+) -> Result<OverlapCache, StageFailure> {
+    if let Some((sec_pool, tri)) = flavor.overlap_section(region.code()) {
+        if sec_pool == pool {
+            if let Some(cache) = OverlapCache::from_parts(pool, tri.to_vec()) {
+                metrics.counter("overlap.section_reuse").add(1);
+                return Ok(cache);
+            }
+        }
+    }
+    OverlapCache::try_build_view_observed(flavor, pool, n_threads, metrics)
+}
+
+/// The view-based cuisine analysis every cuisine entry point funnels
+/// through. On success the analysis and recorded metrics are
+/// bit-identical whether the views are owned or artifact-backed
+/// (artifact overlap sections additionally short-circuit the cache
+/// build; the resulting numbers are unchanged).
+pub fn try_analyze_cuisine_view_observed(
+    flavor: FlavorViewRef<'_>,
+    cuisine: &CuisineView<'_>,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+    metrics: &Metrics,
+) -> Result<Option<CuisineAnalysis>, StageFailure> {
+    let Some(sampler) = CuisineSampler::build_view(flavor, cuisine) else {
         return Ok(None);
     };
-    let cache =
-        OverlapCache::try_build_observed(db, &cuisine.ingredient_set(), cfg.n_threads, metrics)?;
-    let observed_mean = cache.mean_cuisine_score(cuisine).ok_or_else(|| {
+    let pool = cuisine.ingredient_set();
+    let cache = region_overlap_cache(flavor, cuisine.region(), &pool, cfg.n_threads, metrics)?;
+    let observed_mean = cache.mean_cuisine_score_view(cuisine).ok_or_else(|| {
         StageFailure::error(
             "cuisine.score",
             0,
@@ -195,7 +258,7 @@ pub fn try_analyze_cuisine_observed(
     Ok(Some(CuisineAnalysis {
         region: cuisine.region(),
         n_recipes: sampler.n_templates(),
-        n_ingredients: cuisine.ingredient_set().len(),
+        n_ingredients: pool.len(),
         observed_mean,
         comparisons,
     }))
@@ -280,22 +343,52 @@ pub fn try_analyze_world_observed(
     cfg: &MonteCarloConfig,
     metrics: &Metrics,
 ) -> Result<Vec<CuisineAnalysis>, StageFailure> {
+    try_analyze_world_view_observed(
+        FlavorViewRef::Owned(db),
+        RecipesViewRef::Owned(store),
+        models,
+        cfg,
+        metrics,
+    )
+}
+
+/// [`analyze_world`] over representation-agnostic views — run the full
+/// Fig 4 driver straight off zero-copy CFDB2/CRDB2 buffers.
+/// Bit-identical to the owned driver for every thread count. Panics on
+/// stage failures; see [`try_analyze_world_view_observed`].
+pub fn analyze_world_view(
+    flavor: FlavorViewRef<'_>,
+    recipes: RecipesViewRef<'_>,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+) -> Vec<CuisineAnalysis> {
+    try_analyze_world_view_observed(flavor, recipes, models, cfg, &Metrics::disabled())
+        .unwrap_or_else(|failure| panic!("world analysis failed: {failure}"))
+}
+
+/// The view-based world driver every world entry point funnels
+/// through. Artifact flavor views with precomputed overlap sections
+/// skip the per-region cache builds (see [`OverlapCache::from_parts`]);
+/// all emitted numbers are bit-identical either way.
+pub fn try_analyze_world_view_observed(
+    flavor: FlavorViewRef<'_>,
+    recipes: RecipesViewRef<'_>,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+    metrics: &Metrics,
+) -> Result<Vec<CuisineAnalysis>, StageFailure> {
     // Setup pass: samplers, overlap caches (internally parallel), and
     // observed means per populated region.
     let prepare_guard = metrics.span("world.prepare").enter();
     let mut prepared: Vec<PreparedRegion> = Vec::new();
-    for region in store.regions() {
-        let cuisine = store.cuisine(region);
-        let Some(sampler) = CuisineSampler::build(db, &cuisine) else {
+    for region in recipes.regions() {
+        let cuisine = recipes.cuisine(region);
+        let Some(sampler) = CuisineSampler::build_view(flavor, &cuisine) else {
             continue;
         };
-        let cache = OverlapCache::try_build_observed(
-            db,
-            &cuisine.ingredient_set(),
-            cfg.n_threads,
-            metrics,
-        )?;
-        let observed_mean = cache.mean_cuisine_score(&cuisine).ok_or_else(|| {
+        let pool = cuisine.ingredient_set();
+        let cache = region_overlap_cache(flavor, region, &pool, cfg.n_threads, metrics)?;
+        let observed_mean = cache.mean_cuisine_score_view(&cuisine).ok_or_else(|| {
             StageFailure::error(
                 "world.prepare",
                 prepared.len(),
@@ -309,7 +402,7 @@ pub fn try_analyze_world_observed(
         prepared.push(PreparedRegion {
             region,
             n_recipes: sampler.n_templates(),
-            n_ingredients: cuisine.ingredient_set().len(),
+            n_ingredients: pool.len(),
             sampler,
             cache,
             observed_mean,

@@ -7,11 +7,20 @@
 use std::fmt;
 
 /// Identifier of a flavor molecule within a [`crate::FlavorDb`].
+///
+/// `repr(transparent)` over `u32` so a `&[u32]` borrowed from a binary
+/// artifact can be reinterpreted as `&[MoleculeId]` without copying
+/// (see [`crate::artifact`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct MoleculeId(pub u32);
 
 /// Identifier of an ingredient within a [`crate::FlavorDb`].
+///
+/// `repr(transparent)` over `u32` for the same zero-copy reason as
+/// [`MoleculeId`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(transparent)]
 pub struct IngredientId(pub u32);
 
 impl MoleculeId {

@@ -30,11 +30,16 @@
 //! The public entry points dispatch at runtime via
 //! `is_x86_feature_detected!` (the result is cached by `std`, so the
 //! check is a load-and-branch, amortized to nothing over a
-//! multi-kiloword sweep). All variants are bit-exact with [`scalar`]
-//! for every input length, including ragged tails and zero-length
-//! slices; `crates/flavordb/tests/properties.rs` and the unit tests
-//! below pin that equivalence at the tail boundaries 0, 1, 3, 4, 5, 7
-//! and 8 words.
+//! multi-kiloword sweep), and fall back to [`scalar`] below
+//! [`SCALAR_BELOW_WORDS`] words, where the 4-lane setup never reaches
+//! its chunked loop and is pure overhead (`bench_kernel` measured the
+//! widened path at 0.72× scalar on 1-word operands; the un-thresholded
+//! [`widened`] module stays available so the crossover remains
+//! measurable). All variants are bit-exact with [`scalar`] for every
+//! input length, including ragged tails and zero-length slices;
+//! `crates/flavordb/tests/properties.rs` and the unit tests below pin
+//! that equivalence at the tail boundaries 0, 1, 3, 4, 5, 7 and 8
+//! words.
 //!
 //! When `a` and `b` have different lengths, all operations truncate to
 //! the shorter slice (mirroring `Iterator::zip`); `and_store_popcount`
@@ -216,51 +221,110 @@ fn have_popcnt() -> bool {
     std::arch::is_x86_feature_detected!("popcnt")
 }
 
-/// Lane-widened `Σ popcount(a[i] & b[i])` over the common prefix.
+/// Operand lengths (in words) below which the public entry points take
+/// the [`scalar`] walk instead of the 4-lane path.
+///
+/// One-word operands pay the lane setup for a loop that never runs
+/// (64-bit operands measured 0.86× scalar on the widened path), but
+/// from two words up the widened walk already wins — `bench_kernel`
+/// sweeps the crossover region word by word and records the measured
+/// crossover in `BENCH_kernel.json`; this cutoff matches it.
+pub const SCALAR_BELOW_WORDS: usize = 2;
+
+/// The dispatched lane-widened paths *without* the short-input scalar
+/// cutoff.
+///
+/// Semantically identical to the public entry points; only the
+/// small-operand performance differs. `bench_kernel` times these
+/// against [`scalar`] to locate the crossover that justifies
+/// [`SCALAR_BELOW_WORDS`].
+pub mod widened {
+    /// `Σ popcount(a[i] & b[i])` over the common prefix, always widened.
+    #[inline]
+    pub fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        if super::have_popcnt() {
+            // SAFETY: `popcnt` support was just verified.
+            return unsafe { super::popcnt::and_popcount(a, b) };
+        }
+        super::lanes::and_popcount(a, b)
+    }
+
+    /// `Σ popcount(a[i])`, always widened.
+    #[inline]
+    pub fn popcount(a: &[u64]) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        if super::have_popcnt() {
+            // SAFETY: `popcnt` support was just verified.
+            return unsafe { super::popcnt::popcount(a) };
+        }
+        super::lanes::popcount(a)
+    }
+
+    /// `dst = a & b` plus popcount of the result, always widened.
+    #[inline]
+    pub fn and_store_popcount(dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        if super::have_popcnt() {
+            // SAFETY: `popcnt` support was just verified.
+            return unsafe { super::popcnt::and_store_popcount(dst, a, b) };
+        }
+        super::lanes::and_store_popcount(dst, a, b)
+    }
+
+    /// `dst = src` plus popcount of the copy, always widened.
+    #[inline]
+    pub fn copy_popcount(dst: &mut [u64], src: &[u64]) -> u64 {
+        #[cfg(target_arch = "x86_64")]
+        if super::have_popcnt() {
+            // SAFETY: `popcnt` support was just verified.
+            return unsafe { super::popcnt::copy_popcount(dst, src) };
+        }
+        super::lanes::copy_popcount(dst, src)
+    }
+}
+
+/// `Σ popcount(a[i] & b[i])` over the common prefix: scalar below
+/// [`SCALAR_BELOW_WORDS`] words, lane-widened above.
 #[inline]
 pub fn and_popcount(a: &[u64], b: &[u64]) -> u64 {
-    #[cfg(target_arch = "x86_64")]
-    if have_popcnt() {
-        // SAFETY: `popcnt` support was just verified.
-        return unsafe { popcnt::and_popcount(a, b) };
+    if a.len().min(b.len()) < SCALAR_BELOW_WORDS {
+        return scalar::and_popcount(a, b);
     }
-    lanes::and_popcount(a, b)
+    widened::and_popcount(a, b)
 }
 
-/// Lane-widened `Σ popcount(a[i])`.
+/// `Σ popcount(a[i])`: scalar below [`SCALAR_BELOW_WORDS`] words,
+/// lane-widened above.
 #[inline]
 pub fn popcount(a: &[u64]) -> u64 {
-    #[cfg(target_arch = "x86_64")]
-    if have_popcnt() {
-        // SAFETY: `popcnt` support was just verified.
-        return unsafe { popcnt::popcount(a) };
+    if a.len() < SCALAR_BELOW_WORDS {
+        return scalar::popcount(a);
     }
-    lanes::popcount(a)
+    widened::popcount(a)
 }
 
-/// Lane-widened `dst = a & b`, returning the popcount of the result.
+/// `dst = a & b`, returning the popcount of the result: scalar below
+/// [`SCALAR_BELOW_WORDS`] words, lane-widened above.
 ///
 /// Truncates to the shortest of the three slices.
 #[inline]
 pub fn and_store_popcount(dst: &mut [u64], a: &[u64], b: &[u64]) -> u64 {
-    #[cfg(target_arch = "x86_64")]
-    if have_popcnt() {
-        // SAFETY: `popcnt` support was just verified.
-        return unsafe { popcnt::and_store_popcount(dst, a, b) };
+    if dst.len().min(a.len()).min(b.len()) < SCALAR_BELOW_WORDS {
+        return scalar::and_store_popcount(dst, a, b);
     }
-    lanes::and_store_popcount(dst, a, b)
+    widened::and_store_popcount(dst, a, b)
 }
 
-/// Lane-widened `dst = src` copy, returning the popcount of the copied
-/// prefix (truncated to the shorter slice).
+/// `dst = src` copy, returning the popcount of the copied prefix
+/// (truncated to the shorter slice): scalar below
+/// [`SCALAR_BELOW_WORDS`] words, lane-widened above.
 #[inline]
 pub fn copy_popcount(dst: &mut [u64], src: &[u64]) -> u64 {
-    #[cfg(target_arch = "x86_64")]
-    if have_popcnt() {
-        // SAFETY: `popcnt` support was just verified.
-        return unsafe { popcnt::copy_popcount(dst, src) };
+    if dst.len().min(src.len()) < SCALAR_BELOW_WORDS {
+        return scalar::copy_popcount(dst, src);
     }
-    lanes::copy_popcount(dst, src)
+    widened::copy_popcount(dst, src)
 }
 
 #[cfg(test)]
@@ -336,6 +400,39 @@ mod tests {
                 "n={n}"
             );
             assert_eq!(d1, d2, "n={n}");
+        }
+    }
+
+    #[test]
+    fn unthresholded_widened_matches_scalar_below_cutoff() {
+        // The public entry points take the scalar branch below
+        // SCALAR_BELOW_WORDS, so pin the raw widened path there
+        // explicitly — it must stay bit-exact even where it is slow.
+        for n in 0..=(2 * SCALAR_BELOW_WORDS) {
+            let a = words(31 + n as u64, n);
+            let b = words(400 + n as u64, n);
+            assert_eq!(
+                widened::and_popcount(&a, &b),
+                scalar::and_popcount(&a, &b),
+                "n={n}"
+            );
+            assert_eq!(widened::popcount(&a), scalar::popcount(&a), "n={n}");
+            let mut d1 = vec![0u64; n];
+            let mut d2 = vec![0u64; n];
+            assert_eq!(
+                widened::and_store_popcount(&mut d1, &a, &b),
+                scalar::and_store_popcount(&mut d2, &a, &b),
+                "n={n}"
+            );
+            assert_eq!(d1, d2, "n={n}");
+            let mut c1 = vec![0u64; n];
+            let mut c2 = vec![0u64; n];
+            assert_eq!(
+                widened::copy_popcount(&mut c1, &a),
+                scalar::copy_popcount(&mut c2, &a),
+                "n={n}"
+            );
+            assert_eq!(c1, c2, "n={n}");
         }
     }
 

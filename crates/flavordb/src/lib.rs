@@ -31,6 +31,7 @@
 //! [`IngredientId`]) and sorted-slice profiles so profile intersection
 //! is O(min(|A|, |B|)).
 
+pub mod artifact;
 pub mod category;
 pub mod curated;
 pub mod db;
@@ -43,6 +44,7 @@ pub mod kernel;
 pub mod molecule;
 pub mod profile;
 
+pub use artifact::{AlignedBytes, ArtifactError, BorrowedFlavorDb, FlavorArtifactBuilder};
 pub use category::Category;
 pub use db::FlavorDb;
 pub use error::{FlavorDbError, Result};

@@ -161,9 +161,19 @@ pub struct MoleculeUniverse {
 impl MoleculeUniverse {
     /// Collect the universe of every molecule in `profiles`.
     pub fn build<'a>(profiles: impl IntoIterator<Item = &'a FlavorProfile>) -> MoleculeUniverse {
+        MoleculeUniverse::build_from_slices(profiles.into_iter().map(|p| p.molecules()))
+    }
+
+    /// Collect the universe from raw sorted-id slices — the borrowed
+    /// twin of [`MoleculeUniverse::build`], used when profiles live in
+    /// a zero-copy artifact instead of owned [`FlavorProfile`]s. The
+    /// result is identical for the same id multisets.
+    pub fn build_from_slices<'a>(
+        profiles: impl IntoIterator<Item = &'a [MoleculeId]>,
+    ) -> MoleculeUniverse {
         let mut molecules: Vec<MoleculeId> = Vec::new();
         for p in profiles {
-            molecules.extend_from_slice(&p.molecules);
+            molecules.extend_from_slice(p);
         }
         molecules.sort_unstable();
         molecules.dedup();
@@ -194,8 +204,14 @@ impl MoleculeUniverse {
     /// outside the universe are dropped — callers build the universe
     /// from the same pool they pack, so nothing is lost in practice.
     pub fn pack(&self, profile: &FlavorProfile) -> BitProfile {
+        self.pack_ids(&profile.molecules)
+    }
+
+    /// Pack a raw id slice — the borrowed twin of
+    /// [`MoleculeUniverse::pack`], bit-identical for the same ids.
+    pub fn pack_ids(&self, molecules: &[MoleculeId]) -> BitProfile {
         let mut words = vec![0u64; self.words()];
-        for &m in &profile.molecules {
+        for &m in molecules {
             if let Some(bit) = self.bit_of(m) {
                 words[bit / 64] |= 1u64 << (bit % 64);
             }
@@ -360,6 +376,17 @@ mod tests {
         let packed = u.pack(&profile(&[2, 3, 99]));
         assert_eq!(packed.count_ones(), 2);
         assert_eq!(packed.shared_count(&u.pack(&base)), 2);
+    }
+
+    #[test]
+    fn slice_twins_match_owned_paths() {
+        let ps = [profile(&[9, 1]), profile(&[1, 70]), profile(&[200])];
+        let owned = MoleculeUniverse::build(ps.iter());
+        let borrowed = MoleculeUniverse::build_from_slices(ps.iter().map(FlavorProfile::molecules));
+        assert_eq!(owned.molecules, borrowed.molecules);
+        for p in &ps {
+            assert_eq!(owned.pack(p), borrowed.pack_ids(p.molecules()));
+        }
     }
 
     #[test]

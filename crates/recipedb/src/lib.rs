@@ -20,6 +20,7 @@
 //!   (`culinaria-flavordb`), with per-import curation statistics;
 //! * [`io`] — binary snapshots and CSV export.
 
+pub mod artifact;
 pub mod cuisine;
 pub mod error;
 pub mod import;
@@ -29,6 +30,7 @@ pub mod recipe;
 pub mod region;
 pub mod store;
 
+pub use artifact::{BorrowedCuisine, BorrowedRecipeDb, RecipeArtifactBuilder};
 pub use cuisine::Cuisine;
 pub use error::{RecipeDbError, Result};
 pub use import::{ImportFailureReason, ImportStats, Importer, RawRecipe, RecipeFailure};

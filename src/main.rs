@@ -3,6 +3,7 @@
 //!
 //! ```text
 //! culinaria generate [--scale S] [--seed N] [--out DIR]
+//! culinaria migrate-artifact [--in DIR] [--out DIR] [--no-overlaps]
 //! culinaria analyze  [--scale S] [--seed N] [--mc N] [--metrics[=json]]
 //! culinaria report   <REGION> [--scale S] [--seed N] [--metrics[=json]]
 //! culinaria import   <FILE> [--threads N] [--metrics[=json]]
@@ -26,9 +27,10 @@ use culinaria::analysis::z_analysis::{
 };
 use culinaria::analysis::{MonteCarloConfig, NullModel};
 use culinaria::datagen::{generate_world, World, WorldConfig};
+use culinaria::flavordb::FlavorArtifactBuilder;
 use culinaria::obs::Metrics;
 use culinaria::recipedb::import::{Importer, RawRecipe};
-use culinaria::recipedb::{RecipeStore, Region, Source};
+use culinaria::recipedb::{RecipeArtifactBuilder, RecipeStore, Region, Source};
 
 struct Args {
     flags: HashMap<String, String>,
@@ -192,6 +194,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  \
          culinaria generate [--scale S] [--seed N] [--out DIR]   write dataset snapshots + CSV\n  \
+         culinaria migrate-artifact [--in DIR] [--out DIR]       CFDB1/CRDB1 → zero-copy v2 artifacts\n  \
          culinaria analyze  [--scale S] [--seed N] [--mc N]      Fig-4 z-score table\n  \
          culinaria report   <REGION> [--scale S] [--seed N]      one cuisine in depth\n  \
          culinaria import   <FILE> [--threads N]                 import raw recipes from a file\n  \
@@ -266,10 +269,109 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
+            // v2 zero-copy artifacts ride along with the v1 snapshots,
+            // so downstream consumers can open without parsing.
+            let (flavor2, recipes2) = match (
+                FlavorArtifactBuilder::new(&world.flavor).build(),
+                RecipeArtifactBuilder::new(&world.recipes).build(),
+            ) {
+                (Ok(f), Ok(r)) => (f, r),
+                (Err(e), _) | (_, Err(e)) => {
+                    eprintln!("cannot encode v2 artifact: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
             let csv = culinaria::recipedb::io::to_csv(&world.recipes);
             if let Err(e) = write("flavor.cfdb", &flavor)
                 .and_then(|_| write("recipes.crdb", &recipes))
+                .and_then(|_| write("flavor.cfdb2", &flavor2))
+                .and_then(|_| write("recipes.crdb2", &recipes2))
                 .and_then(|_| write("recipes.csv", csv.as_bytes()))
+            {
+                eprintln!("write failed: {e}");
+                return ExitCode::FAILURE;
+            }
+            ExitCode::SUCCESS
+        }
+        "migrate-artifact" => {
+            // CFDB1/CRDB1 snapshots → zero-copy CFDB2/CRDB2 artifacts,
+            // with per-region overlap triangles precomputed into the
+            // flavor artifact (skip with --no-overlaps) so analyses can
+            // reuse them instead of re-sweeping at open time.
+            let dir = args
+                .flags
+                .get("in")
+                .cloned()
+                .unwrap_or_else(|| "culinaria-data".to_owned());
+            let out = args
+                .flags
+                .get("out")
+                .cloned()
+                .unwrap_or_else(|| dir.clone());
+            let read = |name: &str| -> Option<Vec<u8>> {
+                let path = format!("{dir}/{name}");
+                match std::fs::read(&path) {
+                    Ok(b) => Some(b),
+                    Err(e) => {
+                        eprintln!("cannot read {path}: {e}");
+                        None
+                    }
+                }
+            };
+            let (Some(flavor_raw), Some(recipes_raw)) = (read("flavor.cfdb"), read("recipes.crdb"))
+            else {
+                return ExitCode::FAILURE;
+            };
+            let db = match culinaria::flavordb::io::from_snapshot(bytes::Bytes::from(flavor_raw)) {
+                Ok(db) => db,
+                Err(e) => {
+                    eprintln!("cannot decode flavor snapshot: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let store =
+                match culinaria::recipedb::io::from_snapshot(bytes::Bytes::from(recipes_raw)) {
+                    Ok(s) => s,
+                    Err(e) => {
+                        eprintln!("cannot decode recipe snapshot: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            let mut builder = FlavorArtifactBuilder::new(&db);
+            if !args.flags.contains_key("no-overlaps") {
+                for region in store.regions() {
+                    let cuisine = store.cuisine(region);
+                    let cache = OverlapCache::for_cuisine(&db, &cuisine);
+                    if cache.is_empty() {
+                        continue;
+                    }
+                    if let Err(e) = builder.add_overlap(region.code(), cache.pool(), cache.tri()) {
+                        eprintln!("cannot attach {} overlap section: {e}", region.code());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            let (flavor2, recipes2) =
+                match (builder.build(), RecipeArtifactBuilder::new(&store).build()) {
+                    (Ok(f), Ok(r)) => (f, r),
+                    (Err(e), _) | (_, Err(e)) => {
+                        eprintln!("cannot encode v2 artifact: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            if let Err(e) = std::fs::create_dir_all(&out) {
+                eprintln!("cannot create {out}: {e}");
+                return ExitCode::FAILURE;
+            }
+            let write = |name: &str, bytes: &[u8]| -> std::io::Result<()> {
+                let path = format!("{out}/{name}");
+                let mut f = std::fs::File::create(&path)?;
+                f.write_all(bytes)?;
+                println!("wrote {path} ({} bytes)", bytes.len());
+                Ok(())
+            };
+            if let Err(e) =
+                write("flavor.cfdb2", &flavor2).and_then(|_| write("recipes.crdb2", &recipes2))
             {
                 eprintln!("write failed: {e}");
                 return ExitCode::FAILURE;
