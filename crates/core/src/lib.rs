@@ -57,8 +57,11 @@ pub mod z_analysis;
 pub use error::{FailureCause, StageFailure};
 pub use monte_carlo::MonteCarloConfig;
 pub use null_models::NullModel;
-pub use pairing::{mean_cuisine_score, recipe_pairing_score, OverlapCache};
+pub use pairing::{
+    mean_cuisine_score, recipe_pairing_score, recipe_pairing_score_view, OverlapCache,
+};
 pub use view::{CuisineView, FlavorViewRef, RecipesViewRef};
 pub use z_analysis::{
-    analyze_cuisine, analyze_cuisine_view, analyze_world, analyze_world_view, CuisineAnalysis,
+    analyze_cuisine, analyze_cuisine_view, analyze_world, analyze_world_view, region_overlap_cache,
+    try_analyze_cuisine_with_cache_observed, CuisineAnalysis,
 };

@@ -20,7 +20,7 @@
 
 use std::collections::HashMap;
 
-use culinaria_flavordb::{kernel, FlavorDb, IngredientId, MoleculeUniverse};
+use culinaria_flavordb::{kernel, FlavorDb, IngredientId, MoleculeId, MoleculeUniverse};
 use culinaria_obs::Metrics;
 use culinaria_recipedb::Cuisine;
 use culinaria_stats::{fault, pool, tile};
@@ -69,6 +69,55 @@ pub fn recipe_pairing_score(db: &FlavorDb, ingredients: &[IngredientId]) -> f64 
         }
     }
     (2.0 * total as f64) / (n as f64 * (n as f64 - 1.0))
+}
+
+/// [`recipe_pairing_score`] over a representation-agnostic flavor view:
+/// works for owned databases and zero-copy artifacts alike, and returns
+/// `None` (instead of panicking) when an id is dead — the right shape
+/// for serving externally-supplied ingredient sets. Profiles are stored
+/// sorted in both representations, so the two-pointer intersection
+/// counts match [`FlavorProfile::shared_count`] exactly and the score
+/// is bit-identical to the owned path (and to
+/// [`OverlapCache::score_ids`] when every id is in the cache's pool).
+///
+/// [`FlavorProfile::shared_count`]: culinaria_flavordb::FlavorProfile::shared_count
+pub fn recipe_pairing_score_view(
+    view: FlavorViewRef<'_>,
+    ingredients: &[IngredientId],
+) -> Option<f64> {
+    let n = ingredients.len();
+    if n < 2 {
+        return Some(0.0);
+    }
+    let mut profiles = Vec::with_capacity(n);
+    for &id in ingredients {
+        profiles.push(view.profile_molecules(id).ok()?);
+    }
+    let mut total = 0usize;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            total += shared_sorted(profiles[i], profiles[j]);
+        }
+    }
+    Some((2.0 * total as f64) / (n as f64 * (n as f64 - 1.0)))
+}
+
+/// Two-pointer intersection size of two sorted molecule slices — the
+/// same merge walk as `FlavorProfile::shared_count`.
+fn shared_sorted(a: &[MoleculeId], b: &[MoleculeId]) -> usize {
+    let (mut i, mut j, mut shared) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                shared += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    shared
 }
 
 /// Quantity-weighted flavor sharing — the §V extension "how to

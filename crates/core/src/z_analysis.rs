@@ -189,7 +189,7 @@ pub fn analyze_cuisine_view(
 /// intersection sweep. Sections are serialized from caches built by
 /// this same code, so the reassembled cache is byte-identical to a
 /// fresh build.
-fn region_overlap_cache(
+pub fn region_overlap_cache(
     flavor: FlavorViewRef<'_>,
     region: Region,
     pool: &[IngredientId],
@@ -224,6 +224,39 @@ pub fn try_analyze_cuisine_view_observed(
     };
     let pool = cuisine.ingredient_set();
     let cache = region_overlap_cache(flavor, cuisine.region(), &pool, cfg.n_threads, metrics)?;
+    analyze_sampled(cuisine, &sampler, &cache, models, cfg, metrics)
+}
+
+/// [`try_analyze_cuisine_view_observed`] with a caller-supplied overlap
+/// cache — the entry point for long-lived processes (`culinaria serve`)
+/// that build each region's cache once and reuse it across queries.
+/// The cache must cover the cuisine's ingredient set (what
+/// [`region_overlap_cache`] builds); the analysis is then bit-identical
+/// to the cache-building path for the same `cfg`.
+pub fn try_analyze_cuisine_with_cache_observed(
+    flavor: FlavorViewRef<'_>,
+    cuisine: &CuisineView<'_>,
+    cache: &OverlapCache,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+    metrics: &Metrics,
+) -> Result<Option<CuisineAnalysis>, StageFailure> {
+    let Some(sampler) = CuisineSampler::build_view(flavor, cuisine) else {
+        return Ok(None);
+    };
+    analyze_sampled(cuisine, &sampler, cache, models, cfg, metrics)
+}
+
+/// Shared tail of the cuisine analysis once a sampler and overlap
+/// cache exist: observed mean, per-model null ensembles, Z-scores.
+fn analyze_sampled(
+    cuisine: &CuisineView<'_>,
+    sampler: &CuisineSampler,
+    cache: &OverlapCache,
+    models: &[NullModel],
+    cfg: &MonteCarloConfig,
+    metrics: &Metrics,
+) -> Result<Option<CuisineAnalysis>, StageFailure> {
     let observed_mean = cache.mean_cuisine_score_view(cuisine).ok_or_else(|| {
         StageFailure::error(
             "cuisine.score",
@@ -242,7 +275,7 @@ pub fn try_analyze_cuisine_view_observed(
     };
     let mut comparisons = Vec::with_capacity(models.len());
     for (mi, &model) in models.iter().enumerate() {
-        let null = try_run_null_model_observed(&cache, &sampler, model, &region_cfg, metrics)?
+        let null = try_run_null_model_observed(cache, sampler, model, &region_cfg, metrics)?
             .ok_or_else(|| {
                 StageFailure::error(
                     "mc.run",
@@ -258,7 +291,7 @@ pub fn try_analyze_cuisine_view_observed(
     Ok(Some(CuisineAnalysis {
         region: cuisine.region(),
         n_recipes: sampler.n_templates(),
-        n_ingredients: pool.len(),
+        n_ingredients: cache.len(),
         observed_mean,
         comparisons,
     }))

@@ -5,10 +5,13 @@
 //! `[2^(i−1), 2^i) µs`, and the last bucket is unbounded. 28 buckets
 //! therefore span sub-microsecond to ~67 s — the full latency range of
 //! anything in this pipeline — with a fixed 28-word footprint and a
-//! branch-free bucket index (`log2` via `leading_zeros`). Quantiles are
-//! read back as the upper bound of the bucket where the cumulative
-//! count crosses the rank, i.e. with at most 2× relative error — plenty
-//! for spotting stragglers and skew.
+//! branch-free bucket index (`log2` via `leading_zeros`). Two quantile
+//! readbacks exist on [`crate::HistogramSnapshot`]: `quantile_us` (the
+//! upper bound of the bucket where the cumulative count crosses the
+//! rank — conservative, at most 2× relative error) and
+//! `quantile_interp_us` (linear interpolation inside that bucket under
+//! a uniform-within-bucket assumption — what the renderers and
+//! `bench_serve` report).
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -54,6 +57,16 @@ pub(crate) fn bucket_upper_us(i: usize) -> u64 {
         u64::MAX
     } else {
         1u64 << i
+    }
+}
+
+/// Inclusive lower bound (µs) of bucket `i`: 0 for the sub-µs bucket,
+/// `2^(i−1)` otherwise.
+pub(crate) fn bucket_lower_us(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
     }
 }
 
@@ -169,6 +182,12 @@ mod tests {
         assert_eq!(bucket_upper_us(0), 1);
         assert_eq!(bucket_upper_us(1), 2);
         assert_eq!(bucket_upper_us(N_BUCKETS - 1), u64::MAX);
+        assert_eq!(bucket_lower_us(0), 0);
+        assert_eq!(bucket_lower_us(1), 1);
+        assert_eq!(bucket_lower_us(7), 64);
+        for i in 0..N_BUCKETS - 1 {
+            assert_eq!(bucket_lower_us(i + 1), bucket_upper_us(i));
+        }
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! appear in lexicographic name order, sections in a fixed sequence
 //! (counters, gauges, spans, histograms).
 
-use crate::histogram::{bucket_upper_us, N_BUCKETS};
+use crate::histogram::{bucket_lower_us, bucket_upper_us, N_BUCKETS};
 use crate::Registry;
 
 /// Snapshot of one span accumulator.
@@ -69,6 +69,51 @@ impl HistogramSnapshot {
             }
         }
         self.max_us
+    }
+
+    /// Interpolated quantile estimate in microseconds (0.0 when empty).
+    ///
+    /// The estimation rule, spelled out so the number is reproducible:
+    ///
+    /// 1. The target rank is `r = ceil(q · count)`, clamped to
+    ///    `[1, count]` — the same rank convention as [`Self::quantile_us`].
+    /// 2. Walk the buckets to the one holding rank `r`; let `before` be
+    ///    the cumulative count of earlier buckets and `c` the bucket's
+    ///    own count.
+    /// 3. Samples are assumed uniform inside the bucket, each sitting
+    ///    at the midpoint of its 1/`c` slice, so the rank's fractional
+    ///    position is `p = (r − before − 0.5) / c ∈ (0, 1)`.
+    /// 4. The estimate is `lower + p · (upper − lower)` where `lower`
+    ///    is the bucket's inclusive lower bound and `upper` is its
+    ///    exclusive upper bound clamped to the observed max (which also
+    ///    gives the unbounded overflow bucket a finite width).
+    ///
+    /// Unlike [`Self::quantile_us`] (always a bucket upper bound, so biased
+    /// up by as much as 2×), this tracks where in the bucket the rank
+    /// actually falls; a single sample reads back as its bucket
+    /// midpoint rather than its bucket ceiling.
+    pub fn quantile_interp_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.count as f64).ceil().clamp(1.0, self.count as f64);
+        let mut before = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if (before + c) as f64 >= rank {
+                let lower = bucket_lower_us(i) as f64;
+                // A non-empty bucket contains a sample ≥ its lower
+                // bound, so max_us ≥ lower and the clamped width is
+                // never negative.
+                let upper = bucket_upper_us(i).min(self.max_us) as f64;
+                let p = (rank - before as f64 - 0.5) / c as f64;
+                return lower + p * (upper - lower);
+            }
+            before += c;
+        }
+        self.max_us as f64
     }
 }
 
@@ -227,8 +272,8 @@ impl Snapshot {
                     h.name,
                     h.count,
                     fmt(h.mean_us()),
-                    fmt(h.quantile_us(0.50)),
-                    fmt(h.quantile_us(0.99)),
+                    fmt(h.quantile_interp_us(0.50).round() as u64),
+                    fmt(h.quantile_interp_us(0.99).round() as u64),
                     fmt(h.max_us),
                 ));
             }
@@ -279,13 +324,13 @@ impl Snapshot {
                 (
                     &h.name,
                     format!(
-                        "{{\"count\":{},\"sum_us\":{},\"mean_us\":{},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+                        "{{\"count\":{},\"sum_us\":{},\"mean_us\":{},\"p50_us\":{:.1},\"p90_us\":{:.1},\"p99_us\":{:.1},\"max_us\":{}}}",
                         h.count,
                         h.sum_us,
                         h.mean_us(),
-                        h.quantile_us(0.50),
-                        h.quantile_us(0.90),
-                        h.quantile_us(0.99),
+                        h.quantile_interp_us(0.50),
+                        h.quantile_interp_us(0.90),
+                        h.quantile_interp_us(0.99),
                         h.max_us
                     ),
                 )
@@ -417,6 +462,77 @@ mod tests {
         assert_eq!(hs.quantile_us(1.0), 1000);
         assert!(hs.quantile_us(0.99) <= 1000);
         assert_eq!(hs.mean_us(), 220);
+    }
+
+    #[test]
+    fn interpolated_quantiles_exact_values() {
+        // Samples 10/20/30/40 land in buckets [8,16), [16,32)×2,
+        // [32,64); max_us = 40 clamps the top bucket's upper bound.
+        let m = Metrics::enabled();
+        let h = m.histogram("lat_us");
+        for us in [10u64, 20, 30, 40] {
+            h.record_us(us);
+        }
+        let snap = m.snapshot();
+        let hs = snap.histogram("lat_us").unwrap();
+        // q=0.25 → rank 1 → bucket [8,16), p = 0.5 → 8 + 0.5·8.
+        assert_eq!(hs.quantile_interp_us(0.25), 12.0);
+        // q=0.5 → rank 2 → bucket [16,32) (before=1, c=2), p = 0.25.
+        assert_eq!(hs.quantile_interp_us(0.50), 20.0);
+        // q=0.75 → rank 3 → same bucket, p = 0.75 → 16 + 0.75·16.
+        assert_eq!(hs.quantile_interp_us(0.75), 28.0);
+        // q=1.0 → rank 4 → bucket [32, min(64, 40)=40), p = 0.5.
+        assert_eq!(hs.quantile_interp_us(1.00), 36.0);
+        // q=0 clamps the rank to 1 — same as q=0.25 here.
+        assert_eq!(hs.quantile_interp_us(0.0), 12.0);
+    }
+
+    #[test]
+    fn interpolated_quantile_single_sample_is_bucket_midpoint() {
+        // One 100 µs sample: bucket [64,128) clamped to [64,100],
+        // rank 1 of 1 → p = 0.5 → 64 + 0.5·36 = 82 exactly.
+        let m = Metrics::enabled();
+        m.histogram("one_us").record_us(100);
+        let snap = m.snapshot();
+        let hs = snap.histogram("one_us").unwrap();
+        assert_eq!(hs.quantile_interp_us(0.50), 82.0);
+        assert_eq!(hs.quantile_interp_us(0.99), 82.0);
+        // The step estimator reads the same sample as 100 (clamped
+        // bucket ceiling) — the interpolated value is strictly tighter.
+        assert_eq!(hs.quantile_us(0.50), 100);
+    }
+
+    #[test]
+    fn interpolated_quantile_empty_is_zero() {
+        let hs = HistogramSnapshot {
+            name: "empty_us".into(),
+            count: 0,
+            sum_us: 0,
+            max_us: 0,
+            buckets: [0; N_BUCKETS],
+        };
+        assert_eq!(hs.quantile_interp_us(0.5), 0.0);
+    }
+
+    #[test]
+    fn interpolated_quantile_overflow_bucket_uses_observed_max() {
+        // Force the overflow bucket: its upper bound is u64::MAX, so
+        // the clamp to max_us is what keeps the estimate finite.
+        let mut buckets = [0u64; N_BUCKETS];
+        buckets[N_BUCKETS - 1] = 2;
+        let lower = bucket_lower_us(N_BUCKETS - 1);
+        let max = lower + 1_000_000;
+        let hs = HistogramSnapshot {
+            name: "huge_us".into(),
+            count: 2,
+            sum_us: 0,
+            max_us: max,
+            buckets,
+        };
+        // rank 2 of 2 in one bucket → p = 0.75.
+        let expect = lower as f64 + 0.75 * (max - lower) as f64;
+        assert_eq!(hs.quantile_interp_us(1.0), expect);
+        assert!(hs.quantile_interp_us(1.0).is_finite());
     }
 
     #[test]

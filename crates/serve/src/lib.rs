@@ -1,0 +1,33 @@
+//! `culinaria-serve`: a long-lived, batched, cached query service over
+//! the zero-copy CFDB2/CRDB2 artifacts.
+//!
+//! The batch pipeline (`culinaria analyze-*`) rebuilds its world every
+//! run; this crate is the complementary *online* path the ROADMAP's
+//! production north-star implies. A [`Server`] opens the artifacts
+//! once (O(1) via `BorrowedFlavorDb`/`BorrowedRecipeDb` behind
+//! `core::view`), lazily builds one [overlap shard](server::RegionShard)
+//! per region — straight from the artifact's precomputed triangle
+//! section when one matches — and then answers four query families
+//! over a no-network framed transport ([`protocol`]):
+//!
+//! - `PAIR` — flavor-sharing score N_s for an ingredient-id set,
+//! - `ZPROF` — a cuisine's Z-profile against every null model,
+//! - `TOPK` — top-k novel pairings (high overlap, low co-occurrence),
+//! - `SCORE` — free-text recipe import-and-score.
+//!
+//! The perf core is three mechanisms, each measured by `bench_serve`:
+//! deterministic request batching over `culinaria_stats::pool`
+//! ([`server`] docs give the bit-identity argument), a bounded LRU
+//! response cache over interned ingredient-id sets ([`cache`]), and
+//! load-shedding bounded-queue backpressure ([`queue`]). Live metrics
+//! flow through `culinaria-obs` and out the `METRICS` endpoint.
+
+pub mod cache;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use cache::{CacheStats, ResponseCache};
+pub use protocol::{Client, ProtoError, Request, MAX_FRAME};
+pub use queue::BoundedQueue;
+pub use server::{resolve_score_lines, ConnStats, ServeConfig, Server};

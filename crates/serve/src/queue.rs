@@ -1,0 +1,151 @@
+//! Bounded FIFO request queue with load-shedding push and blocking
+//! batch drain.
+//!
+//! Backpressure policy: `push` never blocks and never grows the queue
+//! past its capacity — at capacity the item is *shed* and the caller
+//! answers the client with a structured `BUSY` reply instead. The
+//! batcher side blocks in [`BoundedQueue::drain_batch`] until work or
+//! shutdown, taking up to a whole batch per wakeup.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Outcome of a non-blocking [`BoundedQueue::push`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Push {
+    /// Enqueued; the queue now holds this many items.
+    Accepted(usize),
+    /// Queue full (or closed) — item dropped, reply `BUSY` with this
+    /// depth.
+    Shed(usize),
+}
+
+#[derive(Debug)]
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// See the module docs.
+#[derive(Debug)]
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> BoundedQueue<T> {
+        BoundedQueue {
+            state: Mutex::new(State {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Offer an item; sheds instead of blocking or growing unbounded.
+    pub fn push(&self, item: T) -> Push {
+        let mut s = self.state.lock().expect("queue poisoned");
+        if s.closed || s.items.len() >= self.capacity {
+            return Push::Shed(s.items.len());
+        }
+        s.items.push_back(item);
+        let depth = s.items.len();
+        drop(s);
+        self.ready.notify_one();
+        Push::Accepted(depth)
+    }
+
+    /// Stop accepting items and wake the drainer so it can run down
+    /// the remaining queue and exit.
+    pub fn close(&self) {
+        self.state.lock().expect("queue poisoned").closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Block until items arrive (or the queue closes), then move up to
+    /// `max` of them into `out` in FIFO order. Returns `false` once the
+    /// queue is closed *and* empty — the drainer's exit signal.
+    pub fn drain_batch(&self, max: usize, out: &mut Vec<T>) -> bool {
+        let mut s = self.state.lock().expect("queue poisoned");
+        while s.items.is_empty() {
+            if s.closed {
+                return false;
+            }
+            s = self.ready.wait(s).expect("queue poisoned");
+        }
+        let take = s.items.len().min(max.max(1));
+        out.extend(s.items.drain(..take));
+        true
+    }
+
+    /// Current queue depth (racy, for gauges only).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue poisoned").items.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn fifo_and_batch_cap() {
+        let q = BoundedQueue::new(10);
+        for i in 0..5 {
+            assert_eq!(q.push(i), Push::Accepted(i + 1));
+        }
+        let mut out = Vec::new();
+        assert!(q.drain_batch(3, &mut out));
+        assert_eq!(out, vec![0, 1, 2]);
+        out.clear();
+        assert!(q.drain_batch(3, &mut out));
+        assert_eq!(out, vec![3, 4]);
+    }
+
+    #[test]
+    fn sheds_at_capacity_never_blocks() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.push('a'), Push::Accepted(1));
+        assert_eq!(q.push('b'), Push::Accepted(2));
+        assert_eq!(q.push('c'), Push::Shed(2));
+        assert_eq!(q.depth(), 2);
+        // Draining frees room again.
+        let mut out = Vec::new();
+        assert!(q.drain_batch(1, &mut out));
+        assert_eq!(q.push('d'), Push::Accepted(2));
+    }
+
+    #[test]
+    fn close_drains_remainder_then_signals_exit() {
+        let q = BoundedQueue::new(4);
+        q.push(1);
+        q.push(2);
+        q.close();
+        assert_eq!(q.push(3), Push::Shed(2), "closed queue sheds");
+        let mut out = Vec::new();
+        assert!(q.drain_batch(8, &mut out));
+        assert_eq!(out, vec![1, 2]);
+        out.clear();
+        assert!(!q.drain_batch(8, &mut out), "closed + empty ends the loop");
+    }
+
+    #[test]
+    fn drain_blocks_until_push_from_another_thread() {
+        let q = Arc::new(BoundedQueue::new(4));
+        let q2 = Arc::clone(&q);
+        let handle = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            assert!(q2.drain_batch(4, &mut out));
+            out
+        });
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.push(42);
+        assert_eq!(handle.join().unwrap(), vec![42]);
+    }
+}

@@ -1,0 +1,732 @@
+//! The long-lived query server: per-region shards over one artifact
+//! (or owned) world, deterministic request batching, response caching,
+//! and the per-connection reader/batcher loop.
+//!
+//! # Batching determinism
+//!
+//! A batch is answered in three strictly ordered phases:
+//!
+//! 1. a serial cache-lookup pass in request order (so hit/miss
+//!    counters and LRU promotions are schedule-independent),
+//! 2. the misses fanned over `culinaria_stats::pool`, whose results
+//!    come back **in task order** regardless of thread count, and
+//! 3. a serial fill + cache-store pass, again in request order.
+//!
+//! Each request's computation depends only on immutable shard state
+//! (lazily initialized through `OnceLock`, so exactly one build wins
+//! and every worker sees the same tables), which makes a batch's
+//! responses — and the cache's evolution — bit-identical to serial
+//! execution at any worker count. `bench_serve` and the serve tests
+//! assert exactly that.
+
+use std::io::{self, BufWriter, Read, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use culinaria_core::pairing::OverlapCache;
+use culinaria_core::z_analysis::{region_overlap_cache, try_analyze_cuisine_with_cache_observed};
+use culinaria_core::{
+    recipe_pairing_score_view, FlavorViewRef, MonteCarloConfig, NullModel, RecipesViewRef,
+};
+use culinaria_flavordb::{FlavorDb, IngredientId};
+use culinaria_obs::{Counter, Gauge, Histogram, Metrics};
+use culinaria_recipedb::import::Importer;
+use culinaria_recipedb::Region;
+use culinaria_stats::pool;
+
+use crate::cache::{CacheStats, Endpoint, ResponseCache, NO_REGION};
+use crate::protocol::{
+    encode_busy, encode_err, pair_body, parse_request, read_frame, score_body, topk_body,
+    write_frame, zprof_body, FrameError, ProtoError, Request, TopPairing, MAX_FRAME,
+};
+use crate::queue::{BoundedQueue, Push};
+
+/// Server tuning knobs; every CLI `serve` flag maps onto one field.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Worker threads per batch (0 = available parallelism).
+    pub threads: usize,
+    /// Most requests coalesced into one batch.
+    pub batch_max: usize,
+    /// Response-cache capacity in entries (0 disables the cache).
+    pub cache_entries: usize,
+    /// Bounded-queue capacity; pushes past it are shed with `BUSY`.
+    pub max_queue: usize,
+    /// Monte-Carlo ensemble size for `ZPROF`.
+    pub mc_recipes: usize,
+    /// Monte-Carlo base seed for `ZPROF`.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            threads: 0,
+            batch_max: 32,
+            cache_entries: 4096,
+            max_queue: 256,
+            mc_recipes: 2000,
+            seed: 2018,
+        }
+    }
+}
+
+/// One region's immutable query state, built lazily on first use
+/// ("lazy section loading": the overlap triangle comes straight out of
+/// the artifact's precomputed section when one matches, a kernel build
+/// otherwise).
+#[derive(Debug)]
+pub struct RegionShard {
+    region: Region,
+    pool: Vec<IngredientId>,
+    overlap: OverlapCache,
+    /// Mean observed ⟨N_s⟩ of the cuisine (None for a scoreless one).
+    mean: OnceLock<Option<f64>>,
+    /// Sorted novel-pairing candidates, built on the first `TOPK`.
+    candidates: OnceLock<Vec<Candidate>>,
+}
+
+/// One scored pool pair (indices are pool-local).
+#[derive(Debug, Clone, Copy)]
+struct Candidate {
+    novelty: f64,
+    overlap: u32,
+    cooc: u64,
+    i: u32,
+    j: u32,
+}
+
+/// Upper-triangle index for `i < j` over an `n`-wide pool.
+fn tri_index(n: usize, i: usize, j: usize) -> usize {
+    i * n - i * (i + 1) / 2 + (j - i - 1)
+}
+
+/// Store-wide co-occurrence counts for every pool pair — the
+/// `examples/novel_pairings.rs` logic promoted into the server.
+fn cooc_triangle<'r>(
+    pool: &[IngredientId],
+    recipes: impl Iterator<Item = &'r [IngredientId]>,
+) -> Vec<u64> {
+    let pos: std::collections::HashMap<IngredientId, usize> =
+        pool.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let mut tri = vec![0u64; pool.len() * pool.len().saturating_sub(1) / 2];
+    let mut members = Vec::new();
+    for ings in recipes {
+        members.clear();
+        members.extend(ings.iter().filter_map(|id| pos.get(id).copied()));
+        members.sort_unstable();
+        for (k, &i) in members.iter().enumerate() {
+            for &j in &members[k + 1..] {
+                tri[tri_index(pool.len(), i, j)] += 1;
+            }
+        }
+    }
+    tri
+}
+
+/// Lazily materialized owned-database context for `SCORE` (the
+/// importer needs an owned `FlavorDb`; artifact-backed servers
+/// materialize one on the first `SCORE` so every other endpoint keeps
+/// the O(1)-startup zero-copy path).
+enum ScoreDb<'a> {
+    Borrowed(&'a FlavorDb),
+    Owned(Box<FlavorDb>),
+}
+
+impl ScoreDb<'_> {
+    fn get(&self) -> &FlavorDb {
+        match self {
+            ScoreDb::Borrowed(db) => db,
+            ScoreDb::Owned(db) => db,
+        }
+    }
+}
+
+struct ScoreCtx<'a> {
+    db: ScoreDb<'a>,
+    importer: Importer,
+}
+
+/// Resolve free-text ingredient lines into a normalized id set:
+/// the importer's alias resolution first, then an exact
+/// (case-insensitive) database-name fallback per line — generated
+/// worlds use `name-category` ingredient names that phrase
+/// normalization would otherwise split apart. Returns the sorted,
+/// deduplicated ids and how many lines resolved to at least one
+/// ingredient. Public so offline parity checks reuse the exact rule.
+pub fn resolve_score_lines(
+    importer: &Importer,
+    db: &FlavorDb,
+    lines: &[String],
+) -> (Vec<IngredientId>, usize) {
+    let mut ids: Vec<IngredientId> = Vec::new();
+    let mut resolved_lines = 0usize;
+    for line in lines {
+        let (mut got, _unresolved) = importer.resolve_line(db, line);
+        if got.is_empty() {
+            if let Some(id) = db.ingredient_by_name(line.trim()) {
+                got.push(id);
+            }
+        }
+        if !got.is_empty() {
+            resolved_lines += 1;
+        }
+        ids.extend(got);
+    }
+    ids.sort_unstable();
+    ids.dedup();
+    (ids, resolved_lines)
+}
+
+/// Prefetched instrument handles — one registry lookup each at
+/// construction instead of per request.
+struct ServeObs {
+    pair_us: Histogram,
+    zprof_us: Histogram,
+    topk_us: Histogram,
+    score_us: Histogram,
+    batch: Histogram,
+    queue_depth: Gauge,
+    requests: Counter,
+    busy: Counter,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    cache_evictions: Counter,
+    shard_builds: Counter,
+}
+
+impl ServeObs {
+    fn new(m: &Metrics) -> ServeObs {
+        ServeObs {
+            pair_us: m.histogram("serve.pair_us"),
+            zprof_us: m.histogram("serve.zprof_us"),
+            topk_us: m.histogram("serve.topk_us"),
+            score_us: m.histogram("serve.score_us"),
+            batch: m.histogram("serve.batch"),
+            queue_depth: m.gauge("serve.queue.depth"),
+            requests: m.counter("serve.requests"),
+            busy: m.counter("serve.busy"),
+            cache_hits: m.counter("serve.cache.hits"),
+            cache_misses: m.counter("serve.cache.misses"),
+            cache_evictions: m.counter("serve.cache.evictions"),
+            shard_builds: m.counter("serve.shard.builds"),
+        }
+    }
+}
+
+type ShardSlot = Result<Option<Arc<RegionShard>>, String>;
+
+/// Connection-level accounting returned by
+/// [`Server::serve_connection`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ConnStats {
+    /// Requests answered through the batcher.
+    pub served: u64,
+    /// Requests shed with `BUSY`.
+    pub shed: u64,
+    /// Malformed frames / requests answered with `ERR`.
+    pub protocol_errors: u64,
+}
+
+/// See the module docs.
+pub struct Server<'a> {
+    flavor: FlavorViewRef<'a>,
+    recipes: RecipesViewRef<'a>,
+    cfg: ServeConfig,
+    metrics: Metrics,
+    obs: ServeObs,
+    shards: Vec<OnceLock<ShardSlot>>,
+    cache: Option<Mutex<ResponseCache>>,
+    score_ctx: OnceLock<Option<ScoreCtx<'a>>>,
+}
+
+impl<'a> Server<'a> {
+    /// A server over any world representation. `metrics` should be an
+    /// enabled registry — it backs both the `METRICS` endpoint and the
+    /// exit dump.
+    pub fn new(
+        flavor: FlavorViewRef<'a>,
+        recipes: RecipesViewRef<'a>,
+        cfg: ServeConfig,
+        metrics: Metrics,
+    ) -> Server<'a> {
+        let obs = ServeObs::new(&metrics);
+        let cache =
+            (cfg.cache_entries > 0).then(|| Mutex::new(ResponseCache::new(cfg.cache_entries)));
+        Server {
+            flavor,
+            recipes,
+            cfg,
+            metrics,
+            obs,
+            shards: (0..Region::ALL.len()).map(|_| OnceLock::new()).collect(),
+            cache,
+            score_ctx: OnceLock::new(),
+        }
+    }
+
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The cache's own counters (None when the cache is disabled).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache
+            .as_ref()
+            .map(|c| c.lock().expect("cache poisoned").stats())
+    }
+
+    /// The region's shard, built on first use. `Ok(None)` means the
+    /// region has no usable cuisine in this dataset.
+    fn shard(&self, region: Region) -> Result<Option<Arc<RegionShard>>, String> {
+        self.shards[region.index()]
+            .get_or_init(|| self.build_shard(region))
+            .clone()
+    }
+
+    fn build_shard(&self, region: Region) -> ShardSlot {
+        let cuisine = self.recipes.cuisine(region);
+        let pool = cuisine.ingredient_set();
+        if pool.is_empty() {
+            return Ok(None);
+        }
+        // Single-threaded build: shard builds run inside batch workers,
+        // and the artifact-section fast path is a memcpy anyway.
+        let overlap = region_overlap_cache(self.flavor, region, &pool, 1, &self.metrics)
+            .map_err(|f| f.to_string())?;
+        self.obs.shard_builds.add(1);
+        Ok(Some(Arc::new(RegionShard {
+            region,
+            pool,
+            overlap,
+            mean: OnceLock::new(),
+            candidates: OnceLock::new(),
+        })))
+    }
+
+    /// Serial request handling — the reference semantics batches must
+    /// reproduce bit-for-bit.
+    pub fn handle(&self, id: u64, req: &Request) -> String {
+        let mut out = self.handle_batch(std::slice::from_ref(&(id, req.clone())));
+        out.pop().expect("one response per request")
+    }
+
+    /// Answer a batch; one encoded response payload per request, in
+    /// request order. See the module docs for the determinism
+    /// argument.
+    pub fn handle_batch(&self, reqs: &[(u64, Request)]) -> Vec<String> {
+        self.obs.batch.record(reqs.len() as u64);
+        self.obs.requests.add(reqs.len() as u64);
+        let mut out: Vec<Option<String>> = vec![None; reqs.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        // Phase 1: serial cache pass, request order.
+        for (i, (id, req)) in reqs.iter().enumerate() {
+            match self.cache_lookup(req) {
+                Some(body) => out[i] = Some(format!("{id} {body}")),
+                None => misses.push(i),
+            }
+        }
+        // Phase 2: compute misses in task order over the worker pool.
+        let computed: Vec<(String, Option<CacheSlot>)> =
+            if misses.len() < 2 || pool::effective_threads(self.cfg.threads) == 1 {
+                misses.iter().map(|&i| self.compute(&reqs[i].1)).collect()
+            } else {
+                pool::run(
+                    self.cfg.threads,
+                    misses.len(),
+                    || (),
+                    |_, t| self.compute(&reqs[misses[t]].1),
+                )
+            };
+        // Phase 3: serial fill + cache stores, request order.
+        for (t, &i) in misses.iter().enumerate() {
+            let (body, slot) = &computed[t];
+            if let Some(slot) = slot {
+                self.cache_store(slot, &reqs[i].1, body.clone());
+            }
+            out[i] = Some(format!("{} {body}", reqs[i].0));
+        }
+        out.into_iter().map(|r| r.expect("filled")).collect()
+    }
+
+    /// Cache identity of a request, when the endpoint is cacheable.
+    fn cache_slot(req: &Request) -> Option<CacheSlot> {
+        match req {
+            Request::Pair { region, .. } => Some(CacheSlot {
+                endpoint: Endpoint::Pair,
+                region: region.map_or(NO_REGION, |r| r.index() as u8),
+                param: 0,
+                keyed_by_ids: true,
+            }),
+            Request::ZProf { region } => Some(CacheSlot {
+                endpoint: Endpoint::ZProf,
+                region: region.index() as u8,
+                param: 0,
+                keyed_by_ids: false,
+            }),
+            Request::TopK { region, k } => Some(CacheSlot {
+                endpoint: Endpoint::TopK,
+                region: region.index() as u8,
+                param: *k as u64,
+                keyed_by_ids: false,
+            }),
+            _ => None,
+        }
+    }
+
+    fn cache_lookup(&self, req: &Request) -> Option<String> {
+        let cache = self.cache.as_ref()?;
+        let slot = Self::cache_slot(req)?;
+        let ids = slot.ids(req);
+        let got = cache.lock().expect("cache poisoned").lookup(
+            slot.endpoint,
+            slot.region,
+            slot.param,
+            ids,
+        );
+        match &got {
+            Some(_) => self.obs.cache_hits.add(1),
+            None => self.obs.cache_misses.add(1),
+        }
+        got
+    }
+
+    fn cache_store(&self, slot: &CacheSlot, req: &Request, body: String) {
+        // Only successful responses are cached — errors stay cheap to
+        // recompute and must not shadow a later success.
+        if !body.starts_with("OK ") {
+            return;
+        }
+        if let Some(cache) = self.cache.as_ref() {
+            let mut cache = cache.lock().expect("cache poisoned");
+            let before = cache.stats().evictions;
+            cache.store(slot.endpoint, slot.region, slot.param, slot.ids(req), body);
+            let evicted = cache.stats().evictions - before;
+            if evicted > 0 {
+                self.obs.cache_evictions.add(evicted);
+            }
+        }
+    }
+
+    /// Compute one response body (`OK …` / `ERR …`, no id prefix),
+    /// plus its cache slot when the endpoint is cacheable. Pure with
+    /// respect to request order — the batching determinism hinges on
+    /// this.
+    fn compute(&self, req: &Request) -> (String, Option<CacheSlot>) {
+        let slot = Self::cache_slot(req);
+        let body = match req {
+            Request::Ping => "OK pong".to_string(),
+            Request::Quit => "OK bye".to_string(),
+            Request::Metrics => format!("OK metrics {}", self.metrics.render_json()),
+            Request::Pair { region, ids } => {
+                let t = self.obs.pair_us.start();
+                let body = self.compute_pair(*region, ids);
+                t.stop();
+                body
+            }
+            Request::ZProf { region } => {
+                let t = self.obs.zprof_us.start();
+                let body = self.compute_zprof(*region);
+                t.stop();
+                body
+            }
+            Request::TopK { region, k } => {
+                let t = self.obs.topk_us.start();
+                let body = self.compute_topk(*region, *k);
+                t.stop();
+                body
+            }
+            Request::Score { region, lines } => {
+                let t = self.obs.score_us.start();
+                let body = self.compute_score(*region, lines);
+                t.stop();
+                body
+            }
+        };
+        (body, slot)
+    }
+
+    fn err(code: &'static str, message: impl Into<String>) -> String {
+        let e = ProtoError::new(code, message);
+        format!("ERR {} {}", e.code, e.message)
+    }
+
+    fn usable_shard(&self, region: Region) -> Result<Arc<RegionShard>, String> {
+        match self.shard(region) {
+            Ok(Some(shard)) => Ok(shard),
+            Ok(None) => Err(Self::err(
+                "empty-region",
+                format!("region {} has no recipes in this dataset", region.code()),
+            )),
+            Err(msg) => Err(Self::err("region-unusable", msg)),
+        }
+    }
+
+    fn compute_pair(&self, region: Option<Region>, ids: &[IngredientId]) -> String {
+        // Shard fast path: O(1) triangle lookups. Falls back to the
+        // profile walk for global requests or ids outside the region
+        // pool — both produce the same bits (asserted in tests), so
+        // the answer never depends on which path ran.
+        let via_shard = region
+            .and_then(|r| self.shard(r).ok().flatten())
+            .and_then(|shard| shard.overlap.score_ids(ids));
+        match via_shard.or_else(|| recipe_pairing_score_view(self.flavor, ids)) {
+            Some(score) => format!("OK {}", pair_body(score)),
+            None => Self::err("bad-ids", "unknown ingredient id in set"),
+        }
+    }
+
+    fn compute_zprof(&self, region: Region) -> String {
+        let shard = match self.usable_shard(region) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let cuisine = self.recipes.cuisine(region);
+        // n_threads = 1: the batch pool is the concurrency layer here,
+        // and the analysis is bit-identical for any thread count.
+        let cfg = MonteCarloConfig {
+            n_recipes: self.cfg.mc_recipes,
+            seed: self.cfg.seed,
+            n_threads: 1,
+        };
+        match try_analyze_cuisine_with_cache_observed(
+            self.flavor,
+            &cuisine,
+            &shard.overlap,
+            &NullModel::ALL,
+            &cfg,
+            &self.metrics,
+        ) {
+            Ok(Some(analysis)) => format!("OK {}", zprof_body(&analysis)),
+            Ok(None) => Self::err(
+                "empty-region",
+                format!("region {} has no pairing-bearing recipes", region.code()),
+            ),
+            Err(failure) => Self::err("analysis-failed", failure.to_string()),
+        }
+    }
+
+    fn compute_topk(&self, region: Region, k: usize) -> String {
+        let shard = match self.usable_shard(region) {
+            Ok(s) => s,
+            Err(e) => return e,
+        };
+        let candidates = shard.candidates.get_or_init(|| {
+            let cooc = cooc_triangle(&shard.pool, self.all_recipe_lists());
+            let n = shard.pool.len();
+            let mut out = Vec::new();
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    let overlap = shard.overlap.overlap(i as u32, j as u32);
+                    if overlap == 0 {
+                        continue;
+                    }
+                    let cooc = cooc[tri_index(n, i, j)];
+                    let novelty = f64::from(overlap) / (1.0 + cooc as f64);
+                    out.push(Candidate {
+                        novelty,
+                        overlap,
+                        cooc,
+                        i: i as u32,
+                        j: j as u32,
+                    });
+                }
+            }
+            out.sort_by(|a, b| b.novelty.total_cmp(&a.novelty));
+            out
+        });
+        let mut rows = Vec::with_capacity(k.min(candidates.len()));
+        for c in candidates.iter().take(k) {
+            let name = |local: u32| {
+                self.flavor
+                    .ingredient_name(shard.pool[local as usize])
+                    .unwrap_or("?")
+                    .to_string()
+            };
+            rows.push(TopPairing {
+                novelty: c.novelty,
+                overlap: c.overlap,
+                cooc: c.cooc,
+                a: name(c.i),
+                b: name(c.j),
+            });
+        }
+        format!("OK {}", topk_body(shard.region, &rows))
+    }
+
+    fn compute_score(&self, region: Region, lines: &[String]) -> String {
+        let ctx = self.score_ctx.get_or_init(|| {
+            let db = match self.flavor {
+                FlavorViewRef::Owned(db) => ScoreDb::Borrowed(db),
+                FlavorViewRef::Artifact(b) => match b.to_flavor_db() {
+                    Ok(db) => ScoreDb::Owned(Box::new(db)),
+                    Err(_) => return None,
+                },
+            };
+            let importer = Importer::from_flavor_db(db.get());
+            Some(ScoreCtx { db, importer })
+        });
+        let Some(ctx) = ctx else {
+            return Self::err("score-unavailable", "flavor database unreadable");
+        };
+        let db = ctx.db.get();
+        let (ids, resolved_lines) = resolve_score_lines(&ctx.importer, db, lines);
+        let score = recipe_pairing_score_view(self.flavor, &ids)
+            .expect("resolved ids are live by construction");
+        let vs = self
+            .shard(region)
+            .ok()
+            .flatten()
+            .and_then(|shard| self.shard_mean(&shard));
+        let mut body = format!(
+            "OK {}",
+            score_body(resolved_lines, lines.len(), ids.len(), score)
+        );
+        match vs {
+            Some(mean) => body.push_str(&format!(" vs={}", crate::protocol::f64_field(mean))),
+            None => body.push_str(" vs=-"),
+        }
+        body
+    }
+
+    /// The cuisine's observed mean ⟨N_s⟩, computed once per shard.
+    fn shard_mean(&self, shard: &RegionShard) -> Option<f64> {
+        *shard.mean.get_or_init(|| {
+            let cuisine = self.recipes.cuisine(shard.region);
+            shard.overlap.mean_cuisine_score_view(&cuisine)
+        })
+    }
+
+    /// Every recipe ingredient list in the store, region by region
+    /// (each recipe belongs to exactly one region, and co-occurrence
+    /// counting is order-independent).
+    fn all_recipe_lists(&self) -> impl Iterator<Item = &'a [IngredientId]> + '_ {
+        self.recipes.regions().into_iter().flat_map(move |region| {
+            let cuisine = self.recipes.cuisine(region);
+            cuisine.recipe_ingredient_lists().collect::<Vec<_>>()
+        })
+    }
+
+    /// Serve one framed connection until EOF, `QUIT`, or an I/O error.
+    ///
+    /// The calling thread reads and parses frames, answers protocol
+    /// errors and shed requests inline, and feeds the bounded queue; a
+    /// scoped batcher thread drains the queue into
+    /// [`Server::handle_batch`] and writes the responses. Both sides
+    /// share the writer under a mutex, so responses interleave at
+    /// frame granularity and correlate by request id, not by order.
+    pub fn serve_connection<R, W>(&self, mut reader: R, writer: W) -> io::Result<ConnStats>
+    where
+        R: Read,
+        W: Write + Send,
+    {
+        let writer = Mutex::new(BufWriter::new(writer));
+        let queue: BoundedQueue<(u64, Request)> = BoundedQueue::new(self.cfg.max_queue);
+        let served = AtomicU64::new(0);
+        let shed = AtomicU64::new(0);
+        let proto_errors = AtomicU64::new(0);
+
+        let write_payload = |payload: &str| -> io::Result<()> {
+            let mut w = writer.lock().expect("writer poisoned");
+            write_frame(&mut *w, payload.as_bytes())?;
+            w.flush()
+        };
+
+        let result: io::Result<()> = std::thread::scope(|scope| {
+            let batcher = scope.spawn(|| -> io::Result<()> {
+                let mut batch: Vec<(u64, Request)> = Vec::new();
+                while queue.drain_batch(self.cfg.batch_max, &mut batch) {
+                    self.obs.queue_depth.set(queue.depth() as i64);
+                    let payloads = self.handle_batch(&batch);
+                    served.fetch_add(batch.len() as u64, Ordering::Relaxed);
+                    let mut w = writer.lock().expect("writer poisoned");
+                    for payload in &payloads {
+                        write_frame(&mut *w, payload.as_bytes())?;
+                    }
+                    w.flush()?;
+                    drop(w);
+                    batch.clear();
+                }
+                Ok(())
+            });
+
+            let read_result: io::Result<()> = loop {
+                match read_frame(&mut reader, MAX_FRAME) {
+                    Ok(None) => break Ok(()),
+                    Ok(Some(payload)) => match parse_request(&payload) {
+                        Ok((id, req)) => {
+                            let quit = matches!(req, Request::Quit);
+                            match queue.push((id, req)) {
+                                Push::Accepted(depth) => {
+                                    self.obs.queue_depth.set(depth as i64);
+                                }
+                                Push::Shed(depth) => {
+                                    shed.fetch_add(1, Ordering::Relaxed);
+                                    self.obs.busy.add(1);
+                                    if let Err(e) = write_payload(&encode_busy(id, depth)) {
+                                        break Err(e);
+                                    }
+                                }
+                            }
+                            if quit {
+                                break Ok(());
+                            }
+                        }
+                        Err((id, e)) => {
+                            proto_errors.fetch_add(1, Ordering::Relaxed);
+                            if let Err(e) = write_payload(&encode_err(id, &e)) {
+                                break Err(e);
+                            }
+                        }
+                    },
+                    Err(FrameError::Io(e)) => break Err(e),
+                    Err(frame_err) => {
+                        // Truncated / oversized: reply once, then stop —
+                        // the byte stream is no longer trustworthy.
+                        proto_errors.fetch_add(1, Ordering::Relaxed);
+                        let e = ProtoError::new("bad-frame", frame_err.to_string());
+                        let _ = write_payload(&encode_err(0, &e));
+                        break Ok(());
+                    }
+                }
+            };
+            // Let the batcher run down everything already accepted.
+            queue.close();
+            let batch_result = batcher.join().expect("batcher panicked");
+            read_result.and(batch_result)
+        });
+        result?;
+
+        Ok(ConnStats {
+            served: served.load(Ordering::Relaxed),
+            shed: shed.load(Ordering::Relaxed),
+            protocol_errors: proto_errors.load(Ordering::Relaxed),
+        })
+    }
+}
+
+/// Cache identity of a cacheable request (the ingredient-id set, when
+/// part of the key, is borrowed from the request at use time).
+#[derive(Debug, Clone, Copy)]
+struct CacheSlot {
+    endpoint: Endpoint,
+    region: u8,
+    param: u64,
+    keyed_by_ids: bool,
+}
+
+impl CacheSlot {
+    fn ids<'r>(&self, req: &'r Request) -> Option<&'r [IngredientId]> {
+        if !self.keyed_by_ids {
+            return None;
+        }
+        match req {
+            Request::Pair { ids, .. } => Some(ids),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,557 @@
+//! Integration coverage for the serve stack: framing fuzz (malformed
+//! frames never panic and always answer with structured errors),
+//! batch≡serial response bit-identity across worker-thread counts,
+//! served-vs-offline parity for every endpoint, cache behavior over a
+//! live connection, and load-shedding backpressure.
+
+use std::os::unix::net::UnixStream;
+
+use proptest::prelude::*;
+
+use culinaria_core::pairing::OverlapCache;
+use culinaria_core::z_analysis::analyze_cuisine;
+use culinaria_core::{recipe_pairing_score, FlavorViewRef, MonteCarloConfig, RecipesViewRef};
+use culinaria_core::{CuisineView, NullModel};
+use culinaria_datagen::{generate_world, World, WorldConfig};
+use culinaria_flavordb::IngredientId;
+use culinaria_obs::Metrics;
+use culinaria_recipedb::import::Importer;
+use culinaria_recipedb::Region;
+use culinaria_serve::protocol::{
+    self, parse_request, read_frame, topk_body, Client, TopPairing, MAX_FRAME,
+};
+use culinaria_serve::{ConnStats, Request, ServeConfig, Server};
+
+fn tiny_world() -> World {
+    generate_world(&WorldConfig::tiny())
+}
+
+fn server_over<'a>(world: &'a World, cfg: ServeConfig) -> Server<'a> {
+    Server::new(
+        FlavorViewRef::Owned(&world.flavor),
+        RecipesViewRef::Owned(&world.recipes),
+        cfg,
+        Metrics::enabled(),
+    )
+}
+
+/// A populated region of the world plus a few of its ingredient ids.
+fn probe(world: &World) -> (Region, Vec<IngredientId>) {
+    let region = *world
+        .recipes
+        .regions()
+        .first()
+        .expect("tiny world has recipes");
+    let cuisine = CuisineView::Owned(world.recipes.cuisine(region));
+    let pool = cuisine.ingredient_set();
+    assert!(pool.len() >= 4, "need a few ingredients to probe with");
+    (region, pool[..4].to_vec())
+}
+
+fn ids_arg(ids: &[IngredientId]) -> String {
+    ids.iter()
+        .map(|id| id.0.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+/// Run `f` against a served connection; returns the connection stats.
+fn with_connection<F>(server: &Server<'_>, f: F) -> ConnStats
+where
+    F: FnOnce(&mut Client<UnixStream>) + Send,
+{
+    let (server_side, client_side) = UnixStream::pair().expect("socketpair");
+    std::thread::scope(|scope| {
+        let reader = server_side.try_clone().expect("clone");
+        let handle =
+            scope.spawn(move || server.serve_connection(reader, server_side).expect("serve"));
+        let mut client = Client::new(client_side);
+        f(&mut client);
+        drop(client);
+        handle.join().expect("server thread")
+    })
+}
+
+proptest! {
+    /// Arbitrary bytes never panic the frame reader, and whatever
+    /// frames do decode never panic the request parser.
+    #[test]
+    fn fuzz_frame_reader_and_parser(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let mut r = &bytes[..];
+        while let Ok(Some(payload)) = read_frame(&mut r, MAX_FRAME) {
+            let _ = parse_request(&payload);
+        }
+    }
+
+    /// Any single-line payload either parses or yields a structured
+    /// error with a stable code — never a panic.
+    #[test]
+    fn fuzz_parse_request_total(payload in "\\PC{0,120}") {
+        match parse_request(payload.as_bytes()) {
+            Ok(_) => {}
+            Err((_, e)) => prop_assert!(!e.code.is_empty() && !e.message.is_empty()),
+        }
+    }
+}
+
+#[test]
+fn garbage_frames_get_structured_errors_and_the_connection_survives() {
+    let world = tiny_world();
+    let server = server_over(&world, ServeConfig::default());
+    let stats = with_connection(&server, |client| {
+        // Garbage verb.
+        assert_eq!(
+            client.call(1, "FRY ITA").unwrap(),
+            "ERR bad-verb unknown verb \"FRY\""
+        );
+        // Non-UTF-8 payload.
+        client.send_raw(&[0xff, 0xfe, 0xfd]).unwrap();
+        let (id, rest) = client.recv().unwrap().unwrap();
+        assert_eq!(id, 0);
+        assert!(rest.starts_with("ERR bad-encoding"), "{rest}");
+        // The connection still answers after both errors.
+        assert_eq!(client.call(2, "PING").unwrap(), "OK pong");
+        assert!(client.call(3, "QUIT").unwrap().starts_with("OK bye"));
+    });
+    assert_eq!(stats.protocol_errors, 2);
+}
+
+#[test]
+fn truncated_frame_closes_with_structured_error() {
+    let world = tiny_world();
+    let server = server_over(&world, ServeConfig::default());
+    let (server_side, client_side) = UnixStream::pair().expect("socketpair");
+    let stats = std::thread::scope(|scope| {
+        let reader = server_side.try_clone().expect("clone");
+        let handle =
+            scope.spawn(move || server.serve_connection(reader, server_side).expect("serve"));
+        // Header promising 100 bytes, then hang up.
+        use std::io::Write;
+        let mut half = client_side.try_clone().unwrap();
+        half.write_all(&100u32.to_le_bytes()).unwrap();
+        half.write_all(b"only a little").unwrap();
+        half.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut client = Client::new(client_side);
+        let (id, rest) = client.recv().unwrap().unwrap();
+        assert_eq!(id, 0);
+        assert!(rest.starts_with("ERR bad-frame"), "{rest}");
+        assert!(client.recv().unwrap().is_none(), "connection closed");
+        handle.join().expect("server thread")
+    });
+    assert_eq!(stats.protocol_errors, 1);
+}
+
+#[test]
+fn oversized_frame_is_rejected_not_read() {
+    let world = tiny_world();
+    let server = server_over(&world, ServeConfig::default());
+    let (server_side, client_side) = UnixStream::pair().expect("socketpair");
+    std::thread::scope(|scope| {
+        let reader = server_side.try_clone().expect("clone");
+        let handle =
+            scope.spawn(move || server.serve_connection(reader, server_side).expect("serve"));
+        use std::io::Write;
+        let mut half = client_side.try_clone().unwrap();
+        half.write_all(&(MAX_FRAME as u32 + 1).to_le_bytes())
+            .unwrap();
+        half.flush().unwrap();
+        let mut client = Client::new(client_side);
+        let (_, rest) = client.recv().unwrap().unwrap();
+        assert!(rest.starts_with("ERR bad-frame"), "{rest}");
+        assert!(client.recv().unwrap().is_none(), "stream desynced → closed");
+        handle.join().expect("server thread");
+    });
+}
+
+/// The canonical deterministic query mix used by the identity tests.
+fn mixed_requests(world: &World) -> Vec<(u64, Request)> {
+    let (region, ids) = probe(world);
+    let mut reqs: Vec<(u64, Request)> = Vec::new();
+    for rep in 0..3u64 {
+        reqs.push((
+            rep * 10 + 1,
+            Request::Pair {
+                region: Some(region),
+                ids: ids.clone(),
+            },
+        ));
+        reqs.push((
+            rep * 10 + 2,
+            Request::Pair {
+                region: None,
+                ids: ids.clone(),
+            },
+        ));
+        reqs.push((rep * 10 + 3, Request::TopK { region, k: 5 }));
+        reqs.push((rep * 10 + 4, Request::ZProf { region }));
+        reqs.push((rep * 10 + 5, Request::Ping));
+        reqs.push((
+            rep * 10 + 6,
+            Request::Pair {
+                region: Some(region),
+                ids: vec![ids[0], ids[1]],
+            },
+        ));
+    }
+    reqs
+}
+
+#[test]
+fn batch_responses_bit_identical_across_thread_counts() {
+    let world = tiny_world();
+    let mc = 300;
+    let mut reference: Option<(Vec<String>, u64, u64)> = None;
+    for threads in [1usize, 2, 4, 8] {
+        let cfg = ServeConfig {
+            threads,
+            mc_recipes: mc,
+            ..ServeConfig::default()
+        };
+        let server = server_over(&world, cfg);
+        let reqs = mixed_requests(&world);
+        let mut responses = Vec::new();
+        // Two successive batches so cache state crosses a batch edge.
+        let (front, back) = reqs.split_at(reqs.len() / 2);
+        responses.extend(server.handle_batch(front));
+        responses.extend(server.handle_batch(back));
+        let stats = server.cache_stats().expect("cache on");
+        match &reference {
+            None => reference = Some((responses, stats.hits, stats.misses)),
+            Some((ref_responses, hits, misses)) => {
+                assert_eq!(&responses, ref_responses, "thread count {threads} diverged");
+                assert_eq!((stats.hits, stats.misses), (*hits, *misses));
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_equals_serial_responses() {
+    let world = tiny_world();
+    let cfg = ServeConfig {
+        mc_recipes: 300,
+        cache_entries: 0, // isolate pure computation from cache effects
+        ..ServeConfig::default()
+    };
+    let batched_server = server_over(&world, cfg);
+    let serial_server = server_over(&world, cfg);
+    let reqs = mixed_requests(&world);
+    let batched = batched_server.handle_batch(&reqs);
+    let serial: Vec<String> = reqs
+        .iter()
+        .map(|(id, req)| serial_server.handle(*id, req))
+        .collect();
+    assert_eq!(batched, serial);
+}
+
+#[test]
+fn pair_shard_and_global_paths_agree_bitwise() {
+    let world = tiny_world();
+    let server = server_over(&world, ServeConfig::default());
+    let (region, _) = probe(&world);
+    let cuisine = CuisineView::Owned(world.recipes.cuisine(region));
+    let pool = cuisine.ingredient_set();
+    // Every adjacent pair and a few larger sets.
+    for w in pool.windows(3).take(20) {
+        let shard = server.handle(
+            1,
+            &Request::Pair {
+                region: Some(region),
+                ids: w.to_vec(),
+            },
+        );
+        let global = server.handle(
+            2,
+            &Request::Pair {
+                region: None,
+                ids: w.to_vec(),
+            },
+        );
+        assert_eq!(
+            shard.split_once(' ').unwrap().1,
+            global.split_once(' ').unwrap().1
+        );
+        // And both match the offline owned-path score bit-for-bit.
+        let offline = recipe_pairing_score(&world.flavor, w);
+        let expected = format!("OK {}", protocol::pair_body(offline));
+        assert_eq!(shard.split_once(' ').unwrap().1, expected);
+    }
+}
+
+#[test]
+fn zprof_matches_offline_analyze_cuisine_bitwise() {
+    let world = tiny_world();
+    let cfg = ServeConfig {
+        mc_recipes: 400,
+        seed: 77,
+        ..ServeConfig::default()
+    };
+    let server = server_over(&world, cfg);
+    let (region, _) = probe(&world);
+    let served = server.handle(9, &Request::ZProf { region });
+    let offline = analyze_cuisine(
+        &world.flavor,
+        &world.recipes.cuisine(region),
+        &NullModel::ALL,
+        &MonteCarloConfig {
+            n_recipes: 400,
+            seed: 77,
+            n_threads: 1,
+        },
+    )
+    .expect("probed region is populated");
+    assert_eq!(served, format!("9 OK {}", protocol::zprof_body(&offline)));
+}
+
+#[test]
+fn topk_matches_offline_novelty_enumeration() {
+    let world = tiny_world();
+    let server = server_over(&world, ServeConfig::default());
+    let (region, _) = probe(&world);
+    let served = server.handle(4, &Request::TopK { region, k: 8 });
+
+    // The offline reference: examples/novel_pairings.rs's enumeration.
+    let cuisine = CuisineView::Owned(world.recipes.cuisine(region));
+    let pool = cuisine.ingredient_set();
+    let cache = OverlapCache::for_cuisine(&world.flavor, &world.recipes.cuisine(region));
+    let tri_index = |n: usize, i: usize, j: usize| i * n - i * (i + 1) / 2 + (j - i - 1);
+    let pos: std::collections::HashMap<IngredientId, usize> =
+        pool.iter().enumerate().map(|(i, &id)| (id, i)).collect();
+    let mut cooc = vec![0u64; pool.len() * pool.len().saturating_sub(1) / 2];
+    for recipe in world.recipes.recipes() {
+        let mut members: Vec<usize> = recipe
+            .ingredients()
+            .iter()
+            .filter_map(|id| pos.get(id).copied())
+            .collect();
+        members.sort_unstable();
+        for (k, &i) in members.iter().enumerate() {
+            for &j in &members[k + 1..] {
+                cooc[tri_index(pool.len(), i, j)] += 1;
+            }
+        }
+    }
+    let mut candidates: Vec<(f64, u32, u64, usize, usize)> = Vec::new();
+    for i in 0..pool.len() {
+        for j in (i + 1)..pool.len() {
+            let overlap = cache.overlap(i as u32, j as u32);
+            if overlap == 0 {
+                continue;
+            }
+            let c = cooc[tri_index(pool.len(), i, j)];
+            candidates.push((f64::from(overlap) / (1.0 + c as f64), overlap, c, i, j));
+        }
+    }
+    candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
+    let rows: Vec<TopPairing> = candidates
+        .iter()
+        .take(8)
+        .map(|&(novelty, overlap, cooc, i, j)| TopPairing {
+            novelty,
+            overlap,
+            cooc,
+            a: world.flavor.ingredient(pool[i]).unwrap().name.clone(),
+            b: world.flavor.ingredient(pool[j]).unwrap().name.clone(),
+        })
+        .collect();
+    assert_eq!(served, format!("4 OK {}", topk_body(region, &rows)));
+}
+
+#[test]
+fn score_matches_offline_import_and_score() {
+    let world = tiny_world();
+    let server = server_over(&world, ServeConfig::default());
+    let (region, _) = probe(&world);
+    // Lines built from real ingredient names resolve on any dataset.
+    let cuisine = CuisineView::Owned(world.recipes.cuisine(region));
+    let pool = cuisine.ingredient_set();
+    let lines: Vec<String> = pool[..3]
+        .iter()
+        .map(|&id| world.flavor.ingredient(id).unwrap().name.clone())
+        .collect();
+    let served = server.handle(
+        5,
+        &Request::Score {
+            region,
+            lines: lines.clone(),
+        },
+    );
+
+    let importer = Importer::from_flavor_db(&world.flavor);
+    let (ids, resolved) = culinaria_serve::resolve_score_lines(&importer, &world.flavor, &lines);
+    assert!(ids.len() >= 2, "names must resolve against their own db");
+    let score = recipe_pairing_score(&world.flavor, &ids);
+    let mean = OverlapCache::for_cuisine(&world.flavor, &world.recipes.cuisine(region))
+        .mean_cuisine_score_view(&cuisine)
+        .expect("cuisine scores");
+    let expected = format!(
+        "5 OK {} vs={}",
+        protocol::score_body(resolved, lines.len(), ids.len(), score),
+        protocol::f64_field(mean),
+    );
+    assert_eq!(served, expected);
+}
+
+#[test]
+fn cache_hits_and_eviction_counters_over_a_connection() {
+    let world = tiny_world();
+    let cfg = ServeConfig {
+        cache_entries: 2,
+        ..ServeConfig::default()
+    };
+    let server = server_over(&world, cfg);
+    let (region, ids) = probe(&world);
+    let arg = ids_arg(&ids);
+    let code = region.code();
+    with_connection(&server, |client| {
+        let first = client.call(1, &format!("PAIR {code} {arg}")).unwrap();
+        let second = client.call(2, &format!("PAIR {code} {arg}")).unwrap();
+        assert_eq!(first, second);
+        // Permuted ids hit the same interned-set entry.
+        let permuted: String = ids
+            .iter()
+            .rev()
+            .map(|id| id.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        assert_eq!(
+            client.call(3, &format!("PAIR {code} {permuted}")).unwrap(),
+            first
+        );
+        // Two more distinct keys overflow the 2-entry capacity.
+        client.call(4, &format!("TOPK {code} 3")).unwrap();
+        client.call(5, &format!("TOPK {code} 4")).unwrap();
+        client.call(6, "QUIT").unwrap();
+    });
+    let stats = server.cache_stats().expect("cache on");
+    assert_eq!(stats.hits, 2);
+    assert!(
+        stats.evictions >= 1,
+        "capacity 2 with 3 distinct keys evicts"
+    );
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.counter("serve.cache.hits"), Some(2));
+    assert_eq!(snap.counter("serve.cache.evictions"), Some(stats.evictions));
+}
+
+#[test]
+fn overloaded_connection_sheds_with_busy() {
+    let world = tiny_world();
+    let cfg = ServeConfig {
+        threads: 1,
+        batch_max: 1,
+        max_queue: 1,
+        cache_entries: 0,
+        mc_recipes: 4000,
+        ..ServeConfig::default()
+    };
+    let server = server_over(&world, cfg);
+    let (region, _) = probe(&world);
+    let n = 50u64;
+    let stats = with_connection(&server, |client| {
+        // Pipeline a burst of expensive queries without reading — the
+        // 1-deep queue must shed most of them as BUSY.
+        for id in 0..n {
+            client
+                .send(&format!("{id} ZPROF {}", region.code()))
+                .unwrap();
+        }
+        let mut ok = 0u64;
+        let mut busy = 0u64;
+        for _ in 0..n {
+            let (_, rest) = client.recv().unwrap().unwrap();
+            if rest.starts_with("OK ") {
+                ok += 1;
+            } else if rest.starts_with("BUSY ") {
+                busy += 1;
+            } else {
+                panic!("unexpected reply {rest}");
+            }
+        }
+        assert!(ok >= 1, "at least the first query is answered");
+        assert!(busy >= 1, "the burst must overflow the 1-deep queue");
+    });
+    assert_eq!(stats.served + stats.shed, n);
+    assert!(stats.shed > 0);
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.counter("serve.busy"), Some(stats.shed));
+}
+
+#[test]
+fn artifact_backed_server_is_bit_identical_to_owned() {
+    use culinaria_flavordb::{artifact as flavor_artifact, AlignedBytes, FlavorArtifactBuilder};
+    use culinaria_recipedb::{artifact as recipe_artifact, RecipeArtifactBuilder};
+
+    let world = tiny_world();
+    let (region, ids) = probe(&world);
+    // Flavor artifact carrying the probe region's overlap section, so
+    // the shard build takes the section-reuse fast path.
+    let mut builder = FlavorArtifactBuilder::new(&world.flavor);
+    let cache = OverlapCache::for_cuisine(&world.flavor, &world.recipes.cuisine(region));
+    builder
+        .add_overlap(region.code(), cache.pool(), cache.tri())
+        .expect("section encodes");
+    let fbuf = AlignedBytes::from_vec(builder.build().expect("flavor artifact"));
+    let rbuf = AlignedBytes::from_vec(
+        RecipeArtifactBuilder::new(&world.recipes)
+            .build()
+            .expect("recipe artifact"),
+    );
+    let flavor = flavor_artifact::open(fbuf.as_slice()).expect("opens");
+    let recipes = recipe_artifact::open(rbuf.as_slice()).expect("opens");
+
+    let cfg = ServeConfig {
+        mc_recipes: 300,
+        ..ServeConfig::default()
+    };
+    let owned = server_over(&world, cfg);
+    let borrowed = Server::new(
+        FlavorViewRef::Artifact(&flavor),
+        RecipesViewRef::Artifact(&recipes),
+        cfg,
+        Metrics::enabled(),
+    );
+    let name = world.flavor.ingredient(ids[0]).unwrap().name.clone();
+    let reqs = [
+        Request::Pair {
+            region: Some(region),
+            ids: ids.clone(),
+        },
+        Request::Pair {
+            region: None,
+            ids: ids.clone(),
+        },
+        Request::ZProf { region },
+        Request::TopK { region, k: 6 },
+        Request::Score {
+            region,
+            lines: vec![name.clone(), name],
+        },
+    ];
+    for (i, req) in reqs.iter().enumerate() {
+        let a = owned.handle(i as u64, req);
+        let b = borrowed.handle(i as u64, req);
+        assert_eq!(a, b, "request {req:?} diverged between representations");
+    }
+    // The shard build must have reused the artifact's section.
+    let snap = borrowed.metrics().snapshot();
+    assert_eq!(snap.counter("overlap.section_reuse"), Some(1));
+}
+
+#[test]
+fn metrics_endpoint_returns_live_json() {
+    let world = tiny_world();
+    let server = server_over(&world, ServeConfig::default());
+    let (region, ids) = probe(&world);
+    with_connection(&server, |client| {
+        client
+            .call(1, &format!("PAIR {} {}", region.code(), ids_arg(&ids)))
+            .unwrap();
+        let body = client.call(2, "METRICS").unwrap();
+        let json = body.strip_prefix("OK metrics ").expect("metrics body");
+        assert!(json.contains("\"serve.pair_us\""), "{json}");
+        assert!(json.contains("\"serve.requests\""), "{json}");
+        assert!(json.contains("\"p99_us\""), "interpolated quantiles render");
+        client.call(3, "QUIT").unwrap();
+    });
+}

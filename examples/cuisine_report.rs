@@ -2,10 +2,19 @@
 //! investigation of Fig 1 for one region: composition, size statistics,
 //! popularity scaling, pairing z-scores, and key ingredients.
 //!
+//! Artifact-first like `quickstart`: opens the zero-copy CFDB2/CRDB2
+//! artifacts when the data directory holds them (materializing owned
+//! databases — the round-trip is lossless, so every number below is
+//! identical to the snapshot and generate paths over the same world),
+//! falls back to the CFDB1/CRDB1 snapshots, and generates a fresh
+//! world when neither is on disk.
+//!
 //! ```sh
 //! cargo run --release --example cuisine_report -- INSC
 //! ```
 //! (any Table 1 region code or name; defaults to INSC)
+
+use std::path::Path;
 
 use culinaria::analysis::composition::category_shares;
 use culinaria::analysis::contribution::top_contributors;
@@ -13,9 +22,56 @@ use culinaria::analysis::popularity::popularity_profile;
 use culinaria::analysis::size_dist::size_histogram;
 use culinaria::analysis::z_analysis::analyze_cuisine;
 use culinaria::analysis::{MonteCarloConfig, NullModel};
-use culinaria::datagen::{generate_world, WorldConfig};
-use culinaria::flavordb::Category;
-use culinaria::recipedb::Region;
+use culinaria::datagen::{generate_world, World, WorldConfig};
+use culinaria::flavordb::{artifact as flavor_artifact, AlignedBytes, Category};
+use culinaria::recipedb::{artifact as recipe_artifact, Region};
+
+/// Three-tier world loading: v2 artifacts → v1 snapshots → generated.
+/// Artifacts are materialized into owned databases so the report
+/// pipeline below runs unchanged — and prints unchanged numbers —
+/// whatever the source.
+fn load_world(dir: &Path) -> (World, String) {
+    if let (Ok(fbuf), Ok(rbuf)) = (
+        AlignedBytes::read_file(dir.join("flavor.cfdb2")),
+        AlignedBytes::read_file(dir.join("recipes.crdb2")),
+    ) {
+        let opened = flavor_artifact::open(fbuf.as_slice())
+            .map_err(|e| e.to_string())
+            .and_then(|f| {
+                let r = recipe_artifact::open(rbuf.as_slice()).map_err(|e| e.to_string())?;
+                Ok((
+                    f.to_flavor_db().map_err(|e| e.to_string())?,
+                    r.to_recipe_store().map_err(|e| e.to_string())?,
+                ))
+            });
+        match opened {
+            Ok((flavor, recipes)) => {
+                return (
+                    World { flavor, recipes },
+                    format!("v2 artifacts in {}", dir.display()),
+                );
+            }
+            Err(e) => eprintln!("ignoring v2 artifacts: {e}"),
+        }
+    }
+    if let (Ok(f), Ok(r)) = (
+        std::fs::read(dir.join("flavor.cfdb")),
+        std::fs::read(dir.join("recipes.crdb")),
+    ) {
+        let flavor = culinaria::flavordb::io::from_snapshot(bytes::Bytes::from(f))
+            .expect("valid CFDB1 snapshot");
+        let recipes = culinaria::recipedb::io::from_snapshot(bytes::Bytes::from(r))
+            .expect("valid CRDB1 snapshot");
+        return (
+            World { flavor, recipes },
+            format!("v1 snapshots in {}", dir.display()),
+        );
+    }
+    (
+        generate_world(&WorldConfig::small()),
+        "generated, WorldConfig::small()".to_owned(),
+    )
+}
 
 fn main() {
     let region: Region = std::env::args()
@@ -23,7 +79,9 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(Region::IndianSubcontinent);
 
-    let world = generate_world(&WorldConfig::small());
+    let dir = std::env::var("CULINARIA_DATA").unwrap_or_else(|_| "culinaria-data".to_string());
+    let (world, source) = load_world(Path::new(&dir));
+    println!("world: {source}");
     let cuisine = world.recipes.cuisine(region);
 
     println!("===== {} ({}) =====", region.name(), region.code());

@@ -20,6 +20,8 @@
 //! * [`obs`] — the hand-rolled observability layer (span timers,
 //!   counters, histograms) the pipeline and the CLI `--metrics` flag
 //!   record into
+//! * [`serve`] — the batched, cached online query service behind
+//!   `culinaria serve` (framed protocol, response cache, backpressure)
 //!
 //! ## Quickstart
 //!
@@ -40,6 +42,7 @@ pub use culinaria_datagen as datagen;
 pub use culinaria_flavordb as flavordb;
 pub use culinaria_obs as obs;
 pub use culinaria_recipedb as recipedb;
+pub use culinaria_serve as serve;
 pub use culinaria_stats as stats;
 pub use culinaria_tabular as tabular;
 pub use culinaria_text as text;

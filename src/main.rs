@@ -8,6 +8,9 @@
 //! culinaria report   <REGION> [--scale S] [--seed N] [--metrics[=json]]
 //! culinaria import   <FILE> [--threads N] [--metrics[=json]]
 //! culinaria pairings <REGION> [--scale S] [--top K]
+//! culinaria serve    (--stdio | --socket PATH) [--data DIR] [--threads N]
+//!                    [--batch N] [--cache-entries N] [--max-queue N]
+//!                    [--mc N] [--seed N] [--once] [--metrics[=json]]
 //! culinaria regions
 //! ```
 //!
@@ -25,12 +28,15 @@ use culinaria::analysis::pairing::OverlapCache;
 use culinaria::analysis::z_analysis::{
     analyses_to_frame, try_analyze_cuisine_observed, try_analyze_world_observed,
 };
+use culinaria::analysis::{FlavorViewRef, RecipesViewRef};
 use culinaria::analysis::{MonteCarloConfig, NullModel};
 use culinaria::datagen::{generate_world, World, WorldConfig};
 use culinaria::flavordb::FlavorArtifactBuilder;
+use culinaria::flavordb::{AlignedBytes, FlavorDb};
 use culinaria::obs::Metrics;
 use culinaria::recipedb::import::{Importer, RawRecipe};
 use culinaria::recipedb::{RecipeArtifactBuilder, RecipeStore, Region, Source};
+use culinaria::serve::{ServeConfig, Server};
 
 struct Args {
     flags: HashMap<String, String>,
@@ -78,6 +84,19 @@ impl Args {
             .get(name)
             .and_then(|v| v.parse().ok())
             .unwrap_or(default)
+    }
+
+    /// Like [`Args::flag`], but a present-yet-unparseable value is an
+    /// error instead of a silent fall-back to the default. Long-lived
+    /// commands (`serve`) use this so a typo'd `--cache-entries lots`
+    /// refuses to start rather than running with a surprise default.
+    fn flag_checked<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{name}: cannot parse value {v:?}")),
+        }
     }
 
     /// The metrics sink selected by `--metrics` (text) or
@@ -200,6 +219,7 @@ fn usage() -> ExitCode {
          culinaria import   <FILE> [--threads N]                 import raw recipes from a file\n  \
          culinaria pairings <REGION> [--scale S] [--top K]       novel pairing suggestions\n  \
          culinaria suggest  <REGION> [--size N] [--uniform|--contrast]  generate a recipe\n  \
+         culinaria serve    (--stdio | --socket PATH) [--data DIR]      online query service\n  \
          culinaria regions                                       list Table 1 regions\n\
          \n\
          analyze, report and import accept --metrics[=json]: a pipeline-\n\
@@ -617,8 +637,268 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        "serve" => {
+            let opts = match ServeOptions::from_args(&args) {
+                Ok(opts) => opts,
+                Err(msg) => {
+                    eprintln!("serve: {msg}");
+                    return ExitCode::from(2);
+                }
+            };
+            run_serve(&opts)
+        }
         _ => usage(),
     }
+}
+
+/// Which transport `culinaria serve` listens on. No network — queries
+/// arrive framed over stdin/stdout or a unix-domain socket.
+#[derive(Debug)]
+enum ServeTransport {
+    /// One connection on stdin/stdout; exits at EOF or `QUIT`.
+    Stdio,
+    /// Unix-domain socket at the given path; one thread per connection.
+    Socket(String),
+}
+
+/// Fully validated `culinaria serve` options. Validation happens
+/// *before* any data is opened, so a malformed flag fails fast with
+/// exit code 2 and a message naming the flag.
+#[derive(Debug)]
+struct ServeOptions {
+    data_dir: String,
+    transport: ServeTransport,
+    cfg: ServeConfig,
+    /// Accept exactly one socket connection, then exit (smoke tests).
+    once: bool,
+    /// `Some(json)` when `--metrics[=json]` asked for an exit dump.
+    metrics_dump: Option<bool>,
+}
+
+impl ServeOptions {
+    fn from_args(args: &Args) -> Result<ServeOptions, String> {
+        let cfg = ServeConfig {
+            threads: args.flag_checked("threads", 0usize)?,
+            batch_max: args.flag_checked("batch", 32usize)?,
+            cache_entries: args.flag_checked("cache-entries", 4096usize)?,
+            max_queue: args.flag_checked("max-queue", 256usize)?,
+            mc_recipes: args.flag_checked("mc", 2000usize)?,
+            seed: args.flag_checked("seed", 2018u64)?,
+        };
+        if cfg.batch_max == 0 {
+            return Err("--batch: must be at least 1".to_owned());
+        }
+        if cfg.max_queue == 0 {
+            return Err("--max-queue: must be at least 1".to_owned());
+        }
+        let transport = match (args.flags.contains_key("stdio"), args.flags.get("socket")) {
+            (true, Some(_)) => return Err("--stdio and --socket are mutually exclusive".to_owned()),
+            (true, None) => ServeTransport::Stdio,
+            (false, Some(path)) if !path.is_empty() => ServeTransport::Socket(path.clone()),
+            (false, Some(_)) => return Err("--socket: needs a path".to_owned()),
+            (false, None) => return Err("pick a transport: --stdio or --socket PATH".to_owned()),
+        };
+        let metrics_dump = match args.flags.get("metrics").map(String::as_str) {
+            None => None,
+            Some("") => Some(false),
+            Some("json") => Some(true),
+            Some(other) => {
+                return Err(format!(
+                    "--metrics: expected `--metrics` or `--metrics=json`, got {other:?}"
+                ))
+            }
+        };
+        Ok(ServeOptions {
+            data_dir: args
+                .flags
+                .get("data")
+                .cloned()
+                .unwrap_or_else(|| "culinaria-data".to_owned()),
+            transport,
+            cfg,
+            once: args.flags.contains_key("once"),
+            metrics_dump,
+        })
+    }
+}
+
+/// The dataset backing a serve session, owned for the server's whole
+/// lifetime. Artifacts stay as aligned byte buffers — the borrowed
+/// views into them are built (O(1)) inside [`run_serve`].
+enum ServeData {
+    /// Zero-copy v2 artifacts (`flavor.cfdb2` + `recipes.crdb2`).
+    Artifacts(AlignedBytes, AlignedBytes),
+    /// Decoded v1 snapshots (`flavor.cfdb` + `recipes.crdb`).
+    Owned(Box<FlavorDb>, Box<RecipeStore>),
+}
+
+/// Load the serve dataset: v2 zero-copy artifacts first, v1 snapshots
+/// as a decoded fallback, otherwise a pointer at `culinaria generate`.
+fn open_serve_data(dir: &str) -> Result<ServeData, String> {
+    let path = |name: &str| format!("{dir}/{name}");
+    let f2 = path("flavor.cfdb2");
+    let r2 = path("recipes.crdb2");
+    if std::path::Path::new(&f2).exists() && std::path::Path::new(&r2).exists() {
+        let read =
+            |p: &str| AlignedBytes::read_file(p).map_err(|e| format!("cannot read {p}: {e}"));
+        return Ok(ServeData::Artifacts(read(&f2)?, read(&r2)?));
+    }
+    let f1 = path("flavor.cfdb");
+    let r1 = path("recipes.crdb");
+    if std::path::Path::new(&f1).exists() && std::path::Path::new(&r1).exists() {
+        eprintln!("serve: no v2 artifacts in {dir}, decoding v1 snapshots (slower open)");
+        let read = |p: &str| std::fs::read(p).map_err(|e| format!("cannot read {p}: {e}"));
+        let db = culinaria::flavordb::io::from_snapshot(bytes::Bytes::from(read(&f1)?))
+            .map_err(|e| format!("cannot decode {f1}: {e}"))?;
+        let store = culinaria::recipedb::io::from_snapshot(bytes::Bytes::from(read(&r1)?))
+            .map_err(|e| format!("cannot decode {r1}: {e}"))?;
+        return Ok(ServeData::Owned(Box::new(db), Box::new(store)));
+    }
+    Err(format!(
+        "{dir}: no dataset (flavor.cfdb2/recipes.crdb2 or flavor.cfdb/recipes.crdb) — \
+         run `culinaria generate --out {dir}` first"
+    ))
+}
+
+fn run_serve(opts: &ServeOptions) -> ExitCode {
+    let data = match open_serve_data(&opts.data_dir) {
+        Ok(data) => data,
+        Err(msg) => {
+            eprintln!("serve: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Both arms converge on `serve_over`; the borrowed-artifact views
+    // only live as long as the buffers, hence the per-arm open here.
+    match &data {
+        ServeData::Artifacts(fbuf, rbuf) => {
+            let flavor = match culinaria::flavordb::artifact::open(fbuf.as_slice()) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("serve: corrupt flavor artifact: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let recipes = match culinaria::recipedb::artifact::open(rbuf.as_slice()) {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("serve: corrupt recipe artifact: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            eprintln!(
+                "serve: opened v2 artifacts from {} (zero-copy)",
+                opts.data_dir
+            );
+            serve_over(
+                FlavorViewRef::Artifact(&flavor),
+                RecipesViewRef::Artifact(&recipes),
+                opts,
+            )
+        }
+        ServeData::Owned(db, store) => {
+            serve_over(FlavorViewRef::Owned(db), RecipesViewRef::Owned(store), opts)
+        }
+    }
+}
+
+/// Run the server over already-opened views until the transport drains.
+fn serve_over(
+    flavor: FlavorViewRef<'_>,
+    recipes: RecipesViewRef<'_>,
+    opts: &ServeOptions,
+) -> ExitCode {
+    // The METRICS endpoint serves live telemetry, so the server always
+    // records; `--metrics[=json]` only controls the exit dump below.
+    let server = Server::new(flavor, recipes, opts.cfg, Metrics::enabled());
+    let code = match &opts.transport {
+        ServeTransport::Stdio => {
+            let stats = server.serve_connection(std::io::stdin().lock(), std::io::stdout());
+            match stats {
+                Ok(stats) => {
+                    eprintln!(
+                        "serve: connection closed ({} served, {} shed, {} protocol errors)",
+                        stats.served, stats.shed, stats.protocol_errors
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("serve: transport error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+        ServeTransport::Socket(path) => serve_socket(&server, path, opts.once),
+    };
+    if let Some(json) = opts.metrics_dump {
+        if json {
+            eprintln!("{}", server.metrics().render_json());
+        } else {
+            eprint!("{}", server.metrics().render_text());
+        }
+    }
+    code
+}
+
+/// Accept loop for `--socket`: stale socket files from a previous run
+/// are removed, each connection gets a scoped thread sharing the one
+/// server (shards and caches are built once, not per connection).
+fn serve_socket(server: &Server<'_>, path: &str, once: bool) -> ExitCode {
+    if std::path::Path::new(path).exists() {
+        let _ = std::fs::remove_file(path);
+    }
+    let listener = match std::os::unix::net::UnixListener::bind(path) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("serve: cannot bind {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serve: listening on {path}{}",
+        if once { " (one connection)" } else { "" }
+    );
+    let code = std::thread::scope(|scope| {
+        for conn in listener.incoming() {
+            let stream = match conn {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("serve: accept failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let reader = match stream.try_clone() {
+                Ok(r) => r,
+                Err(e) => {
+                    eprintln!("serve: cannot clone socket: {e}");
+                    continue;
+                }
+            };
+            if once {
+                return match server.serve_connection(reader, stream) {
+                    Ok(stats) => {
+                        eprintln!(
+                            "serve: connection closed ({} served, {} shed, {} protocol errors)",
+                            stats.served, stats.shed, stats.protocol_errors
+                        );
+                        ExitCode::SUCCESS
+                    }
+                    Err(e) => {
+                        eprintln!("serve: transport error: {e}");
+                        ExitCode::FAILURE
+                    }
+                };
+            }
+            scope.spawn(move || {
+                if let Err(e) = server.serve_connection(reader, stream) {
+                    eprintln!("serve: transport error: {e}");
+                }
+            });
+        }
+        ExitCode::SUCCESS
+    });
+    let _ = std::fs::remove_file(path);
+    code
 }
 
 #[cfg(test)]
@@ -678,6 +958,89 @@ mod tests {
         assert!(text.metrics.is_enabled() && !text.json);
         let json = parse(&["analyze", "--metrics=json"]).metrics();
         assert!(json.metrics.is_enabled() && json.json);
+    }
+
+    #[test]
+    fn flag_checked_rejects_malformed_values() {
+        let args = parse(&["--threads", "two"]);
+        let err = args.flag_checked("threads", 0usize).unwrap_err();
+        assert!(err.contains("--threads") && err.contains("two"), "{err}");
+        // Absent flag is still the default; well-formed value parses.
+        assert_eq!(parse(&[]).flag_checked("threads", 3usize), Ok(3));
+        assert_eq!(
+            parse(&["--threads", "8"]).flag_checked("threads", 0usize),
+            Ok(8)
+        );
+        // A bare flag (empty value) is malformed for a numeric flag.
+        assert!(parse(&["--threads"])
+            .flag_checked("threads", 0usize)
+            .is_err());
+    }
+
+    #[test]
+    fn serve_options_reject_malformed_flags() {
+        let reject = |raw: &[&str], needle: &str| {
+            let err = ServeOptions::from_args(&parse(raw)).unwrap_err();
+            assert!(
+                err.contains(needle),
+                "args {raw:?}: error {err:?} lacks {needle:?}"
+            );
+        };
+        reject(&["--stdio", "--cache-entries", "lots"], "--cache-entries");
+        reject(&["--stdio", "--max-queue", "-4"], "--max-queue");
+        reject(&["--stdio", "--max-queue", "0"], "--max-queue");
+        reject(&["--stdio", "--batch", "0"], "--batch");
+        reject(&["--stdio", "--threads", "two"], "--threads");
+        reject(&["--stdio", "--seed", "7.5"], "--seed");
+        reject(&["--stdio", "--metrics=xml"], "--metrics");
+        reject(
+            &["--stdio", "--socket", "/tmp/x.sock"],
+            "mutually exclusive",
+        );
+        reject(&["--socket"], "--socket");
+        reject(&[], "--stdio or --socket");
+    }
+
+    #[test]
+    fn serve_options_accept_a_full_flag_set() {
+        let args = parse(&[
+            "--socket",
+            "/tmp/culinaria.sock",
+            "--data",
+            "d",
+            "--threads",
+            "4",
+            "--batch",
+            "16",
+            "--cache-entries",
+            "128",
+            "--max-queue",
+            "64",
+            "--mc",
+            "500",
+            "--seed",
+            "9",
+            "--once",
+            "--metrics=json",
+        ]);
+        let opts = ServeOptions::from_args(&args).expect("valid flags");
+        assert_eq!(opts.data_dir, "d");
+        assert!(
+            matches!(opts.transport, ServeTransport::Socket(ref p) if p == "/tmp/culinaria.sock")
+        );
+        assert_eq!(opts.cfg.threads, 4);
+        assert_eq!(opts.cfg.batch_max, 16);
+        assert_eq!(opts.cfg.cache_entries, 128);
+        assert_eq!(opts.cfg.max_queue, 64);
+        assert_eq!(opts.cfg.mc_recipes, 500);
+        assert_eq!(opts.cfg.seed, 9);
+        assert!(opts.once);
+        assert_eq!(opts.metrics_dump, Some(true));
+        // Defaults: stdio transport, no dump, ServeConfig::default() knobs.
+        let opts = ServeOptions::from_args(&parse(&["--stdio"])).expect("valid flags");
+        assert!(matches!(opts.transport, ServeTransport::Stdio));
+        assert_eq!(opts.metrics_dump, None);
+        assert_eq!(opts.cfg.cache_entries, ServeConfig::default().cache_entries);
     }
 
     #[test]

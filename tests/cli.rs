@@ -84,6 +84,128 @@ fn generate_writes_snapshots() {
 }
 
 #[test]
+fn serve_rejects_malformed_flags_before_touching_data() {
+    // Each case must fail fast (exit 2, no dataset needed) and name
+    // the offending flag on stderr.
+    for (args, needle) in [
+        (
+            &["serve", "--stdio", "--cache-entries", "lots"][..],
+            "--cache-entries",
+        ),
+        (
+            &["serve", "--stdio", "--max-queue", "-4"][..],
+            "--max-queue",
+        ),
+        (&["serve", "--stdio", "--threads", "two"][..], "--threads"),
+        (&["serve", "--stdio", "--metrics=xml"][..], "--metrics"),
+        (&["serve"][..], "--stdio or --socket"),
+        (
+            &["serve", "--stdio", "--socket", "/tmp/x.sock"][..],
+            "mutually exclusive",
+        ),
+    ] {
+        let (ok, _, stderr) = run(args);
+        assert!(!ok, "args {args:?} should be rejected");
+        assert!(
+            stderr.contains(needle),
+            "args {args:?}: stderr {stderr:?} does not name {needle:?}"
+        );
+    }
+}
+
+#[test]
+fn serve_refuses_to_start_without_a_dataset() {
+    let dir = std::env::temp_dir().join(format!("culinaria-serve-nodata-{}", std::process::id()));
+    let dir_str = dir.to_str().expect("utf-8 temp path");
+    let (ok, _, stderr) = run(&["serve", "--stdio", "--data", dir_str]);
+    assert!(!ok);
+    assert!(stderr.contains("culinaria generate"), "stderr: {stderr}");
+}
+
+#[test]
+fn serve_stdio_answers_framed_queries_over_artifacts() {
+    use std::io::Write;
+
+    let dir = std::env::temp_dir().join(format!("culinaria-serve-stdio-{}", std::process::id()));
+    let dir_str = dir.to_str().expect("utf-8 temp path").to_owned();
+    let (ok, stdout, _) = run(&["generate", "--scale", "0.01", "--out", &dir_str]);
+    assert!(ok, "generate failed: {stdout}");
+
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_culinaria"))
+        .args([
+            "serve",
+            "--stdio",
+            "--data",
+            &dir_str,
+            "--mc",
+            "200",
+            "--metrics=json",
+        ])
+        .stdin(std::process::Stdio::piped())
+        .stdout(std::process::Stdio::piped())
+        .stderr(std::process::Stdio::piped())
+        .spawn()
+        .expect("serve starts");
+
+    // Hand-rolled frames: u32 LE length + UTF-8 payload.
+    let frame = |line: &str| {
+        let mut buf = (line.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(line.as_bytes());
+        buf
+    };
+    {
+        let stdin = child.stdin.as_mut().expect("piped stdin");
+        stdin.write_all(&frame("1 PING")).expect("write");
+        stdin.write_all(&frame("2 METRICS")).expect("write");
+        stdin.write_all(&frame("3 QUIT")).expect("write");
+        stdin.flush().expect("flush");
+    }
+    drop(child.stdin.take());
+    let out = child.wait_with_output().expect("serve exits");
+    assert!(
+        out.status.success(),
+        "serve failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // Walk the response frames; ids correlate, order may interleave.
+    let bytes = out.stdout;
+    let mut replies = Vec::new();
+    let mut cursor = &bytes[..];
+    while cursor.len() >= 4 {
+        let len = u32::from_le_bytes(cursor[..4].try_into().unwrap()) as usize;
+        let payload = std::str::from_utf8(&cursor[4..4 + len]).expect("utf-8 reply");
+        replies.push(payload.to_owned());
+        cursor = &cursor[4 + len..];
+    }
+    assert!(
+        replies.iter().any(|r| r == "1 OK pong"),
+        "no pong in {replies:?}"
+    );
+    assert!(
+        replies
+            .iter()
+            .any(|r| r.starts_with("2 OK ") && r.contains("serve.requests")),
+        "no metrics reply in {replies:?}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("zero-copy"),
+        "v2 open not reported: {stderr}"
+    );
+    assert!(
+        stderr.contains("connection closed"),
+        "no close summary: {stderr}"
+    );
+    // --metrics=json dumped the registry at exit.
+    assert!(
+        stderr.contains("\"serve.requests\""),
+        "no exit dump: {stderr}"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn pairings_lists_candidates() {
     let (ok, stdout, _) = run(&["pairings", "ITA", "--scale", "0.02", "--top", "3"]);
     assert!(ok);
