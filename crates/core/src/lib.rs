@@ -32,7 +32,10 @@
 //!   applications the abstract motivates;
 //! * [`network`] — the Ahn-style flavor network (nodes = ingredients,
 //!   edge weights = shared compounds) with backbones, hubs, and
-//!   clustering statistics.
+//!   clustering statistics;
+//! * [`streaming`] — incrementally maintained frequency tables,
+//!   category compositions, overlap caches, and running pairing stats
+//!   for streaming ingestion, bit-identical to the batch recomputes.
 
 pub mod classify;
 pub mod composition;
@@ -50,6 +53,7 @@ pub mod pairing;
 pub mod popularity;
 pub mod robustness;
 pub mod size_dist;
+pub mod streaming;
 pub mod taste;
 pub mod view;
 pub mod z_analysis;
@@ -60,6 +64,7 @@ pub use null_models::NullModel;
 pub use pairing::{
     mean_cuisine_score, recipe_pairing_score, recipe_pairing_score_view, OverlapCache,
 };
+pub use streaming::{RegionStream, StreamState};
 pub use view::{CuisineView, FlavorViewRef, RecipesViewRef};
 pub use z_analysis::{
     analyze_cuisine, analyze_cuisine_view, analyze_world, analyze_world_view, region_overlap_cache,

@@ -431,6 +431,109 @@ impl OverlapCache {
         &self.tri
     }
 
+    /// Grow the cache to a larger pool, recomputing **only the rows
+    /// touched by new ingredients** — the incremental-update half of
+    /// streaming ingestion.
+    ///
+    /// `pool` is the grown cuisine's ingredient pool and must contain
+    /// every id already in the cache (a shrunk pool is a caller bug and
+    /// an error). Cells whose two ingredients were both already cached
+    /// are *copied* from the existing triangle; only cells with at
+    /// least one new ingredient are computed, as the same
+    /// bitset-AND-popcount the cold build uses. Overlap cells are exact
+    /// intersection counts, independent of the molecule universe they
+    /// are popcounted in, so the result is **bit-identical to a cold
+    /// [`OverlapCache::build`] over `pool`** while doing O(new·total)
+    /// intersection work instead of O(total²).
+    pub fn extend(
+        &self,
+        db: &FlavorDb,
+        pool: &[IngredientId],
+    ) -> Result<OverlapCache, StageFailure> {
+        self.extend_view(FlavorViewRef::Owned(db), pool)
+    }
+
+    /// [`OverlapCache::extend`] over a representation-agnostic flavor
+    /// view (owned database or zero-copy artifact).
+    pub fn extend_view(
+        &self,
+        view: FlavorViewRef<'_>,
+        pool: &[IngredientId],
+    ) -> Result<OverlapCache, StageFailure> {
+        let m = pool.len();
+        // Each grown-pool position is either an existing local index
+        // (copy its cells) or a new ingredient (compute its cells).
+        let old: Vec<Option<u32>> = pool.iter().map(|&id| self.local_index(id)).collect();
+        let kept = old.iter().flatten().count();
+        if kept < self.pool.len() {
+            return Err(StageFailure::error(
+                "overlap.extend",
+                0,
+                format!(
+                    "grown pool keeps {kept} of {} cached ingredients; \
+                     the pool may only grow",
+                    self.pool.len()
+                ),
+            ));
+        }
+        if kept == m {
+            // Nothing new: the grown pool is a permutation of the old
+            // one, so every cell is a copy.
+            let mut tri = vec![0u32; m * m.saturating_sub(1) / 2];
+            let row_base = |i: usize| i * (2 * m - i - 1) / 2;
+            for i in 0..m {
+                for j in (i + 1)..m {
+                    // `kept == m` means every position mapped.
+                    if let (Some(a), Some(b)) = (old[i], old[j]) {
+                        tri[row_base(i) + (j - i - 1)] = self.overlap(a, b);
+                    }
+                }
+            }
+            return OverlapCache::from_parts(pool, tri).ok_or_else(|| {
+                StageFailure::error("overlap.extend", 0, "triangle/pool size mismatch")
+            });
+        }
+
+        // Pack every profile once (new cells pair new ingredients with
+        // arbitrary rows). The universe only needs to *cover* the
+        // profiles — counts are exact either way — so building it from
+        // the grown pool keeps new cells equal to a cold build's.
+        let mut profiles: Vec<&[culinaria_flavordb::MoleculeId]> = Vec::with_capacity(m);
+        for (i, &id) in pool.iter().enumerate() {
+            match view.profile_molecules(id) {
+                Ok(p) => profiles.push(p),
+                Err(e) => {
+                    return Err(StageFailure::error(
+                        "overlap.extend",
+                        i,
+                        format!("ingredient id {} is not usable: {e}", id.index()),
+                    ))
+                }
+            }
+        }
+        let universe = MoleculeUniverse::build_from_slices(profiles.iter().copied());
+        let words = universe.words();
+        let mut bits: Vec<u64> = Vec::with_capacity(m * words);
+        for p in &profiles {
+            bits.extend_from_slice(universe.pack_ids(p).words());
+        }
+
+        let mut tri = vec![0u32; m * m.saturating_sub(1) / 2];
+        let row_base = |i: usize| i * (2 * m - i - 1) / 2;
+        for i in 0..m {
+            let row_bits = &bits[i * words..][..words];
+            for j in (i + 1)..m {
+                let cell = match (old[i], old[j]) {
+                    (Some(a), Some(b)) => self.overlap(a, b),
+                    _ => kernel::and_popcount(row_bits, &bits[j * words..][..words]) as u32,
+                };
+                tri[row_base(i) + (j - i - 1)] = cell;
+            }
+        }
+        OverlapCache::from_parts(pool, tri)
+            .ok_or_else(|| StageFailure::error("overlap.extend", 0, "triangle/pool size mismatch"))
+    }
+
     /// Build over a cuisine's distinct ingredient set.
     pub fn for_cuisine(db: &FlavorDb, cuisine: &Cuisine<'_>) -> OverlapCache {
         OverlapCache::build(db, &cuisine.ingredient_set())

@@ -18,6 +18,9 @@ pub enum RecipeDbError {
     UnknownIngredient(u32),
     /// Snapshot decoding failed.
     Snapshot(String),
+    /// Import-log (WAL) framing, decoding, or replay-consistency
+    /// failure (see [`crate::wal`]).
+    Wal(String),
     /// A batch-import worker died (panicked) while resolving the recipe
     /// at `index`. Error-shaped resolution problems are collected into
     /// [`ImportStats::failures`](crate::import::ImportStats::failures)
@@ -41,6 +44,7 @@ impl fmt::Display for RecipeDbError {
             RecipeDbError::UnknownRecipe(id) => write!(f, "unknown recipe id {id}"),
             RecipeDbError::UnknownIngredient(id) => write!(f, "unknown ingredient id {id}"),
             RecipeDbError::Snapshot(msg) => write!(f, "snapshot error: {msg}"),
+            RecipeDbError::Wal(msg) => write!(f, "import log error: {msg}"),
             RecipeDbError::Worker { index, message } => {
                 write!(f, "import worker failed on recipe {index}: {message}")
             }

@@ -18,7 +18,9 @@
 //! * [`import`] — the raw-text import pipeline: ingredient phrases →
 //!   alias resolution (`culinaria-text`) → ingredient ids
 //!   (`culinaria-flavordb`), with per-import curation statistics;
-//! * [`io`] — binary snapshots and CSV export.
+//! * [`io`] — binary snapshots and CSV export;
+//! * [`wal`] — the append-only, checksummed import log with
+//!   deterministic replay (streaming ingestion).
 
 pub mod artifact;
 pub mod cuisine;
@@ -29,6 +31,7 @@ pub mod query;
 pub mod recipe;
 pub mod region;
 pub mod store;
+pub mod wal;
 
 pub use artifact::{BorrowedCuisine, BorrowedRecipeDb, RecipeArtifactBuilder};
 pub use cuisine::Cuisine;
@@ -37,3 +40,4 @@ pub use import::{ImportFailureReason, ImportStats, Importer, RawRecipe, RecipeFa
 pub use recipe::{Recipe, RecipeId, Source};
 pub use region::Region;
 pub use store::RecipeStore;
+pub use wal::{IngestLog, WalRecord};

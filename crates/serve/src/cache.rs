@@ -19,6 +19,17 @@
 //! reference; the interner frees a set's slot when the last reference
 //! goes, so resident memory is bounded by the entry capacity no matter
 //! how many distinct sets pass through.
+//!
+//! # Generations and invalidation
+//!
+//! Every entry is stamped with the cache's **generation** at store
+//! time. Ingesting new data bumps the generation
+//! ([`ResponseCache::set_generation`]); entries stamped with an older
+//! generation are *stale* — they answer for data that no longer
+//! exists — and are evicted lazily the next time a lookup touches
+//! them, counted as `invalidations` (plus a regular miss). Lazy
+//! eviction keeps the bump O(1): no sweep over the slab on ingest,
+//! stale entries age out through lookups and LRU pressure.
 
 use std::collections::HashMap;
 
@@ -115,6 +126,9 @@ impl SetInterner {
 struct Entry {
     key: CacheKey,
     value: String,
+    /// Cache generation at store time; stale when it trails the
+    /// cache's current generation.
+    generation: u64,
     prev: u32,
     next: u32,
 }
@@ -126,6 +140,9 @@ pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
     pub evictions: u64,
+    /// Stale-generation entries evicted on lookup after an ingest
+    /// bumped the generation (each also counts as a miss).
+    pub invalidations: u64,
     /// Live entries (≤ capacity).
     pub entries: usize,
     /// Live interned sets (≤ entries).
@@ -150,6 +167,8 @@ pub struct ResponseCache {
     hits: u64,
     misses: u64,
     evictions: u64,
+    invalidations: u64,
+    generation: u64,
 }
 
 impl ResponseCache {
@@ -165,7 +184,37 @@ impl ResponseCache {
             hits: 0,
             misses: 0,
             evictions: 0,
+            invalidations: 0,
+            generation: 0,
         }
+    }
+
+    /// Move the cache to a new data generation, making every entry
+    /// stored under an older generation stale. O(1): stale entries are
+    /// evicted lazily on lookup and counted as `invalidations`.
+    ///
+    /// ```
+    /// use culinaria_serve::cache::{Endpoint, ResponseCache};
+    ///
+    /// let mut c = ResponseCache::new(4);
+    /// c.store(Endpoint::ZProf, 1, 0, None, "old answer".into());
+    /// assert!(c.lookup(Endpoint::ZProf, 1, 0, None).is_some());
+    ///
+    /// c.set_generation(1); // new recipes ingested: old answers stale
+    /// assert_eq!(c.lookup(Endpoint::ZProf, 1, 0, None), None);
+    /// assert_eq!(c.stats().invalidations, 1);
+    ///
+    /// // Re-stored under the new generation, it serves again.
+    /// c.store(Endpoint::ZProf, 1, 0, None, "new answer".into());
+    /// assert_eq!(c.lookup(Endpoint::ZProf, 1, 0, None).as_deref(), Some("new answer"));
+    /// ```
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
+    }
+
+    /// The generation new entries are stamped with.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Normalize an id set for keying: sorted, deduplicated raw ids.
@@ -206,11 +255,20 @@ impl ResponseCache {
             set,
         };
         match self.map.get(&key).copied() {
-            Some(e) => {
+            Some(e) if self.entries[e as usize].generation == self.generation => {
                 self.unlink(e);
                 self.push_front(e);
                 self.hits += 1;
                 Some(self.entries[e as usize].value.clone())
+            }
+            Some(e) => {
+                // Stale generation: the answer predates the last
+                // ingest. Evict it and miss so the caller recomputes
+                // against the live data.
+                self.evict_entry(e);
+                self.invalidations += 1;
+                self.misses += 1;
+                None
             }
             None => {
                 self.misses += 1;
@@ -247,6 +305,7 @@ impl ResponseCache {
             };
             if let Some(&e) = self.map.get(&key) {
                 self.entries[e as usize].value = value;
+                self.entries[e as usize].generation = self.generation;
                 self.unlink(e);
                 self.push_front(e);
                 return;
@@ -270,6 +329,7 @@ impl ResponseCache {
         let entry = Entry {
             key,
             value,
+            generation: self.generation,
             prev: NIL,
             next: NIL,
         };
@@ -290,6 +350,14 @@ impl ResponseCache {
     fn evict_lru(&mut self) {
         let victim = self.tail;
         debug_assert_ne!(victim, NIL, "evict called on an empty cache");
+        self.evict_entry(victim);
+        self.evictions += 1;
+    }
+
+    /// Remove one entry from the map, list, slab, and interner.
+    /// Counter bookkeeping (capacity eviction vs invalidation) is the
+    /// caller's.
+    fn evict_entry(&mut self, victim: u32) {
         self.unlink(victim);
         let key = self.entries[victim as usize].key;
         self.map.remove(&key);
@@ -298,7 +366,6 @@ impl ResponseCache {
         }
         self.entries[victim as usize].value = String::new();
         self.free.push(victim);
-        self.evictions += 1;
     }
 
     fn unlink(&mut self, e: u32) {
@@ -338,6 +405,7 @@ impl ResponseCache {
             hits: self.hits,
             misses: self.misses,
             evictions: self.evictions,
+            invalidations: self.invalidations,
             entries: self.map.len(),
             interned_sets: self.interner.live(),
             interned_bytes: self.interner.resident_bytes(),
@@ -445,6 +513,52 @@ mod tests {
             c.lookup(Endpoint::Pair, 0, 0, Some(&set)),
             Some("new".into())
         );
+    }
+
+    #[test]
+    fn generation_bump_invalidates_lazily() {
+        let mut c = ResponseCache::new(4);
+        let set = ids(&[1, 2]);
+        c.store(Endpoint::Pair, 0, 0, Some(&set), "g0".into());
+        c.store(Endpoint::ZProf, 1, 0, None, "z0".into());
+        assert_eq!(c.stats().entries, 2);
+
+        c.set_generation(1);
+        assert_eq!(c.generation(), 1);
+        // Entries survive the bump (lazy) but the first touch evicts.
+        assert_eq!(c.stats().entries, 2);
+        assert_eq!(c.lookup(Endpoint::Pair, 0, 0, Some(&set)), None);
+        let s = c.stats();
+        assert_eq!(s.invalidations, 1);
+        assert_eq!(s.entries, 1);
+        // Interned set released with the stale entry.
+        assert_eq!(s.interned_sets, 0);
+
+        // Fresh store under generation 1 hits; the untouched stale
+        // entry still invalidates on its own first lookup.
+        c.store(Endpoint::Pair, 0, 0, Some(&set), "g1".into());
+        assert_eq!(
+            c.lookup(Endpoint::Pair, 0, 0, Some(&set)).as_deref(),
+            Some("g1")
+        );
+        assert_eq!(c.lookup(Endpoint::ZProf, 1, 0, None), None);
+        assert_eq!(c.stats().invalidations, 2);
+        // Capacity evictions are counted separately.
+        assert_eq!(c.stats().evictions, 0);
+    }
+
+    #[test]
+    fn refresh_in_place_restamps_generation() {
+        let mut c = ResponseCache::new(2);
+        c.store(Endpoint::ZProf, 1, 0, None, "old".into());
+        c.set_generation(3);
+        // A lookup would invalidate; a store refreshes *and* restamps.
+        c.store(Endpoint::ZProf, 1, 0, None, "new".into());
+        assert_eq!(
+            c.lookup(Endpoint::ZProf, 1, 0, None).as_deref(),
+            Some("new")
+        );
+        assert_eq!(c.stats().invalidations, 0);
     }
 
     #[test]

@@ -21,6 +21,18 @@
 //! response cache over interned ingredient-id sets ([`cache`]), and
 //! load-shedding bounded-queue backpressure ([`queue`]). Live metrics
 //! flow through `culinaria-obs` and out the `METRICS` endpoint.
+//!
+//! # Serving over mutable data
+//!
+//! The server can sit on a *stream* of recipes (`culinaria ingest`,
+//! `culinaria_recipedb::wal`): [`Server::ingest_swap`] installs a new
+//! data generation atomically — lazy shards and the `SCORE` context
+//! rebuild on first use, and cached responses from older generations
+//! are invalidated lazily on lookup
+//! ([`cache::ResponseCache::set_generation`], counted by
+//! `serve.cache.invalidations`). `bench_stream` measures this
+//! ingest-while-serving regime; the wire protocol itself is documented
+//! end-to-end in `docs/PROTOCOL.md`.
 
 pub mod cache;
 pub mod protocol;

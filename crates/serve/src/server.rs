@@ -18,10 +18,23 @@
 //! responses — and the cache's evolution — bit-identical to serial
 //! execution at any worker count. `bench_serve` and the serve tests
 //! assert exactly that.
+//!
+//! # Generations and ingest
+//!
+//! The server's data views, lazy shards, and `SCORE` context live in
+//! an immutable **epoch** behind an `RwLock<Arc<…>>`. A batch snapshots
+//! the current epoch once and answers entirely against it, so a
+//! concurrent [`Server::ingest_swap`] — which installs a new epoch with
+//! fresh (empty) shard slots and bumps the **generation counter** —
+//! never tears a batch. The response cache is stamped with the
+//! generation at store time; the swap moves the cache's generation
+//! forward, and stale entries are evicted lazily on their next lookup
+//! (`serve.cache.invalidations`). Shards are rebuilt lazily in the new
+//! epoch exactly as they were at startup.
 
 use std::io::{self, BufWriter, Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 
 use culinaria_core::pairing::OverlapCache;
 use culinaria_core::z_analysis::{region_overlap_cache, try_analyze_cuisine_with_cache_observed};
@@ -192,6 +205,7 @@ struct ServeObs {
     cache_hits: Counter,
     cache_misses: Counter,
     cache_evictions: Counter,
+    cache_invalidations: Counter,
     shard_builds: Counter,
 }
 
@@ -209,12 +223,35 @@ impl ServeObs {
             cache_hits: m.counter("serve.cache.hits"),
             cache_misses: m.counter("serve.cache.misses"),
             cache_evictions: m.counter("serve.cache.evictions"),
+            cache_invalidations: m.counter("serve.cache.invalidations"),
             shard_builds: m.counter("serve.shard.builds"),
         }
     }
 }
 
 type ShardSlot = Result<Option<Arc<RegionShard>>, String>;
+
+/// One immutable data generation: the world views plus every piece of
+/// lazily-derived state that depends on them. Swapped wholesale by
+/// [`Server::ingest_swap`]; batches snapshot the `Arc` once, so a swap
+/// never tears in-flight work.
+struct Epoch<'a> {
+    flavor: FlavorViewRef<'a>,
+    recipes: RecipesViewRef<'a>,
+    shards: Vec<OnceLock<ShardSlot>>,
+    score_ctx: OnceLock<Option<ScoreCtx<'a>>>,
+}
+
+impl<'a> Epoch<'a> {
+    fn new(flavor: FlavorViewRef<'a>, recipes: RecipesViewRef<'a>) -> Epoch<'a> {
+        Epoch {
+            flavor,
+            recipes,
+            shards: (0..Region::ALL.len()).map(|_| OnceLock::new()).collect(),
+            score_ctx: OnceLock::new(),
+        }
+    }
+}
 
 /// Connection-level accounting returned by
 /// [`Server::serve_connection`].
@@ -230,14 +267,12 @@ pub struct ConnStats {
 
 /// See the module docs.
 pub struct Server<'a> {
-    flavor: FlavorViewRef<'a>,
-    recipes: RecipesViewRef<'a>,
+    epoch: RwLock<Arc<Epoch<'a>>>,
+    generation: AtomicU64,
     cfg: ServeConfig,
     metrics: Metrics,
     obs: ServeObs,
-    shards: Vec<OnceLock<ShardSlot>>,
     cache: Option<Mutex<ResponseCache>>,
-    score_ctx: OnceLock<Option<ScoreCtx<'a>>>,
 }
 
 impl<'a> Server<'a> {
@@ -254,14 +289,12 @@ impl<'a> Server<'a> {
         let cache =
             (cfg.cache_entries > 0).then(|| Mutex::new(ResponseCache::new(cfg.cache_entries)));
         Server {
-            flavor,
-            recipes,
+            epoch: RwLock::new(Arc::new(Epoch::new(flavor, recipes))),
+            generation: AtomicU64::new(0),
             cfg,
             metrics,
             obs,
-            shards: (0..Region::ALL.len()).map(|_| OnceLock::new()).collect(),
             cache,
-            score_ctx: OnceLock::new(),
         }
     }
 
@@ -273,6 +306,40 @@ impl<'a> Server<'a> {
         &self.metrics
     }
 
+    /// The current data generation (0 at startup, +1 per
+    /// [`Server::ingest_swap`]).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// Install a new data generation after an ingest: replace the world
+    /// views, reset the lazy per-region shards and `SCORE` context
+    /// (they rebuild on first use against the new data), and move the
+    /// response cache's generation forward so every cached answer from
+    /// an older generation is evicted on its next lookup (counted by
+    /// `serve.cache.invalidations`). Returns the new generation.
+    ///
+    /// The swap is atomic from a batch's point of view: batches
+    /// snapshot the epoch once at entry and finish against it, so
+    /// responses in one batch never mix generations.
+    pub fn ingest_swap(&self, flavor: FlavorViewRef<'a>, recipes: RecipesViewRef<'a>) -> u64 {
+        let next = Arc::new(Epoch::new(flavor, recipes));
+        *self.epoch.write().expect("epoch poisoned") = next;
+        let generation = self.generation.fetch_add(1, Ordering::AcqRel) + 1;
+        if let Some(cache) = self.cache.as_ref() {
+            cache
+                .lock()
+                .expect("cache poisoned")
+                .set_generation(generation);
+        }
+        generation
+    }
+
+    /// Snapshot the current epoch.
+    fn current(&self) -> Arc<Epoch<'a>> {
+        self.epoch.read().expect("epoch poisoned").clone()
+    }
+
     /// The cache's own counters (None when the cache is disabled).
     pub fn cache_stats(&self) -> Option<CacheStats> {
         self.cache
@@ -280,23 +347,23 @@ impl<'a> Server<'a> {
             .map(|c| c.lock().expect("cache poisoned").stats())
     }
 
-    /// The region's shard, built on first use. `Ok(None)` means the
-    /// region has no usable cuisine in this dataset.
-    fn shard(&self, region: Region) -> Result<Option<Arc<RegionShard>>, String> {
-        self.shards[region.index()]
-            .get_or_init(|| self.build_shard(region))
+    /// The region's shard in this epoch, built on first use. `Ok(None)`
+    /// means the region has no usable cuisine in this dataset.
+    fn shard(&self, ep: &Epoch<'a>, region: Region) -> Result<Option<Arc<RegionShard>>, String> {
+        ep.shards[region.index()]
+            .get_or_init(|| self.build_shard(ep, region))
             .clone()
     }
 
-    fn build_shard(&self, region: Region) -> ShardSlot {
-        let cuisine = self.recipes.cuisine(region);
+    fn build_shard(&self, ep: &Epoch<'a>, region: Region) -> ShardSlot {
+        let cuisine = ep.recipes.cuisine(region);
         let pool = cuisine.ingredient_set();
         if pool.is_empty() {
             return Ok(None);
         }
         // Single-threaded build: shard builds run inside batch workers,
         // and the artifact-section fast path is a memcpy anyway.
-        let overlap = region_overlap_cache(self.flavor, region, &pool, 1, &self.metrics)
+        let overlap = region_overlap_cache(ep.flavor, region, &pool, 1, &self.metrics)
             .map_err(|f| f.to_string())?;
         self.obs.shard_builds.add(1);
         Ok(Some(Arc::new(RegionShard {
@@ -321,6 +388,9 @@ impl<'a> Server<'a> {
     pub fn handle_batch(&self, reqs: &[(u64, Request)]) -> Vec<String> {
         self.obs.batch.record(reqs.len() as u64);
         self.obs.requests.add(reqs.len() as u64);
+        // One epoch snapshot per batch: every phase — and every worker —
+        // answers against the same data generation.
+        let ep = self.current();
         let mut out: Vec<Option<String>> = vec![None; reqs.len()];
         let mut misses: Vec<usize> = Vec::new();
         // Phase 1: serial cache pass, request order.
@@ -333,13 +403,16 @@ impl<'a> Server<'a> {
         // Phase 2: compute misses in task order over the worker pool.
         let computed: Vec<(String, Option<CacheSlot>)> =
             if misses.len() < 2 || pool::effective_threads(self.cfg.threads) == 1 {
-                misses.iter().map(|&i| self.compute(&reqs[i].1)).collect()
+                misses
+                    .iter()
+                    .map(|&i| self.compute(&ep, &reqs[i].1))
+                    .collect()
             } else {
                 pool::run(
                     self.cfg.threads,
                     misses.len(),
                     || (),
-                    |_, t| self.compute(&reqs[misses[t]].1),
+                    |_, t| self.compute(&ep, &reqs[misses[t]].1),
                 )
             };
         // Phase 3: serial fill + cache stores, request order.
@@ -382,12 +455,14 @@ impl<'a> Server<'a> {
         let cache = self.cache.as_ref()?;
         let slot = Self::cache_slot(req)?;
         let ids = slot.ids(req);
-        let got = cache.lock().expect("cache poisoned").lookup(
-            slot.endpoint,
-            slot.region,
-            slot.param,
-            ids,
-        );
+        let mut cache = cache.lock().expect("cache poisoned");
+        let stale_before = cache.stats().invalidations;
+        let got = cache.lookup(slot.endpoint, slot.region, slot.param, ids);
+        let invalidated = cache.stats().invalidations - stale_before;
+        drop(cache);
+        if invalidated > 0 {
+            self.obs.cache_invalidations.add(invalidated);
+        }
         match &got {
             Some(_) => self.obs.cache_hits.add(1),
             None => self.obs.cache_misses.add(1),
@@ -416,7 +491,7 @@ impl<'a> Server<'a> {
     /// plus its cache slot when the endpoint is cacheable. Pure with
     /// respect to request order — the batching determinism hinges on
     /// this.
-    fn compute(&self, req: &Request) -> (String, Option<CacheSlot>) {
+    fn compute(&self, ep: &Epoch<'a>, req: &Request) -> (String, Option<CacheSlot>) {
         let slot = Self::cache_slot(req);
         let body = match req {
             Request::Ping => "OK pong".to_string(),
@@ -424,25 +499,25 @@ impl<'a> Server<'a> {
             Request::Metrics => format!("OK metrics {}", self.metrics.render_json()),
             Request::Pair { region, ids } => {
                 let t = self.obs.pair_us.start();
-                let body = self.compute_pair(*region, ids);
+                let body = self.compute_pair(ep, *region, ids);
                 t.stop();
                 body
             }
             Request::ZProf { region } => {
                 let t = self.obs.zprof_us.start();
-                let body = self.compute_zprof(*region);
+                let body = self.compute_zprof(ep, *region);
                 t.stop();
                 body
             }
             Request::TopK { region, k } => {
                 let t = self.obs.topk_us.start();
-                let body = self.compute_topk(*region, *k);
+                let body = self.compute_topk(ep, *region, *k);
                 t.stop();
                 body
             }
             Request::Score { region, lines } => {
                 let t = self.obs.score_us.start();
-                let body = self.compute_score(*region, lines);
+                let body = self.compute_score(ep, *region, lines);
                 t.stop();
                 body
             }
@@ -455,8 +530,8 @@ impl<'a> Server<'a> {
         format!("ERR {} {}", e.code, e.message)
     }
 
-    fn usable_shard(&self, region: Region) -> Result<Arc<RegionShard>, String> {
-        match self.shard(region) {
+    fn usable_shard(&self, ep: &Epoch<'a>, region: Region) -> Result<Arc<RegionShard>, String> {
+        match self.shard(ep, region) {
             Ok(Some(shard)) => Ok(shard),
             Ok(None) => Err(Self::err(
                 "empty-region",
@@ -466,26 +541,26 @@ impl<'a> Server<'a> {
         }
     }
 
-    fn compute_pair(&self, region: Option<Region>, ids: &[IngredientId]) -> String {
+    fn compute_pair(&self, ep: &Epoch<'a>, region: Option<Region>, ids: &[IngredientId]) -> String {
         // Shard fast path: O(1) triangle lookups. Falls back to the
         // profile walk for global requests or ids outside the region
         // pool — both produce the same bits (asserted in tests), so
         // the answer never depends on which path ran.
         let via_shard = region
-            .and_then(|r| self.shard(r).ok().flatten())
+            .and_then(|r| self.shard(ep, r).ok().flatten())
             .and_then(|shard| shard.overlap.score_ids(ids));
-        match via_shard.or_else(|| recipe_pairing_score_view(self.flavor, ids)) {
+        match via_shard.or_else(|| recipe_pairing_score_view(ep.flavor, ids)) {
             Some(score) => format!("OK {}", pair_body(score)),
             None => Self::err("bad-ids", "unknown ingredient id in set"),
         }
     }
 
-    fn compute_zprof(&self, region: Region) -> String {
-        let shard = match self.usable_shard(region) {
+    fn compute_zprof(&self, ep: &Epoch<'a>, region: Region) -> String {
+        let shard = match self.usable_shard(ep, region) {
             Ok(s) => s,
             Err(e) => return e,
         };
-        let cuisine = self.recipes.cuisine(region);
+        let cuisine = ep.recipes.cuisine(region);
         // n_threads = 1: the batch pool is the concurrency layer here,
         // and the analysis is bit-identical for any thread count.
         let cfg = MonteCarloConfig {
@@ -494,7 +569,7 @@ impl<'a> Server<'a> {
             n_threads: 1,
         };
         match try_analyze_cuisine_with_cache_observed(
-            self.flavor,
+            ep.flavor,
             &cuisine,
             &shard.overlap,
             &NullModel::ALL,
@@ -510,13 +585,13 @@ impl<'a> Server<'a> {
         }
     }
 
-    fn compute_topk(&self, region: Region, k: usize) -> String {
-        let shard = match self.usable_shard(region) {
+    fn compute_topk(&self, ep: &Epoch<'a>, region: Region, k: usize) -> String {
+        let shard = match self.usable_shard(ep, region) {
             Ok(s) => s,
             Err(e) => return e,
         };
         let candidates = shard.candidates.get_or_init(|| {
-            let cooc = cooc_triangle(&shard.pool, self.all_recipe_lists());
+            let cooc = cooc_triangle(&shard.pool, Self::all_recipe_lists(ep.recipes));
             let n = shard.pool.len();
             let mut out = Vec::new();
             for i in 0..n {
@@ -542,7 +617,7 @@ impl<'a> Server<'a> {
         let mut rows = Vec::with_capacity(k.min(candidates.len()));
         for c in candidates.iter().take(k) {
             let name = |local: u32| {
-                self.flavor
+                ep.flavor
                     .ingredient_name(shard.pool[local as usize])
                     .unwrap_or("?")
                     .to_string()
@@ -558,9 +633,9 @@ impl<'a> Server<'a> {
         format!("OK {}", topk_body(shard.region, &rows))
     }
 
-    fn compute_score(&self, region: Region, lines: &[String]) -> String {
-        let ctx = self.score_ctx.get_or_init(|| {
-            let db = match self.flavor {
+    fn compute_score(&self, ep: &Epoch<'a>, region: Region, lines: &[String]) -> String {
+        let ctx = ep.score_ctx.get_or_init(|| {
+            let db = match ep.flavor {
                 FlavorViewRef::Owned(db) => ScoreDb::Borrowed(db),
                 FlavorViewRef::Artifact(b) => match b.to_flavor_db() {
                     Ok(db) => ScoreDb::Owned(Box::new(db)),
@@ -575,13 +650,13 @@ impl<'a> Server<'a> {
         };
         let db = ctx.db.get();
         let (ids, resolved_lines) = resolve_score_lines(&ctx.importer, db, lines);
-        let score = recipe_pairing_score_view(self.flavor, &ids)
+        let score = recipe_pairing_score_view(ep.flavor, &ids)
             .expect("resolved ids are live by construction");
         let vs = self
-            .shard(region)
+            .shard(ep, region)
             .ok()
             .flatten()
-            .and_then(|shard| self.shard_mean(&shard));
+            .and_then(|shard| Self::shard_mean(ep, &shard));
         let mut body = format!(
             "OK {}",
             score_body(resolved_lines, lines.len(), ids.len(), score)
@@ -594,9 +669,9 @@ impl<'a> Server<'a> {
     }
 
     /// The cuisine's observed mean ⟨N_s⟩, computed once per shard.
-    fn shard_mean(&self, shard: &RegionShard) -> Option<f64> {
+    fn shard_mean(ep: &Epoch<'a>, shard: &RegionShard) -> Option<f64> {
         *shard.mean.get_or_init(|| {
-            let cuisine = self.recipes.cuisine(shard.region);
+            let cuisine = ep.recipes.cuisine(shard.region);
             shard.overlap.mean_cuisine_score_view(&cuisine)
         })
     }
@@ -604,9 +679,9 @@ impl<'a> Server<'a> {
     /// Every recipe ingredient list in the store, region by region
     /// (each recipe belongs to exactly one region, and co-occurrence
     /// counting is order-independent).
-    fn all_recipe_lists(&self) -> impl Iterator<Item = &'a [IngredientId]> + '_ {
-        self.recipes.regions().into_iter().flat_map(move |region| {
-            let cuisine = self.recipes.cuisine(region);
+    fn all_recipe_lists(recipes: RecipesViewRef<'a>) -> impl Iterator<Item = &'a [IngredientId]> {
+        recipes.regions().into_iter().flat_map(move |region| {
+            let cuisine = recipes.cuisine(region);
             cuisine.recipe_ingredient_lists().collect::<Vec<_>>()
         })
     }

@@ -16,7 +16,7 @@ use culinaria_datagen::{generate_world, World, WorldConfig};
 use culinaria_flavordb::IngredientId;
 use culinaria_obs::Metrics;
 use culinaria_recipedb::import::Importer;
-use culinaria_recipedb::Region;
+use culinaria_recipedb::{RecipeStore, Region, Source};
 use culinaria_serve::protocol::{
     self, parse_request, read_frame, topk_body, Client, TopPairing, MAX_FRAME,
 };
@@ -536,6 +536,75 @@ fn artifact_backed_server_is_bit_identical_to_owned() {
     // The shard build must have reused the artifact's section.
     let snap = borrowed.metrics().snapshot();
     assert_eq!(snap.counter("overlap.section_reuse"), Some(1));
+}
+
+#[test]
+fn ingest_swap_invalidates_cache_and_serves_new_bits() {
+    let world = tiny_world();
+    let (region, ids) = probe(&world);
+    // A grown copy of the store: the same corpus plus one streamed-in
+    // recipe in the probe region (changes its cuisine, hence ZPROF).
+    let mut grown = RecipeStore::new();
+    for r in world.recipes.recipes() {
+        grown
+            .add_recipe(&r.name, r.region, r.source, r.ingredients().to_vec())
+            .unwrap();
+    }
+    grown
+        .add_recipe("streamed", region, Source::Synthetic, ids.clone())
+        .unwrap();
+
+    let cfg = ServeConfig {
+        cache_entries: 8,
+        mc_recipes: 200,
+        ..ServeConfig::default()
+    };
+    let server = server_over(&world, cfg);
+    let req = Request::ZProf { region };
+
+    // Warm the cache: second identical query is a hit.
+    let first = server.handle(1, &req);
+    let hit = server.handle(2, &req);
+    assert_eq!(first[2..], hit[2..], "ids differ, bodies must not");
+    assert_eq!(server.cache_stats().expect("cache on").hits, 1);
+    assert_eq!(server.generation(), 0);
+
+    // Ingest: swap to the grown store. Generation moves, nothing is
+    // swept eagerly.
+    let generation = server.ingest_swap(
+        FlavorViewRef::Owned(&world.flavor),
+        RecipesViewRef::Owned(&grown),
+    );
+    assert_eq!(generation, 1);
+    assert_eq!(server.generation(), 1);
+    assert_eq!(server.cache_stats().expect("cache on").invalidations, 0);
+
+    // The same query now evicts the stale entry (counted) and answers
+    // with the new data's bits.
+    let after = server.handle(3, &req);
+    let stats = server.cache_stats().expect("cache on");
+    assert_eq!(stats.invalidations, 1, "stale entry evicted on lookup");
+    assert_ne!(first[2..], after[2..], "answer must change with the data");
+
+    // Bit-identical to a cold server started over the grown store.
+    let fresh = Server::new(
+        FlavorViewRef::Owned(&world.flavor),
+        RecipesViewRef::Owned(&grown),
+        cfg,
+        Metrics::enabled(),
+    );
+    assert_eq!(after, fresh.handle(3, &req));
+
+    // And the new answer is cached under the new generation.
+    let again = server.handle(4, &req);
+    assert_eq!(after[2..], again[2..]);
+    let stats = server.cache_stats().expect("cache on");
+    assert_eq!(stats.invalidations, 1);
+    assert_eq!(stats.hits, 2);
+
+    // Counter mirrored into the metrics registry.
+    let snap = server.metrics().snapshot();
+    assert_eq!(snap.counter("serve.cache.invalidations"), Some(1));
 }
 
 #[test]

@@ -7,6 +7,8 @@
 //! culinaria analyze  [--scale S] [--seed N] [--mc N] [--metrics[=json]]
 //! culinaria report   <REGION> [--scale S] [--seed N] [--metrics[=json]]
 //! culinaria import   <FILE> [--threads N] [--metrics[=json]]
+//! culinaria ingest   <FILE> --log PATH [--threads N]
+//! culinaria replay   --log PATH [--prefix N] [--threads N] [--analyze]
 //! culinaria pairings <REGION> [--scale S] [--top K]
 //! culinaria serve    (--stdio | --socket PATH) [--data DIR] [--threads N]
 //!                    [--batch N] [--cache-entries N] [--max-queue N]
@@ -35,7 +37,7 @@ use culinaria::flavordb::FlavorArtifactBuilder;
 use culinaria::flavordb::{AlignedBytes, FlavorDb};
 use culinaria::obs::Metrics;
 use culinaria::recipedb::import::{Importer, RawRecipe};
-use culinaria::recipedb::{RecipeArtifactBuilder, RecipeStore, Region, Source};
+use culinaria::recipedb::{IngestLog, RecipeArtifactBuilder, RecipeStore, Region, Source};
 use culinaria::serve::{ServeConfig, Server};
 
 struct Args {
@@ -217,6 +219,8 @@ fn usage() -> ExitCode {
          culinaria analyze  [--scale S] [--seed N] [--mc N]      Fig-4 z-score table\n  \
          culinaria report   <REGION> [--scale S] [--seed N]      one cuisine in depth\n  \
          culinaria import   <FILE> [--threads N]                 import raw recipes from a file\n  \
+         culinaria ingest   <FILE> --log PATH [--threads N]      import + append to a replay log\n  \
+         culinaria replay   --log PATH [--prefix N] [--analyze]  rebuild the store from the log\n  \
          culinaria pairings <REGION> [--scale S] [--top K]       novel pairing suggestions\n  \
          culinaria suggest  <REGION> [--size N] [--uniform|--contrast]  generate a recipe\n  \
          culinaria serve    (--stdio | --socket PATH) [--data DIR]      online query service\n  \
@@ -491,6 +495,158 @@ fn main() -> ExitCode {
                 );
                 ExitCode::FAILURE
             }
+        }
+        "ingest" => {
+            let Some(path) = args.positional.first() else {
+                eprintln!("ingest needs a file path (same text format as `import`)");
+                return ExitCode::from(2);
+            };
+            let Some(log_path) = args.flags.get("log").filter(|p| !p.is_empty()).cloned() else {
+                eprintln!("ingest needs --log PATH (the append-only import log)");
+                return ExitCode::from(2);
+            };
+            let text = match std::fs::read_to_string(path) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let (raws, issues) = parse_raw_recipes(&text);
+            for issue in &issues {
+                eprintln!("{path}:{}: {}", issue.line, issue.message);
+            }
+            let db = culinaria::flavordb::curated::curated_db();
+            let importer = Importer::from_flavor_db(&db);
+            let threads = args.flag("threads", 0usize);
+            // An existing log is prior history: replay it first so the
+            // new batch imports on top of every earlier record and the
+            // grown log still replays ≡ one big batch.
+            let mut log = match std::fs::read(&log_path) {
+                Ok(bytes) => match IngestLog::from_bytes(&bytes) {
+                    Ok(log) => log,
+                    Err(e) => {
+                        eprintln!("{log_path}: corrupt import log: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                },
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => IngestLog::new(),
+                Err(e) => {
+                    eprintln!("cannot read {log_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut store = if log.is_empty() {
+                RecipeStore::new()
+            } else {
+                match log.replay(&db, &importer, threads) {
+                    Ok((store, _)) => store,
+                    Err(e) => {
+                        eprintln!("{log_path}: cannot replay existing log: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            };
+            let prior = log.records().len();
+            let stats = match log.append_batch(&db, &importer, &mut store, &raws, threads) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("ingest failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if let Err(e) = std::fs::write(&log_path, log.as_bytes()) {
+                eprintln!("cannot write {log_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "ingested {}/{} recipes ({} tombstoned); \
+                 log {log_path}: {} records (+{}), {} bytes; store: {} recipes",
+                stats.stored,
+                stats.offered,
+                stats.failures.len(),
+                log.records().len(),
+                log.records().len() - prior,
+                log.as_bytes().len(),
+                store.n_recipes()
+            );
+            for failure in &stats.failures {
+                eprintln!("tombstoned {failure}");
+            }
+            if issues.is_empty() {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!(
+                    "{path}: {} malformed block(s) skipped — fix them and re-ingest",
+                    issues.len()
+                );
+                ExitCode::FAILURE
+            }
+        }
+        "replay" => {
+            let Some(log_path) = args.flags.get("log").filter(|p| !p.is_empty()) else {
+                eprintln!("replay needs --log PATH");
+                return ExitCode::from(2);
+            };
+            let bytes = match std::fs::read(log_path) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("cannot read {log_path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let log = match IngestLog::from_bytes(&bytes) {
+                Ok(log) => log,
+                Err(e) => {
+                    eprintln!("{log_path}: corrupt import log: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let n = args.flag("prefix", log.records().len());
+            let db = culinaria::flavordb::curated::curated_db();
+            let importer = Importer::from_flavor_db(&db);
+            let replayed = log.replay_prefix(&db, &importer, n, args.flag("threads", 0usize));
+            let (store, stats) = match replayed {
+                Ok(out) => out,
+                Err(e) => {
+                    eprintln!("replay failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "replayed {n}/{} records: {} stored, {} tombstoned, \
+                 {} lines resolved, {} unresolved",
+                log.records().len(),
+                stats.stored,
+                stats.failures.len(),
+                stats.lines_resolved,
+                stats.lines_unresolved
+            );
+            if args.flags.contains_key("analyze") {
+                let mc = MonteCarloConfig {
+                    n_recipes: args.flag("mc", 2000usize),
+                    seed: args.flag("seed", 2018u64),
+                    n_threads: 0,
+                };
+                let sink = args.metrics();
+                let analyses = match try_analyze_world_observed(
+                    &db,
+                    &store,
+                    &NullModel::ALL,
+                    &mc,
+                    &sink.metrics,
+                ) {
+                    Ok(a) => a,
+                    Err(failure) => {
+                        eprintln!("analysis failed: {failure}");
+                        sink.dump();
+                        return ExitCode::FAILURE;
+                    }
+                };
+                println!("{}", analyses_to_frame(&analyses).to_table_string(22));
+                sink.dump();
+            }
+            ExitCode::SUCCESS
         }
         "report" => {
             let Some(region) = args

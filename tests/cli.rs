@@ -206,6 +206,69 @@ fn serve_stdio_answers_framed_queries_over_artifacts() {
 }
 
 #[test]
+fn ingest_and_replay_round_trip_through_the_log() {
+    let dir = std::env::temp_dir().join(format!("culinaria-ingest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let file = dir.join("recipes.txt");
+    std::fs::write(
+        &file,
+        "Bruschetta | ITA\ntomato\nolive oil\nbasil\n\n\
+         Header Only | JPN\n\n\
+         Caprese | ITA\ntomato\nbasil\n",
+    )
+    .expect("write recipes");
+    let file = file.to_str().expect("utf-8 path");
+    let log = dir.join("import.cwal");
+    let log = log.to_str().expect("utf-8 path");
+
+    // Missing --log fails fast with exit 2 and names the flag.
+    let (ok, _, stderr) = run(&["ingest", file]);
+    assert!(!ok);
+    assert!(stderr.contains("--log"), "stderr: {stderr}");
+    let (ok, _, stderr) = run(&["replay"]);
+    assert!(!ok);
+    assert!(stderr.contains("--log"), "stderr: {stderr}");
+
+    // First batch: two stored, the header-only block tombstoned.
+    let (ok, stdout, stderr) = run(&["ingest", file, "--log", log]);
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("ingested 2/3"), "stdout: {stdout}");
+    assert!(stdout.contains("3 records (+3)"), "stdout: {stdout}");
+    assert!(stderr.contains("Header Only"), "stderr: {stderr}");
+
+    // Second batch appends on top of the replayed history.
+    let (ok, stdout, _) = run(&["ingest", file, "--log", log, "--threads", "2"]);
+    assert!(ok);
+    assert!(stdout.contains("6 records (+3)"), "stdout: {stdout}");
+    assert!(stdout.contains("store: 4 recipes"), "stdout: {stdout}");
+
+    // Full replay and a prefix replay both reconstruct the stream.
+    let (ok, stdout, _) = run(&["replay", "--log", log]);
+    assert!(ok);
+    assert!(
+        stdout.contains("replayed 6/6 records: 4 stored, 2 tombstoned"),
+        "stdout: {stdout}"
+    );
+    let (ok, stdout, _) = run(&["replay", "--log", log, "--prefix", "3", "--threads", "2"]);
+    assert!(ok);
+    assert!(
+        stdout.contains("replayed 3/6 records: 2 stored, 1 tombstoned"),
+        "stdout: {stdout}"
+    );
+
+    // A corrupt log is reported, not panicked on.
+    let mut bytes = std::fs::read(log).expect("log readable");
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    let bad = dir.join("bad.cwal");
+    std::fs::write(&bad, &bytes).expect("write corrupt log");
+    let (ok, _, stderr) = run(&["replay", "--log", bad.to_str().expect("utf-8 path")]);
+    assert!(!ok);
+    assert!(stderr.contains("corrupt import log"), "stderr: {stderr}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn pairings_lists_candidates() {
     let (ok, stdout, _) = run(&["pairings", "ITA", "--scale", "0.02", "--top", "3"]);
     assert!(ok);

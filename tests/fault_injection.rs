@@ -28,7 +28,7 @@ use culinaria::analysis::{FailureCause, MonteCarloConfig, NullModel, OverlapCach
 use culinaria::datagen::{generate_world, World, WorldConfig};
 use culinaria::obs::Metrics;
 use culinaria::recipedb::import::{ImportFailureReason, Importer, RawRecipe};
-use culinaria::recipedb::{RecipeDbError, RecipeStore, Region, Source};
+use culinaria::recipedb::{IngestLog, RecipeDbError, RecipeStore, Region, Source};
 use culinaria::stats::fault::{self, FaultKind, FaultPlan};
 
 const THREAD_COUNTS: [usize; 3] = [1, 2, 8];
@@ -339,6 +339,54 @@ fn import_panic_fails_the_batch_with_the_lowest_index() {
         // A failed batch must not have mutated the store.
         assert_eq!(store.n_recipes(), 0);
     }
+}
+
+#[test]
+fn wal_append_fault_leaves_a_valid_replayable_prefix() {
+    let db = culinaria::flavordb::curated::curated_db();
+    let (importer, raws) = import_fixture();
+    for threads in THREAD_COUNTS {
+        let mut log = IngestLog::new();
+        let mut store = RecipeStore::new();
+        let err = fault::with_plan(plan("wal.append", 3, FaultKind::Error), || {
+            log.append_batch(&db, &importer, &mut store, &raws, threads)
+                .unwrap_err()
+        });
+        assert!(
+            matches!(err, RecipeDbError::Wal(_)),
+            "expected a Wal error, got {err:?} at {threads} threads"
+        );
+        assert!(err.to_string().contains("record 3"), "{err}");
+        // Import ran first (append_batch contract), but only the
+        // records before the fault reached the log — whole, in order.
+        assert_eq!(store.n_recipes(), 12);
+        assert_eq!(log.records().len(), 3);
+        // What did land is a valid log: the bytes re-decode and replay
+        // as a cold batch import of that 3-record prefix.
+        let reopened = IngestLog::from_bytes(log.as_bytes()).expect("prefix stays decodable");
+        let (prefix_store, stats) = reopened.replay(&db, &importer, threads).expect("replays");
+        assert_eq!(stats.stored, 3);
+        assert_eq!(prefix_store.n_recipes(), 3);
+    }
+}
+
+#[test]
+fn wal_append_probe_indices_are_log_global() {
+    // The probe index is the *log* offset, not the batch offset, so a
+    // plan targeting record 13 fires in the second batch.
+    let db = culinaria::flavordb::curated::curated_db();
+    let (importer, raws) = import_fixture();
+    let mut log = IngestLog::new();
+    let mut store = RecipeStore::new();
+    log.append_batch(&db, &importer, &mut store, &raws, 2)
+        .expect("first batch appends cleanly");
+    assert_eq!(log.records().len(), 12);
+    let err = fault::with_plan(plan("wal.append", 13, FaultKind::Error), || {
+        log.append_batch(&db, &importer, &mut store, &raws, 2)
+            .unwrap_err()
+    });
+    assert!(err.to_string().contains("record 13"), "{err}");
+    assert_eq!(log.records().len(), 13);
 }
 
 #[test]
